@@ -1,0 +1,83 @@
+"""Appendix A.1 validation + virtual-mesh collective micro-benchmarks.
+
+Regenerates the collective cost table (time vs. group size at fixed
+payload, showing the (K-1)/K factor approach 1) and times the functional
+collectives on the virtual mesh — the substrate every equivalence test
+runs on, so its throughput bounds the whole test suite.
+"""
+
+import numpy as np
+
+from repro.collectives import (
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    reduce_scatter_time,
+)
+from repro.hardware import TPU_V4
+from repro.mesh import (
+    ShardedTensor,
+    VirtualMesh,
+    all_gather,
+    all_to_all,
+    reduce_scatter,
+)
+
+
+def generate_table() -> str:
+    payload = 64 * 1024 * 1024  # 64 MiB per chip
+    bw = TPU_V4.interconnect_bandwidth
+    lines = ["Appendix A.1: collective times, 64 MiB/chip at 270 GB/s",
+             f"{'K':>5s} {'all-gather':>12s} {'reduce-scat':>12s} "
+             f"{'all-reduce':>12s} {'all-to-all':>12s} {'(K-1)/K':>9s}"]
+    for k in (2, 4, 8, 16, 64, 256):
+        lines.append(
+            f"{k:>5d} "
+            f"{all_gather_time(payload, k, bw) * 1e3:11.2f}m "
+            f"{reduce_scatter_time(payload, k, bw) * 1e3:11.2f}m "
+            f"{all_reduce_time(payload, k, bw) * 1e3:11.2f}m "
+            f"{all_to_all_time(payload, k, bw) * 1e3:11.2f}m "
+            f"{(k - 1) / k:9.3f}")
+    return "\n".join(lines)
+
+
+def test_cost_table(benchmark, save_result):
+    table = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    save_result("collective_costs", table)
+    bw = TPU_V4.interconnect_bandwidth
+    # All-reduce = reduce-scatter + all-gather, at any K.
+    for k in (2, 16, 256):
+        assert all_reduce_time(1e8, k, bw) == (
+            all_gather_time(1e8, k, bw) + reduce_scatter_time(1e8, k, bw))
+
+
+def _mesh_tensor():
+    mesh = VirtualMesh((2, 2, 2))
+    x = np.random.default_rng(0).normal(size=(32, 256))
+    return mesh, ShardedTensor.from_global(mesh, x, "BE_xyz")
+
+
+def test_virtual_mesh_all_gather(benchmark):
+    mesh, t = _mesh_tensor()
+    out = benchmark(lambda: all_gather(t, ("x", "y", "z"), "E"))
+    assert out.spec.axes_for("E") == ()
+
+
+def test_virtual_mesh_reduce_scatter(benchmark):
+    mesh, _ = _mesh_tensor()
+    x = np.random.default_rng(0).normal(size=(32, 256))
+    from repro.sharding import parse
+
+    spec = parse("BE").with_partial_sum(("x", "y", "z"))
+    shards = mesh.map_devices(lambda c: x / 8)
+    t = ShardedTensor(mesh, spec, x.shape, shards)
+    out = benchmark(lambda: reduce_scatter(t, ("x", "y", "z"), "E"))
+    assert out.spec.partial_sum == ()
+
+
+def test_virtual_mesh_all_to_all(benchmark):
+    mesh = VirtualMesh((2, 2, 2))
+    x = np.random.default_rng(0).normal(size=(8, 4, 8, 16))
+    t = ShardedTensor.from_global(mesh, x, "BLH_xyzQ")
+    out = benchmark(lambda: all_to_all(t, ("x", "y", "z"), "H", "B"))
+    assert out.spec.axes_for("B") == ("x", "y", "z")

@@ -1,0 +1,67 @@
+"""Figure 1 (left): decode cost vs. latency Pareto for the PaLM family.
+
+Regenerates the frontier of chip-seconds-per-token against per-token
+generation latency (64 generated tokens, 2048-token context) for PaLM 8B,
+62B, and 540B in bfloat16 and int8, sweeping batch size and chip count.
+
+Shape checks encoded in the paper's text (Section 4.4): the minimum
+latency is ~3x below the batch-512 latency; int8 roughly halves cost at
+low-latency operating points; low-batch latency grows sublinearly
+(~sqrt) with model size.
+"""
+
+from repro.hardware import TPU_V4
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B, PALM_8B
+from repro.perf import pareto_frontier, sweep_decode
+
+SERIES = [
+    ("PaLM 8B", PALM_8B, None, (1, 2, 4, 8, 16, 32, 64, 128, 256)),
+    ("PaLM 62B", PALM_62B, None, (4, 8, 16, 32, 64, 128)),
+    ("PaLM 540B", PALM_540B_PADDED, PALM_540B.n_params, (16, 32, 64, 128,
+                                                         256)),
+]
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def generate_figure() -> str:
+    lines = ["Figure 1 (left): decode cost vs latency Pareto "
+             "(context 2048, generate 64)",
+             f"{'series':22s} {'chips':>5s} {'batch':>6s} "
+             f"{'ms/token':>9s} {'chip-ms/tok':>12s} {'MFU':>7s}"]
+    for name, config, mfu_params, chip_counts in SERIES:
+        for wbytes, dtype in ((2, "bf16"), (1, "int8")):
+            points = sweep_decode(
+                config, TPU_V4, context_len=2048, gen_len=64,
+                chip_counts=chip_counts, batches=BATCHES,
+                weight_dtype_bytes=wbytes, mfu_params=mfu_params)
+            for p in pareto_frontier(points):
+                lines.append(
+                    f"{name + ' ' + dtype:22s} {p.n_chips:5d} "
+                    f"{p.batch:6d} {p.latency_s * 1e3:9.1f} "
+                    f"{p.cost_chip_seconds_per_token * 1e3:12.3f} "
+                    f"{p.mfu:7.1%}")
+    return "\n".join(lines)
+
+
+def test_figure1_decode(benchmark, save_result):
+    table = benchmark.pedantic(generate_figure, rounds=1, iterations=1)
+    save_result("figure1_decode", table)
+
+    # Shape assertions from the paper's narrative.
+    points = sweep_decode(PALM_540B_PADDED, TPU_V4, context_len=2048,
+                          gen_len=64, weight_dtype_bytes=1,
+                          mfu_params=PALM_540B.n_params)
+    frontier = pareto_frontier(points)
+    # "The minimum latency for generation is 3 times lower than the
+    # batch-512 latency" (on the paper's 64-chip slice) — allow 2-6x.
+    on64 = [p for p in points if p.n_chips == 64]
+    min64 = min(p.latency_s for p in on64)
+    best512 = min(p.latency_s for p in on64 if p.batch == 512)
+    assert 2.0 < best512 / min64 < 6.0
+
+    # int8 beats bf16 at the low-latency end (Section 4.4).
+    bf16 = pareto_frontier(sweep_decode(
+        PALM_540B_PADDED, TPU_V4, context_len=2048, gen_len=64,
+        weight_dtype_bytes=2, mfu_params=PALM_540B.n_params))
+    assert min(p.latency_s for p in frontier) < \
+        min(p.latency_s for p in bf16)

@@ -1,0 +1,65 @@
+"""Figure 1 (right): prefill cost vs. latency Pareto for the PaLM family.
+
+Time to process 2048 input tokens (no generation), sweeping batch and
+chip count.  Paper shape checks: the batch/latency tradeoff is milder
+than decode ("even batch size 1 runs with fairly low cost"), and
+batch-512 prefill is ~2x cheaper per token than batch-512 decode thanks
+to the weight-gathered layouts.
+"""
+
+from repro.hardware import TPU_V4
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B, PALM_8B
+from repro.perf import (
+    pareto_frontier,
+    sweep_decode,
+    sweep_prefill,
+)
+
+SERIES = [
+    ("PaLM 8B", PALM_8B, None, (8, 16, 32, 64)),
+    ("PaLM 62B", PALM_62B, None, (8, 16, 32, 64, 128)),
+    ("PaLM 540B", PALM_540B_PADDED, PALM_540B.n_params, (32, 64, 128,
+                                                         256)),
+]
+BATCHES = (1, 4, 16, 64, 256, 512)
+
+
+def generate_figure() -> str:
+    lines = ["Figure 1 (right): prefill cost vs latency Pareto "
+             "(2048 input tokens)",
+             f"{'series':22s} {'chips':>5s} {'batch':>6s} "
+             f"{'seconds':>9s} {'chip-ms/tok':>12s} {'MFU':>7s}"]
+    for name, config, mfu_params, chip_counts in SERIES:
+        points = sweep_prefill(config, TPU_V4, input_len=2048,
+                               chip_counts=chip_counts, batches=BATCHES,
+                               mfu_params=mfu_params)
+        for p in pareto_frontier(points):
+            lines.append(
+                f"{name:22s} {p.n_chips:5d} {p.batch:6d} "
+                f"{p.latency_s:9.2f} "
+                f"{p.cost_chip_seconds_per_token * 1e3:12.4f} "
+                f"{p.mfu:7.1%}")
+    return "\n".join(lines)
+
+
+def test_figure1_prefill(benchmark, save_result):
+    table = benchmark.pedantic(generate_figure, rounds=1, iterations=1)
+    save_result("figure1_prefill", table)
+
+    prefill_points = sweep_prefill(
+        PALM_540B_PADDED, TPU_V4, input_len=2048, chip_counts=(64,),
+        batches=BATCHES, mfu_params=PALM_540B.n_params)
+    by_batch = {p.batch: p for p in prefill_points}
+    # Mild batch tradeoff: batch-1 prefill cost within ~5x of batch-512
+    # (decode's ratio is orders of magnitude).
+    ratio = (by_batch[1].cost_chip_seconds_per_token
+             / by_batch[512].cost_chip_seconds_per_token)
+    assert ratio < 6.0
+
+    # Batch-512 prefill ~2x cheaper per token than batch-512 decode.
+    decode_points = sweep_decode(
+        PALM_540B_PADDED, TPU_V4, context_len=2048, gen_len=64,
+        chip_counts=(64,), batches=(512,), mfu_params=PALM_540B.n_params)
+    decode_cost = decode_points[0].cost_chip_seconds_per_token
+    prefill_cost = by_batch[512].cost_chip_seconds_per_token
+    assert 1.3 < decode_cost / prefill_cost < 5.0

@@ -1,0 +1,57 @@
+"""Figure 3: FFN communication volume vs. batch size (in tokens).
+
+Regenerates the paper's comparison at its exact parameters (X = Y = Z = 4,
+d_model = 16384, d_ff = 65536): per-chip communication volume of the 2D
+weight-stationary layout against the X / XY / XYZ weight-gathered layouts,
+as batch-in-tokens sweeps 2^8 .. 2^22.
+
+Checked shape: the winning layout switches from WS-2D to progressively
+wider weight-gathered layouts as tokens grow, with the crossovers in the
+order the paper draws.
+"""
+
+from repro.hardware import Torus3D
+from repro.partitioning import FfnLayoutKind
+from repro.partitioning.ffn_costs import ffn_volume
+
+TORUS = Torus3D(4, 4, 4)
+D_MODEL, D_FF = 16384, 65536
+KINDS = [FfnLayoutKind.WS_2D, FfnLayoutKind.WG_X, FfnLayoutKind.WG_XY,
+         FfnLayoutKind.WG_XYZ]
+ACT_BYTES = 2
+
+
+def generate_figure() -> str:
+    lines = ["Figure 3: per-chip FFN comm volume (MB) vs batch tokens "
+             f"(X=Y=Z=4, E={D_MODEL}, F={D_FF})",
+             f"{'tokens':>10s}" + "".join(f"{k.value:>12s}"
+                                          for k in KINDS) + "   winner"]
+    for exp in range(8, 23):
+        tokens = 2 ** exp
+        volumes = {k: ffn_volume(k, TORUS, tokens, D_MODEL, D_FF)
+                   * ACT_BYTES for k in KINDS}
+        winner = min(volumes, key=volumes.get)
+        lines.append(f"{tokens:>10,d}" + "".join(
+            f"{volumes[k] / 1e6:12.1f}" for k in KINDS)
+            + f"   {winner.value}")
+    return "\n".join(lines)
+
+
+def test_figure3_comm_volume(benchmark, save_result):
+    table = benchmark.pedantic(generate_figure, rounds=1, iterations=1)
+    save_result("figure3_comm_volume", table)
+
+    def winner(tokens):
+        return min(KINDS, key=lambda k: ffn_volume(k, TORUS, tokens,
+                                                   D_MODEL, D_FF))
+
+    # WS-2D wins at small token counts, WG-XYZ at very large ones, and
+    # the crossover sequence is monotone in gather width (Figure 3).
+    assert winner(2 ** 8) is FfnLayoutKind.WS_2D
+    assert winner(2 ** 22) is FfnLayoutKind.WG_XYZ
+    sequence = []
+    for exp in range(8, 23):
+        w = winner(2 ** exp)
+        if not sequence or sequence[-1] is not w:
+            sequence.append(w)
+    assert sequence == [k for k in KINDS if k in sequence]

@@ -1,0 +1,65 @@
+"""Figure 6: decode latency per token, 1D vs 2D weight-stationary.
+
+PaLM 540B text generation at batch 512, sweeping the chip count.  The
+paper's finding: both layouts become communication-limited as chips grow,
+but 2D keeps improving (its comm scales as 1/sqrt(n)) while 1D flattens
+(its comm is constant in n), so 2D wins at high chip counts.
+"""
+
+from repro.hardware import TPU_V4, default_slice_shape
+from repro.model import PALM_540B, PALM_540B_PADDED
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+
+CHIP_COUNTS = (8, 16, 32, 64, 128, 256)
+BATCH, CONTEXT = 512, 2048
+PLANS = {
+    "WS 1D": LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.BATCH),
+    "WS 2D": LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH),
+}
+
+
+def step_latency(plan, n_chips):
+    torus = default_slice_shape(n_chips)
+    est = InferenceEstimator(PALM_540B_PADDED, TPU_V4, torus,
+                             mfu_params=PALM_540B.n_params)
+    return est.decode_step_cost(plan, BATCH, CONTEXT)
+
+
+def generate_figure() -> str:
+    lines = [f"Figure 6: decode ms/token vs chips (PaLM 540B, batch "
+             f"{BATCH})",
+             f"{'chips':>6s}" + "".join(f"{name:>12s}" for name in PLANS)
+             + f"{'comm 1D':>12s}{'comm 2D':>12s}"]
+    for n in CHIP_COUNTS:
+        costs = {name: step_latency(plan, n)
+                 for name, plan in PLANS.items()}
+        lines.append(
+            f"{n:>6d}"
+            + "".join(f"{costs[name].time_s * 1e3:12.1f}"
+                      for name in PLANS)
+            + f"{costs['WS 1D'].comm_s * 1e3:12.2f}"
+            + f"{costs['WS 2D'].comm_s * 1e3:12.2f}")
+    return "\n".join(lines)
+
+
+def test_figure6(benchmark, save_result):
+    table = benchmark.pedantic(generate_figure, rounds=1, iterations=1)
+    save_result("figure6_ws1d_vs_2d", table)
+
+    # 2D at least matches 1D everywhere here and wins clearly at 64+.
+    for n in (64, 128, 256):
+        one_d = step_latency(PLANS["WS 1D"], n)
+        two_d = step_latency(PLANS["WS 2D"], n)
+        assert two_d.time_s < one_d.time_s
+        assert two_d.comm_s < one_d.comm_s
+
+    # 1D communication is ~constant in chips; 2D's shrinks.
+    comm_1d = [step_latency(PLANS["WS 1D"], n).comm_s for n in (64, 256)]
+    comm_2d = [step_latency(PLANS["WS 2D"], n).comm_s for n in (64, 256)]
+    assert comm_1d[1] > 0.8 * comm_1d[0]
+    assert comm_2d[1] < 0.8 * comm_2d[0]

@@ -1,0 +1,63 @@
+"""Figure B.1: minimum prefill latency — cost vs. latency at batch 1.
+
+Sweeps sequence length 32..1024 (and chip count) at batch 1 for the PaLM
+family, tracing the Pareto frontier of chip-seconds-per-token against
+prefill latency.  Shape: latency grows sublinearly with sequence length
+at small lengths (fixed overheads and comm amortize) and cost per token
+*falls* with sequence length.
+"""
+
+from repro.hardware import TPU_V4
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B, PALM_8B
+from repro.perf import pareto_frontier, sweep_prefill
+
+SEQ_LENGTHS = (32, 64, 128, 256, 512, 1024)
+SERIES = [
+    ("PaLM 8B", PALM_8B, None, (8, 16, 32)),
+    ("PaLM 62B", PALM_62B, None, (16, 32, 64)),
+    ("PaLM 540B", PALM_540B_PADDED, PALM_540B.n_params, (64, 128, 256)),
+]
+
+
+def generate_figure() -> str:
+    lines = ["Figure B.1: batch-1 prefill cost vs latency over sequence "
+             "length",
+             f"{'series':12s} {'S':>6s} {'chips':>6s} {'ms':>9s} "
+             f"{'chip-ms/token':>14s} {'MFU':>7s}"]
+    for name, config, mfu_params, chip_counts in SERIES:
+        points = []
+        for seq in SEQ_LENGTHS:
+            pts = sweep_prefill(config, TPU_V4, input_len=seq,
+                                chip_counts=chip_counts, batches=(1,),
+                                weight_dtype_bytes=1,
+                                mfu_params=mfu_params)
+            for p in pts:
+                points.append((seq, p))
+        frontier = pareto_frontier(
+            [p for _, p in points])
+        seq_of = {id(p): seq for seq, p in points}
+        for p in frontier:
+            lines.append(f"{name:12s} {seq_of[id(p)]:6d} {p.n_chips:6d} "
+                         f"{p.latency_s * 1e3:9.1f} "
+                         f"{p.cost_chip_seconds_per_token * 1e3:14.3f} "
+                         f"{p.mfu:7.1%}")
+    return "\n".join(lines)
+
+
+def test_figureB1(benchmark, save_result):
+    table = benchmark.pedantic(generate_figure, rounds=1, iterations=1)
+    save_result("figureB1_prefill_latency", table)
+
+    # On 64 chips, 540B: latency grows sublinearly and cost/token falls
+    # as the sequence length grows.
+    latencies, costs = [], []
+    for seq in SEQ_LENGTHS:
+        p = sweep_prefill(PALM_540B_PADDED, TPU_V4, input_len=seq,
+                          chip_counts=(64,), batches=(1,),
+                          weight_dtype_bytes=1,
+                          mfu_params=PALM_540B.n_params)[0]
+        latencies.append(p.latency_s)
+        costs.append(p.cost_chip_seconds_per_token)
+    assert latencies == sorted(latencies)
+    assert latencies[-1] / latencies[0] < 1024 / 32  # sublinear
+    assert costs == sorted(costs, reverse=True)

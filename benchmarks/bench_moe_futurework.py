@@ -1,0 +1,56 @@
+"""Future-work bench: mixture-of-experts FLOPs-per-token reduction.
+
+Not a paper table — the Conclusion's forward-looking claim, quantified:
+"task-based mixture of expert architectures ... promise to reduce FLOPs
+per token".  We compare a top-2-of-16 expert layer against the dense FFN
+with the same *stored* parameters at PaLM-540B-like dimensions on 64 TPU
+v4 chips, across the batch range.
+
+Expected shape: at memory-bound small batch, sparsity buys nothing (both
+layers stream the same bytes); as decode becomes compute-bound, the
+speedup approaches the sparsity factor minus dispatch overhead.
+"""
+
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.moe import MoeSpec, moe_vs_dense_decode
+
+SPEC = MoeSpec(d_model=18432, d_ff=73728, n_experts=16,
+               experts_per_token=2)
+TORUS = Torus3D(4, 4, 4)
+BATCHES = (1, 8, 64, 256, 1024)
+
+
+def generate_table() -> str:
+    lines = ["Future work: MoE (top-2 of 16 experts) vs iso-memory dense "
+             "FFN, 64 TPU v4",
+             f"{'batch':>6s} {'moe step':>10s} {'dense step':>11s} "
+             f"{'speedup':>8s} {'dispatch':>9s}"]
+    for batch in BATCHES:
+        cmp = moe_vs_dense_decode(SPEC, TPU_V4, TORUS, batch)
+        lines.append(f"{batch:>6d} {cmp.moe.step_s * 1e3:9.2f}m "
+                     f"{cmp.dense.step_s * 1e3:10.2f}m "
+                     f"{cmp.speedup:8.2f} "
+                     f"{cmp.moe.dispatch_s * 1e3:8.3f}m")
+    lines.append(f"\nFLOPs/token reduction: {SPEC.sparsity_factor:.1f}x "
+                 f"(stored params / active params)")
+    return "\n".join(lines)
+
+
+def test_moe_futurework(benchmark, save_result):
+    table = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    save_result("moe_futurework", table)
+
+    small = moe_vs_dense_decode(SPEC, TPU_V4, TORUS, 1)
+    large = moe_vs_dense_decode(SPEC, TPU_V4, TORUS, 1024)
+    # Memory-bound: neutral; compute-bound: most of the sparsity realized.
+    assert small.speedup == pytest.approx(1.0, abs=0.25)
+    assert large.speedup > 3.0
+    assert large.speedup <= SPEC.sparsity_factor + 0.01
+    # Speedup is (weakly) monotone in batch across the sweep; tiny
+    # dispatch overhead can nudge the memory-bound points below 1.
+    speedups = [moe_vs_dense_decode(SPEC, TPU_V4, TORUS, b).speedup
+                for b in BATCHES]
+    for earlier, later in zip(speedups, speedups[1:]):
+        assert later >= earlier - 1e-4

@@ -1,0 +1,97 @@
+"""Section 4.3: parallel vs. serial attention/FFN block formulation.
+
+The paper's setting: PaLM 540B decode, 2D weight-stationary, 64 chips,
+batch 512 — "the serial formulation incurs 14% higher inference latency
+per step than the parallel version because of the increased communication
+time for activations", with the gap shrinking during prefill (the
+weight-gathered layouts carry less activation communication).
+
+This bench reports both the analytical latencies and the measured
+communication *volumes* (from the symbolic model that the executor tests
+pin down): serial doubles the per-layer all-gather/reduce-scatter pairs.
+"""
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B, PALM_540B_PADDED
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import (
+    InferenceEstimator,
+    comm_volume_bytes,
+    forward_comm_events,
+)
+
+TORUS = Torus3D(4, 4, 4)
+PLAN = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+SERIAL_540B = PALM_540B_PADDED.replace(name="palm-540b-serial",
+                                       parallel_block=False)
+
+
+def decode_step(config):
+    est = InferenceEstimator(config, TPU_V4, TORUS,
+                             mfu_params=PALM_540B.n_params)
+    return est.decode_step_cost(PLAN, 512, 2048)
+
+
+def prefill(config, plan):
+    est = InferenceEstimator(config, TPU_V4, TORUS,
+                             mfu_params=PALM_540B.n_params)
+    return est.prefill_cost(plan, 512, 2048)
+
+
+def generate_table() -> str:
+    par = decode_step(PALM_540B_PADDED)
+    ser = decode_step(SERIAL_540B)
+    penalty = ser.time_s / par.time_s - 1
+    comm_penalty = ser.comm_s / par.comm_s - 1
+
+    wg = LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH)
+    par_pre = prefill(PALM_540B_PADDED, wg)
+    ser_pre = prefill(SERIAL_540B, wg)
+    prefill_penalty = ser_pre.time_s / par_pre.time_s - 1
+
+    volume = {
+        label: comm_volume_bytes(
+            forward_comm_events(config, PLAN, TORUS, 512, 1))
+        for label, config in (("parallel", PALM_540B_PADDED),
+                              ("serial", SERIAL_540B))}
+    return "\n".join([
+        "Section 4.3: serial vs parallel attention/FFN block "
+        "(540B, WS 2D, 64 chips, batch 512)",
+        f"  decode step: parallel {par.time_s * 1e3:.1f} ms, serial "
+        f"{ser.time_s * 1e3:.1f} ms -> serial +{penalty:.1%} "
+        f"(paper: +14%)",
+        f"  decode communication: serial +{comm_penalty:.1%}",
+        f"  per-chip comm volume per step: parallel "
+        f"{volume['parallel'] / 1e6:.1f} MB, serial "
+        f"{volume['serial'] / 1e6:.1f} MB",
+        f"  prefill (WG XYZ): serial +{prefill_penalty:.1%} "
+        f"(paper: difference shrinks)",
+    ])
+
+
+def test_parallel_vs_serial(benchmark, save_result):
+    table = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    save_result("parallel_vs_serial", table)
+
+    par = decode_step(PALM_540B_PADDED)
+    ser = decode_step(SERIAL_540B)
+    penalty = ser.time_s / par.time_s - 1
+    # Paper: +14%.  Our calibrated overlap hides more of the extra
+    # communication than the paper's system did, so the modeled penalty
+    # is smaller; assert the direction and a nontrivial magnitude.
+    assert 0.02 < penalty < 0.30
+
+    # Mechanism: serial doubles the E-side gather/scatter pairs (the
+    # F-side pairs and attention smalls are unchanged), which lands the
+    # total at ~1.4x communication in this configuration.
+    assert 1.25 < ser.comm_s / par.comm_s < 2.2
+
+    # The gap shrinks in prefill with weight-gathered layouts.
+    wg = LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH)
+    prefill_penalty = (prefill(SERIAL_540B, wg).time_s
+                       / prefill(PALM_540B_PADDED, wg).time_s - 1)
+    assert prefill_penalty < penalty

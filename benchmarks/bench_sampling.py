@@ -1,0 +1,58 @@
+"""Section 3.5 low-level optimizations: sampling and softmax kernels.
+
+Micro-benchmarks the "faster top-k/top-p implementations for decode
+sampling" (selection-based top-k vs a full sort) and the "log-base-2"
+softmax/swish formulations at a realistic decode shape (batch 256, PaLM's
+256k vocabulary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.functional import (
+    softmax,
+    softmax_base2,
+    swish,
+    swish_base2,
+)
+from repro.model.sampling import top_k_mask, top_k_mask_sorted
+
+BATCH, VOCAB = 256, 256_000
+LOGITS = np.random.default_rng(0).normal(size=(BATCH, VOCAB)) \
+    .astype(np.float32)
+
+
+def test_top_k_partition(benchmark):
+    out = benchmark(lambda: top_k_mask(LOGITS, 40))
+    assert np.isfinite(out).sum() == BATCH * 40
+
+
+def test_top_k_sorted_reference(benchmark):
+    out = benchmark(lambda: top_k_mask_sorted(LOGITS, 40))
+    assert np.isfinite(out).sum() == BATCH * 40
+
+
+def test_softmax_base_e(benchmark):
+    out = benchmark(lambda: softmax(LOGITS[:32]))
+    assert out.shape == (32, VOCAB)
+
+
+def test_softmax_base2(benchmark):
+    out = benchmark(lambda: softmax_base2(LOGITS[:32]))
+    np.testing.assert_allclose(out.sum(-1), 1.0, rtol=1e-5)
+
+
+def test_swish_base2_matches(benchmark):
+    x = LOGITS[:8]
+    out = benchmark(lambda: swish_base2(x))
+    np.testing.assert_allclose(out, swish(x), rtol=1e-5, atol=1e-6)
+
+
+def test_fast_top_k_not_slower():
+    """The selection-based top-k should beat (or at least match) the full
+    sort at PaLM's vocabulary size."""
+    import timeit
+
+    fast = timeit.timeit(lambda: top_k_mask(LOGITS, 40), number=3)
+    slow = timeit.timeit(lambda: top_k_mask_sorted(LOGITS, 40), number=3)
+    assert fast < slow * 1.2

@@ -1,0 +1,54 @@
+"""Table 1: maximum context length per attention variant.
+
+PaLM 540B on 64 chips with 30% of total memory reserved for the KV cache,
+at batch 128 and 512.  This table reproduces essentially exactly (the
+footprint arithmetic is deterministic), so the assertions are tight.
+"""
+
+import pytest
+
+from repro.hardware import TPU_V4
+from repro.model import PALM_540B, PALM_540B_MULTIHEAD
+from repro.partitioning import AttentionLayoutKind
+from repro.perf import table1_max_context
+
+ROWS = [
+    ("Multihead (d_head 128)", PALM_540B_MULTIHEAD,
+     AttentionLayoutKind.HEAD, {128: 1320, 512: 330}),
+    ("Baseline multiquery", PALM_540B, AttentionLayoutKind.HEAD,
+     {128: 660, 512: 165}),
+    ("Optimized multiquery", PALM_540B, AttentionLayoutKind.BATCH,
+     {128: 43_000, 512: 10_700}),
+]
+
+
+def generate_table() -> str:
+    lines = ["Table 1: max context length (30% of HBM for KV, 64 chips)",
+             f"{'variant':26s} {'batch':>6s} {'ours':>10s} "
+             f"{'paper':>10s}"]
+    for name, config, layout, published in ROWS:
+        for batch, paper_value in published.items():
+            ours = table1_max_context(config, layout, TPU_V4, 64, batch)
+            lines.append(f"{name:26s} {batch:6d} {ours:10,d} "
+                         f"{paper_value:10,d}")
+    return "\n".join(lines)
+
+
+def test_table1(benchmark, save_result):
+    table = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    save_result("table1_max_context", table)
+
+    for name, config, layout, published in ROWS:
+        for batch, paper_value in published.items():
+            ours = table1_max_context(config, layout, TPU_V4, 64, batch)
+            assert ours == pytest.approx(paper_value, rel=0.02), (
+                f"{name} at batch {batch}: {ours} vs paper {paper_value}")
+
+    # The headline: optimized multiquery reaches ~32x multihead's context.
+    for batch in (128, 512):
+        opt = table1_max_context(PALM_540B, AttentionLayoutKind.BATCH,
+                                 TPU_V4, 64, batch)
+        mh = table1_max_context(PALM_540B_MULTIHEAD,
+                                AttentionLayoutKind.HEAD, TPU_V4, 64,
+                                batch)
+        assert opt / mh == pytest.approx(32, rel=0.05)

@@ -1,0 +1,102 @@
+"""Table 3: example PaLM 62B configurations.
+
+Same four scenarios as Table 2, but on the paper's smaller slices: 16
+chips for low latency, 32 (prefill) / 8 (decode) chips for high
+throughput.  Checks the cross-model claims of Section 4.4: similar
+high-throughput MFU to 540B, and low-batch latency growing *sublinearly*
+with model size.
+"""
+
+from dataclasses import dataclass
+
+from repro.hardware import TPU_V4, default_slice_shape
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+
+WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+WS2D_BATCH = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+WG_XYZ = LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    phase: str
+    chips: int
+    batch: int
+    plan: LayoutPlan
+    weight_bytes: int
+    paper_latency_s: float
+    paper_mfu: float
+
+
+SCENARIOS = [
+    Scenario("low-latency prefill", "prefill", 16, 1, WS2D_HEAD, 1,
+             0.16, 0.36),
+    Scenario("low-latency decode", "decode", 16, 32, WS2D_BATCH, 1,
+             0.73, 0.08),
+    Scenario("high-throughput prefill", "prefill", 32, 512, WG_XYZ, 2,
+             20.2, 0.73),
+    Scenario("high-throughput decode", "decode", 8, 512, WS2D_BATCH, 2,
+             5.1, 0.37),
+]
+
+
+def run_scenario(s: Scenario):
+    est = InferenceEstimator(PALM_62B, TPU_V4,
+                             default_slice_shape(s.chips),
+                             weight_dtype_bytes=s.weight_bytes)
+    if s.phase == "prefill":
+        cost = est.prefill_cost(s.plan, s.batch, 2048)
+        return cost.time_s, cost.mfu
+    gen = est.generate_cost(s.plan, s.batch, 2048, 64)
+    return gen.total_s, gen.per_step.mfu
+
+
+def generate_table() -> str:
+    lines = ["Table 3: PaLM 62B example configurations",
+             f"{'scenario':26s} {'chips':>5s} {'batch':>6s} "
+             f"{'ours (s)':>9s} {'paper (s)':>10s} {'ours MFU':>9s} "
+             f"{'paper MFU':>10s}"]
+    for s in SCENARIOS:
+        time_s, mfu = run_scenario(s)
+        lines.append(f"{s.name:26s} {s.chips:5d} {s.batch:6d} "
+                     f"{time_s:9.2f} {s.paper_latency_s:10.2f} "
+                     f"{mfu:9.1%} {s.paper_mfu:10.1%}")
+    return "\n".join(lines)
+
+
+def test_table3(benchmark, save_result):
+    table = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    save_result("table3_palm62b", table)
+
+    for s in SCENARIOS:
+        time_s, _ = run_scenario(s)
+        assert 0.5 < time_s / s.paper_latency_s < 2.0, (
+            f"{s.name}: {time_s:.2f}s vs paper {s.paper_latency_s}s")
+
+    # Cross-model claims (Section 4.4):
+    # similar high-throughput prefill MFU between 62B and 540B,
+    _, mfu_62 = run_scenario(SCENARIOS[2])
+    est540 = InferenceEstimator(PALM_540B_PADDED, TPU_V4,
+                                default_slice_shape(64),
+                                mfu_params=PALM_540B.n_params)
+    mfu_540 = est540.prefill_cost(WG_XYZ, 512, 2048).mfu
+    assert abs(mfu_62 - mfu_540) < 0.1
+
+    # and sublinear low-batch decode latency growth with model size:
+    # 540B/62B params ~ 8.7x, latency ratio should be well below that.
+    t62, _ = run_scenario(SCENARIOS[1])
+    est540_int8 = InferenceEstimator(PALM_540B_PADDED, TPU_V4,
+                                     default_slice_shape(64),
+                                     weight_dtype_bytes=1,
+                                     mfu_params=PALM_540B.n_params)
+    t540 = est540_int8.generate_cost(WS2D_BATCH, 64, 2048, 64).total_s
+    ratio = t540 / t62
+    params_ratio = PALM_540B.n_params / PALM_62B.n_params
+    assert ratio < 0.6 * params_ratio

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (as a
+text table), times the regeneration with pytest-benchmark, echoes the
+table, and persists it under ``benchmarks/results/`` so the artifacts
+behind EXPERIMENTS.md can be rebuilt with one command::
+
+    pytest benchmarks/ --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """A ``save(name, text)`` callable that persists and echoes a table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

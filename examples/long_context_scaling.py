@@ -1,0 +1,80 @@
+"""Long-context scaling with multiquery attention (Sections 3.3, 4.2).
+
+Shows the two halves of the paper's attention story on PaLM 540B / 64
+TPU v4 chips:
+
+1. **Memory** (Table 1): the maximum context length each attention
+   variant supports under a 30%-of-HBM KV budget — batch-sharded
+   multiquery reaches ~32x further than multihead.
+2. **Speed** (Figure 8): decode latency versus context length for the
+   8-layer model variant — the baseline layouts blow up with context as
+   the replicated KV cache is streamed every step, the optimized layout
+   stays nearly flat.
+
+Run:  python examples/long_context_scaling.py
+"""
+
+from repro import (
+    TPU_V4,
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    InferenceEstimator,
+    LayoutPlan,
+    Torus3D,
+)
+from repro.model import (
+    PALM_540B,
+    PALM_540B_8LAYER,
+    PALM_540B_8LAYER_MULTIHEAD,
+    PALM_540B_MULTIHEAD,
+)
+from repro.perf import table1_max_context
+
+VARIANTS = [
+    ("multihead (d_head 128)", PALM_540B_MULTIHEAD,
+     AttentionLayoutKind.HEAD),
+    ("baseline multiquery", PALM_540B, AttentionLayoutKind.HEAD),
+    ("optimized multiquery", PALM_540B, AttentionLayoutKind.BATCH),
+]
+
+
+def print_table1():
+    print("Max context length, 30% of HBM for KV cache (Table 1):")
+    print(f"  {'variant':24s} {'batch=128':>12s} {'batch=512':>12s}")
+    for name, config, layout in VARIANTS:
+        row = [table1_max_context(config, layout, TPU_V4, 64, batch)
+               for batch in (128, 512)]
+        print(f"  {name:24s} {row[0]:12,d} {row[1]:12,d}")
+
+
+def print_figure8():
+    print("\nDecode latency/token vs context (8-layer variant, batch 256,"
+          " Figure 8):")
+    torus = Torus3D(4, 4, 4)
+    models = [
+        ("multihead", PALM_540B_8LAYER_MULTIHEAD,
+         LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)),
+        ("multiquery (heads)", PALM_540B_8LAYER,
+         LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)),
+        ("multiquery (batch)", PALM_540B_8LAYER,
+         LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)),
+    ]
+    contexts = [128, 512, 2048, 8192, 32768]
+    header = "  context".ljust(12) + "".join(f"{n:>20s}" for n, _, _
+                                             in models)
+    print(header)
+    for context in contexts:
+        cells = []
+        for _, config, plan in models:
+            est = InferenceEstimator(config, TPU_V4, torus)
+            step = est.decode_step_cost(plan, batch=256,
+                                        context_len=context)
+            cells.append(f"{step.time_s * 1e3:17.2f} ms")
+        print(f"  {context:<10,d}" + "".join(cells))
+    print("\n  (the batch-sharded column stays nearly flat: its per-chip "
+        "KV stream is 64x smaller)")
+
+
+if __name__ == "__main__":
+    print_table1()
+    print_figure8()

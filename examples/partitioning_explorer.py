@@ -1,0 +1,59 @@
+"""Interactive-style partitioning explorer (the Section 3 framework).
+
+Given a model, a latency target, and a phase, sweep chip counts / batch
+sizes / layouts with the analytical model, print the Pareto frontier, and
+recommend a deployment — the workflow the paper advocates over black-box
+search (Section 1).
+
+Run:  python examples/partitioning_explorer.py [--model palm-62b]
+      [--target-ms 40]
+"""
+
+import argparse
+
+from repro import TPU_V4, get_model, pareto_frontier, sweep_decode
+from repro.model import PALM_540B, PALM_540B_PADDED
+
+
+def explore(model_name: str, target_ms: float) -> None:
+    config = get_model(model_name)
+    mfu_params = None
+    if config.name == "palm-540b":
+        # Serve the padded variant (Section 4), charge MFU for the pad.
+        config, mfu_params = PALM_540B_PADDED, PALM_540B.n_params
+
+    points = sweep_decode(config, TPU_V4, context_len=2048, gen_len=64,
+                          weight_dtype_bytes=1, mfu_params=mfu_params)
+    frontier = pareto_frontier(points)
+
+    print(f"Decode Pareto frontier for {config.name} (int8 weights, "
+          f"context 2048):")
+    print(f"  {'chips':>5s} {'batch':>6s} {'layout':32s} "
+          f"{'ms/token':>9s} {'MFU':>6s} {'chip-ms/tok':>12s}")
+    for p in frontier:
+        print(f"  {p.n_chips:5d} {p.batch:6d} {p.plan.describe():32s} "
+              f"{p.latency_s * 1e3:9.1f} {p.mfu:6.1%} "
+              f"{p.cost_chip_seconds_per_token * 1e3:12.3f}")
+
+    feasible = [p for p in frontier if p.latency_s * 1e3 <= target_ms]
+    print()
+    if not feasible:
+        fastest = min(frontier, key=lambda p: p.latency_s)
+        print(f"no configuration meets {target_ms:.0f} ms/token; fastest "
+              f"is {fastest.latency_s * 1e3:.1f} ms with "
+              f"{fastest.describe()}")
+        return
+    cheapest = min(feasible, key=lambda p: p.cost_chip_seconds_per_token)
+    print(f"recommended for <= {target_ms:.0f} ms/token (cheapest "
+          f"feasible):")
+    print(f"  {cheapest.describe()}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="palm-540b",
+                        help="palm-8b | palm-62b | palm-540b")
+    parser.add_argument("--target-ms", type=float, default=40.0,
+                        help="per-token decode latency target")
+    args = parser.parse_args()
+    explore(args.model, args.target_ms)

@@ -1,0 +1,21 @@
+"""Closed-form analysis utilities (Appendix A, Section 4.4)."""
+
+from repro.analysis.closed_forms import (
+    Optimum,
+    latency_scaling_exponent,
+    memory_compute_crossover_tokens,
+    numeric_minimum,
+    weight_gathered_optimum,
+    ws2d_optimum,
+    ws_wg_crossover_tokens,
+)
+
+__all__ = [
+    "Optimum",
+    "latency_scaling_exponent",
+    "memory_compute_crossover_tokens",
+    "numeric_minimum",
+    "weight_gathered_optimum",
+    "ws2d_optimum",
+    "ws_wg_crossover_tokens",
+]

@@ -1,0 +1,121 @@
+"""Closed-form analysis utilities (Appendix A derivations, Section 4.4).
+
+The paper's pitch is that partitioning choices follow from *analytical*
+reasoning rather than black-box search.  This module carries that spirit
+into code: closed-form optima and crossover points, each validated against
+numerical optimization in the test suite.
+
+* :func:`ws2d_optimum` — the Appendix A.2.1 split, checked against a
+  scipy minimization of the exact volume.
+* :func:`weight_gathered_optimum` — the Appendix A.2.2 N*, same check.
+* :func:`ws_wg_crossover_tokens` — the batch-in-tokens at which a
+  weight-gathered layout overtakes 2D weight-stationary (the Figure 3
+  switch points), in closed form.
+* :func:`memory_compute_crossover_tokens` — the roofline batch at which
+  a decode step flips from weight-loading-bound to compute-bound
+  (Section 2.1's "at small batch sizes ... the time to load weights
+  dominates").
+* :func:`latency_scaling_exponent` — fits the paper's "approximately
+  square-root relationship between model size and [minimum] latency"
+  (Section 4.4) from a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import ModelConfig
+from repro.partitioning.ffn_costs import (
+    ffn_volume,
+    optimal_weight_gathered_n,
+    optimal_ws2d_x,
+    weight_gathered_volume,
+    ws2d_volume,
+)
+from repro.partitioning.plan import FfnLayoutKind
+
+
+@dataclass(frozen=True)
+class Optimum:
+    """A closed-form optimum and its value."""
+
+    argmin: float
+    value: float
+
+
+def ws2d_optimum(n_chips: int, d_model: int, d_ff: int,
+                 tokens: float = 1.0) -> Optimum:
+    """The 2D weight-stationary split minimizing comm volume (A.2.1)."""
+    x = optimal_ws2d_x(n_chips, d_model, d_ff)
+    return Optimum(argmin=x,
+                   value=ws2d_volume(tokens, d_model, d_ff, x,
+                                     n_chips / x))
+
+
+def weight_gathered_optimum(tokens: float, n_chips: int, d_model: int,
+                            d_ff: int) -> Optimum:
+    """The optimal weight-gather width N (A.2.2)."""
+    n = optimal_weight_gathered_n(tokens, n_chips, d_ff)
+    return Optimum(argmin=n,
+                   value=weight_gathered_volume(tokens, d_model, d_ff,
+                                                n_chips, n))
+
+
+def ws_wg_crossover_tokens(torus: Torus3D, d_model: int, d_ff: int,
+                           kind: FfnLayoutKind) -> float:
+    """Tokens at which a weight-gathered variant overtakes WS-2D.
+
+    Both volumes are affine in tokens — WS-2D is ``a * t`` and the
+    weight-gathered variant is ``w + b * t`` with a constant weight term —
+    so the crossover is ``t* = w / (a - b)``.  Returns ``inf`` if the
+    weight-gathered layout never wins (its slope is not smaller).
+    """
+    if not kind.is_weight_gathered:
+        raise ValueError(f"{kind} is not a weight-gathered layout")
+    a = ffn_volume(FfnLayoutKind.WS_2D, torus, 1.0, d_model, d_ff)
+    n_gathered = torus.group_size(kind.gather_axes)
+    w = 2.0 * d_model * d_ff * n_gathered / torus.num_chips
+    b = 2.0 * d_model / n_gathered
+    if b >= a:
+        return math.inf
+    return w / (a - b)
+
+
+def memory_compute_crossover_tokens(config: ModelConfig, chip: ChipSpec,
+                                    weight_dtype_bytes: int = 2) -> float:
+    """Batch-in-tokens where decode compute time equals weight-load time.
+
+    Per chip: compute = ``2 N t / (n * peak)``; weight load = ``N * wb /
+    (n * hbm)`` — the N and n cancel, so the crossover depends only on
+    the chip's machine balance and the weight byte width::
+
+        t* = (wb / 2) * peak / hbm_bandwidth
+
+    For TPU v4 with bf16 weights this is ~229 tokens: below it, decode is
+    weight-loading bound (where int8 pays off, Section 4.4); above it,
+    compute-bound (where int8 is neutral).
+    """
+    return weight_dtype_bytes / 2.0 * chip.machine_balance
+
+
+def latency_scaling_exponent(model_sizes: list[float],
+                             latencies: list[float]) -> float:
+    """Fit ``latency ~ params^k`` and return k (paper: k ~ 0.5)."""
+    if len(model_sizes) != len(latencies) or len(model_sizes) < 2:
+        raise ValueError("need >= 2 (size, latency) pairs")
+    slope, _ = np.polyfit(np.log(model_sizes), np.log(latencies), 1)
+    return float(slope)
+
+
+def numeric_minimum(fn, lo: float, hi: float, samples: int = 20_000
+                    ) -> Optimum:
+    """Brute-force 1D minimizer used by tests to validate closed forms."""
+    xs = np.geomspace(lo, hi, samples)
+    values = np.array([fn(x) for x in xs])
+    idx = int(np.argmin(values))
+    return Optimum(argmin=float(xs[idx]), value=float(values[idx]))

@@ -1,0 +1,78 @@
+"""Analytical model of the FasterTransformer A100 baselines (Section 5).
+
+FasterTransformer's K-way tensor parallelism is our 1D weight-stationary
+layout on a degenerate ``1 x 1 x K`` torus (all-reduce of the full
+activations between every fused matmul pair), so the same estimator models
+it; the pipeline-parallel PP3/TP8 configuration adds the standard pipeline
+bubble factor ``(stages - 1 + m) / m`` over ``m`` microbatches.
+
+This exists to sanity-check the *shape* of the published FT columns
+(MFU rising with batch, TP32 communication-bound below TP16's MFU at
+equal batch) — the absolute numbers we report for "theirs" in the
+Figure 9 bench come from the published tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import A100_80GB, ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import ModelConfig
+from repro.partitioning.plan import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.estimator import InferenceEstimator
+
+#: FT runs multihead models, so attention stays head-sharded.
+TP_PLAN = LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.HEAD)
+
+
+@dataclass(frozen=True)
+class GpuBenchResult:
+    batch: int
+    time_s: float
+    mfu: float
+
+
+def tensor_parallel_estimator(config: ModelConfig, tp_degree: int,
+                              chip: ChipSpec = A100_80GB,
+                              efficiency: EfficiencyModel | None = None
+                              ) -> InferenceEstimator:
+    """An estimator for K-way tensor parallelism on GPUs."""
+    torus = Torus3D(1, 1, tp_degree)
+    return InferenceEstimator(config, chip, torus, efficiency=efficiency)
+
+
+def run_workload(config: ModelConfig, tp_degree: int, batch: int,
+                 input_len: int, output_len: int, *,
+                 pipeline_stages: int = 1,
+                 chip: ChipSpec = A100_80GB,
+                 efficiency: EfficiencyModel | None = None
+                 ) -> GpuBenchResult:
+    """End-to-end (prefill + generate) time for one FT-style benchmark.
+
+    With ``pipeline_stages > 1`` the model is additionally split into a
+    pipeline; each stage holds ``1/stages`` of the layers and the batch
+    flows through in ``m = batch`` microbatches of 1 (FT's scheme), giving
+    the bubble factor ``(stages - 1 + m) / m`` on prefill and stage-serial
+    decode steps.
+    """
+    est = tensor_parallel_estimator(config, tp_degree, chip, efficiency)
+    prefill = est.prefill_cost(TP_PLAN, batch, input_len)
+    generate = est.generate_cost(TP_PLAN, batch, input_len, output_len)
+    total = prefill.time_s + generate.total_s
+    if pipeline_stages > 1:
+        microbatches = max(batch, 1)
+        bubble = (pipeline_stages - 1 + microbatches) / microbatches
+        total = (prefill.time_s * bubble
+                 + generate.total_s)  # decode: stages work in series but
+        # the per-step work is already divided across all chips.
+    n_chips = tp_degree * pipeline_stages
+    tokens = batch * (input_len + output_len)
+    mfu = (2.0 * config.n_params * tokens
+           / (total * n_chips * chip.peak_flops))
+    return GpuBenchResult(batch=batch, time_s=total, mfu=mfu)

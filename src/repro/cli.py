@@ -1,0 +1,336 @@
+"""Command-line interface: ``repro-inference <subcommand>``.
+
+Subcommands mirror the library's main entry points:
+
+* ``estimate`` — latency/MFU/cost breakdown of one operating point.
+* ``plan`` — the analytical layout selection for a workload (Section 4.1).
+* ``sweep`` — the Pareto frontier over batch and chips (Figure 1).
+* ``max-context`` — Table 1's memory-limited context lengths.
+* ``simulate`` — discrete-event simulation of one forward pass, with
+  optional chrome-trace export.
+* ``serve`` — request-level queueing simulation under Poisson traffic.
+* ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
+* ``calibrate`` — the Table 2 calibration report (and optional refit).
+
+Examples::
+
+    repro-inference estimate --model palm-540b --chips 64 --batch 64 \\
+        --phase decode --context 2048 --int8
+    repro-inference sweep --model palm-62b --phase decode
+    repro-inference max-context --model palm-540b --batch 128
+    repro-inference simulate --model palm-540b --chips 64 --batch 512 \\
+        --trace /tmp/step.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hardware import TPU_V4, default_slice_shape, get_chip
+from repro.model import MODEL_PRESETS, PALM_540B, get_model
+from repro.partitioning.selector import (
+    Phase,
+    SelectionContext,
+    select_plan,
+)
+from repro.perf import InferenceEstimator, pareto_frontier, sweep_decode
+from repro.perf.memory import table1_max_context
+from repro.perf.pareto import sweep_prefill
+from repro.partitioning import AttentionLayoutKind
+
+
+def _resolve_model(name: str):
+    """Model + the padded serving variant + MFU normalization params."""
+    config = get_model(name)
+    if name == "palm-540b":
+        # Serve the padded variant (Section 4); count MFU on true 540B.
+        return get_model("palm-540b-pad64"), PALM_540B.n_params
+    return config, None
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="palm-540b",
+                        choices=sorted(MODEL_PRESETS),
+                        help="model preset")
+    parser.add_argument("--chip", default="tpu-v4",
+                        help="chip preset (tpu-v4, a100-80gb)")
+    parser.add_argument("--int8", action="store_true",
+                        help="int8 weights (default bfloat16)")
+
+
+def cmd_estimate(args) -> int:
+    config, mfu_params = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    phase = Phase(args.phase)
+    ctx = SelectionContext(config, torus, phase, args.batch,
+                           args.seq_len if phase is Phase.PREFILL else 1)
+    plan = select_plan(ctx)
+    estimator = InferenceEstimator(
+        config, get_chip(args.chip), torus,
+        weight_dtype_bytes=1 if args.int8 else 2, mfu_params=mfu_params)
+    if phase is Phase.PREFILL:
+        cost = estimator.prefill_cost(plan, args.batch, args.seq_len)
+        headline = f"prefill of {args.seq_len} tokens: {cost.time_s:.3f} s"
+    else:
+        cost = estimator.decode_step_cost(plan, args.batch, args.context)
+        headline = (f"decode step at context {args.context}: "
+                    f"{cost.time_s * 1e3:.1f} ms/token")
+    print(f"{config.name} on {args.chips} x {args.chip} ({torus}), "
+          f"batch {args.batch}, {'int8' if args.int8 else 'bf16'} weights")
+    print(f"plan: {plan.describe()}")
+    print(headline)
+    print(f"  compute {cost.compute_s * 1e3:9.2f} ms")
+    print(f"  weights {cost.weight_load_s * 1e3:9.2f} ms   "
+          f"kv-cache {cost.kv_load_s * 1e3:.2f} ms")
+    print(f"  comm    {cost.comm_s * 1e3:9.2f} ms "
+          f"({cost.comm_exposed_s * 1e3:.2f} exposed)")
+    print(f"  MFU {cost.mfu:.1%}   cost "
+          f"{cost.cost_chip_seconds_per_token * 1e3:.3f} chip-ms/token")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    config, _ = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    phase = Phase(args.phase)
+    ctx = SelectionContext(config, torus, phase, args.batch,
+                           args.seq_len if phase is Phase.PREFILL else 1)
+    plan = select_plan(ctx)
+    print(f"{config.name}, {args.chips} chips ({torus}), batch "
+          f"{args.batch}, {phase.value}: {plan.describe()}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config, mfu_params = _resolve_model(args.model)
+    sweep = sweep_decode if args.phase == "decode" else sweep_prefill
+    kwargs = (dict(context_len=args.context, gen_len=64)
+              if args.phase == "decode" else dict(input_len=args.seq_len))
+    points = sweep(config, get_chip(args.chip),
+                   weight_dtype_bytes=1 if args.int8 else 2,
+                   mfu_params=mfu_params, **kwargs)
+    frontier = pareto_frontier(points)
+    print(f"{config.name} {args.phase} Pareto frontier "
+          f"({'int8' if args.int8 else 'bf16'}):")
+    print(f"{'chips':>6s} {'batch':>6s} {'layout':32s} {'latency':>10s} "
+          f"{'chip-ms/tok':>12s} {'MFU':>7s}")
+    for p in frontier:
+        latency = (f"{p.latency_s * 1e3:8.1f}ms" if args.phase == "decode"
+                   else f"{p.latency_s:9.2f}s")
+        print(f"{p.n_chips:>6d} {p.batch:>6d} {p.plan.describe():32s} "
+              f"{latency:>10s} "
+              f"{p.cost_chip_seconds_per_token * 1e3:12.3f} {p.mfu:7.1%}")
+    return 0
+
+
+def cmd_max_context(args) -> int:
+    config, _ = _resolve_model(args.model)
+    chip = get_chip(args.chip)
+    print(f"max context for {config.name}, {args.chips} chips, batch "
+          f"{args.batch} (30% of HBM for KV):")
+    for label, layout in (("sharded over heads", AttentionLayoutKind.HEAD),
+                          ("sharded over batch",
+                           AttentionLayoutKind.BATCH)):
+        try:
+            value = table1_max_context(config, layout, chip, args.chips,
+                                       args.batch)
+            print(f"  {label:20s} {value:>10,d} tokens")
+        except ValueError as exc:
+            print(f"  {label:20s} n/a ({exc})")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+    from repro.simulator import (
+        BuildSpec,
+        build_forward_program,
+        simulate,
+        write_chrome_trace,
+    )
+
+    config, _ = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH
+                      if args.batch >= 4 else AttentionLayoutKind.HEAD)
+    spec = BuildSpec(config, plan, torus, get_chip(args.chip),
+                     batch=args.batch, l_new=1,
+                     context_before=args.context,
+                     weight_dtype_bytes=1 if args.int8 else 2,
+                     overlap=not args.no_overlap)
+    result = simulate(build_forward_program(spec))
+    print(f"simulated decode step: {result.makespan * 1e3:.2f} ms "
+          f"(overlap {'off' if args.no_overlap else 'on'})")
+    for resource in ("mxu", "hbm", "ici"):
+        utilization = result.utilization(resource)
+        print(f"  {resource} utilization {utilization:.1%}")
+    if args.trace:
+        write_chrome_trace(result, args.trace)
+        print(f"  chrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+    from repro.serving.simulation import (
+        ServerConfig,
+        WorkloadSpec,
+        poisson_arrivals,
+        simulate_serving,
+    )
+
+    config, mfu_params = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    estimator = InferenceEstimator(
+        config, get_chip(args.chip), torus,
+        weight_dtype_bytes=1 if args.int8 else 2, mfu_params=mfu_params)
+    server = ServerConfig(
+        max_batch=args.max_batch, max_wait_s=args.max_wait,
+        prefill_plan=LayoutPlan(FfnLayoutKind.WS_2D,
+                                AttentionLayoutKind.HEAD),
+        decode_plan=LayoutPlan(FfnLayoutKind.WS_2D,
+                               AttentionLayoutKind.BATCH))
+    workload = WorkloadSpec(input_len=args.seq_len, gen_len=args.gen_len)
+    arrivals = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+    report = simulate_serving(estimator, server, workload, arrivals)
+    print(f"{config.name} on {args.chips} chips: {args.rate:g} req/s "
+          f"for {args.duration:g}s ({report.completed} requests)")
+    print(f"  p50 latency {report.latency_percentile(50):7.2f} s")
+    print(f"  p95 latency {report.latency_percentile(95):7.2f} s")
+    print(f"  mean batch  {report.mean_batch:7.1f}")
+    print(f"  utilization {report.utilization:7.1%}")
+    return 0
+
+
+def cmd_disaggregate(args) -> int:
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+    from repro.perf.disaggregation import size_pipeline, turn_latency
+
+    config, mfu_params = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    est = InferenceEstimator(
+        config, get_chip(args.chip), torus,
+        weight_dtype_bytes=1 if args.int8 else 2, mfu_params=mfu_params)
+    plan = size_pipeline(
+        est, est,
+        LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD),
+        LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH),
+        input_len=args.seq_len, gen_len=args.gen_len,
+        decode_batch=args.decode_batch)
+    print(f"{config.name}, {args.chips}-chip prefill and decode servers, "
+          f"{args.seq_len}-in/{args.gen_len}-out:")
+    print(f"  batch-1 prefill: "
+          f"{plan.prefill_seconds_per_request * 1e3:8.1f} ms/request")
+    print(f"  batch-{plan.decode_batch} decode: "
+          f"{plan.decode_seconds_per_request * 1e3:8.1f} ms/request")
+    print(f"  prefill replicas per decode server: "
+          f"{plan.prefill_replicas}")
+    print(f"  pipeline throughput: {plan.requests_per_second:.1f} req/s "
+          f"(bottleneck: {plan.bottleneck})")
+    print(f"  unloaded turn latency: {turn_latency(plan):.2f} s")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.perf.calibrate import calibrate, report
+
+    print("Table 2 anchors under the shipped efficiency defaults:")
+    print(report())
+    if args.refit:
+        best, value = calibrate(sweeps=args.sweeps)
+        print(f"\nrefit objective: {value:.4f}")
+        print(report(best))
+        for name in ("flops_efficiency", "rows_half_peak",
+                     "overlap_fraction", "per_layer_overhead"):
+            print(f"  {name} = {getattr(best, name):.6g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-inference",
+        description=__doc__.split("\n\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("estimate", help="cost breakdown of one point")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--phase", choices=["prefill", "decode"],
+                   default="decode")
+    p.add_argument("--context", type=int, default=2048)
+    p.add_argument("--seq-len", type=int, default=2048)
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("plan", help="analytical layout selection")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--phase", choices=["prefill", "decode"],
+                   default="decode")
+    p.add_argument("--seq-len", type=int, default=2048)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("sweep", help="Pareto frontier (Figure 1)")
+    _add_common(p)
+    p.add_argument("--phase", choices=["prefill", "decode"],
+                   default="decode")
+    p.add_argument("--context", type=int, default=2048)
+    p.add_argument("--seq-len", type=int, default=2048)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("max-context", help="Table 1 memory limits")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--batch", type=int, default=128)
+    p.set_defaults(func=cmd_max_context)
+
+    p = sub.add_parser("simulate", help="discrete-event simulation")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--context", type=int, default=2048)
+    p.add_argument("--no-overlap", action="store_true",
+                   help="disable Looped-CollectiveEinsum overlap")
+    p.add_argument("--trace", help="write a chrome trace JSON here")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("serve", help="request-level queueing simulation")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--rate", type=float, default=4.0,
+                   help="Poisson arrival rate, requests/second")
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--max-wait", type=float, default=0.2)
+    p.add_argument("--seq-len", type=int, default=64)
+    p.add_argument("--gen-len", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("disaggregate",
+                       help="size the prefill->decode pipeline (Sec. 4.4)")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--seq-len", type=int, default=2048)
+    p.add_argument("--gen-len", type=int, default=64)
+    p.add_argument("--decode-batch", type=int, default=64)
+    p.set_defaults(func=cmd_disaggregate)
+
+    p = sub.add_parser("calibrate",
+                       help="Table 2 calibration report / refit")
+    p.add_argument("--refit", action="store_true",
+                   help="run the coordinate-descent refit")
+    p.add_argument("--sweeps", type=int, default=2)
+    p.set_defaults(func=cmd_calibrate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Hardware substrate: chip specs and torus topologies (paper Section 3.1)."""
+
+from repro.hardware.chip import (
+    A100_80GB,
+    CHIP_PRESETS,
+    TPU_V4,
+    ChipSpec,
+    get_chip,
+)
+from repro.hardware.topology import (
+    AXIS_NAMES,
+    Mesh,
+    Torus3D,
+    default_slice_shape,
+    enumerate_slice_shapes,
+)
+
+__all__ = [
+    "A100_80GB",
+    "AXIS_NAMES",
+    "CHIP_PRESETS",
+    "ChipSpec",
+    "Mesh",
+    "TPU_V4",
+    "Torus3D",
+    "default_slice_shape",
+    "enumerate_slice_shapes",
+    "get_chip",
+]

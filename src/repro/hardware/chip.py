@@ -1,0 +1,96 @@
+"""Accelerator chip specifications.
+
+The paper's cost model (Section 2) needs only a handful of published
+hardware constants per chip: peak matmul throughput, HBM capacity and
+bandwidth, and interconnect bandwidth.  ``ChipSpec`` captures those, and the
+module provides presets for the chips that appear in the paper: Google TPU
+v4 (the platform all "ours" numbers are measured on) and NVIDIA A100-80GB
+(the platform of the FasterTransformer baselines in Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GiB = 1024**3
+GB = 1e9
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Static description of one accelerator chip.
+
+    Attributes:
+        name: Human-readable identifier.
+        peak_flops: Peak dense-matmul throughput in FLOP/s for the chip's
+            native matmul dtype (bfloat16 on TPU v4, per the paper).
+        hbm_bytes: High-bandwidth-memory capacity in bytes.
+        hbm_bandwidth: HBM read bandwidth in bytes/second.
+        interconnect_bandwidth: Per-chip chip-to-chip bandwidth in
+            bytes/second.  This is the "network bandwidth" constant of the
+            paper's communication formulas (Appendix A.1); for TPU v4 it is
+            the aggregate 3D-torus bandwidth of 270 GB/s.
+        num_torus_axes: Number of torus axes this chip's network exposes
+            (3 for TPU v4, treated as 1 flat axis group for NVLink systems).
+    """
+
+    name: str
+    peak_flops: float
+    hbm_bytes: float
+    hbm_bandwidth: float
+    interconnect_bandwidth: float
+    num_torus_axes: int = 3
+
+    def __post_init__(self) -> None:
+        for field in ("peak_flops", "hbm_bytes", "hbm_bandwidth",
+                      "interconnect_bandwidth"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive, got "
+                                 f"{getattr(self, field)!r}")
+        if self.num_torus_axes < 1:
+            raise ValueError("num_torus_axes must be >= 1")
+
+    @property
+    def machine_balance(self) -> float:
+        """Peak FLOPs per HBM byte (the roofline ridge point)."""
+        return self.peak_flops / self.hbm_bandwidth
+
+    def with_overrides(self, **kwargs) -> "ChipSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Google TPU v4 (Section 4 "Methodology"): 275 TFLOP/s bfloat16,
+#: 32 GiB HBM at 1200 GB/s, 270 GB/s interconnect in a 3D torus.
+TPU_V4 = ChipSpec(
+    name="tpu-v4",
+    peak_flops=275 * TFLOPS,
+    hbm_bytes=32 * GiB,
+    hbm_bandwidth=1200 * GB,
+    interconnect_bandwidth=270 * GB,
+    num_torus_axes=3,
+)
+
+#: NVIDIA A100 80GB SXM, the FasterTransformer baseline platform
+#: (Section 5): 312 TFLOP/s bf16 dense, 80 GiB HBM2e at ~2039 GB/s,
+#: 600 GB/s NVLink.  Modelled as a single flat all-to-all axis.
+A100_80GB = ChipSpec(
+    name="a100-80gb",
+    peak_flops=312 * TFLOPS,
+    hbm_bytes=80 * GiB,
+    hbm_bandwidth=2039 * GB,
+    interconnect_bandwidth=600 * GB,
+    num_torus_axes=1,
+)
+
+CHIP_PRESETS = {spec.name: spec for spec in (TPU_V4, A100_80GB)}
+
+
+def get_chip(name: str) -> ChipSpec:
+    """Look up a chip preset by name (``"tpu-v4"`` or ``"a100-80gb"``)."""
+    try:
+        return CHIP_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(CHIP_PRESETS))
+        raise KeyError(f"unknown chip {name!r}; known chips: {known}") from None

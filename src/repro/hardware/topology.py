@@ -1,0 +1,138 @@
+"""3D torus topologies and logical meshes.
+
+The paper partitions tensors over a TPU v4 slice with a 3D torus topology
+``X x Y x Z`` (Section 3.1).  A :class:`Torus3D` records the physical shape;
+a :class:`Mesh` binds the physical axes to the logical axis names
+``('x', 'y', 'z')`` used throughout the partitioning notation.
+
+``enumerate_slice_shapes`` lists the factorizations of a chip count into
+torus axes, which the Pareto sweep (Figure 1) searches over.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+AXIS_NAMES = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class Torus3D:
+    """A 3D torus of chips, shape ``X x Y x Z``.
+
+    Degenerate axes (size 1) are allowed, so a 1D ring or a single chip are
+    both representable.  Axis order matters: the partitioning notation
+    refers to the physical axes by name.
+    """
+
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        for name, size in zip(AXIS_NAMES, self.shape):
+            if size < 1:
+                raise ValueError(f"torus axis {name} must be >= 1, got {size}")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    @property
+    def num_chips(self) -> int:
+        return self.x * self.y * self.z
+
+    def axis_size(self, axis: str) -> int:
+        """Size of one named axis, e.g. ``axis_size('y')``."""
+        return self.shape[AXIS_NAMES.index(axis)]
+
+    def group_size(self, axes: Sequence[str]) -> int:
+        """Product of the sizes of the given axes."""
+        size = 1
+        for axis in axes:
+            size *= self.axis_size(axis)
+        return size
+
+    def devices(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over all device coordinates in row-major order."""
+        return itertools.product(range(self.x), range(self.y), range(self.z))
+
+    def __str__(self) -> str:
+        return f"{self.x}x{self.y}x{self.z}"
+
+
+# Logical mesh == physical torus with named axes; kept as an alias with a
+# constructor that accepts either a shape tuple or a chip count.
+class Mesh(Torus3D):
+    """A named-axis mesh over a 3D torus (axes ``x``, ``y``, ``z``)."""
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int]) -> "Mesh":
+        if len(shape) != 3:
+            raise ValueError(f"mesh shape must have 3 axes, got {shape!r}")
+        return cls(*shape)
+
+    @property
+    def axis_names(self) -> tuple[str, str, str]:
+        return AXIS_NAMES
+
+
+def _axis_candidates(limit: int, *, min_axis: int) -> list[int]:
+    """Axis sizes TPU v4 slices use: 1, 2, or any multiple of 4."""
+    sizes = [s for s in range(1, limit + 1)
+             if s in (1, 2) or s % 4 == 0]
+    return [s for s in sizes if s >= min_axis or s == 1]
+
+
+def enumerate_slice_shapes(num_chips: int, *, min_axis: int = 1,
+                           canonical: bool = True) -> list[Torus3D]:
+    """Enumerate 3D torus shapes with ``num_chips`` chips.
+
+    Axis sizes follow TPU v4 slice granularity (1, 2, or a multiple of 4).
+    With ``canonical=True`` only shapes with ``x <= y <= z`` are returned,
+    since the communication cost model is symmetric under axis relabelling.
+
+    Args:
+        num_chips: Total chip count to factorize.
+        min_axis: Require every non-degenerate axis to be at least this
+            large (the paper notes TPU v4's minimum torus axis is 4).
+        canonical: Deduplicate axis permutations.
+    """
+    if num_chips < 1:
+        raise ValueError("num_chips must be >= 1")
+    shapes = []
+    candidates = _axis_candidates(num_chips, min_axis=min_axis)
+    for x in candidates:
+        if num_chips % x:
+            continue
+        for y in candidates:
+            if (num_chips // x) % y:
+                continue
+            z = num_chips // (x * y)
+            if z not in candidates:
+                continue
+            if canonical and not (x <= y <= z):
+                continue
+            shapes.append(Torus3D(x, y, z))
+    return shapes
+
+
+def default_slice_shape(num_chips: int) -> Torus3D:
+    """A reasonable default torus for a chip count: as cubic as possible.
+
+    The 2D weight-stationary analysis (Appendix A.2.1) wants the freedom to
+    split ``sqrt(n)`` by ``sqrt(n)``; the most cubic torus maximizes that
+    freedom.  Ties are broken toward larger ``z``.
+    """
+    shapes = enumerate_slice_shapes(num_chips)
+    if not shapes:
+        raise ValueError(f"no valid TPU v4 slice shape for {num_chips} chips")
+
+    def skew(t: Torus3D) -> float:
+        side = num_chips ** (1.0 / 3.0)
+        return sum(abs(math.log(s / side)) for s in t.shape)
+
+    return min(shapes, key=skew)

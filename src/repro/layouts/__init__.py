@@ -1,0 +1,31 @@
+"""Partitioned model execution on the virtual mesh (Section 3 layouts)."""
+
+from repro.layouts.helpers import (
+    local_attention,
+    sharded_rmsnorm,
+    sharded_rope,
+    zip_shards,
+)
+from repro.layouts.kv_cache import ShardedKVCache
+from repro.layouts.model import ShardedTransformer
+from repro.layouts.vocab import (
+    distributed_greedy,
+    distributed_sample,
+    distributed_top_k,
+    sharded_embedding_lookup,
+    sharded_logits,
+)
+
+__all__ = [
+    "ShardedKVCache",
+    "ShardedTransformer",
+    "distributed_greedy",
+    "distributed_sample",
+    "distributed_top_k",
+    "sharded_embedding_lookup",
+    "sharded_logits",
+    "local_attention",
+    "sharded_rmsnorm",
+    "sharded_rope",
+    "zip_shards",
+]

@@ -1,0 +1,98 @@
+"""Sharded KV cache (Section 3.3).
+
+The cache's layout is the crux of the paper's attention optimization: the
+same logical ``[B, M, K, D]`` history can be
+
+* replicated per chip (baseline multiquery, Figure 4b) — per-chip memory
+  ``B * M * 2 * D``;
+* sharded over heads (multihead, Figure 4a) — per-chip ``B * M * 2 * D *
+  ceil(H / n)``;
+* sharded over batch (optimized multiquery, Figure 4c) — per-chip reduced
+  by the full chip count.
+
+``ShardedKVCache`` stores one preallocated (k, v) buffer pair per device
+under a sharding spec for the ``B`` and ``K`` dims (``M`` — the time dim —
+and ``D`` are never sharded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh import ShardedTensor, VirtualMesh
+from repro.sharding.spec import ShardingError, ShardSpec, parse
+
+
+class ShardedKVCache:
+    """Per-device KV history buffers under a ``BMKD`` sharding spec."""
+
+    def __init__(self, mesh: VirtualMesh, spec: ShardSpec | str,
+                 batch: int, max_len: int, n_kv_heads: int, d_head: int,
+                 dtype=np.float64):
+        if isinstance(spec, str):
+            spec = parse(spec)
+        if spec.dims != ("B", "M", "K", "D"):
+            raise ShardingError(
+                f"KV cache spec must have dims BMKD, got {spec}")
+        if spec.axes_for("M") or spec.axes_for("D") or spec.partial_sum:
+            raise ShardingError(
+                f"KV cache shards only B and K, got {spec}")
+        spec.validate(mesh.topology)
+        self.mesh = mesh
+        self.spec = spec
+        self.global_shape = (batch, max_len, n_kv_heads, d_head)
+        local = spec.local_shape(self.global_shape, mesh.topology)
+        self.k = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
+        self.v = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
+        self.length = 0
+
+    @property
+    def max_len(self) -> int:
+        return self.global_shape[1]
+
+    def per_chip_bytes(self) -> int:
+        """Per-chip KV memory — the quantity Table 1 budgets against."""
+        return int(self.k[0, 0, 0].nbytes + self.v[0, 0, 0].nbytes)
+
+    def _check_compatible(self, t: ShardedTensor) -> None:
+        # New K/V tensors arrive as B?L?K?D with L = tokens being appended.
+        if t.spec.dims != ("B", "L", "K", "D"):
+            raise ShardingError(
+                f"appended tensor must be BLKD, got {t.spec}")
+        for cache_dim, new_dim in (("B", "B"), ("K", "K")):
+            if t.spec.axes_for(new_dim) != self.spec.axes_for(cache_dim):
+                raise ShardingError(
+                    f"appended {new_dim} sharding {t.spec} does not match "
+                    f"cache layout {self.spec}")
+        if t.spec.partial_sum:
+            raise ShardingError("cannot append partial sums to the cache")
+
+    def append(self, k_new: ShardedTensor, v_new: ShardedTensor) -> int:
+        """Append new tokens' K/V; returns the query offset (old length)."""
+        self._check_compatible(k_new)
+        self._check_compatible(v_new)
+        n = k_new.dim_size("L")
+        if self.length + n > self.max_len:
+            raise ShardingError(
+                f"KV cache overflow: {self.length} + {n} > {self.max_len}")
+        start, stop = self.length, self.length + n
+        for coord in self.mesh.devices():
+            self.k[coord][:, start:stop] = k_new.shards[coord]
+            self.v[coord][:, start:stop] = v_new.shards[coord]
+        offset = self.length
+        self.length = stop
+        return offset
+
+    def views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Object arrays of per-device ``[B_loc, length, K_loc, D]`` views."""
+        k_view = self.mesh.map_devices(lambda c: self.k[c][:, :self.length])
+        v_view = self.mesh.map_devices(lambda c: self.v[c][:, :self.length])
+        return k_view, v_view
+
+    def as_sharded(self) -> tuple[ShardedTensor, ShardedTensor]:
+        """The filled prefix as proper sharded tensors (for inspection)."""
+        shape = (self.global_shape[0], self.length, *self.global_shape[2:])
+        k_view, v_view = self.views()
+        spec = ShardSpec(("B", "M", "K", "D"), self.spec.axes)
+        return (ShardedTensor(self.mesh, spec, shape, k_view),
+                ShardedTensor(self.mesh, spec, shape, v_view))

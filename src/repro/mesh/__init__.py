@@ -1,0 +1,46 @@
+"""Virtual multi-chip execution substrate (stands in for XLA/GSPMD).
+
+``VirtualMesh`` is a grid of numpy devices; ``ShardedTensor`` holds one
+shard per device under a Section 3.1 sharding spec; :mod:`repro.mesh.ops`
+provides the communication collectives.  ``mesh.comm_log`` (a plain list,
+created by :func:`enable_comm_log`) records every collective's per-chip
+payload for volume accounting.
+"""
+
+from repro.mesh.looped import all_gather_einsum, einsum_reduce_scatter
+from repro.mesh.ops import (
+    CommRecord,
+    einsum_output_layout,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    reduce_scatter,
+    sharded_einsum,
+    split,
+)
+from repro.mesh.sharded_tensor import ShardedTensor
+from repro.mesh.virtual_mesh import VirtualMesh
+
+
+def enable_comm_log(mesh: VirtualMesh) -> list:
+    """Attach (or return the existing) communication log to a mesh."""
+    if not hasattr(mesh, "comm_log"):
+        mesh.comm_log = []
+    return mesh.comm_log
+
+
+__all__ = [
+    "CommRecord",
+    "all_gather_einsum",
+    "einsum_output_layout",
+    "einsum_reduce_scatter",
+    "ShardedTensor",
+    "VirtualMesh",
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "enable_comm_log",
+    "reduce_scatter",
+    "sharded_einsum",
+    "split",
+]

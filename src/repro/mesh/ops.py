@@ -1,0 +1,303 @@
+"""Functional collectives and sharded einsum on the virtual mesh.
+
+These are the MPI-style primitives of Section 3.1 / Figure A.1, implemented
+with real group-locality: every operation only combines shards from devices
+that differ in the participating torus axes.  A program composed from these
+ops is therefore implementable with exactly the communication pattern it
+claims, and its numerics are verifiable against an unsharded reference.
+
+Axis-ordering convention: a logical dim sharded over axes ``(a, b)`` is
+sliced row-major with ``b`` innermost.  Gathering removes innermost axes
+(so ``axes`` must be a *suffix* of the dim's axis list) and scattering
+appends axes innermost.  The layout implementations in
+:mod:`repro.layouts` are written against this convention.
+
+Every op appends a :class:`CommRecord` to ``mesh.comm_log`` (if present),
+with the per-chip payload size ``D`` used by the Appendix A.1 cost model —
+this lets tests check the *measured* communication volume of a layout
+against the paper's closed-form formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.sharded_tensor import ShardedTensor
+from repro.mesh.virtual_mesh import VirtualMesh
+from repro.sharding.spec import ShardingError, ShardSpec
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One logged collective: op name, axes, group size, payload bytes.
+
+    ``payload_bytes`` is the per-chip ``D`` of Appendix A.1: the per-chip
+    *output* for an all-gather, the per-chip *input* for a reduce-scatter,
+    and the per-chip buffer for an all-to-all.  Zero-cost resharding
+    (``split``) is logged with zero payload.
+    """
+
+    op: str
+    axes: tuple[str, ...]
+    group_size: int
+    payload_bytes: int
+
+
+def _log(mesh: VirtualMesh, record: CommRecord) -> None:
+    log = getattr(mesh, "comm_log", None)
+    if log is not None:
+        log.append(record)
+
+
+def _require_suffix(dim_axes: tuple[str, ...], axes: Sequence[str],
+                    what: str) -> tuple[str, ...]:
+    axes = tuple(axes)
+    if not axes:
+        raise ShardingError(f"{what}: empty axes")
+    if dim_axes[len(dim_axes) - len(axes):] != axes:
+        raise ShardingError(
+            f"{what}: axes {axes} must be the innermost (suffix) axes of "
+            f"the dim's sharding {dim_axes}")
+    return dim_axes[:len(dim_axes) - len(axes)]
+
+
+def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
+               ) -> ShardedTensor:
+    """All-gather ``dim`` over ``axes``: removes those axes from its sharding.
+
+    Every device in a group ends up with the concatenation of the group's
+    shards, replicated over the gathered axes.
+    """
+    axes = tuple(axes)
+    mesh, spec = t.mesh, t.spec
+    remaining = _require_suffix(spec.axes_for(dim), axes, "all_gather")
+    dim_idx = spec.dim_index(dim)
+    new_spec = spec.with_dim_axes(dim, remaining)
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        gathered = np.concatenate([t.shards[c] for c in group], axis=dim_idx)
+        for coord in group:
+            shards[coord] = gathered
+    out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
+    _log(mesh, CommRecord("all_gather", axes, mesh.group_size(axes),
+                          out.per_chip_bytes))
+    return out
+
+
+def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
+                   ) -> ShardedTensor:
+    """Sum partial sums over ``axes`` and scatter the result into ``dim``."""
+    axes = tuple(axes)
+    mesh, spec = t.mesh, t.spec
+    if not set(axes) <= set(spec.partial_sum):
+        raise ShardingError(
+            f"reduce_scatter axes {axes} not all partial-sum axes of {spec}")
+    dim_idx = spec.dim_index(dim)
+    new_partial = tuple(a for a in spec.partial_sum if a not in axes)
+    new_spec = spec.with_partial_sum(new_partial).with_dim_axes(
+        dim, spec.axes_for(dim) + axes)
+    k = mesh.group_size(axes)
+    shards = mesh.empty_shards()
+    payload = t.per_chip_bytes
+    for group in mesh.groups(axes):
+        total = t.shards[group[0]]
+        for coord in group[1:]:
+            total = total + t.shards[coord]
+        chunks = np.split(total, k, axis=dim_idx)
+        for rank, coord in enumerate(group):
+            shards[coord] = np.ascontiguousarray(chunks[rank])
+    out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
+    _log(mesh, CommRecord("reduce_scatter", axes, k, payload))
+    return out
+
+
+def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
+    """Sum partial sums over ``axes``, replicating the result.
+
+    Equivalent to ``all_gather(reduce_scatter(t, axes, d), axes, d)`` for
+    any dim ``d`` divisible by the group size (Section 3.1); tests assert
+    this equivalence.
+    """
+    axes = tuple(axes)
+    mesh, spec = t.mesh, t.spec
+    if not set(axes) <= set(spec.partial_sum):
+        raise ShardingError(
+            f"all_reduce axes {axes} not all partial-sum axes of {spec}")
+    new_partial = tuple(a for a in spec.partial_sum if a not in axes)
+    new_spec = spec.with_partial_sum(new_partial)
+    shards = mesh.empty_shards()
+    payload = t.per_chip_bytes
+    for group in mesh.groups(axes):
+        total = t.shards[group[0]]
+        for coord in group[1:]:
+            total = total + t.shards[coord]
+        for coord in group:
+            shards[coord] = total
+    out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
+    _log(mesh, CommRecord("all_reduce", axes, mesh.group_size(axes),
+                          2 * payload))
+    return out
+
+
+def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
+               dst_dim: str) -> ShardedTensor:
+    """Move sharding of ``axes`` from ``src_dim`` to ``dst_dim``.
+
+    E.g. ``BLH_x Q -> B_x L H Q`` (Section 3.1): each (source, destination)
+    pair in a group exchanges one block directly.
+    """
+    axes = tuple(axes)
+    mesh, spec = t.mesh, t.spec
+    if src_dim == dst_dim:
+        raise ShardingError("all_to_all src_dim and dst_dim must differ")
+    src_remaining = _require_suffix(spec.axes_for(src_dim), axes,
+                                    "all_to_all")
+    src_idx = spec.dim_index(src_dim)
+    dst_idx = spec.dim_index(dst_dim)
+    new_spec = spec.with_dim_axes(src_dim, src_remaining).with_dim_axes(
+        dst_dim, spec.axes_for(dst_dim) + axes)
+    k = mesh.group_size(axes)
+    shards = mesh.empty_shards()
+    payload = t.per_chip_bytes
+    for group in mesh.groups(axes):
+        # Assemble the group-local view along src_dim, then re-slice dst_dim.
+        assembled = np.concatenate([t.shards[c] for c in group], axis=src_idx)
+        chunks = np.split(assembled, k, axis=dst_idx)
+        for rank, coord in enumerate(group):
+            shards[coord] = np.ascontiguousarray(chunks[rank])
+    out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
+    _log(mesh, CommRecord("all_to_all", axes, k, payload))
+    return out
+
+
+def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
+    """Reshard a replicated tensor by splitting ``dim`` over unused ``axes``.
+
+    This is communication-free: each device simply keeps its slice of data
+    it already holds.  Used, e.g., to shard fresh K/V tensors over batch
+    along axes they were replicated on (Section 3.3).
+    """
+    axes = tuple(axes)
+    mesh, spec = t.mesh, t.spec
+    used = set(spec.mesh_axes_used)
+    if used & set(axes):
+        raise ShardingError(
+            f"split axes {axes} overlap axes already used by {spec}")
+    dim_idx = spec.dim_index(dim)
+    new_spec = spec.with_dim_axes(dim, spec.axes_for(dim) + axes)
+    k = mesh.group_size(axes)
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        for rank, coord in enumerate(group):
+            # Each device keeps its own slice of its own replica.
+            local_chunks = np.split(t.shards[coord], k, axis=dim_idx)
+            shards[coord] = np.ascontiguousarray(local_chunks[rank])
+    out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
+    _log(mesh, CommRecord("split", axes, k, 0))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Sharded einsum
+# ---------------------------------------------------------------------------
+
+def _parse_subscripts(subscripts: str) -> tuple[str, str, str]:
+    try:
+        inputs, output = subscripts.replace(" ", "").split("->")
+        lhs, rhs = inputs.split(",")
+    except ValueError:
+        raise ShardingError(
+            f"einsum subscripts must look like 'ble,ef->blf', got "
+            f"{subscripts!r}") from None
+    return lhs, rhs, output
+
+
+def einsum_output_layout(subscripts: str, a: ShardedTensor,
+                         b: ShardedTensor
+                         ) -> tuple[ShardSpec, tuple[int, ...]]:
+    """Shape/sharding inference of :func:`sharded_einsum`, without compute.
+
+    Returns the output ``(spec, global_shape)``; used by the looped
+    (fused) einsum variants, which build their outputs incrementally.
+    """
+    lhs, rhs, out_letters = _parse_subscripts(subscripts)
+    for letters, t, side in ((lhs, a, "lhs"), (rhs, b, "rhs")):
+        expected = "".join(t.spec.dims).lower()
+        if letters != expected:
+            raise ShardingError(
+                f"{side} subscripts {letters!r} do not match spec dims "
+                f"{t.spec.dims} (expected {expected!r})")
+    if a.mesh is not b.mesh:
+        raise ShardingError("operands live on different meshes")
+
+    def info(letter: str) -> tuple[int, tuple[str, ...]]:
+        """(global size, sharding axes) for a letter, checking agreement."""
+        results = []
+        for letters, t in ((lhs, a), (rhs, b)):
+            if letter in letters:
+                i = letters.index(letter)
+                results.append((t.global_shape[i], t.spec.axes[i]))
+        if len(results) == 2 and results[0] != results[1]:
+            raise ShardingError(
+                f"dim {letter!r} mismatch between operands: "
+                f"{results[0]} vs {results[1]}")
+        return results[0]
+
+    # Safety for carried partial sums.
+    for t, other_letters, other in ((a, rhs, b), (b, lhs, a)):
+        for axis in t.spec.partial_sum:
+            if axis in other.spec.mesh_axes_used:
+                raise ShardingError(
+                    f"partial-sum axis {axis!r} of one operand is used by "
+                    f"the other operand; result would be incorrect")
+
+    contracted = sorted(set(lhs + rhs) - set(out_letters))
+    partial: list[str] = list(a.spec.partial_sum) + list(b.spec.partial_sum)
+    for letter in contracted:
+        _, axes = info(letter)
+        partial.extend(axes)
+
+    out_dims = []
+    out_axes = []
+    out_shape = []
+    for letter in out_letters:
+        size, axes = info(letter)
+        out_shape.append(size)
+        out_axes.append(axes)
+        # Recover the original (uppercase) dim name from whichever operand.
+        src = a if letter in lhs else b
+        src_letters = lhs if letter in lhs else rhs
+        out_dims.append(src.spec.dims[src_letters.index(letter)])
+    try:
+        out_spec = ShardSpec(tuple(out_dims), tuple(out_axes),
+                             tuple(partial))
+    except ShardingError as exc:
+        raise ShardingError(
+            f"einsum {subscripts!r} on {a.spec} x {b.spec} produces an "
+            f"inconsistent output sharding: {exc}") from exc
+    return out_spec, tuple(out_shape)
+
+
+def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
+                   ) -> ShardedTensor:
+    """Per-device einsum with automatic output sharding inference.
+
+    Subscript letters must be the lowercased dim names of the operands
+    (e.g. a ``BLE`` tensor uses letters ``ble``).  Rules:
+
+    * A dim appearing in both operands (contracted or batch) must be
+      sharded identically in both.
+    * Contracted dims' mesh axes become partial-sum axes of the output
+      (each device contracts only its slice).
+    * An operand may carry partial-sum axes only if the other operand does
+      not touch those axes at all (linearity makes this safe); they carry
+      through to the output.
+    """
+    out_spec, out_shape = einsum_output_layout(subscripts, a, b)
+    mesh = a.mesh
+    shards = mesh.map_devices(
+        lambda c: np.einsum(subscripts, a.shards[c], b.shards[c]))
+    return ShardedTensor(mesh, out_spec, out_shape, shards)

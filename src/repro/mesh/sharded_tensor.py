@@ -1,0 +1,154 @@
+"""Sharded tensors on a :class:`~repro.mesh.virtual_mesh.VirtualMesh`.
+
+A :class:`ShardedTensor` pairs a sharding spec (Section 3.1 notation) with
+one numpy shard per device.  ``from_global``/``to_global`` define the
+authoritative layout semantics; ``to_global`` additionally *verifies* that
+replicated copies are identical, which catches layout-algebra bugs in the
+partitioned model implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.mesh.virtual_mesh import VirtualMesh
+from repro.sharding.spec import ShardingError, ShardSpec, parse
+
+
+class ShardedTensor:
+    """A logically global tensor stored as per-device shards."""
+
+    def __init__(self, mesh: VirtualMesh, spec: ShardSpec,
+                 global_shape: Sequence[int], shards: np.ndarray):
+        spec.validate(mesh.topology)
+        self.mesh = mesh
+        self.spec = spec
+        self.global_shape = tuple(global_shape)
+        self.shards = shards
+        expected = spec.local_shape(self.global_shape, mesh.topology)
+        for coord in mesh.devices():
+            shard = shards[coord]
+            if shard.shape != expected:
+                raise ShardingError(
+                    f"device {coord} shard has shape {shard.shape}, "
+                    f"spec {spec} with global {self.global_shape} "
+                    f"expects {expected}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_global(cls, mesh: VirtualMesh, array: np.ndarray,
+                    spec: ShardSpec | str) -> "ShardedTensor":
+        """Shard a global array according to ``spec`` (no partial sums)."""
+        if isinstance(spec, str):
+            spec = parse(spec)
+        if spec.partial_sum:
+            raise ShardingError(
+                "cannot construct a partial-sum tensor from a global array")
+        local = spec.local_shape(array.shape, mesh.topology)
+
+        def make(coord):
+            slices = []
+            for dim_idx, axes in enumerate(spec.axes):
+                rank = mesh.rank_in_group(coord, axes)
+                size = local[dim_idx]
+                slices.append(slice(rank * size, (rank + 1) * size))
+            return np.ascontiguousarray(array[tuple(slices)])
+
+        return cls(mesh, spec, array.shape, mesh.map_devices(make))
+
+    @classmethod
+    def replicated(cls, mesh: VirtualMesh, array: np.ndarray,
+                   dims: str) -> "ShardedTensor":
+        """Replicate a global array on every device."""
+        return cls.from_global(mesh, array, ShardSpec.replicated(dims))
+
+    # -- reassembly ---------------------------------------------------------
+
+    def to_global(self, check_replication: bool = True) -> np.ndarray:
+        """Reassemble the global array (summing partial sums).
+
+        With ``check_replication=True`` (the default), raises if devices
+        that should hold identical replicas disagree — the key consistency
+        invariant of SPMD layouts.
+        """
+        mesh, spec = self.mesh, self.spec
+        local = spec.local_shape(self.global_shape, mesh.topology)
+        # Representative shard (or running partial sum) per shard position.
+        accum: dict[tuple, np.ndarray] = {}
+        seen: dict[tuple, np.ndarray] = {}
+        for coord in mesh.devices():
+            pos = tuple(mesh.rank_in_group(coord, axes) for axes in spec.axes)
+            psum_rank = mesh.rank_in_group(coord, spec.partial_sum)
+            key = pos + (psum_rank,)
+            shard = self.shards[coord]
+            if key in seen:
+                if check_replication and not np.array_equal(seen[key], shard,
+                                                            equal_nan=True):
+                    raise ShardingError(
+                        f"replicas disagree at shard position {pos} "
+                        f"(partial-sum rank {psum_rank}) for spec {spec}")
+                continue
+            seen[key] = shard
+            if pos in accum:
+                accum[pos] = accum[pos] + shard
+            else:
+                accum[pos] = shard.copy()
+
+        out = np.zeros(self.global_shape,
+                       dtype=next(iter(accum.values())).dtype)
+        for pos, shard in accum.items():
+            slices = tuple(slice(r * s, (r + 1) * s)
+                           for r, s in zip(pos, local))
+            out[slices] = shard
+        return out
+
+    # -- elementwise / structural helpers ----------------------------------
+
+    def map_shards(self, fn: Callable[[np.ndarray], np.ndarray],
+                   spec: ShardSpec | None = None,
+                   global_shape: Sequence[int] | None = None
+                   ) -> "ShardedTensor":
+        """Apply a per-device function to every shard.
+
+        ``fn`` must be shape-preserving unless a new ``spec``/
+        ``global_shape`` describing the result is given.  Elementwise
+        functions commute with sharding but not with partial sums; callers
+        must not apply nonlinear ``fn`` to partial-sum tensors (asserted).
+        """
+        shards = self.mesh.map_devices(lambda c: fn(self.shards[c]))
+        return ShardedTensor(self.mesh, spec or self.spec,
+                             global_shape or self.global_shape, shards)
+
+    def astype(self, dtype) -> "ShardedTensor":
+        return self.map_shards(lambda s: s.astype(dtype))
+
+    def __add__(self, other: "ShardedTensor") -> "ShardedTensor":
+        if not isinstance(other, ShardedTensor):
+            return NotImplemented
+        if self.spec != other.spec or self.global_shape != other.global_shape:
+            raise ShardingError(
+                f"cannot add tensors with specs {self.spec} vs {other.spec}")
+        shards = self.mesh.map_devices(
+            lambda c: self.shards[c] + other.shards[c])
+        return ShardedTensor(self.mesh, self.spec, self.global_shape, shards)
+
+    @property
+    def local_shape(self) -> tuple[int, ...]:
+        return self.spec.local_shape(self.global_shape, self.mesh.topology)
+
+    @property
+    def per_chip_bytes(self) -> int:
+        """Bytes of one device's shard (used by cost accounting)."""
+        first = self.shards[0, 0, 0]
+        return int(first.nbytes)
+
+    def dim_size(self, dim: str) -> int:
+        return self.global_shape[self.spec.dim_index(dim)]
+
+    def __repr__(self) -> str:
+        return (f"ShardedTensor({self.spec}, global={self.global_shape}, "
+                f"local={self.local_shape}, mesh={self.mesh.shape})")

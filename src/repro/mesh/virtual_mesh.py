@@ -1,0 +1,101 @@
+"""A virtual mesh of numpy "chips".
+
+This is the execution substrate that stands in for an XLA/GSPMD TPU slice:
+a 3D grid of devices, each holding numpy shards.  All data movement happens
+through the collective operations in :mod:`repro.mesh.ops`, which only move
+data *within groups along the participating torus axes* — so a program that
+runs on the virtual mesh is implementable with exactly the communication
+pattern it claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.hardware.topology import AXIS_NAMES, Mesh
+
+
+class VirtualMesh:
+    """A 3D grid of virtual devices with named axes ``x``, ``y``, ``z``."""
+
+    def __init__(self, shape: Sequence[int]):
+        self.topology = Mesh.from_shape(tuple(shape))
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.topology.shape
+
+    @property
+    def num_chips(self) -> int:
+        return self.topology.num_chips
+
+    @property
+    def axis_names(self) -> tuple[str, str, str]:
+        return AXIS_NAMES
+
+    def axis_size(self, axis: str) -> int:
+        return self.topology.axis_size(axis)
+
+    def group_size(self, axes: Sequence[str]) -> int:
+        return self.topology.group_size(axes)
+
+    def devices(self) -> Iterator[tuple[int, int, int]]:
+        return self.topology.devices()
+
+    def axis_indices(self, axes: Sequence[str]) -> tuple[int, ...]:
+        return tuple(AXIS_NAMES.index(a) for a in axes)
+
+    def empty_shards(self) -> np.ndarray:
+        """An uninitialized object array with one slot per device."""
+        return np.empty(self.shape, dtype=object)
+
+    def groups(self, axes: Sequence[str]
+               ) -> Iterator[list[tuple[int, int, int]]]:
+        """Iterate communication groups for a collective over ``axes``.
+
+        Each group is the list of device coordinates that differ only in the
+        given axes; coordinates within a group are ordered row-major over
+        ``axes`` (in the order given), which defines shard order for
+        gather/scatter semantics.
+        """
+        part = self.axis_indices(axes)
+        rest = [i for i in range(3) if i not in part]
+        rest_ranges = [range(self.shape[i]) for i in rest]
+        part_ranges = [range(self.shape[i]) for i in part]
+        for rest_coords in itertools.product(*rest_ranges):
+            group = []
+            for part_coords in itertools.product(*part_ranges):
+                coord = [0, 0, 0]
+                for i, c in zip(rest, rest_coords):
+                    coord[i] = c
+                for i, c in zip(part, part_coords):
+                    coord[i] = c
+                group.append(tuple(coord))
+            yield group
+
+    def coords_on(self, device: tuple[int, int, int],
+                  axes: Sequence[str]) -> tuple[int, ...]:
+        """Project a device coordinate onto the given axes."""
+        return tuple(device[i] for i in self.axis_indices(axes))
+
+    def rank_in_group(self, device: tuple[int, int, int],
+                      axes: Sequence[str]) -> int:
+        """Row-major rank of a device within its group along ``axes``."""
+        rank = 0
+        for axis, coord in zip(axes, self.coords_on(device, axes)):
+            rank = rank * self.axis_size(axis) + coord
+        return rank
+
+    def map_devices(self, fn: Callable[[tuple[int, int, int]], np.ndarray]
+                    ) -> np.ndarray:
+        """Build an object array by calling ``fn`` per device coordinate."""
+        shards = self.empty_shards()
+        for coord in self.devices():
+            shards[coord] = fn(coord)
+        return shards
+
+    def __repr__(self) -> str:
+        return f"VirtualMesh({self.shape[0]}x{self.shape[1]}x{self.shape[2]})"

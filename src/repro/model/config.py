@@ -1,0 +1,168 @@
+"""Transformer model configurations and cost accounting (Section 2.2).
+
+:class:`ModelConfig` captures the architecture hyperparameters the paper's
+analysis depends on (Table D.1 naming): ``n_layers``, ``d_model`` (E),
+``d_ff`` (F), ``n_heads`` (H), ``d_head``, attention variant (multiquery =
+one KV head), block formulation (parallel vs. serial), and FFN style
+(PaLM's SwiGLU has three weight matrices; Megatron's MLP has two).
+
+The derived properties implement the paper's accounting rules:
+
+* an N-parameter decoder-only model costs ``2N`` matmul FLOPs per token
+  (Kaplan et al., 2020; Section 2 "Compute costs");
+* the KV cache costs ``2 * n_layers * n_kv_heads * d_head`` elements per
+  token (Section 2.1 / Section 3.3);
+* attention score/value matmuls add ``4 * n_layers * n_heads * d_head``
+  FLOPs per token per token of context (small for large models, but
+  included where the paper includes them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AttentionKind(str, Enum):
+    """Multihead vs. multiquery attention (Section 3.3)."""
+
+    MULTIHEAD = "multihead"
+    MULTIQUERY = "multiquery"
+
+
+class FfnKind(str, Enum):
+    """FFN style: PaLM's 3-matrix SwiGLU or the classic 2-matrix MLP."""
+
+    SWIGLU = "swiglu"
+    MLP = "mlp"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters of a decoder-only Transformer."""
+
+    name: str
+    n_layers: int
+    d_model: int
+    d_ff: int
+    n_heads: int
+    d_head: int
+    vocab_size: int
+    attention: AttentionKind = AttentionKind.MULTIQUERY
+    ffn: FfnKind = FfnKind.SWIGLU
+    parallel_block: bool = True
+    rope_theta: float = 10_000.0
+    #: Optional grouped-query attention (GQA): number of shared KV heads,
+    #: strictly between the paper's endpoints of 1 (multiquery) and
+    #: ``n_heads`` (multihead).  ``None`` derives from ``attention``.
+    kv_heads: int | None = None
+
+    def __post_init__(self) -> None:
+        for field in ("n_layers", "d_model", "d_ff", "n_heads", "d_head",
+                      "vocab_size"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+        if self.kv_heads is not None:
+            if not 1 <= self.kv_heads <= self.n_heads:
+                raise ValueError(
+                    f"kv_heads must be in [1, {self.n_heads}]")
+            if self.n_heads % self.kv_heads:
+                raise ValueError(
+                    f"{self.n_heads} query heads not divisible by "
+                    f"{self.kv_heads} KV heads")
+
+    # -- attention shape ----------------------------------------------------
+
+    @property
+    def n_kv_heads(self) -> int:
+        """KV heads: 1 (multiquery), ``n_heads`` (multihead), or the GQA
+        override in between."""
+        if self.kv_heads is not None:
+            return self.kv_heads
+        if self.attention is AttentionKind.MULTIQUERY:
+            return 1
+        return self.n_heads
+
+    @property
+    def ffn_matrices(self) -> int:
+        return 3 if self.ffn is FfnKind.SWIGLU else 2
+
+    # -- parameter counts ---------------------------------------------------
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        qo = 2 * self.d_model * self.n_heads * self.d_head
+        kv = 2 * self.d_model * self.n_kv_heads * self.d_head
+        return qo + kv
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        return self.ffn_matrices * self.d_model * self.d_ff
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.attn_params_per_layer + self.ffn_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        """Token embedding table (tied with the output projection)."""
+        return self.vocab_size * self.d_model
+
+    @property
+    def n_params(self) -> int:
+        return self.n_layers * self.params_per_layer + self.embedding_params
+
+    # -- FLOPs ---------------------------------------------------------------
+
+    @property
+    def matmul_flops_per_token(self) -> float:
+        """The paper's ``2N`` rule: matmul FLOPs per token seen."""
+        return 2.0 * self.n_params
+
+    def attention_flops_per_token(self, context_len: int) -> float:
+        """QK^T and attention-weighted-V FLOPs per token at a context length.
+
+        Excluded from the 2N rule (Section 2 notes they are typically small
+        for large models) but needed for long-context accounting.
+        """
+        per_layer = 4.0 * self.n_heads * self.d_head * context_len
+        return self.n_layers * per_layer
+
+    # -- memory ---------------------------------------------------------------
+
+    def weight_bytes(self, dtype_bytes: int = 2) -> int:
+        """Total bytes of model weights at the given storage width."""
+        return self.n_params * dtype_bytes
+
+    def kv_cache_bytes_per_token(self, dtype_bytes: int = 2) -> int:
+        """KV cache bytes per cached token (Section 3.3 accounting)."""
+        return 2 * self.n_layers * self.n_kv_heads * self.d_head * dtype_bytes
+
+    def kv_cache_bytes(self, batch: int, context_len: int,
+                       dtype_bytes: int = 2) -> int:
+        return batch * context_len * self.kv_cache_bytes_per_token(dtype_bytes)
+
+    # -- variants --------------------------------------------------------------
+
+    def replace(self, **kwargs) -> "ModelConfig":
+        """Derive a modified config (e.g. the 8-layer Figure 8 variant)."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_padded_heads(self, n_heads: int) -> "ModelConfig":
+        """Pad the head count for divisibility (Section 4 "Methodology").
+
+        PaLM 540B pads 48 -> 64 heads to partition on 64+ chips; this adds
+        parameters (the paper reports +18B) and is a pure layout decision.
+        """
+        if n_heads < self.n_heads:
+            raise ValueError("padding cannot reduce the head count")
+        return self.replace(name=f"{self.name}-pad{n_heads}",
+                            n_heads=n_heads)
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.n_layers}L x (E={self.d_model}, "
+                f"F={self.d_ff}, H={self.n_heads}x{self.d_head}) "
+                f"{self.attention.value}, "
+                f"{'parallel' if self.parallel_block else 'serial'} block, "
+                f"{self.n_params / 1e9:.1f}B params")

@@ -1,0 +1,62 @@
+"""Numerical building blocks for the reference and sharded transformers.
+
+Includes the paper's "log-base-2" softmax/swish trick (Section 3.5): on
+real hardware ``exp2`` is cheaper than ``exp``, so softmax is computed as
+``exp2(x * log2(e) - max2)``.  Numerically both forms are identical up to
+float rounding; tests assert agreement so either can back the models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LOG2_E = float(np.log2(np.e))
+
+
+def rmsnorm(x: np.ndarray, scale: np.ndarray, eps: float = 1e-6
+            ) -> np.ndarray:
+    """Root-mean-square layer norm over the last axis."""
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x * scale / np.sqrt(variance + eps)
+
+
+def swish(x: np.ndarray) -> np.ndarray:
+    """Swish / SiLU: ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def swish_base2(x: np.ndarray) -> np.ndarray:
+    """Swish via ``exp2`` (the paper's faster hardware formulation)."""
+    return x / (1.0 + np.exp2(-x * LOG2_E))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def softmax_base2(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax computed with base-2 exponentials (Section 3.5)."""
+    scaled = x * LOG2_E
+    shifted = scaled - np.max(scaled, axis=axis, keepdims=True)
+    exps = np.exp2(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def causal_mask(q_len: int, kv_len: int, q_offset: int = 0) -> np.ndarray:
+    """Boolean mask [q_len, kv_len]: True where attention is allowed.
+
+    Query position ``i`` (global position ``q_offset + i``) may attend to
+    kv positions ``<= q_offset + i``.
+    """
+    q_pos = np.arange(q_len)[:, None] + q_offset
+    kv_pos = np.arange(kv_len)[None, :]
+    return kv_pos <= q_pos
+
+
+def masked_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis with disallowed positions masked out."""
+    neg = np.finfo(scores.dtype).min if scores.dtype.kind == "f" else -1e30
+    return softmax(np.where(mask, scores, neg), axis=-1)

@@ -1,0 +1,98 @@
+"""Weight checkpoint save/load (single ``.npz`` file).
+
+Deterministic random weights make checkpoints reproducible from a seed,
+but a credible library still round-trips weights to disk: quantized
+deployments, regression fixtures, and cross-process serving all need it.
+The format is a flat ``.npz`` with ``layer{i}/{name}`` keys plus a small
+JSON header carrying the :class:`~repro.model.config.ModelConfig`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.model.config import AttentionKind, FfnKind, ModelConfig
+from repro.model.reference import LayerWeights, TransformerWeights
+
+_HEADER_KEY = "__config_json__"
+_LAYER_TENSORS = ("ln_scale", "wq", "wk", "wv", "wo", "w_in", "w_out",
+                  "w_gate", "ln2_scale")
+
+
+def config_to_dict(config: ModelConfig) -> dict:
+    return {
+        "name": config.name,
+        "n_layers": config.n_layers,
+        "d_model": config.d_model,
+        "d_ff": config.d_ff,
+        "n_heads": config.n_heads,
+        "d_head": config.d_head,
+        "vocab_size": config.vocab_size,
+        "attention": config.attention.value,
+        "ffn": config.ffn.value,
+        "parallel_block": config.parallel_block,
+        "rope_theta": config.rope_theta,
+    }
+
+
+def config_from_dict(payload: dict) -> ModelConfig:
+    payload = dict(payload)
+    payload["attention"] = AttentionKind(payload["attention"])
+    payload["ffn"] = FfnKind(payload["ffn"])
+    return ModelConfig(**payload)
+
+
+def save_weights(weights: TransformerWeights, path) -> None:
+    """Write a checkpoint; the suffix should be ``.npz``."""
+    arrays: dict[str, np.ndarray] = {
+        _HEADER_KEY: np.frombuffer(
+            json.dumps(config_to_dict(weights.config)).encode(),
+            dtype=np.uint8),
+        "embedding": weights.embedding,
+        "final_ln_scale": weights.final_ln_scale,
+    }
+    for i, layer in enumerate(weights.layers):
+        for name in _LAYER_TENSORS:
+            tensor = getattr(layer, name)
+            if tensor is not None:
+                arrays[f"layer{i}/{name}"] = tensor
+    np.savez(path, **arrays)
+
+
+def load_weights(path) -> TransformerWeights:
+    """Read a checkpoint written by :func:`save_weights`.
+
+    Validates layer count and tensor shapes against the embedded config.
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        header = bytes(data[_HEADER_KEY]).decode()
+        config = config_from_dict(json.loads(header))
+        layers = []
+        for i in range(config.n_layers):
+            fields = {}
+            for name in _LAYER_TENSORS:
+                key = f"layer{i}/{name}"
+                fields[name] = data[key] if key in data.files else None
+            if fields["ln_scale"] is None or fields["wq"] is None:
+                raise ValueError(
+                    f"checkpoint {path} is missing layer {i} tensors")
+            layers.append(LayerWeights(**fields))
+        weights = TransformerWeights(
+            config=config,
+            embedding=data["embedding"],
+            layers=layers,
+            final_ln_scale=data["final_ln_scale"],
+        )
+    if weights.embedding.shape != (config.vocab_size, config.d_model):
+        raise ValueError(
+            f"embedding shape {weights.embedding.shape} does not match "
+            f"config {config.vocab_size}x{config.d_model}")
+    if weights.n_params != config.n_params:
+        raise ValueError(
+            f"checkpoint holds {weights.n_params} parameters, config "
+            f"expects {config.n_params}")
+    return weights

@@ -1,0 +1,311 @@
+"""Single-device reference Transformer (the numerical gold standard).
+
+This is a straightforward numpy implementation of the PaLM-style
+decoder-only architecture (multiquery or multihead attention, parallel or
+serial block, SwiGLU or MLP feedforward, RoPE positions, tied embeddings).
+Every partitioned layout in :mod:`repro.layouts` is validated to produce
+the same logits as this module, which is the reproduction's substitute for
+"runs the real PaLM weights correctly".
+
+Weight tensor shapes (per layer):
+
+==============  =======================  =========================
+tensor          shape                    role
+==============  =======================  =========================
+``ln_scale``    ``[E]``                  pre-block RMSNorm scale
+``ln2_scale``   ``[E]``                  serial-block FFN norm
+``wq``          ``[E, H, D]``            query projection
+``wk``, ``wv``  ``[E, K, D]``            key/value (K=1 multiquery)
+``wo``          ``[H, D, E]``            attention output
+``w_in``        ``[E, F]``               FFN in
+``w_gate``      ``[E, F]``               SwiGLU gate (SwiGLU only)
+``w_out``       ``[F, E]``               FFN out
+==============  =======================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.config import AttentionKind, FfnKind, ModelConfig
+from repro.model.functional import (
+    causal_mask,
+    masked_softmax,
+    rmsnorm,
+    swish,
+)
+from repro.model.rope import apply_rope
+
+
+@dataclass
+class LayerWeights:
+    ln_scale: np.ndarray
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_in: np.ndarray
+    w_out: np.ndarray
+    w_gate: np.ndarray | None = None
+    ln2_scale: np.ndarray | None = None
+
+
+@dataclass
+class TransformerWeights:
+    config: ModelConfig
+    embedding: np.ndarray            # [V, E], tied with the output head
+    layers: list[LayerWeights]
+    final_ln_scale: np.ndarray       # [E]
+
+    @property
+    def n_params(self) -> int:
+        total = self.embedding.size
+        for layer in self.layers:
+            for name in ("wq", "wk", "wv", "wo", "w_in", "w_out", "w_gate"):
+                tensor = getattr(layer, name)
+                if tensor is not None:
+                    total += tensor.size
+        return total
+
+
+def init_weights(config: ModelConfig, seed: int = 0,
+                 dtype=np.float64, scale: float = 0.02
+                 ) -> TransformerWeights:
+    """Deterministic random weights at the config's shapes.
+
+    Performance depends only on shapes, so random weights exercise exactly
+    the tensor program that trained weights would (DESIGN.md, Section 2).
+    """
+    rng = np.random.default_rng(seed)
+    e, f = config.d_model, config.d_ff
+    h, k, d = config.n_heads, config.n_kv_heads, config.d_head
+
+    def w(*shape):
+        return (rng.standard_normal(shape) * scale).astype(dtype)
+
+    layers = []
+    for _ in range(config.n_layers):
+        layers.append(LayerWeights(
+            ln_scale=np.ones(e, dtype=dtype),
+            wq=w(e, h, d),
+            wk=w(e, k, d),
+            wv=w(e, k, d),
+            wo=w(h, d, e),
+            w_in=w(e, f),
+            w_out=w(f, e),
+            w_gate=w(e, f) if config.ffn is FfnKind.SWIGLU else None,
+            ln2_scale=(None if config.parallel_block
+                       else np.ones(e, dtype=dtype)),
+        ))
+    return TransformerWeights(
+        config=config,
+        embedding=w(config.vocab_size, e),
+        layers=layers,
+        final_ln_scale=np.ones(e, dtype=dtype),
+    )
+
+
+@dataclass
+class KVCache:
+    """Per-sequence attention history: ``k``/``v`` of ``[B, T, K, D]``."""
+
+    k: np.ndarray
+    v: np.ndarray
+    length: int = 0
+
+    @classmethod
+    def empty(cls, batch: int, max_len: int, n_kv_heads: int, d_head: int,
+              dtype=np.float64) -> "KVCache":
+        shape = (batch, max_len, n_kv_heads, d_head)
+        return cls(k=np.zeros(shape, dtype=dtype),
+                   v=np.zeros(shape, dtype=dtype))
+
+    @property
+    def max_len(self) -> int:
+        return self.k.shape[1]
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        n = k_new.shape[1]
+        if self.length + n > self.max_len:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {n} > {self.max_len}")
+        self.k[:, self.length:self.length + n] = k_new
+        self.v[:, self.length:self.length + n] = v_new
+        self.length += n
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.k[:, :self.length], self.v[:, :self.length]
+
+
+def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+              q_offset: int, mask: np.ndarray | None = None) -> np.ndarray:
+    """Causal scaled-dot-product attention with grouped KV heads.
+
+    Args:
+        q: ``[B, L, H, D]`` queries.
+        k, v: ``[B, M, K, D]`` full key/value history (K divides H).
+        q_offset: Global position of the first query (for the causal mask).
+        mask: Optional override of the attention mask, ``[L, M]`` or
+            ``[B, 1, L, M]`` broadcastable, True where attention is
+            allowed.  Used for packed sequences (segment masking); when
+            omitted, the plain causal mask applies.
+
+    Returns:
+        ``[B, L, H, D]`` attention outputs.
+    """
+    h, kv = q.shape[2], k.shape[2]
+    if h % kv:
+        raise ValueError(f"{h} query heads not divisible by {kv} KV heads")
+    if kv != h:  # broadcast shared KV heads across the query-head groups
+        k = np.repeat(k, h // kv, axis=2)
+        v = np.repeat(v, h // kv, axis=2)
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = np.einsum("blhd,bmhd->bhlm", q, k) * scale
+    if mask is None:
+        mask = causal_mask(q.shape[1], k.shape[1], q_offset)
+    probs = masked_softmax(scores, mask)
+    return np.einsum("bhlm,bmhd->blhd", probs, v)
+
+
+class ReferenceTransformer:
+    """Unsharded forward pass; prefill + autoregressive decode."""
+
+    def __init__(self, weights: TransformerWeights):
+        self.weights = weights
+        self.config = weights.config
+
+    # -- layer pieces -------------------------------------------------------
+
+    def _attn(self, y: np.ndarray, layer: LayerWeights, cache: KVCache,
+              positions: np.ndarray,
+              mask: np.ndarray | None = None) -> np.ndarray:
+        q = np.einsum("ble,ehd->blhd", y, layer.wq)
+        k = np.einsum("ble,ekd->blkd", y, layer.wk)
+        v = np.einsum("ble,ekd->blkd", y, layer.wv)
+        theta = self.config.rope_theta
+        q = apply_rope(q, positions, theta)
+        k = apply_rope(k, positions, theta)
+        q_offset = cache.length
+        cache.append(k, v)
+        k_all, v_all = cache.view()
+        out = attention(q, k_all, v_all, q_offset, mask=mask)
+        return np.einsum("blhd,hde->ble", out, layer.wo)
+
+    def _ffn(self, y: np.ndarray, layer: LayerWeights) -> np.ndarray:
+        hidden = swish(y @ layer.w_in)
+        if self.config.ffn is FfnKind.SWIGLU:
+            hidden = hidden * (y @ layer.w_gate)
+        return hidden @ layer.w_out
+
+    def _block(self, x: np.ndarray, layer: LayerWeights, cache: KVCache,
+               positions: np.ndarray,
+               mask: np.ndarray | None = None) -> np.ndarray:
+        if self.config.parallel_block:
+            # One shared norm; attention and FFN applied in parallel and
+            # summed (Section 3.4).
+            y = rmsnorm(x, layer.ln_scale)
+            return x + self._attn(y, layer, cache, positions, mask) + \
+                self._ffn(y, layer)
+        x = x + self._attn(rmsnorm(x, layer.ln_scale), layer, cache,
+                           positions, mask)
+        return x + self._ffn(rmsnorm(x, layer.ln2_scale), layer)
+
+    # -- public API -----------------------------------------------------------
+
+    def new_cache(self, batch: int, max_len: int) -> list[KVCache]:
+        cfg = self.config
+        return [KVCache.empty(batch, max_len, cfg.n_kv_heads, cfg.d_head,
+                              dtype=self.weights.embedding.dtype)
+                for _ in range(cfg.n_layers)]
+
+    def forward(self, tokens: np.ndarray, caches: list[KVCache]
+                ) -> np.ndarray:
+        """Run one forward pass over ``tokens`` ``[B, L]``, appending to the
+        caches, and return logits ``[B, L, V]``.
+
+        Used for both phases: prefill passes the whole prompt (L = prompt
+        length), decode passes one token per sequence (L = 1).
+        """
+        w = self.weights
+        offset = caches[0].length
+        positions = np.arange(tokens.shape[1]) + offset
+        x = w.embedding[tokens]
+        for layer, cache in zip(w.layers, caches):
+            x = self._block(x, layer, cache, positions)
+        x = rmsnorm(x, w.final_ln_scale)
+        return np.einsum("ble,ve->blv", x, w.embedding)
+
+    def forward_packed(self, tokens: np.ndarray,
+                       segment_ids: np.ndarray) -> np.ndarray:
+        """One forward pass over *packed* sequences (EffectiveTransformer).
+
+        Multiple prompts are concatenated along the length axis;
+        ``segment_ids`` ``[B, T]`` (non-decreasing per row) mark prompt
+        boundaries.  Positions restart at each segment and attention is
+        masked to (causal AND same-segment), so the logits for every
+        packed prompt equal those of running it alone — tested in
+        ``tests/unit/test_packing.py``.
+
+        Returns logits ``[B, T, V]``.  Packed passes are for scoring /
+        prefill-style workloads; they do not populate a reusable KV cache.
+        """
+        if segment_ids.shape != tokens.shape:
+            raise ValueError("segment_ids must match tokens shape")
+        if (np.diff(segment_ids, axis=1) < 0).any():
+            raise ValueError("segments must be contiguous (non-decreasing)")
+        b, t = tokens.shape
+        idx = np.arange(t)
+        is_start = np.ones_like(segment_ids, dtype=bool)
+        is_start[:, 1:] = segment_ids[:, 1:] != segment_ids[:, :-1]
+        start_index = np.maximum.accumulate(
+            np.where(is_start, idx, 0), axis=1)
+        positions = idx[None, :] - start_index
+
+        same_segment = segment_ids[:, :, None] == segment_ids[:, None, :]
+        causal = idx[None, :, None] >= idx[None, None, :]
+        mask = (same_segment & causal)[:, None, :, :]  # [B, 1, T, T]
+
+        w = self.weights
+        caches = self.new_cache(b, t)
+        x = w.embedding[tokens]
+        for layer, cache in zip(w.layers, caches):
+            x = self._block(x, layer, cache, positions, mask)
+        x = rmsnorm(x, w.final_ln_scale)
+        return np.einsum("ble,ve->blv", x, w.embedding)
+
+    def prefill(self, tokens: np.ndarray, max_len: int
+                ) -> tuple[np.ndarray, list[KVCache]]:
+        """Process the prompt; returns last-position logits and the caches."""
+        caches = self.new_cache(tokens.shape[0], max_len)
+        logits = self.forward(tokens, caches)
+        return logits[:, -1], caches
+
+    def decode_step(self, tokens: np.ndarray, caches: list[KVCache]
+                    ) -> np.ndarray:
+        """One generation step: ``tokens`` ``[B]`` -> next logits ``[B, V]``."""
+        logits = self.forward(tokens[:, None], caches)
+        return logits[:, -1]
+
+    def generate(self, prompt: np.ndarray, n_steps: int,
+                 sampler=None, rng: np.random.Generator | None = None
+                 ) -> np.ndarray:
+        """Greedy (or sampled) generation of ``n_steps`` tokens.
+
+        Returns ``[B, prompt_len + n_steps]`` including the prompt.
+        """
+        from repro.model.sampling import greedy
+
+        sampler = sampler or (lambda logits, rng: greedy(logits))
+        rng = rng or np.random.default_rng(0)
+        max_len = prompt.shape[1] + n_steps
+        logits, caches = self.prefill(prompt, max_len)
+        tokens = [prompt]
+        current = sampler(logits, rng)
+        for _ in range(n_steps - 1):
+            tokens.append(current[:, None])
+            logits = self.decode_step(current, caches)
+            current = sampler(logits, rng)
+        tokens.append(current[:, None])
+        return np.concatenate(tokens, axis=1)

@@ -1,0 +1,43 @@
+"""Rotary position embeddings (RoPE), as used by PaLM.
+
+RoPE acts elementwise per (position, head-dim-pair), so it commutes with
+sharding over batch or heads — which is what lets the partitioned attention
+layouts of Section 3.3 apply it locally on each chip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_frequencies(d_head: int, theta: float = 10_000.0) -> np.ndarray:
+    """Inverse frequencies for each rotated pair, shape ``[d_head // 2]``."""
+    if d_head % 2:
+        raise ValueError(f"d_head must be even for RoPE, got {d_head}")
+    exponents = np.arange(0, d_head, 2, dtype=np.float64) / d_head
+    return theta ** -exponents
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray,
+               theta: float = 10_000.0) -> np.ndarray:
+    """Rotate query/key vectors by position-dependent angles.
+
+    Args:
+        x: Array of shape ``[..., L, n_heads, d_head]`` (heads axis may be 1).
+        positions: Integer positions of shape ``[L]`` or broadcastable to
+            ``x.shape[:-2]`` + ``(L,)``.
+        theta: RoPE base.
+
+    Returns:
+        Array of the same shape and dtype as ``x``.
+    """
+    d_head = x.shape[-1]
+    freqs = rope_frequencies(d_head, theta)
+    angles = np.asarray(positions, dtype=np.float64)[..., None] * freqs
+    cos = np.cos(angles)[..., None, :]  # broadcast over the heads axis
+    sin = np.sin(angles)[..., None, :]
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out

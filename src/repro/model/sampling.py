@@ -1,0 +1,94 @@
+"""Decode-time sampling: greedy, temperature, top-k, top-p.
+
+Section 3.5 lists "faster top-k/top-p implementations" among the low-level
+optimizations.  The fast paths here use ``np.partition`` (O(V) selection)
+instead of a full sort (O(V log V)); the naive sorted implementations are
+kept as gold references for tests and for the sampling micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.functional import softmax
+
+
+def greedy(logits: np.ndarray) -> np.ndarray:
+    """Argmax sampling: ``[B, V] -> [B]``."""
+    return np.argmax(logits, axis=-1)
+
+
+def apply_temperature(logits: np.ndarray, temperature: float) -> np.ndarray:
+    if temperature <= 0:
+        raise ValueError("temperature must be > 0; use greedy() for argmax")
+    return logits / temperature
+
+
+def top_k_mask(logits: np.ndarray, k: int) -> np.ndarray:
+    """Mask all but the top-k logits per row to ``-inf`` (selection-based)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= logits.shape[-1]:
+        return logits
+    # kth largest per row via partition: O(V) instead of a sort.
+    thresholds = np.partition(logits, -k, axis=-1)[..., -k, None]
+    return np.where(logits >= thresholds, logits, -np.inf)
+
+
+def top_k_mask_sorted(logits: np.ndarray, k: int) -> np.ndarray:
+    """Reference top-k via full sort (slow path, for verification)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= logits.shape[-1]:
+        return logits
+    order = np.sort(logits, axis=-1)
+    thresholds = order[..., -k, None]
+    return np.where(logits >= thresholds, logits, -np.inf)
+
+
+def top_p_mask(logits: np.ndarray, p: float) -> np.ndarray:
+    """Nucleus filtering: keep the smallest set of tokens with mass >= p.
+
+    The most probable token is always kept.  Ties are resolved by keeping
+    everything with probability equal to the last admitted token's.
+    """
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    probs = softmax(logits)
+    order = np.argsort(probs, axis=-1)[..., ::-1]
+    sorted_probs = np.take_along_axis(probs, order, axis=-1)
+    cumulative = np.cumsum(sorted_probs, axis=-1)
+    # Positions strictly after the p-threshold are dropped.
+    keep_sorted = (cumulative - sorted_probs) < p
+    keep = np.zeros_like(keep_sorted)
+    np.put_along_axis(keep, order, keep_sorted, axis=-1)
+    return np.where(keep, logits, -np.inf)
+
+
+def sample(logits: np.ndarray, rng: np.random.Generator, *,
+           temperature: float = 1.0, top_k: int | None = None,
+           top_p: float | None = None) -> np.ndarray:
+    """Sample next tokens ``[B]`` from logits ``[B, V]``.
+
+    Filters compose in the conventional order: temperature, then top-k,
+    then top-p.
+    """
+    logits = apply_temperature(logits, temperature)
+    if top_k is not None:
+        logits = top_k_mask(logits, top_k)
+    if top_p is not None:
+        logits = top_p_mask(logits, top_p)
+    probs = softmax(logits)
+    # Vectorized categorical sampling via inverse-CDF.
+    cumulative = np.cumsum(probs, axis=-1)
+    draws = rng.random(size=(logits.shape[0], 1))
+    return np.argmax(cumulative > draws, axis=-1)
+
+
+def make_sampler(*, temperature: float = 1.0, top_k: int | None = None,
+                 top_p: float | None = None):
+    """A ``(logits, rng) -> tokens`` callable for ``generate()``."""
+    def sampler(logits, rng):
+        return sample(logits, rng, temperature=temperature, top_k=top_k,
+                      top_p=top_p)
+    return sampler

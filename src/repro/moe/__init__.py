@@ -1,0 +1,36 @@
+"""Mixture-of-experts extension (the paper's Conclusion direction)."""
+
+from repro.moe.config import MoeSpec
+from repro.moe.costs import (
+    MoeComparison,
+    MoeLayerCost,
+    dense_layer_decode_cost,
+    moe_layer_decode_cost,
+    moe_vs_dense_decode,
+)
+from repro.moe.layer import (
+    MoeWeights,
+    expert_ffn,
+    init_moe_weights,
+    moe_forward,
+    moe_forward_dispatched,
+    route,
+)
+from repro.moe.sharded import ShardedMoeLayer, sharded_moe_matches_reference
+
+__all__ = [
+    "MoeComparison",
+    "MoeLayerCost",
+    "MoeSpec",
+    "MoeWeights",
+    "ShardedMoeLayer",
+    "dense_layer_decode_cost",
+    "expert_ffn",
+    "init_moe_weights",
+    "moe_forward",
+    "moe_forward_dispatched",
+    "moe_layer_decode_cost",
+    "moe_vs_dense_decode",
+    "route",
+    "sharded_moe_matches_reference",
+]

@@ -1,0 +1,77 @@
+"""Mixture-of-experts configuration and accounting.
+
+The paper's conclusion: "Sparsity techniques, such as task-based mixture
+of expert architectures ... promise to reduce FLOPs per token of
+Transformer models."  This package implements that future-work direction
+as an extension: a top-k-routed MoE feedforward layer, its expert-parallel
+partitioning on the virtual mesh, and the cost accounting that
+substantiates the FLOPs-per-token claim.
+
+Accounting conventions match Section 2's: parameters count everything
+stored; *active* parameters count what one token actually multiplies
+against — the quantity the 2N FLOPs rule applies to for sparse models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import FfnKind
+
+
+@dataclass(frozen=True)
+class MoeSpec:
+    """A mixture-of-experts feedforward layer."""
+
+    d_model: int
+    d_ff: int                 # per-expert hidden width
+    n_experts: int
+    experts_per_token: int    # top-k routing
+    ffn: FfnKind = FfnKind.SWIGLU
+
+    def __post_init__(self) -> None:
+        if self.n_experts < 1:
+            raise ValueError("n_experts must be >= 1")
+        if not 1 <= self.experts_per_token <= self.n_experts:
+            raise ValueError(
+                f"experts_per_token must be in [1, {self.n_experts}]")
+        for field in ("d_model", "d_ff"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+
+    @property
+    def ffn_matrices(self) -> int:
+        return 3 if self.ffn is FfnKind.SWIGLU else 2
+
+    @property
+    def params_per_expert(self) -> int:
+        return self.ffn_matrices * self.d_model * self.d_ff
+
+    @property
+    def router_params(self) -> int:
+        return self.d_model * self.n_experts
+
+    @property
+    def total_params(self) -> int:
+        """Stored parameters (memory footprint scales with n_experts)."""
+        return self.n_experts * self.params_per_expert + self.router_params
+
+    @property
+    def active_params(self) -> int:
+        """Parameters one token touches (FLOPs scale with top-k only)."""
+        return (self.experts_per_token * self.params_per_expert
+                + self.router_params)
+
+    @property
+    def flops_per_token(self) -> float:
+        """The 2N rule applied to *active* parameters."""
+        return 2.0 * self.active_params
+
+    @property
+    def sparsity_factor(self) -> float:
+        """FLOPs reduction vs. a dense layer with the same stored params."""
+        return self.total_params / self.active_params
+
+    def dense_equivalent_d_ff(self) -> int:
+        """d_ff of a dense FFN with the same *stored* parameter count."""
+        return (self.total_params // (self.ffn_matrices * self.d_model))

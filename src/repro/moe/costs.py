@@ -1,0 +1,105 @@
+"""MoE cost model: the conclusion's FLOPs-per-token claim, quantified.
+
+Extends the Section 2 accounting to expert-parallel decoding:
+
+* compute time follows *active* parameters (top-k experts per token);
+* per-chip weight memory follows *stored* parameters divided by the
+  expert-parallel degree (experts shard like d_ff);
+* dispatch adds one all-to-all pair per layer on token activations
+  (tokens travel to their experts' chips and back), sized by a capacity
+  factor.
+
+The punchline function :func:`moe_vs_dense_decode` compares a sparse
+layer against the dense layer with the same *stored* parameters — the
+"same memory, fewer FLOPs" trade the paper hopes for — on a given chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.cost import all_to_all_time
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.moe.config import MoeSpec
+from repro.perf.efficiency import EfficiencyModel
+
+
+@dataclass(frozen=True)
+class MoeLayerCost:
+    """Per-layer decode-step cost breakdown for one MoE FFN."""
+
+    compute_s: float
+    weight_load_s: float
+    dispatch_s: float
+
+    @property
+    def step_s(self) -> float:
+        return max(self.compute_s, self.weight_load_s) + self.dispatch_s
+
+
+def moe_layer_decode_cost(spec: MoeSpec, chip: ChipSpec, torus: Torus3D,
+                          batch: int, *, weight_dtype_bytes: int = 2,
+                          act_dtype_bytes: int = 2,
+                          capacity_factor: float = 1.0,
+                          efficiency: EfficiencyModel | None = None
+                          ) -> MoeLayerCost:
+    """One decode step through one expert-parallel MoE layer."""
+    eff = efficiency or EfficiencyModel()
+    n = torus.num_chips
+    flops = spec.flops_per_token * batch
+    compute_s = flops / (n * chip.peak_flops
+                         * eff.matmul_efficiency(max(batch, 1)))
+    weight_bytes = spec.total_params * weight_dtype_bytes / n
+    weight_load_s = weight_bytes / (chip.hbm_bandwidth
+                                    * eff.hbm_efficiency)
+    # Dispatch + combine: each routed copy of each token crosses chips.
+    routed_tokens = batch * spec.experts_per_token * capacity_factor
+    per_chip_bytes = routed_tokens * spec.d_model * act_dtype_bytes / n
+    bandwidth = chip.interconnect_bandwidth * eff.network_efficiency
+    dispatch_s = 2 * all_to_all_time(per_chip_bytes, n, bandwidth)
+    return MoeLayerCost(compute_s=compute_s, weight_load_s=weight_load_s,
+                        dispatch_s=dispatch_s)
+
+
+def dense_layer_decode_cost(d_model: int, d_ff: int, ffn_matrices: int,
+                            chip: ChipSpec, torus: Torus3D, batch: int, *,
+                            weight_dtype_bytes: int = 2,
+                            efficiency: EfficiencyModel | None = None
+                            ) -> MoeLayerCost:
+    """The dense FFN counterpart (no routing, no dispatch)."""
+    eff = efficiency or EfficiencyModel()
+    n = torus.num_chips
+    params = ffn_matrices * d_model * d_ff
+    compute_s = (2.0 * params * batch
+                 / (n * chip.peak_flops
+                    * eff.matmul_efficiency(max(batch, 1))))
+    weight_load_s = (params * weight_dtype_bytes / n
+                     / (chip.hbm_bandwidth * eff.hbm_efficiency))
+    return MoeLayerCost(compute_s=compute_s, weight_load_s=weight_load_s,
+                        dispatch_s=0.0)
+
+
+@dataclass(frozen=True)
+class MoeComparison:
+    moe: MoeLayerCost
+    dense: MoeLayerCost
+    flops_reduction: float    # dense FLOPs / MoE FLOPs per token
+    speedup: float            # dense step time / MoE step time
+
+
+def moe_vs_dense_decode(spec: MoeSpec, chip: ChipSpec, torus: Torus3D,
+                        batch: int, **kwargs) -> MoeComparison:
+    """Sparse layer vs. the iso-*stored*-parameter dense layer."""
+    moe = moe_layer_decode_cost(spec, chip, torus, batch, **kwargs)
+    dense = dense_layer_decode_cost(
+        spec.d_model, spec.dense_equivalent_d_ff(), spec.ffn_matrices,
+        chip, torus, batch,
+        weight_dtype_bytes=kwargs.get("weight_dtype_bytes", 2),
+        efficiency=kwargs.get("efficiency"))
+    dense_flops = 2.0 * spec.ffn_matrices * spec.d_model \
+        * spec.dense_equivalent_d_ff()
+    return MoeComparison(
+        moe=moe, dense=dense,
+        flops_reduction=dense_flops / spec.flops_per_token,
+        speedup=dense.step_s / moe.step_s)

@@ -1,0 +1,124 @@
+"""Reference (single-device) mixture-of-experts feedforward layer.
+
+Top-k routing in the style of Shazeer et al. (2017) / GShard: a linear
+router scores experts per token, the top-k experts are evaluated, and
+their outputs are combined with the softmax-renormalized router weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.config import FfnKind
+from repro.model.functional import softmax, swish
+from repro.moe.config import MoeSpec
+
+
+@dataclass
+class MoeWeights:
+    """Router + stacked per-expert projection weights."""
+
+    spec: MoeSpec
+    router: np.ndarray        # [E, X]
+    w_in: np.ndarray          # [X, E, F]
+    w_out: np.ndarray         # [X, F, E]
+    w_gate: np.ndarray | None  # [X, E, F] for SwiGLU
+
+    @property
+    def n_params(self) -> int:
+        total = self.router.size + self.w_in.size + self.w_out.size
+        if self.w_gate is not None:
+            total += self.w_gate.size
+        return total
+
+
+def init_moe_weights(spec: MoeSpec, seed: int = 0, dtype=np.float64,
+                     scale: float = 0.02) -> MoeWeights:
+    rng = np.random.default_rng(seed)
+
+    def w(*shape):
+        return (rng.standard_normal(shape) * scale).astype(dtype)
+
+    return MoeWeights(
+        spec=spec,
+        router=w(spec.d_model, spec.n_experts),
+        w_in=w(spec.n_experts, spec.d_model, spec.d_ff),
+        w_out=w(spec.n_experts, spec.d_ff, spec.d_model),
+        w_gate=(w(spec.n_experts, spec.d_model, spec.d_ff)
+                if spec.ffn is FfnKind.SWIGLU else None),
+    )
+
+
+def route(spec: MoeSpec, weights: MoeWeights, y: np.ndarray
+          ) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k routing: returns ``(gates [..., X], chosen mask [..., X])``.
+
+    ``gates`` are softmax weights renormalized over the chosen experts
+    (zero elsewhere), so they sum to 1 per token.
+    """
+    logits = y @ weights.router                      # [..., X]
+    k = spec.experts_per_token
+    # Threshold at each token's k-th largest logit.
+    kth = np.partition(logits, -k, axis=-1)[..., -k, None]
+    chosen = logits >= kth
+    # Guard against ties creating > k experts: keep the first k by logit
+    # order (stable, index-ascending among ties).
+    if chosen.sum(-1).max() > k:
+        order = np.argsort(-logits, axis=-1, kind="stable")
+        rank = np.empty_like(order)
+        np.put_along_axis(rank, order,
+                          np.broadcast_to(np.arange(logits.shape[-1]),
+                                          logits.shape).copy(), axis=-1)
+        chosen = rank < k
+    masked = np.where(chosen, logits, -np.inf)
+    gates = softmax(masked, axis=-1)
+    return gates, chosen
+
+
+def expert_ffn(spec: MoeSpec, weights: MoeWeights, y: np.ndarray,
+               expert: int) -> np.ndarray:
+    """One expert's feedforward applied to all tokens."""
+    hidden = swish(y @ weights.w_in[expert])
+    if spec.ffn is FfnKind.SWIGLU:
+        hidden = hidden * (y @ weights.w_gate[expert])
+    return hidden @ weights.w_out[expert]
+
+
+def moe_forward(spec: MoeSpec, weights: MoeWeights, y: np.ndarray
+                ) -> np.ndarray:
+    """Dense reference evaluation: every expert on every token, gated.
+
+    Mathematically identical to dispatch-based execution (gates are zero
+    for unchosen experts); used as the numerical gold standard.  Real
+    systems dispatch tokens to save compute — modeled in
+    :mod:`repro.moe.costs`.
+    """
+    gates, _ = route(spec, weights, y)
+    out = np.zeros_like(y)
+    for expert in range(spec.n_experts):
+        gate = gates[..., expert:expert + 1]
+        if not gate.any():
+            continue
+        out = out + gate * expert_ffn(spec, weights, y, expert)
+    return out
+
+
+def moe_forward_dispatched(spec: MoeSpec, weights: MoeWeights,
+                           y: np.ndarray) -> np.ndarray:
+    """Dispatch-based evaluation: each expert sees only its tokens.
+
+    The computation real MoE systems perform (and what the FLOPs
+    accounting assumes); must equal :func:`moe_forward` exactly.
+    """
+    flat = y.reshape(-1, spec.d_model)
+    gates, chosen = route(spec, weights, flat)
+    out = np.zeros_like(flat)
+    for expert in range(spec.n_experts):
+        token_idx = np.nonzero(chosen[:, expert])[0]
+        if token_idx.size == 0:
+            continue
+        expert_out = expert_ffn(spec, weights, flat[token_idx], expert)
+        out[token_idx] += gates[token_idx, expert:expert + 1] * expert_out
+    return out.reshape(y.shape)

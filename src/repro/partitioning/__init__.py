@@ -1,0 +1,19 @@
+"""The paper's analytical partitioning framework (Section 3)."""
+
+from repro.partitioning.plan import (
+    DECODE_PLAN_540B,
+    PREFILL_PLAN_LARGE_BATCH,
+    PREFILL_PLAN_SMALL_BATCH,
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+
+__all__ = [
+    "AttentionLayoutKind",
+    "DECODE_PLAN_540B",
+    "FfnLayoutKind",
+    "LayoutPlan",
+    "PREFILL_PLAN_LARGE_BATCH",
+    "PREFILL_PLAN_SMALL_BATCH",
+]

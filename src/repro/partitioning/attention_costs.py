@@ -1,0 +1,97 @@
+"""Attention memory/cost accounting (Section 3.3, Table 1).
+
+The decisive quantity is the *per-chip* KV-cache footprint, which the
+partitioning layout determines:
+
+* **Baseline multiquery, sharded over heads** (Figure 4b): the single KV
+  head must be replicated on every chip — per-chip cost is the *full*
+  ``B * M * 2 * d_head``.
+* **Multihead, sharded over heads** (Figure 4a): heads spread over all
+  chips, partially replicated when ``n_chips > n_heads`` — per-chip cost
+  ``B * M * 2 * ceil(H / n) * d_head``.
+* **Optimized multiquery, sharded over batch** (Figure 4c): per-chip cost
+  divided by the full chip count.
+
+Table 1 (max context length) follows directly: the largest M such that the
+per-chip KV bytes fit the per-chip KV budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.topology import Torus3D
+from repro.model.config import AttentionKind, ModelConfig
+from repro.partitioning.plan import AttentionLayoutKind
+
+
+def kv_elements_per_chip_per_token(config: ModelConfig,
+                                   attention_layout: AttentionLayoutKind,
+                                   n_chips: int, batch: int) -> float:
+    """Per-chip KV-cache elements per (sequence-)token of context.
+
+    Multiply by ``batch * context_len * dtype_bytes`` /batch... —
+    precisely: returns elements stored per chip per (batch-token) of
+    context, i.e. per-chip KV bytes = result * batch * M * dtype_bytes.
+    """
+    per_token = 2 * config.n_layers * config.d_head  # K and V, one head
+    if attention_layout is AttentionLayoutKind.BATCH:
+        if config.n_kv_heads == config.n_heads:
+            raise ValueError(
+                "batch-sharded attention requires shared KV heads")
+        shards = min(n_chips, batch)
+        return per_token * config.n_kv_heads / shards
+    # Sharded over heads: KV heads spread over the chips, partially
+    # replicated once chips outnumber them (multiquery's single head is
+    # fully replicated — Figure 4b; grouped-query sits in between).
+    heads_per_chip = math.ceil(config.n_kv_heads / n_chips)
+    return per_token * heads_per_chip
+
+
+def kv_bytes_per_chip(config: ModelConfig,
+                      attention_layout: AttentionLayoutKind,
+                      n_chips: int, batch: int, context_len: int,
+                      dtype_bytes: int = 2) -> float:
+    """Total per-chip KV-cache bytes at a batch and context length."""
+    per = kv_elements_per_chip_per_token(config, attention_layout, n_chips,
+                                         batch)
+    return per * batch * context_len * dtype_bytes
+
+
+def max_context_length(config: ModelConfig,
+                       attention_layout: AttentionLayoutKind,
+                       n_chips: int, batch: int,
+                       kv_budget_per_chip_bytes: float,
+                       dtype_bytes: int = 2) -> int:
+    """Largest context length whose KV cache fits the per-chip budget.
+
+    Table 1 uses a budget of 30% of per-chip HBM.
+    """
+    per = kv_elements_per_chip_per_token(config, attention_layout, n_chips,
+                                         batch)
+    return int(kv_budget_per_chip_bytes // (per * batch * dtype_bytes))
+
+
+def kv_load_time(config: ModelConfig,
+                 attention_layout: AttentionLayoutKind,
+                 n_chips: int, batch: int, context_len: int,
+                 hbm_bandwidth: float, dtype_bytes: int = 2) -> float:
+    """Seconds per decode step spent streaming the KV cache from HBM.
+
+    This is the memory time the batch-sharded layout divides by n_chips —
+    the mechanism behind Figure 8's separation at long contexts.
+    """
+    return kv_bytes_per_chip(config, attention_layout, n_chips, batch,
+                             context_len, dtype_bytes) / hbm_bandwidth
+
+
+def attention_all_to_all_elements(config: ModelConfig, torus: Torus3D,
+                                  tokens: float) -> float:
+    """Per-chip elements moved by the Q/O all-to-alls of the batch layout.
+
+    Q and the attention output each carry ``tokens * H * D`` elements,
+    sharded over all chips during the exchange — orders of magnitude
+    smaller than the KV cache they save loading (Section 3.3).
+    """
+    per_tensor = tokens * config.n_heads * config.d_head / torus.num_chips
+    return 2.0 * per_tensor

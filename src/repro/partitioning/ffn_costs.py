@@ -1,0 +1,148 @@
+"""Closed-form feedforward communication costs (Section 3.2, Appendix A.2).
+
+All volumes are *per-chip* element counts (multiply by the activation or
+weight byte-width to get bytes), matching the Appendix A.1 convention where
+an all-gather costs its per-chip output and a reduce-scatter its per-chip
+input.  ``tokens`` always means batch-in-tokens, ``B * L``.
+
+The headline results encoded here:
+
+* 1D weight-stationary: ``V = 2 * tokens * E`` — constant in chip count.
+* 2D weight-stationary: ``V = 2 * tokens * (E/X + F/YZ)``, minimized by
+  ``X = sqrt(n * E / F)``; with F = 4E this gives ``X = 0.5 * sqrt(n)`` and
+  ``V = 8 * tokens * E / sqrt(n)``.
+* Weight-gathered over N chips: ``V = 2*E*F*N/n + 2*tokens*E/N`` (weights
+  + activations), minimized by ``N = sqrt(tokens * n / F)``.
+
+Figure 3 plots exactly these expressions; the layout selector picks the
+argmin; and tests cross-check them against the measured communication log
+of the virtual-mesh executor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.topology import Torus3D
+from repro.partitioning.plan import FfnLayoutKind
+
+
+def ws1d_volume(tokens: float, d_model: int) -> float:
+    """Per-chip comm volume (elements) for 1D weight-stationary."""
+    return 2.0 * tokens * d_model
+
+
+def ws2d_volume(tokens: float, d_model: int, d_ff: int,
+                x: int, yz: int) -> float:
+    """Per-chip comm volume for 2D weight-stationary with a given split."""
+    return 2.0 * tokens * (d_model / x + d_ff / yz)
+
+
+def weight_gathered_volume(tokens: float, d_model: int, d_ff: int,
+                           n_chips: int, n_gathered: int) -> float:
+    """Per-chip comm volume for a weight-gathered layout.
+
+    ``n_gathered`` is N: the number of chips weights are all-gathered over
+    (X, XY, or XYZ).  Both weight matrices (E x F and F x E) are gathered,
+    and the activations see one reduce-scatter/all-gather pair at volume
+    ``tokens * E / N`` each (Appendix A.2.2).
+    """
+    weights = 2.0 * d_model * d_ff * n_gathered / n_chips
+    activations = 2.0 * tokens * d_model / n_gathered
+    return weights + activations
+
+
+def optimal_ws2d_x(n_chips: int, d_model: int, d_ff: int) -> float:
+    """The continuous optimum ``X = sqrt(n * E / F)`` (Appendix A.2.1)."""
+    return math.sqrt(n_chips * d_model / d_ff)
+
+
+def optimal_weight_gathered_n(tokens: float, n_chips: int,
+                              d_ff: int) -> float:
+    """The continuous optimum ``N = sqrt(tokens * n / F)`` (A.2.2)."""
+    return math.sqrt(tokens * n_chips / d_ff)
+
+
+def ws2d_min_volume(tokens: float, d_model: int, d_ff: int,
+                    n_chips: int) -> float:
+    """Volume at the continuous optimum: ``4 * tokens * sqrt(E*F/n)``.
+
+    With F = 4E this is the paper's ``8 * tokens * E / sqrt(n)``.
+    """
+    return 4.0 * tokens * math.sqrt(d_model * d_ff / n_chips)
+
+
+def weight_gathered_min_volume(tokens: float, d_model: int, d_ff: int,
+                               n_chips: int) -> float:
+    """Volume at optimal N: ``4 * E * sqrt(tokens * F / n)`` (A.2.2)."""
+    return 4.0 * d_model * math.sqrt(tokens * d_ff / n_chips)
+
+
+# ---------------------------------------------------------------------------
+# Torus-constrained concrete layouts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Ws2dSplit:
+    """A concrete assignment of torus axes to the weight grid.
+
+    ``x_size`` chips partition d_model and ``yz_size`` chips partition
+    d_ff; by convention (and matching the executor) the physical ``x``
+    axis carries d_model and ``y*z`` carry d_ff, but for cost purposes any
+    axis regrouping with the same sizes is equivalent.
+    """
+
+    x_size: int
+    yz_size: int
+
+    @property
+    def n_chips(self) -> int:
+        return self.x_size * self.yz_size
+
+
+def best_ws2d_split(torus: Torus3D, d_model: int, d_ff: int) -> Ws2dSplit:
+    """The volume-minimizing split of a torus into (E-group, F-group).
+
+    Enumerates the 2^3 partitions of the torus axes into the group that
+    shards d_model and the group that shards d_ff.
+    """
+    sizes = {"x": torus.x, "y": torus.y, "z": torus.z}
+    best = None
+    for e_group in _subsets(("x", "y", "z")):
+        x_size = _prod(sizes[a] for a in e_group)
+        yz_size = torus.num_chips // x_size
+        volume = ws2d_volume(1.0, d_model, d_ff, x_size, yz_size)
+        if best is None or volume < best[0]:
+            best = (volume, Ws2dSplit(x_size, yz_size))
+    return best[1]
+
+
+def weight_gathered_n(torus: Torus3D, kind: FfnLayoutKind) -> int:
+    """The N (chips gathered over) of a weight-gathered layout variant."""
+    return torus.group_size(kind.gather_axes)
+
+
+def ffn_volume(kind: FfnLayoutKind, torus: Torus3D, tokens: float,
+               d_model: int, d_ff: int) -> float:
+    """Per-chip FFN comm volume (elements) for any layout on a torus."""
+    if kind is FfnLayoutKind.WS_1D:
+        return ws1d_volume(tokens, d_model)
+    if kind is FfnLayoutKind.WS_2D:
+        split = best_ws2d_split(torus, d_model, d_ff)
+        return ws2d_volume(tokens, d_model, d_ff, split.x_size,
+                           split.yz_size)
+    n = weight_gathered_n(torus, kind)
+    return weight_gathered_volume(tokens, d_model, d_ff, torus.num_chips, n)
+
+
+def _subsets(items):
+    for mask in range(2 ** len(items)):
+        yield tuple(items[i] for i in range(len(items)) if mask >> i & 1)
+
+
+def _prod(values) -> int:
+    result = 1
+    for v in values:
+        result *= v
+    return result

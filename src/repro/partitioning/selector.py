@@ -1,0 +1,115 @@
+"""The analytical layout selector (Sections 3.2-3.3, 4.1).
+
+The paper's strategy, quoted from Section 4.1: "during the prefill phase,
+we select from weight-stationary and weight-gathered layouts based on the
+current number of tokens in the batch.  During the generate phase, we
+select the 2D weight-stationary layout because the batch size in tokens is
+always small" — with the caveat from Section 3.2.2 that 2D only beats 1D
+once ``sqrt(n_chips) > d_ff / d_model`` (i.e. beyond ~16 chips for the
+typical F = 4E).
+
+Attention: batch-sharded for multiquery decode (Section 3.3) when the
+batch is large enough to split (the paper notes no speedup below the
+minimum torus axis of 4); head-sharded otherwise and for prefill at small
+batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hardware.topology import Torus3D
+from repro.model.config import AttentionKind, ModelConfig
+from repro.partitioning.ffn_costs import ffn_volume
+from repro.partitioning.plan import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+
+
+class Phase(str, Enum):
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """Everything the analytical selector conditions on."""
+
+    config: ModelConfig
+    torus: Torus3D
+    phase: Phase
+    batch: int
+    tokens_per_seq: int  # L_input for prefill, 1 for a decode step
+
+    @property
+    def tokens(self) -> int:
+        return self.batch * self.tokens_per_seq
+
+
+def select_ffn_layout(ctx: SelectionContext) -> FfnLayoutKind:
+    """Minimum-communication FFN layout for the phase (Figures 3, 6, 7)."""
+    cfg, torus = ctx.config, ctx.torus
+    candidates = [FfnLayoutKind.WS_1D, FfnLayoutKind.WS_2D]
+    if ctx.phase is Phase.PREFILL:
+        candidates += [FfnLayoutKind.WG_X, FfnLayoutKind.WG_XY,
+                       FfnLayoutKind.WG_XYZ]
+    return min(candidates,
+               key=lambda kind: ffn_volume(kind, torus, ctx.tokens,
+                                           cfg.d_model, cfg.d_ff))
+
+
+def select_attention_layout(ctx: SelectionContext,
+                            min_split: int = 4) -> AttentionLayoutKind:
+    """Batch-sharded when multiquery and the batch can actually split."""
+    if ctx.config.attention is not AttentionKind.MULTIQUERY:
+        return AttentionLayoutKind.HEAD
+    if ctx.batch < min_split:
+        return AttentionLayoutKind.HEAD
+    if ctx.phase is Phase.PREFILL and ctx.batch < ctx.torus.num_chips:
+        # Section 3.3: during prefill the KV load amortizes over all query
+        # tokens, so resharding is typically not profitable at small batch.
+        return AttentionLayoutKind.HEAD
+    return AttentionLayoutKind.BATCH
+
+
+def select_plan(ctx: SelectionContext) -> LayoutPlan:
+    """The paper's combined recipe for one phase."""
+    return LayoutPlan(ffn=select_ffn_layout(ctx),
+                      attention=select_attention_layout(ctx))
+
+
+def candidate_plans(ctx: SelectionContext) -> list[LayoutPlan]:
+    """All plans valid for this context (for exhaustive Pareto sweeps).
+
+    The sweep engine evaluates these and keeps the best, which lets tests
+    confirm that :func:`select_plan`'s analytical choice matches the
+    empirical argmin (the paper's claim that the closed-form reasoning
+    replaces black-box search).
+    """
+    cfg = ctx.config
+    ffns = [FfnLayoutKind.WS_1D, FfnLayoutKind.WS_2D]
+    if ctx.phase is Phase.PREFILL:
+        ffns += [FfnLayoutKind.WG_X, FfnLayoutKind.WG_XY,
+                 FfnLayoutKind.WG_XYZ]
+    attns = [AttentionLayoutKind.HEAD]
+    if cfg.attention is AttentionKind.MULTIQUERY and ctx.batch >= 4:
+        attns.append(AttentionLayoutKind.BATCH)
+    plans = []
+    for ffn in ffns:
+        for attn in attns:
+            plan = LayoutPlan(ffn, attn)
+            try:
+                plan.validate(cfg, _as_mesh(ctx.torus))
+            except ValueError:
+                continue
+            plans.append(plan)
+    return plans
+
+
+def _as_mesh(torus: Torus3D):
+    from repro.hardware.topology import Mesh
+
+    return Mesh(*torus.shape)

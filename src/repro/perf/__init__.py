@@ -1,0 +1,71 @@
+"""Analytical performance model: latency, MFU, cost, memory, Pareto."""
+
+from repro.perf.comm_model import (
+    AnalyticCollective,
+    comm_time,
+    comm_volume_bytes,
+    forward_comm_events,
+)
+from repro.perf.calibrate import calibrate, objective as calibration_objective
+from repro.perf.efficiency import IDEAL, EfficiencyModel
+from repro.perf.goodput import (
+    PricedPoint,
+    fleet_tokens_per_second,
+    mfu_from_cost,
+    usd_per_million_tokens,
+)
+from repro.perf.estimator import GenerateCost, InferenceEstimator, PhaseCost
+from repro.perf.memory import (
+    DEFAULT_USABLE_FRACTION,
+    fits_with_transients,
+    peak_activation_bytes,
+    TABLE1_KV_FRACTION,
+    MemoryFootprint,
+    footprint,
+    table1_max_context,
+    weight_bytes_per_chip,
+)
+from repro.perf.pipeline import (
+    PipelineCost,
+    pipeline_decode_step_cost,
+    pipeline_prefill_cost,
+)
+from repro.perf.pareto import (
+    OperatingPoint,
+    pareto_frontier,
+    sweep_decode,
+    sweep_prefill,
+)
+
+__all__ = [
+    "AnalyticCollective",
+    "PipelineCost",
+    "PricedPoint",
+    "calibrate",
+    "calibration_objective",
+    "fits_with_transients",
+    "fleet_tokens_per_second",
+    "mfu_from_cost",
+    "peak_activation_bytes",
+    "pipeline_decode_step_cost",
+    "pipeline_prefill_cost",
+    "usd_per_million_tokens",
+    "DEFAULT_USABLE_FRACTION",
+    "EfficiencyModel",
+    "GenerateCost",
+    "IDEAL",
+    "InferenceEstimator",
+    "MemoryFootprint",
+    "OperatingPoint",
+    "PhaseCost",
+    "TABLE1_KV_FRACTION",
+    "comm_time",
+    "comm_volume_bytes",
+    "footprint",
+    "forward_comm_events",
+    "pareto_frontier",
+    "sweep_decode",
+    "sweep_prefill",
+    "table1_max_context",
+    "weight_bytes_per_chip",
+]

@@ -1,0 +1,128 @@
+"""Calibration of the efficiency constants against Table 2.
+
+DESIGN.md commits to an auditable calibration: four knobs of
+:class:`~repro.perf.efficiency.EfficiencyModel` were fit once to the four
+published Table 2 operating points.  This module is that fit, kept as
+code: the objective, the anchor targets, and a coordinate-descent
+optimizer over the calibrated parameters.  A regression test bounds the
+shipped defaults' objective, so any future model change that silently
+degrades the anchors fails CI.
+
+Note on the shipped defaults: :func:`calibrate` finds a slightly better
+*balanced* optimum (every anchor within ~14%, total log-error ~3x lower)
+that sets ``overlap_fraction`` to 0 and lands no anchor exactly.  The
+shipped defaults instead pin the two headline anchors — the 28.5 ms/token
+int8 decode and the 76%-MFU prefill — essentially exactly, at the price
+of running ~1.4x fast on the other two.  Both are defensible; the repo
+standardizes on the headline-anchored set and records the residuals in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.chip import TPU_V4
+from repro.hardware.topology import Torus3D
+from repro.model.presets import PALM_540B, PALM_540B_PADDED
+from repro.partitioning.plan import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.estimator import InferenceEstimator
+
+_TORUS = Torus3D(4, 4, 4)
+_WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+_WS2D_BATCH = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+_WG_XYZ = LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH)
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One published Table 2 operating point."""
+
+    name: str
+    phase: str
+    batch: int
+    plan: LayoutPlan
+    weight_bytes: int
+    paper_seconds: float
+
+
+TABLE2_ANCHORS = (
+    Anchor("ll-prefill", "prefill", 1, _WS2D_HEAD, 1, 0.29),
+    Anchor("ll-decode", "decode", 64, _WS2D_BATCH, 1, 1.82),
+    Anchor("ht-prefill", "prefill", 512, _WG_XYZ, 2, 85.2),
+    Anchor("ht-decode", "decode", 512, _WS2D_BATCH, 2, 6.0),
+)
+
+#: The parameters the calibration is allowed to move, with search bounds.
+CALIBRATED_PARAMETERS = {
+    "flops_efficiency": (0.5, 1.0),
+    "rows_half_peak": (4.0, 512.0),
+    "overlap_fraction": (0.0, 0.9),
+    "per_layer_overhead": (0.0, 400e-6),
+}
+
+
+def model_seconds(anchor: Anchor, efficiency: EfficiencyModel) -> float:
+    est = InferenceEstimator(PALM_540B_PADDED, TPU_V4, _TORUS,
+                             efficiency=efficiency,
+                             weight_dtype_bytes=anchor.weight_bytes,
+                             mfu_params=PALM_540B.n_params)
+    if anchor.phase == "prefill":
+        return est.prefill_cost(anchor.plan, anchor.batch, 2048).time_s
+    return est.generate_cost(anchor.plan, anchor.batch, 2048, 64).total_s
+
+
+def objective(efficiency: EfficiencyModel) -> float:
+    """Sum of squared log-ratios over the Table 2 anchors.
+
+    Log-space so a 2x overestimate and a 2x underestimate are equally
+    bad, and the four anchors' very different magnitudes weigh equally.
+    """
+    total = 0.0
+    for anchor in TABLE2_ANCHORS:
+        ratio = model_seconds(anchor, efficiency) / anchor.paper_seconds
+        total += math.log(ratio) ** 2
+    return total
+
+
+def calibrate(start: EfficiencyModel | None = None, *, sweeps: int = 3,
+              points_per_axis: int = 9) -> tuple[EfficiencyModel, float]:
+    """Coordinate descent over the calibrated parameters.
+
+    Deliberately simple (no scipy dependency in the library proper): a
+    few sweeps of per-axis grid refinement, which is plenty for a smooth
+    4-parameter objective.  Returns ``(best model, best objective)``.
+    """
+    best = start or EfficiencyModel()
+    best_value = objective(best)
+    for _ in range(sweeps):
+        for name, (lo, hi) in CALIBRATED_PARAMETERS.items():
+            current = getattr(best, name)
+            candidates = {current}
+            for i in range(points_per_axis):
+                candidates.add(lo + (hi - lo) * i / (points_per_axis - 1))
+            for value in sorted(candidates):
+                trial = best.with_overrides(**{name: value})
+                trial_value = objective(trial)
+                if trial_value < best_value - 1e-12:
+                    best, best_value = trial, trial_value
+    return best, best_value
+
+
+def report(efficiency: EfficiencyModel | None = None) -> str:
+    """Human-readable anchor-by-anchor comparison."""
+    efficiency = efficiency or EfficiencyModel()
+    lines = [f"{'anchor':12s} {'paper':>9s} {'model':>9s} {'ratio':>7s}"]
+    for anchor in TABLE2_ANCHORS:
+        got = model_seconds(anchor, efficiency)
+        lines.append(f"{anchor.name:12s} {anchor.paper_seconds:8.2f}s "
+                     f"{got:8.2f}s {got / anchor.paper_seconds:7.2f}")
+    lines.append(f"objective (sum sq log-ratio): "
+                 f"{objective(efficiency):.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Prefill/decode disaggregation sizing (Section 4.4).
+
+"This mixture of batch sizes is possible in practice either by generating
+multiple samples from the same input text, or by pipelining a batch-1
+prefill server into a batch-64 decoding server."  This module sizes that
+pipeline: given the analytical per-request prefill time and the decode
+server's round time, how many prefill replicas keep one decode server
+fed, what the steady-state request rate is, and what each side's
+utilization looks like under an imbalanced deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.partitioning.plan import LayoutPlan
+from repro.perf.estimator import InferenceEstimator
+
+
+@dataclass(frozen=True)
+class DisaggregationPlan:
+    """A sized prefill->decode pipeline."""
+
+    prefill_seconds_per_request: float
+    decode_seconds_per_request: float   # decode-server time per slot turn
+    decode_batch: int
+    prefill_replicas: int               # replicas needed to keep decode fed
+    requests_per_second: float          # steady-state pipeline throughput
+    prefill_utilization: float          # at that rate, per prefill replica
+    decode_utilization: float
+
+    @property
+    def bottleneck(self) -> str:
+        return ("prefill" if self.prefill_utilization
+                >= self.decode_utilization - 1e-12 else "decode")
+
+
+def size_pipeline(prefill_estimator: InferenceEstimator,
+                  decode_estimator: InferenceEstimator,
+                  prefill_plan: LayoutPlan, decode_plan: LayoutPlan, *,
+                  input_len: int, gen_len: int, decode_batch: int
+                  ) -> DisaggregationPlan:
+    """Size the §4.4 pipeline for a workload.
+
+    The decode server completes ``decode_batch`` requests every
+    ``gen_len`` steps; each completion frees a slot that needs one
+    prefilled request.  Prefill replicas run batch-1 (the low-latency
+    point).  The replica count is the smallest integer whose aggregate
+    prefill rate meets the decode server's consumption rate.
+    """
+    if decode_batch < 1 or gen_len < 1:
+        raise ValueError("decode_batch and gen_len must be >= 1")
+    prefill = prefill_estimator.prefill_cost(prefill_plan, 1, input_len)
+    generate = decode_estimator.generate_cost(decode_plan, decode_batch,
+                                              input_len, gen_len)
+    decode_per_request = generate.total_s / decode_batch
+    consumption_rate = decode_batch / generate.total_s  # requests/s
+    replicas = max(1, math.ceil(prefill.time_s * consumption_rate))
+    supply_rate = replicas / prefill.time_s
+    rate = min(consumption_rate, supply_rate)
+    return DisaggregationPlan(
+        prefill_seconds_per_request=prefill.time_s,
+        decode_seconds_per_request=decode_per_request,
+        decode_batch=decode_batch,
+        prefill_replicas=replicas,
+        requests_per_second=rate,
+        prefill_utilization=rate * prefill.time_s / replicas,
+        decode_utilization=rate / consumption_rate,
+    )
+
+
+def turn_latency(plan: DisaggregationPlan) -> float:
+    """Unloaded end-to-end latency of one request through the pipeline."""
+    return (plan.prefill_seconds_per_request
+            + plan.decode_seconds_per_request * plan.decode_batch)

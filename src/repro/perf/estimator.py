@@ -1,0 +1,179 @@
+"""End-to-end analytical latency/MFU/cost estimator (Sections 2, 4).
+
+``InferenceEstimator`` combines, per forward pass:
+
+* **compute time** — the 2N-rule matmul FLOPs plus attention score/value
+  FLOPs, divided by achieved FLOPs (roofline with the skinny-matmul ramp);
+* **memory time** — per-chip weight bytes plus per-chip KV-cache bytes
+  (layout-dependent, Section 3.3), over achieved HBM bandwidth;
+* **communication time** — the summed Appendix A.1 costs of the *exact*
+  collective sequence the partitioned program issues
+  (:mod:`repro.perf.comm_model`), partially hidden by overlap.
+
+The step-time composition rule is the roofline one the paper reasons with
+(Section 2): weights stream from HBM concurrently with the matmuls that
+consume them, so compute and memory time overlap (max); communication that
+Looped CollectiveEinsum fails to hide is exposed (add); fixed per-layer /
+per-step overheads add.
+
+MFU follows the paper's definition: observed tokens/s times the *model's*
+2N FLOPs per token, over aggregate peak FLOPs.  For the padded PaLM 540B
+variant, pass ``mfu_params`` = the unpadded parameter count so the pad is
+charged as lost MFU (the 3% cost noted in Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import ModelConfig
+from repro.partitioning.attention_costs import kv_bytes_per_chip
+from repro.partitioning.plan import LayoutPlan
+from repro.perf.comm_model import comm_time, forward_comm_events
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.memory import weight_bytes_per_chip
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Cost breakdown for one forward pass (a prefill or a decode step)."""
+
+    batch: int
+    tokens: int              # batch * new tokens this pass
+    time_s: float
+    compute_s: float
+    weight_load_s: float
+    kv_load_s: float
+    comm_s: float            # total communication time (before overlap)
+    comm_exposed_s: float    # the part that adds to the critical path
+    overhead_s: float
+    mfu: float
+    cost_chip_seconds_per_token: float
+
+    @property
+    def memory_s(self) -> float:
+        return self.weight_load_s + self.kv_load_s
+
+
+@dataclass(frozen=True)
+class GenerateCost:
+    """Aggregate over ``n_steps`` autoregressive steps."""
+
+    n_steps: int
+    total_s: float
+    per_step: PhaseCost      # at the mean context length
+
+    @property
+    def latency_per_token_s(self) -> float:
+        return self.total_s / self.n_steps
+
+
+class InferenceEstimator:
+    """Analytical model of one (model, chip, torus) deployment."""
+
+    def __init__(self, config: ModelConfig, chip: ChipSpec,
+                 torus: Torus3D, *,
+                 efficiency: EfficiencyModel | None = None,
+                 weight_dtype_bytes: int = 2, act_dtype_bytes: int = 2,
+                 kv_dtype_bytes: int = 2,
+                 mfu_params: float | None = None):
+        self.config = config
+        self.chip = chip
+        self.torus = torus
+        self.eff = efficiency or EfficiencyModel()
+        self.weight_bytes = weight_dtype_bytes
+        self.act_bytes = act_dtype_bytes
+        self.kv_bytes = kv_dtype_bytes
+        self.mfu_params = mfu_params or config.n_params
+
+    # -- one forward pass --------------------------------------------------
+
+    def phase_cost(self, plan: LayoutPlan, batch: int, l_new: int,
+                   context_before: int = 0) -> PhaseCost:
+        """Cost of one forward pass over ``batch`` x ``l_new`` tokens.
+
+        ``context_before`` is the KV length already cached (0 for a fresh
+        prefill; the current context for a decode step).
+        """
+        cfg, chip, torus, eff = self.config, self.chip, self.torus, self.eff
+        n = torus.num_chips
+        tokens = batch * l_new
+        # Mean KV length each new token attends to (causal within l_new).
+        avg_kv = context_before + (l_new + 1) / 2.0
+
+        matmul_flops = cfg.matmul_flops_per_token * tokens
+        attn_flops = (4.0 * cfg.n_layers * cfg.n_heads * cfg.d_head
+                      * avg_kv * tokens)
+        rows = tokens / torus.group_size(plan.ffn.batch_axes)
+        compute_s = (matmul_flops
+                     / (n * chip.peak_flops * eff.matmul_efficiency(rows))
+                     + attn_flops
+                     / (n * chip.peak_flops
+                        * eff.attention_flops_efficiency))
+
+        hbm = chip.hbm_bandwidth * eff.hbm_efficiency
+        weight_load_s = weight_bytes_per_chip(cfg, n,
+                                              self.weight_bytes) / hbm
+        kv_after = context_before + l_new
+        kv_load_s = kv_bytes_per_chip(cfg, plan.attention, n, batch,
+                                      kv_after, self.kv_bytes) / hbm
+
+        events = forward_comm_events(cfg, plan, torus, batch, l_new)
+        bandwidth = chip.interconnect_bandwidth * eff.network_efficiency
+        comm_s = comm_time(events, torus, bandwidth,
+                           act_bytes=self.act_bytes,
+                           weight_bytes=self.weight_bytes,
+                           alpha=eff.link_latency)
+        exposed = comm_s * (1.0 - eff.overlap_fraction)
+
+        overhead = (eff.per_layer_overhead * cfg.n_layers
+                    + eff.per_step_overhead)
+        time_s = (max(compute_s, weight_load_s + kv_load_s) + exposed
+                  + overhead)
+
+        useful_flops = 2.0 * self.mfu_params * tokens
+        mfu = useful_flops / (time_s * n * chip.peak_flops)
+        return PhaseCost(
+            batch=batch, tokens=tokens, time_s=time_s, compute_s=compute_s,
+            weight_load_s=weight_load_s, kv_load_s=kv_load_s,
+            comm_s=comm_s, comm_exposed_s=exposed, overhead_s=overhead,
+            mfu=mfu,
+            cost_chip_seconds_per_token=n * time_s / tokens)
+
+    # -- phases ---------------------------------------------------------------
+
+    def prefill_cost(self, plan: LayoutPlan, batch: int,
+                     input_len: int) -> PhaseCost:
+        """Process ``input_len`` prompt tokens per sequence in one pass."""
+        return self.phase_cost(plan, batch, input_len, context_before=0)
+
+    def decode_step_cost(self, plan: LayoutPlan, batch: int,
+                         context_len: int) -> PhaseCost:
+        """One generation step at a given current context length."""
+        return self.phase_cost(plan, batch, 1, context_before=context_len)
+
+    def generate_cost(self, plan: LayoutPlan, batch: int,
+                      context_before: int, n_steps: int) -> GenerateCost:
+        """``n_steps`` decode steps; the context grows by one per step.
+
+        Uses the step cost at the mean context (step time is affine in the
+        context length, so this is exact for the total).
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        mean_context = context_before + (n_steps - 1) / 2.0
+        step = self.phase_cost(plan, batch, 1,
+                               context_before=int(round(mean_context)))
+        return GenerateCost(n_steps=n_steps, total_s=step.time_s * n_steps,
+                            per_step=step)
+
+    def end_to_end(self, prefill_plan: LayoutPlan, decode_plan: LayoutPlan,
+                   batch: int, input_len: int, n_steps: int
+                   ) -> tuple[PhaseCost, GenerateCost]:
+        """Prefill then generate (the paper's two-phase serving recipe)."""
+        prefill = self.prefill_cost(prefill_plan, batch, input_len)
+        generate = self.generate_cost(decode_plan, batch, input_len,
+                                      n_steps)
+        return prefill, generate

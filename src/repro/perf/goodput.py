@@ -1,0 +1,66 @@
+"""Operational cost conversions (Section 4.4's cost metric, in dollars).
+
+The paper reports cost as chip-seconds per token, "directly proportional
+to operational cost and inversely proportional to MFU".  This module
+carries the proportionality through: given a chip-hour price, convert
+operating points to dollars per million tokens and tokens per dollar —
+the units a serving team budgets in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class PricedPoint:
+    """An operating point with money attached."""
+
+    chip_seconds_per_token: float
+    chip_hour_price_usd: float
+
+    def __post_init__(self) -> None:
+        if self.chip_seconds_per_token <= 0:
+            raise ValueError("chip_seconds_per_token must be positive")
+        if self.chip_hour_price_usd <= 0:
+            raise ValueError("chip_hour_price_usd must be positive")
+
+    @property
+    def usd_per_token(self) -> float:
+        return (self.chip_seconds_per_token
+                * self.chip_hour_price_usd / SECONDS_PER_HOUR)
+
+    @property
+    def usd_per_million_tokens(self) -> float:
+        return self.usd_per_token * 1e6
+
+    @property
+    def tokens_per_usd(self) -> float:
+        return 1.0 / self.usd_per_token
+
+
+def usd_per_million_tokens(chip_seconds_per_token: float,
+                           chip_hour_price_usd: float) -> float:
+    """Convenience wrapper around :class:`PricedPoint`."""
+    return PricedPoint(chip_seconds_per_token,
+                       chip_hour_price_usd).usd_per_million_tokens
+
+
+def fleet_tokens_per_second(n_chips: int,
+                            chip_seconds_per_token: float) -> float:
+    """Steady-state throughput of a fleet at a given per-token cost."""
+    if n_chips < 1:
+        raise ValueError("n_chips must be >= 1")
+    return n_chips / chip_seconds_per_token
+
+
+def mfu_from_cost(chip_seconds_per_token: float, n_params: float,
+                  peak_flops: float) -> float:
+    """Invert the Section 4.4 identity: MFU = 2N / (cost * peak).
+
+    ``cost`` here is chip-seconds per token, so the chip count cancels —
+    this is the "inversely proportional to MFU" statement, executable.
+    """
+    return 2.0 * n_params / (chip_seconds_per_token * peak_flops)

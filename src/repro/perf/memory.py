@@ -1,0 +1,142 @@
+"""Per-chip memory accounting and fit checks (Sections 2, 3.3; Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import ModelConfig
+from repro.partitioning.attention_costs import (
+    kv_bytes_per_chip,
+    max_context_length,
+)
+from repro.partitioning.plan import AttentionLayoutKind, LayoutPlan
+
+#: Fraction of HBM usable for weights + KV cache; the rest holds
+#: activations, collective buffers, and the runtime.
+DEFAULT_USABLE_FRACTION = 0.9
+
+#: Table 1's convention: 30% of total memory reserved for the KV cache.
+TABLE1_KV_FRACTION = 0.3
+
+
+def weight_bytes_per_chip(config: ModelConfig, n_chips: int,
+                          weight_dtype_bytes: int = 2) -> float:
+    """Weights are fully sharded in every layout (stationary or gathered)."""
+    return config.weight_bytes(weight_dtype_bytes) / n_chips
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-chip bytes at an operating point."""
+
+    weights: float
+    kv_cache: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.kv_cache
+
+    def fits(self, chip: ChipSpec,
+             usable_fraction: float = DEFAULT_USABLE_FRACTION) -> bool:
+        return self.total <= chip.hbm_bytes * usable_fraction
+
+
+def footprint(config: ModelConfig, plan: LayoutPlan, torus: Torus3D,
+              batch: int, context_len: int, *, weight_dtype_bytes: int = 2,
+              kv_dtype_bytes: int = 2) -> MemoryFootprint:
+    """Per-chip weights + KV bytes for a plan at a batch and context."""
+    return MemoryFootprint(
+        weights=weight_bytes_per_chip(config, torus.num_chips,
+                                      weight_dtype_bytes),
+        kv_cache=kv_bytes_per_chip(config, plan.attention, torus.num_chips,
+                                   batch, context_len, kv_dtype_bytes))
+
+
+def table1_max_context(config: ModelConfig,
+                       attention_layout: AttentionLayoutKind,
+                       chip: ChipSpec, n_chips: int, batch: int,
+                       kv_fraction: float = TABLE1_KV_FRACTION,
+                       kv_dtype_bytes: int = 2) -> int:
+    """Max context under Table 1's 30%-of-memory KV budget."""
+    budget = chip.hbm_bytes * kv_fraction
+    return max_context_length(config, attention_layout, n_chips, batch,
+                              budget, kv_dtype_bytes)
+
+
+@dataclass(frozen=True)
+class PeakActivationFootprint:
+    """Transient per-chip bytes at the busiest point of one forward pass."""
+
+    activations: float        # residual + gathered activations
+    hidden: float             # FFN hidden (post in-projection)
+    gathered_weights: float   # weight-gathered layouts' transient buffers
+
+    @property
+    def total(self) -> float:
+        return self.activations + self.hidden + self.gathered_weights
+
+
+def peak_activation_bytes(config: ModelConfig, plan: LayoutPlan,
+                          torus: Torus3D, batch: int, l_new: int, *,
+                          act_dtype_bytes: int = 2,
+                          weight_dtype_bytes: int = 2,
+                          looped_collectives: bool = True
+                          ) -> PeakActivationFootprint:
+    """Transient per-chip memory of one forward pass.
+
+    This is the Section 3.5 memory argument made quantitative: a
+    weight-gathered layout materializes all-gathered weight buffers of
+    ``params_per_layer * N / n_chips`` bytes per layer.  With Looped
+    CollectiveEinsum (``looped_collectives=True``) only one ring chunk
+    (1/N of the buffer, double-buffered) is ever resident — "some of the
+    weight-gathered layouts would exhaust memory without these
+    optimizations".
+    """
+    n = torus.num_chips
+    tokens = batch * l_new
+    batch_shards = torus.group_size(plan.ffn.batch_axes)
+    # Residual (sharded E and/or batch) + the block's gathered activation.
+    e_shards = max(n // batch_shards, 1) if not plan.ffn.is_weight_gathered \
+        else 1
+    residual = tokens * config.d_model * act_dtype_bytes / batch_shards
+    gathered_act = residual / (e_shards if not plan.ffn.is_weight_gathered
+                               else 1)
+    gates = config.ffn_matrices - 1  # hidden copies before the product
+    hidden_shards = batch_shards * (
+        1 if plan.ffn.is_weight_gathered else n // e_shards)
+    hidden = (max(gates, 1) * tokens * config.d_ff * act_dtype_bytes
+              / hidden_shards)
+
+    gathered_weights = 0.0
+    if plan.ffn.is_weight_gathered:
+        n_gathered = torus.group_size(plan.ffn.gather_axes)
+        per_layer = (config.params_per_layer * weight_dtype_bytes / n
+                     * n_gathered)
+        if looped_collectives:
+            # One in-flight ring chunk plus the compute chunk.
+            per_layer = 2 * per_layer / n_gathered
+        gathered_weights = per_layer
+    return PeakActivationFootprint(activations=residual + gathered_act,
+                                   hidden=hidden,
+                                   gathered_weights=gathered_weights)
+
+
+def fits_with_transients(config: ModelConfig, plan: LayoutPlan,
+                         torus: Torus3D, batch: int, context_len: int,
+                         l_new: int, chip: ChipSpec, *,
+                         weight_dtype_bytes: int = 2,
+                         kv_dtype_bytes: int = 2,
+                         act_dtype_bytes: int = 2,
+                         looped_collectives: bool = True) -> bool:
+    """Memory-fit check including transient buffers (Section 3.5)."""
+    static = footprint(config, plan, torus, batch, context_len,
+                       weight_dtype_bytes=weight_dtype_bytes,
+                       kv_dtype_bytes=kv_dtype_bytes)
+    transient = peak_activation_bytes(
+        config, plan, torus, batch, l_new,
+        act_dtype_bytes=act_dtype_bytes,
+        weight_dtype_bytes=weight_dtype_bytes,
+        looped_collectives=looped_collectives)
+    return static.total + transient.total <= chip.hbm_bytes

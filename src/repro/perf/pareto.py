@@ -1,0 +1,162 @@
+"""Pareto sweeps over batch size, chip count, and layout (Figures 1, C.1).
+
+The sweep engine evaluates every candidate plan at every (chip count,
+batch) point, drops points whose weights + KV cache do not fit in memory,
+keeps the fastest plan per point, and extracts the Pareto frontier of cost
+(chip-seconds per token, Section 4.4) versus latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D, default_slice_shape
+from repro.model.config import ModelConfig
+from repro.partitioning.plan import LayoutPlan
+from repro.partitioning.selector import (
+    Phase,
+    SelectionContext,
+    candidate_plans,
+)
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.estimator import InferenceEstimator, PhaseCost
+from repro.perf.memory import footprint
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One evaluated (chips, batch, plan) configuration."""
+
+    model_name: str
+    phase: Phase
+    n_chips: int
+    torus: Torus3D
+    batch: int
+    plan: LayoutPlan
+    latency_s: float            # per generated token (decode) / total (prefill)
+    cost_chip_seconds_per_token: float
+    mfu: float
+    detail: PhaseCost
+
+    def describe(self) -> str:
+        return (f"{self.model_name} {self.phase.value} C={self.n_chips} "
+                f"B={self.batch} [{self.plan.describe()}]: "
+                f"{self.latency_s * 1e3:.1f} ms, MFU {self.mfu:.1%}, "
+                f"{self.cost_chip_seconds_per_token * 1e3:.3f} "
+                f"chip-ms/token")
+
+
+DEFAULT_CHIP_COUNTS = (8, 16, 32, 64, 128, 256)
+DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _best_point(estimator: InferenceEstimator, ctx: SelectionContext,
+                evaluate: Callable[[LayoutPlan], tuple[float, PhaseCost]],
+                context_for_memory: int, *, weight_dtype_bytes: int,
+                chip: ChipSpec) -> OperatingPoint | None:
+    best = None
+    for plan in candidate_plans(ctx):
+        fp = footprint(ctx.config, plan, ctx.torus, ctx.batch,
+                       context_for_memory,
+                       weight_dtype_bytes=weight_dtype_bytes)
+        if not fp.fits(chip):
+            continue
+        latency, detail = evaluate(plan)
+        if best is None or latency < best.latency_s:
+            best = OperatingPoint(
+                model_name=ctx.config.name, phase=ctx.phase,
+                n_chips=ctx.torus.num_chips, torus=ctx.torus,
+                batch=ctx.batch, plan=plan, latency_s=latency,
+                cost_chip_seconds_per_token=(
+                    detail.cost_chip_seconds_per_token),
+                mfu=detail.mfu, detail=detail)
+    return best
+
+
+def sweep_decode(config: ModelConfig, chip: ChipSpec, *,
+                 context_len: int = 2048, gen_len: int = 64,
+                 chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
+                 batches: Sequence[int] = DEFAULT_BATCHES,
+                 weight_dtype_bytes: int = 2,
+                 efficiency: EfficiencyModel | None = None,
+                 mfu_params: float | None = None) -> list[OperatingPoint]:
+    """Per-token decode latency vs. cost sweep (Figure 1 left).
+
+    Latency per token for generating ``gen_len`` tokens given an
+    already-processed context of ``context_len`` (the figure's setting).
+    """
+    points = []
+    for n_chips in chip_counts:
+        torus = default_slice_shape(n_chips)
+        estimator = InferenceEstimator(
+            config, chip, torus, efficiency=efficiency,
+            weight_dtype_bytes=weight_dtype_bytes, mfu_params=mfu_params)
+        for batch in batches:
+            ctx = SelectionContext(config, torus, Phase.DECODE, batch, 1)
+
+            def evaluate(plan):
+                gen = estimator.generate_cost(plan, batch, context_len,
+                                              gen_len)
+                return gen.latency_per_token_s, gen.per_step
+
+            point = _best_point(estimator, ctx, evaluate,
+                                context_len + gen_len,
+                                weight_dtype_bytes=weight_dtype_bytes,
+                                chip=chip)
+            if point:
+                points.append(point)
+    return points
+
+
+def sweep_prefill(config: ModelConfig, chip: ChipSpec, *,
+                  input_len: int = 2048,
+                  chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
+                  batches: Sequence[int] = DEFAULT_BATCHES,
+                  weight_dtype_bytes: int = 2,
+                  efficiency: EfficiencyModel | None = None,
+                  mfu_params: float | None = None) -> list[OperatingPoint]:
+    """Prefill time vs. cost sweep (Figure 1 right)."""
+    points = []
+    for n_chips in chip_counts:
+        torus = default_slice_shape(n_chips)
+        estimator = InferenceEstimator(
+            config, chip, torus, efficiency=efficiency,
+            weight_dtype_bytes=weight_dtype_bytes, mfu_params=mfu_params)
+        for batch in batches:
+            ctx = SelectionContext(config, torus, Phase.PREFILL, batch,
+                                   input_len)
+
+            def evaluate(plan):
+                cost = estimator.prefill_cost(plan, batch, input_len)
+                return cost.time_s, cost
+
+            point = _best_point(estimator, ctx, evaluate, input_len,
+                                weight_dtype_bytes=weight_dtype_bytes,
+                                chip=chip)
+            if point:
+                points.append(point)
+    return points
+
+
+def pareto_frontier(points: Sequence[OperatingPoint],
+                    x: Callable[[OperatingPoint], float] = (
+                        lambda p: p.latency_s),
+                    y: Callable[[OperatingPoint], float] = (
+                        lambda p: p.cost_chip_seconds_per_token)
+                    ) -> list[OperatingPoint]:
+    """Points not dominated in (x, y), sorted by x ascending.
+
+    Matches the paper's Appendix D definition: a point is on the frontier
+    if no other point is at least as good on both axes (and better on one).
+    """
+    frontier = []
+    for p in sorted(points, key=lambda p: (x(p), y(p))):
+        if frontier and y(p) >= y(frontier[-1]) and x(p) >= x(frontier[-1]):
+            continue
+        while frontier and y(frontier[-1]) >= y(p) and \
+                x(frontier[-1]) >= x(p):
+            frontier.pop()
+        frontier.append(p)
+    return frontier

@@ -1,0 +1,132 @@
+"""Pipeline parallelism modeling (Section 6 / Appendix D baselines).
+
+FasterTransformer combines tensor parallelism *within* a node with
+pipeline parallelism *across* nodes (e.g. the PP3/TP8 configuration of
+Tables D.2-D.4); the paper's own TPU implementation deliberately avoids
+pipelining, which is part of why its 64-way tensor layout is interesting.
+To compare fairly — and to let users of this library explore the
+pipeline axis — this module layers the standard pipeline schedule model
+on top of :class:`~repro.perf.estimator.InferenceEstimator`:
+
+* Each of ``S`` stages holds ``n_layers / S`` consecutive layers on its
+  own tensor-parallel sub-slice.
+* **Prefill** streams ``m`` microbatches: total time is
+  ``(S - 1 + m) / m`` x the per-stage work (the classic bubble), plus an
+  inter-stage activation transfer per microbatch per boundary.
+* **Decode** is latency-serial: each token passes through all stages, so
+  the step latency is the *sum* of stage latencies (+ transfers) — which
+  is why pipelining cannot buy decode latency, only capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import ModelConfig
+from repro.partitioning.plan import LayoutPlan
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.estimator import InferenceEstimator
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """End-to-end cost of one phase under a pipeline schedule."""
+
+    stages: int
+    microbatches: int
+    stage_time_s: float       # one stage's time for one microbatch
+    transfer_s: float         # per-boundary activation transfer
+    total_s: float
+    bubble_fraction: float    # idle fraction due to fill/drain
+
+    @property
+    def chips_total(self) -> int:  # pragma: no cover - convenience only
+        raise AttributeError("use the calling context's chip count")
+
+
+def _stage_estimator(config: ModelConfig, chip: ChipSpec,
+                     stage_torus: Torus3D, stages: int,
+                     efficiency: EfficiencyModel | None,
+                     weight_dtype_bytes: int,
+                     mfu_params: float | None) -> InferenceEstimator:
+    if config.n_layers % stages:
+        raise ValueError(
+            f"{config.n_layers} layers not divisible into {stages} stages")
+    stage_config = config.replace(name=f"{config.name}-stage",
+                                  n_layers=config.n_layers // stages)
+    stage_mfu = (mfu_params or config.n_params) / stages
+    return InferenceEstimator(stage_config, chip, stage_torus,
+                              efficiency=efficiency,
+                              weight_dtype_bytes=weight_dtype_bytes,
+                              mfu_params=stage_mfu)
+
+
+def _transfer_seconds(config: ModelConfig, chip: ChipSpec,
+                      tokens: float, act_bytes: int,
+                      efficiency: EfficiencyModel | None) -> float:
+    """Activations ``tokens x d_model`` cross one stage boundary."""
+    eff = efficiency or EfficiencyModel()
+    bandwidth = chip.interconnect_bandwidth * eff.network_efficiency
+    return tokens * config.d_model * act_bytes / bandwidth
+
+
+def pipeline_prefill_cost(config: ModelConfig, chip: ChipSpec,
+                          stage_torus: Torus3D, stages: int, batch: int,
+                          input_len: int, plan: LayoutPlan, *,
+                          microbatches: int | None = None,
+                          weight_dtype_bytes: int = 2,
+                          act_dtype_bytes: int = 2,
+                          efficiency: EfficiencyModel | None = None,
+                          mfu_params: float | None = None) -> PipelineCost:
+    """Prefill under an S-stage pipeline with m microbatches.
+
+    ``microbatches`` defaults to the batch size (FT streams microbatches
+    of one sequence).  ``stage_torus`` is each stage's tensor-parallel
+    sub-slice; total chips = ``stages * stage_torus.num_chips``.
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    m = microbatches or batch
+    if not 1 <= m <= batch:
+        raise ValueError("microbatches must be in [1, batch]")
+    est = _stage_estimator(config, chip, stage_torus, stages, efficiency,
+                           weight_dtype_bytes, mfu_params)
+    micro_batch = batch / m
+    stage_time = est.prefill_cost(plan, max(1, round(micro_batch)),
+                                  input_len).time_s
+    transfer = _transfer_seconds(config, chip,
+                                 micro_batch * input_len,
+                                 act_dtype_bytes, efficiency)
+    if stages == 1:
+        transfer = 0.0  # no stage boundary to cross
+    slots = stages - 1 + m
+    total = slots * (stage_time + transfer)
+    bubble = (stages - 1) / slots
+    return PipelineCost(stages=stages, microbatches=m,
+                        stage_time_s=stage_time, transfer_s=transfer,
+                        total_s=total, bubble_fraction=bubble)
+
+
+def pipeline_decode_step_cost(config: ModelConfig, chip: ChipSpec,
+                              stage_torus: Torus3D, stages: int,
+                              batch: int, context_len: int,
+                              plan: LayoutPlan, *,
+                              weight_dtype_bytes: int = 2,
+                              act_dtype_bytes: int = 2,
+                              efficiency: EfficiencyModel | None = None,
+                              mfu_params: float | None = None
+                              ) -> PipelineCost:
+    """One decode step: stages in series (no bubble, no speedup)."""
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    est = _stage_estimator(config, chip, stage_torus, stages, efficiency,
+                           weight_dtype_bytes, mfu_params)
+    stage_time = est.decode_step_cost(plan, batch, context_len).time_s
+    transfer = _transfer_seconds(config, chip, batch, act_dtype_bytes,
+                                 efficiency)
+    total = stages * stage_time + (stages - 1) * transfer
+    return PipelineCost(stages=stages, microbatches=1,
+                        stage_time_s=stage_time, transfer_s=transfer,
+                        total_s=total, bubble_fraction=0.0)

@@ -1,0 +1,31 @@
+"""Int8 weight quantization (Section 3.6)."""
+
+from repro.quant.int8 import (
+    INT8_MAX,
+    activation_roundtrip_error,
+    quantize_activations,
+    QuantizedTensor,
+    model_weight_bytes,
+    quantization_error,
+    pack_int4,
+    quantize,
+    quantize_nbit,
+    quantize_model_weights,
+    quantized_matmul,
+    unpack_int4,
+)
+
+__all__ = [
+    "INT8_MAX",
+    "activation_roundtrip_error",
+    "quantize_activations",
+    "QuantizedTensor",
+    "model_weight_bytes",
+    "quantization_error",
+    "pack_int4",
+    "quantize",
+    "quantize_nbit",
+    "quantize_model_weights",
+    "quantized_matmul",
+    "unpack_int4",
+]

@@ -1,0 +1,180 @@
+"""Int8 weight quantization (Section 3.6, AQT-style).
+
+Weights are stored as int8 with a per-output-channel symmetric scale and
+dequantized on the fly; matmul arithmetic stays in the original float type
+(the paper notes the matmuls still use bfloat16, which is why int8 is
+cost-neutral at large batch).  The memory and communication benefit is the
+halved byte width, which the performance model picks up through
+``weight_dtype_bytes=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8 tensor with per-channel scales along one axis."""
+
+    values: np.ndarray   # int8
+    scales: np.ndarray   # float, shape = values.shape with axis -> 1
+    axis: int            # the channel axis the scales vary over
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.scales.nbytes
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(self.scales.dtype) * self.scales
+
+
+def quantize(weights: np.ndarray, axis: int = -1) -> QuantizedTensor:
+    """Symmetric per-channel int8 quantization.
+
+    ``axis`` is the output-channel axis (each slice along every *other*
+    axis shares a scale).  Zero channels get scale 1 to avoid division by
+    zero (their values quantize to 0 exactly).
+    """
+    axis = axis % weights.ndim
+    reduce_axes = tuple(i for i in range(weights.ndim) if i != axis)
+    max_abs = np.max(np.abs(weights), axis=reduce_axes, keepdims=True)
+    scales = np.where(max_abs > 0, max_abs / INT8_MAX, 1.0)
+    values = np.clip(np.round(weights / scales), -INT8_MAX,
+                     INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=values, scales=scales, axis=axis)
+
+
+def quantization_error(weights: np.ndarray, axis: int = -1) -> float:
+    """Max elementwise absolute error of a quantize/dequantize round trip."""
+    q = quantize(weights, axis)
+    return float(np.max(np.abs(q.dequantize() - weights)))
+
+
+def quantized_matmul(x: np.ndarray, w: QuantizedTensor) -> np.ndarray:
+    """``x @ dequantize(w)`` with the scale applied after the int matmul.
+
+    For per-output-channel scales this is exact (the scale factors out of
+    the contraction), mirroring how fused dequant kernels avoid
+    materializing the float weights.
+    """
+    if w.values.ndim != 2:
+        raise ValueError("quantized_matmul expects a 2D weight")
+    if w.axis == 1:
+        # Scales constant along the contraction: factor out.
+        return (x @ w.values.astype(x.dtype)) * w.scales.reshape(1, -1)
+    # Scales vary along the contraction axis: fold them into x instead.
+    return (x * w.scales.reshape(1, -1)) @ w.values.astype(x.dtype)
+
+
+def quantize_model_weights(weights, axis_for: dict[str, int] | None = None):
+    """Quantize every projection matrix of a ``TransformerWeights``.
+
+    Returns ``{layer_index: {name: QuantizedTensor}}``; embeddings and
+    norm scales stay in float (they are tiny).  The per-tensor channel
+    axis is the output axis of each projection.
+    """
+    default_axes = {"wq": 1, "wk": 1, "wv": 1, "wo": 2, "w_in": 1,
+                    "w_gate": 1, "w_out": 1}
+    axis_for = axis_for or default_axes
+    quantized: dict[int, dict[str, QuantizedTensor]] = {}
+    for i, layer in enumerate(weights.layers):
+        per_layer = {}
+        for name, axis in axis_for.items():
+            tensor = getattr(layer, name, None)
+            if tensor is None:
+                continue
+            flat = tensor.reshape(tensor.shape[0], -1) \
+                if tensor.ndim > 2 and axis == 1 else tensor
+            if tensor.ndim == 3:
+                # Project [E, H, D] -> [E, H*D] (or [H, D, E] -> [H*D, E])
+                # so channels are the true output columns.
+                if name == "wo":
+                    flat = tensor.reshape(-1, tensor.shape[-1])
+                    axis = 1
+                else:
+                    flat = tensor.reshape(tensor.shape[0], -1)
+                    axis = 1
+            per_layer[name] = quantize(flat, axis)
+        quantized[i] = per_layer
+    return quantized
+
+
+def model_weight_bytes(quantized: dict) -> int:
+    """Total stored bytes of a quantized weight set (values + scales)."""
+    return sum(q.nbytes for per_layer in quantized.values()
+               for q in per_layer.values())
+
+
+def quantize_activations(x: np.ndarray) -> QuantizedTensor:
+    """Dynamic per-token int8 activation quantization (Section 3.6).
+
+    The paper leaves activation quantization as future work ("we are
+    hopeful that it could reduce compute time in large-batch
+    configurations and reduce communication volume of activations in
+    weight-stationary layouts"); this implements the standard dynamic
+    scheme — one symmetric scale per token (row) — so the communication
+    claim can be exercised end to end (``act_dtype_bytes=1`` in the
+    estimator) and the numerics error quantified.
+    """
+    if x.ndim < 2:
+        raise ValueError("activations must have a trailing feature axis")
+    flat = x.reshape(-1, x.shape[-1])
+    return quantize(flat, axis=0)
+
+
+def activation_roundtrip_error(x: np.ndarray) -> float:
+    """Max relative error of an int8 activation round trip, per token."""
+    flat = x.reshape(-1, x.shape[-1])
+    q = quantize_activations(x)
+    err = np.abs(q.dequantize() - flat)
+    denom = np.maximum(np.abs(flat).max(axis=1, keepdims=True), 1e-12)
+    return float((err / denom).max())
+
+
+def quantize_nbit(weights: np.ndarray, bits: int,
+                  axis: int = -1) -> QuantizedTensor:
+    """Symmetric per-channel quantization at an arbitrary bit width.
+
+    The paper's quantization reference (Abdolrashidi et al., 2021) finds
+    4-bit weights Pareto-optimal for some models; this generalizes the
+    int8 path so the cost model can be driven with ``weight_dtype_bytes=
+    bits / 8``.  Values are held in an int8 container (range clamped to
+    the n-bit grid); :func:`pack_int4` stores two 4-bit values per byte
+    for real footprint measurements.
+    """
+    if not 2 <= bits <= 8:
+        raise ValueError("bits must be in [2, 8]")
+    qmax = 2 ** (bits - 1) - 1
+    axis = axis % weights.ndim
+    reduce_axes = tuple(i for i in range(weights.ndim) if i != axis)
+    max_abs = np.max(np.abs(weights), axis=reduce_axes, keepdims=True)
+    scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    values = np.clip(np.round(weights / scales), -qmax,
+                     qmax).astype(np.int8)
+    return QuantizedTensor(values=values, scales=scales, axis=axis)
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack int4 values (range [-7, 7], stored as int8) two per byte."""
+    flat = values.reshape(-1)
+    if flat.size % 2:
+        raise ValueError("int4 packing needs an even element count")
+    if flat.min() < -7 or flat.max() > 7:
+        raise ValueError("values outside the int4 grid [-7, 7]")
+    unsigned = (flat.astype(np.int16) + 8).astype(np.uint8)
+    return (unsigned[0::2] << 4 | unsigned[1::2]).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Invert :func:`pack_int4` back to int8 values of ``shape``."""
+    high = (packed >> 4).astype(np.int16) - 8
+    low = (packed & 0x0F).astype(np.int16) - 8
+    flat = np.empty(packed.size * 2, dtype=np.int8)
+    flat[0::2] = high.astype(np.int8)
+    flat[1::2] = low.astype(np.int8)
+    return flat.reshape(shape)

@@ -1,0 +1,43 @@
+"""Serving layer: engines, scheduling, packing, the two-phase recipe."""
+
+from repro.serving.chunked import chunked_prefill, chunked_prefill_cost
+from repro.serving.continuous import (
+    ContinuousBatchingEngine,
+    SlotState,
+    slot_decode_step,
+)
+from repro.serving.engine import (
+    Completion,
+    InferenceEngine,
+    Request,
+    TwoPhaseServer,
+    merge_caches,
+)
+from repro.serving.packing import (
+    pack_prompts,
+    packing_efficiency,
+    padded_efficiency,
+    score_packed,
+)
+from repro.serving.scheduler import group_requests
+from repro.serving.sharded import ShardedTwoPhaseServer, merge_sharded_caches
+
+__all__ = [
+    "Completion",
+    "ContinuousBatchingEngine",
+    "SlotState",
+    "slot_decode_step",
+    "InferenceEngine",
+    "Request",
+    "ShardedTwoPhaseServer",
+    "TwoPhaseServer",
+    "chunked_prefill",
+    "chunked_prefill_cost",
+    "group_requests",
+    "merge_caches",
+    "merge_sharded_caches",
+    "pack_prompts",
+    "packing_efficiency",
+    "padded_efficiency",
+    "score_packed",
+]

@@ -1,0 +1,118 @@
+"""Two-phase serving on the partitioned model (Section 4.4, end to end).
+
+The reference ``TwoPhaseServer`` demonstrates the scheduling; this module
+runs the same recipe on ``ShardedTransformer`` backends: a batch-1
+prefill model (head-sharded attention — a single sequence cannot be split
+over batch) feeds a batch-N decode model (batch-sharded multiquery), with
+host-mediated cache merging in between.  Weights are shared between the
+two models via :meth:`ShardedTransformer.with_plan` whenever their
+storage layouts match, exactly as deployed in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.layouts.kv_cache import ShardedKVCache
+from repro.layouts.model import ShardedTransformer
+from repro.model.sampling import greedy
+from repro.serving.engine import Completion, Request
+from repro.serving.scheduler import group_requests
+
+
+def merge_sharded_caches(per_request: Sequence[Sequence[ShardedKVCache]],
+                         decode_model: ShardedTransformer
+                         ) -> list[ShardedKVCache]:
+    """Concatenate per-request caches and reshard for the decode model.
+
+    The merge is host-mediated (one KV-sized copy per request), matching
+    the prefill-server -> decode-server hand-off the paper describes.
+    All caches must have equal length (the scheduler groups by prompt
+    length).
+    """
+    lengths = {caches[0].length for caches in per_request}
+    if len(lengths) != 1:
+        raise ValueError(f"cannot merge caches of different lengths "
+                         f"{sorted(lengths)}; group requests by length")
+    length = lengths.pop()
+    batch = sum(caches[0].global_shape[0] for caches in per_request)
+    cfg = decode_model.config
+    merged = []
+    n_layers = len(per_request[0])
+    dtype = per_request[0][0].k[0, 0, 0].dtype
+    for layer in range(n_layers):
+        k_parts, v_parts = [], []
+        for caches in per_request:
+            k_sh, v_sh = caches[layer].as_sharded()
+            k_parts.append(k_sh.to_global())
+            v_parts.append(v_sh.to_global())
+        k_global = np.concatenate(k_parts, axis=0)
+        v_global = np.concatenate(v_parts, axis=0)
+        cache = ShardedKVCache(decode_model.mesh,
+                               decode_model.cache_spec(), batch,
+                               caches[layer].max_len, cfg.n_kv_heads,
+                               cfg.d_head, dtype=dtype)
+        from repro.mesh import ShardedTensor
+
+        k_t = ShardedTensor.from_global(decode_model.mesh, k_global,
+                                        cache.spec)
+        v_t = ShardedTensor.from_global(decode_model.mesh, v_global,
+                                        cache.spec)
+        for coord in decode_model.mesh.devices():
+            cache.k[coord][:, :length] = k_t.shards[coord]
+            cache.v[coord][:, :length] = v_t.shards[coord]
+        cache.length = length
+        merged.append(cache)
+    return merged
+
+
+class ShardedTwoPhaseServer:
+    """Batch-1 prefill -> batch-N decode on partitioned models."""
+
+    def __init__(self, prefill_model: ShardedTransformer,
+                 decode_model: ShardedTransformer,
+                 decode_batch: int = 64, sampler=None, seed: int = 0):
+        if prefill_model.weights is not decode_model.weights:
+            raise ValueError(
+                "prefill and decode models must share weights")
+        self.prefill_model = prefill_model
+        self.decode_model = decode_model
+        self.decode_batch = decode_batch
+        self.sampler = sampler or (lambda logits, rng: greedy(logits))
+        self.rng = np.random.default_rng(seed)
+
+    def _serve_group(self, group: list[Request]) -> list[Completion]:
+        n_steps = max(r.max_new_tokens for r in group)
+        max_len = len(group[0].prompt) + n_steps
+        caches_per_request, first_logits = [], []
+        for request in group:
+            logits, caches = self.prefill_model.prefill(
+                request.prompt[None, :], max_len)
+            caches_per_request.append(caches)
+            first_logits.append(logits)
+        caches = merge_sharded_caches(caches_per_request,
+                                      self.decode_model)
+        current = self.sampler(np.concatenate(first_logits, axis=0),
+                               self.rng)
+        generated = [current[:, None]]
+        for _ in range(n_steps - 1):
+            logits = self.decode_model.decode_step(current, caches)
+            current = self.sampler(logits, self.rng)
+            generated.append(current[:, None])
+        all_generated = np.concatenate(generated, axis=1)
+        completions = []
+        for i, request in enumerate(group):
+            n = request.max_new_tokens
+            tokens = np.concatenate([request.prompt,
+                                     all_generated[i, :n]])
+            completions.append(Completion(request.request_id, tokens, n))
+        return completions
+
+    def serve(self, requests: Sequence[Request]) -> list[Completion]:
+        completions: dict[int, Completion] = {}
+        for group in group_requests(requests, self.decode_batch):
+            for completion in self._serve_group(group):
+                completions[completion.request_id] = completion
+        return [completions[r.request_id] for r in requests]

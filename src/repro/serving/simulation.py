@@ -1,0 +1,163 @@
+"""Request-level serving simulation on the analytical cost model.
+
+The paper frames its results through two applications — interactive
+chatbots with tight latency targets and offline high-throughput inference
+(Sections 1, 2.1).  This module makes that tradeoff executable: seeded
+Poisson arrivals feed a batching server whose per-batch prefill/decode
+times come from :class:`~repro.perf.estimator.InferenceEstimator`, and the
+output is the latency distribution and achieved throughput of the whole
+service.
+
+The server model: requests queue FIFO; when the server is free it takes
+up to ``max_batch`` requests (waiting at most ``max_wait_s`` for the
+first-queued request — a deadline batching policy), runs one prefill over
+the batch and then ``gen_len`` decode steps, and completes all requests
+in the batch together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.partitioning.plan import LayoutPlan
+from repro.perf.estimator import InferenceEstimator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Homogeneous request shape (the FT benchmarks' style)."""
+
+    input_len: int
+    gen_len: int
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    max_batch: int
+    max_wait_s: float
+    prefill_plan: LayoutPlan
+    decode_plan: LayoutPlan
+
+
+@dataclass
+class RequestRecord:
+    arrival_s: float
+    start_s: float = 0.0
+    finish_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate results of one simulated run."""
+
+    records: list[RequestRecord]
+    duration_s: float
+    busy_s: float
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile([r.latency_s for r in self.records], q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean([r.latency_s for r in self.records]))
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.duration_s
+
+    @property
+    def mean_batch(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+
+def poisson_arrivals(rate_rps: float, duration_s: float, seed: int = 0
+                     ) -> list[float]:
+    """Seeded Poisson arrival times within ``[0, duration_s)``."""
+    if rate_rps <= 0:
+        raise ValueError("rate must be positive")
+    rng = np.random.default_rng(seed)
+    times, t = [], 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_rps)
+        if t >= duration_s:
+            return times
+        times.append(t)
+
+
+def batch_service_time(estimator: InferenceEstimator, config: ServerConfig,
+                       workload: WorkloadSpec, batch: int) -> float:
+    """One batch's prefill + generation time from the analytical model."""
+    prefill = estimator.prefill_cost(config.prefill_plan, batch,
+                                     workload.input_len)
+    generate = estimator.generate_cost(config.decode_plan, batch,
+                                       workload.input_len,
+                                       workload.gen_len)
+    return prefill.time_s + generate.total_s
+
+
+def simulate_serving(estimator: InferenceEstimator, config: ServerConfig,
+                     workload: WorkloadSpec, arrivals: Sequence[float],
+                     drain: bool = True) -> ServingReport:
+    """Run the queueing simulation over the given arrival times."""
+    if config.max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    if config.max_wait_s < 0:
+        raise ValueError("max_wait_s must be >= 0")
+    # Service times per batch size, memoized (the estimator is pure).
+    service_cache: dict[int, float] = {}
+
+    def service(batch: int) -> float:
+        if batch not in service_cache:
+            service_cache[batch] = batch_service_time(
+                estimator, config, workload, batch)
+        return service_cache[batch]
+
+    pending = list(arrivals)
+    records: list[RequestRecord] = []
+    batches: list[int] = []
+    now = 0.0
+    busy = 0.0
+    while pending:
+        head = pending[0]
+        # The server waits for the head request, then up to max_wait_s
+        # (or until the batch fills) before launching.
+        launch = max(now, head) if config.max_wait_s == 0 else max(
+            now, head + config.max_wait_s)
+        ready = [t for t in pending if t <= launch][:config.max_batch]
+        if len(ready) == config.max_batch:
+            # A full batch launches as soon as its last member arrives.
+            launch = max(now, ready[-1])
+        batch = len(ready)
+        del pending[:batch]
+        duration = service(batch)
+        finish = launch + duration
+        busy += duration
+        for arrival in ready:
+            records.append(RequestRecord(arrival_s=arrival,
+                                         start_s=launch, finish_s=finish))
+        batches.append(batch)
+        now = finish
+    horizon = max((r.finish_s for r in records), default=0.0) if drain \
+        else max(arrivals, default=0.0)
+    return ServingReport(records=records, duration_s=max(horizon, 1e-12),
+                         busy_s=busy, batch_sizes=batches)

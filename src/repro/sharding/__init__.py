@@ -1,0 +1,5 @@
+"""Partitioning notation from Section 3.1 (``BLE_xyz`` and friends)."""
+
+from repro.sharding.spec import ShardingError, ShardSpec, parse
+
+__all__ = ["ShardSpec", "ShardingError", "parse"]

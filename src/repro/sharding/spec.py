@@ -1,0 +1,186 @@
+"""The paper's tensor-partitioning notation (Section 3.1).
+
+A sharding spec describes, for a tensor with named logical dimensions, which
+mesh axes each dimension is partitioned over, plus any axes over which the
+tensor is an unreduced partial sum.  The paper writes, e.g.::
+
+    BLE_xyz              E split over x*y*z partitions
+    E_x F_yz             E split over x, F split over y*z
+    BLE_yz (partialsum-x)   E split over y*z, values still to be summed over x
+
+:class:`ShardSpec` is the structured form; :func:`parse` accepts the paper's
+surface syntax (spaces optional).  Dimension names are single uppercase
+letters; mesh axes are single lowercase letters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hardware.topology import Mesh
+
+_TOKEN = re.compile(r"([A-Z])(?:_([a-z]+))?")
+_PARTIAL = re.compile(r"\(\s*partialsum-([a-z]+)\s*\)")
+
+
+class ShardingError(ValueError):
+    """Raised for malformed or inconsistent sharding specs."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Partitioning of a tensor's logical dims over mesh axes.
+
+    Attributes:
+        dims: Logical dimension names, in tensor order, e.g. ``('B','L','E')``.
+        axes: For each dim, the tuple of mesh axes it is split over (empty
+            tuple means replicated along that dim).  Order within the tuple
+            matters: the first axis is the outermost (slowest-varying) split.
+        partial_sum: Mesh axes over which the tensor holds unreduced partial
+            sums (the paper's ``partialsum-x`` suffix).
+    """
+
+    dims: tuple[str, ...]
+    axes: tuple[tuple[str, ...], ...]
+    partial_sum: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.axes):
+            raise ShardingError(
+                f"{len(self.dims)} dims but {len(self.axes)} axis groups")
+        seen: set[str] = set()
+        for group in list(self.axes) + [self.partial_sum]:
+            for axis in group:
+                if axis in seen:
+                    raise ShardingError(
+                        f"mesh axis {axis!r} used more than once in {self}")
+                seen.add(axis)
+        if len(set(self.dims)) != len(self.dims):
+            raise ShardingError(f"duplicate dim names in {self.dims}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def replicated(cls, dims: str | Sequence[str]) -> "ShardSpec":
+        """A fully replicated spec over the given dims."""
+        dims = tuple(dims)
+        return cls(dims=dims, axes=tuple(() for _ in dims))
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def mesh_axes_used(self) -> tuple[str, ...]:
+        """All mesh axes referenced (sharding + partial sum), sorted."""
+        used = [a for group in self.axes for a in group]
+        used.extend(self.partial_sum)
+        return tuple(sorted(used))
+
+    def dim_index(self, dim: str) -> int:
+        try:
+            return self.dims.index(dim)
+        except ValueError:
+            raise ShardingError(f"dim {dim!r} not in {self.dims}") from None
+
+    def axes_for(self, dim: str) -> tuple[str, ...]:
+        """Mesh axes that the given logical dim is split over."""
+        return self.axes[self.dim_index(dim)]
+
+    def sharding_factor(self, dim: str, mesh: Mesh) -> int:
+        """Number of partitions the given dim is split into on ``mesh``."""
+        return mesh.group_size(self.axes_for(dim))
+
+    def num_shards(self, mesh: Mesh) -> int:
+        """Total distinct shards (excluding replication) on ``mesh``."""
+        total = 1
+        for group in self.axes:
+            total *= mesh.group_size(group)
+        return total
+
+    def replication_factor(self, mesh: Mesh) -> int:
+        """How many chips hold each identical shard."""
+        return mesh.num_chips // (self.num_shards(mesh)
+                                  * mesh.group_size(self.partial_sum))
+
+    def local_shape(self, global_shape: Sequence[int], mesh: Mesh
+                    ) -> tuple[int, ...]:
+        """Per-chip shard shape for a global tensor shape.
+
+        Raises :class:`ShardingError` if any dim is not divisible by its
+        partition count (the paper always pads to divisibility, e.g. PaLM's
+        48 heads padded to 64; see Section 4 "Methodology").
+        """
+        if len(global_shape) != len(self.dims):
+            raise ShardingError(
+                f"shape {tuple(global_shape)} has {len(global_shape)} dims, "
+                f"spec {self} has {len(self.dims)}")
+        local = []
+        for dim, size, group in zip(self.dims, global_shape, self.axes):
+            parts = mesh.group_size(group)
+            if size % parts:
+                raise ShardingError(
+                    f"dim {dim} of size {size} not divisible by {parts} "
+                    f"partitions (axes {group})")
+            local.append(size // parts)
+        return tuple(local)
+
+    # -- algebra ----------------------------------------------------------
+
+    def with_dim_axes(self, dim: str, axes: Sequence[str]) -> "ShardSpec":
+        """Return a copy with the sharding of one dim replaced."""
+        idx = self.dim_index(dim)
+        new_axes = list(self.axes)
+        new_axes[idx] = tuple(axes)
+        return ShardSpec(self.dims, tuple(new_axes), self.partial_sum)
+
+    def with_partial_sum(self, axes: Sequence[str]) -> "ShardSpec":
+        return ShardSpec(self.dims, self.axes, tuple(axes))
+
+    def validate(self, mesh: Mesh) -> None:
+        """Check every referenced axis exists on the mesh."""
+        for axis in self.mesh_axes_used:
+            if axis not in mesh.axis_names:
+                raise ShardingError(
+                    f"spec {self} uses axis {axis!r} not in mesh axes "
+                    f"{mesh.axis_names}")
+
+    # -- formatting ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts = []
+        for dim, group in zip(self.dims, self.axes):
+            parts.append(dim + ("_" + "".join(group) if group else ""))
+        text = "".join(parts)
+        if self.partial_sum:
+            text += f" (partialsum-{''.join(self.partial_sum)})"
+        return text
+
+
+def parse(text: str) -> ShardSpec:
+    """Parse the paper's notation, e.g. ``"BLE_xyz"`` or ``"E_x F_yz"``.
+
+    Whitespace between dims is optional.  A trailing ``(partialsum-x)``
+    marks partial-sum axes.
+    """
+    partial: tuple[str, ...] = ()
+    match = _PARTIAL.search(text)
+    body = text
+    if match:
+        partial = tuple(match.group(1))
+        body = text[:match.start()] + text[match.end():]
+    body = body.replace(" ", "")
+    dims: list[str] = []
+    axes: list[tuple[str, ...]] = []
+    pos = 0
+    while pos < len(body):
+        match = _TOKEN.match(body, pos)
+        if not match:
+            raise ShardingError(f"cannot parse sharding spec {text!r} at "
+                                f"position {pos} ({body[pos:]!r})")
+        dims.append(match.group(1))
+        axes.append(tuple(match.group(2) or ()))
+        pos = match.end()
+    if not dims:
+        raise ShardingError(f"empty sharding spec {text!r}")
+    return ShardSpec(tuple(dims), tuple(axes), partial)

@@ -1,0 +1,30 @@
+"""Discrete-event simulator of per-chip execution (compute/HBM/ICI)."""
+
+from repro.simulator.builder import BuildSpec, build_forward_program
+from repro.simulator.engine import OpRecord, SimulationResult, simulate
+from repro.simulator.program import Op, Program
+from repro.simulator.trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "BuildSpec",
+    "Op",
+    "OpRecord",
+    "Program",
+    "SimulationResult",
+    "build_forward_program",
+    "simulate",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+from repro.simulator.builder import build_generation_program  # noqa: E402
+
+__all__.append("build_generation_program")
+
+from repro.simulator.multichip import (  # noqa: E402
+    SpmdResult,
+    simulate_spmd,
+    straggler_slowdown,
+)
+
+__all__ += ["SpmdResult", "simulate_spmd", "straggler_slowdown"]

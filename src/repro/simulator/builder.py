@@ -1,0 +1,201 @@
+"""Build simulator op graphs for partitioned Transformer forward passes.
+
+The builder lowers one forward pass (a prefill or a decode step) of a
+:class:`~repro.partitioning.plan.LayoutPlan` into a per-chip op DAG:
+
+* per layer, an **input projection** (fused W_in/W_gate/W_Q/W_K/W_V
+  matmul + its weight stream), an **attention** stage (KV-cache load +
+  score/value matmuls), an **output projection** (fused W_out/W_O), and a
+  fixed per-layer overhead;
+* the layer's collectives — taken from the *same* symbolic communication
+  model that is verified against the executor — attached to those stages:
+  entry collectives (norm all-reduce, activation/weight gathers) with the
+  input projection, mid-layer collectives (hidden reduce-scatter /
+  all-gather, attention reshardings) with the attention stage, and the
+  trailing reduce-scatter with the output projection;
+* a final norm/logits stage.
+
+With ``overlap=True`` (Looped CollectiveEinsum, Section 3.5) a stage's
+collectives run on the ``ici`` resource concurrently with its matmuls, so
+the stage costs ``max``; with ``overlap=False`` they serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.cost import _factor
+from repro.hardware.chip import ChipSpec
+from repro.hardware.topology import Torus3D
+from repro.model.config import FfnKind, ModelConfig
+from repro.partitioning.attention_costs import kv_bytes_per_chip
+from repro.partitioning.plan import LayoutPlan
+from repro.perf.comm_model import (
+    AnalyticCollective,
+    final_comm_events,
+    layer_comm_events,
+)
+from repro.perf.efficiency import EfficiencyModel
+from repro.simulator.program import Program
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """One forward pass to lower into an op graph."""
+
+    config: ModelConfig
+    plan: LayoutPlan
+    torus: Torus3D
+    chip: ChipSpec
+    batch: int
+    l_new: int
+    context_before: int = 0
+    weight_dtype_bytes: int = 2
+    act_dtype_bytes: int = 2
+    kv_dtype_bytes: int = 2
+    overlap: bool = True
+    efficiency: EfficiencyModel = EfficiencyModel()
+
+
+def _event_seconds(ev: AnalyticCollective, spec: BuildSpec) -> float:
+    width = (spec.weight_dtype_bytes if ev.kind == "weight"
+             else spec.act_dtype_bytes)
+    bw = (spec.chip.interconnect_bandwidth
+          * spec.efficiency.network_efficiency)
+    seconds = ev.payload_elements * width / bw
+    if ev.op == "all_to_all":
+        seconds /= 4.0
+    elif ev.op == "split":
+        return 0.0
+    return seconds * _factor(spec.torus.group_size(ev.axes), exact=True)
+
+
+def _bucket_events(events: list[AnalyticCollective]
+                   ) -> tuple[list, list, list]:
+    """Split a layer's collectives into (entry, middle, exit) stages.
+
+    Entry = the leading norm all-reduce / activation gather / weight
+    gathers; exit = the trailing reduce-scatter back into the residual;
+    middle = everything between (hidden-dim pairs, attention reshardings).
+    """
+    entry: list[AnalyticCollective] = []
+    i = 0
+    while i < len(events) and events[i].op in ("all_reduce", "all_gather"):
+        entry.append(events[i])
+        i += 1
+    exit_events: list[AnalyticCollective] = []
+    j = len(events)
+    if j > i and events[j - 1].op == "reduce_scatter":
+        exit_events = [events[j - 1]]
+        j -= 1
+    return entry, events[i:j], exit_events
+
+
+def build_forward_program(spec: BuildSpec) -> Program:
+    """Lower one forward pass into a simulator op DAG."""
+    cfg, eff, torus = spec.config, spec.efficiency, spec.torus
+    n = torus.num_chips
+    tokens = spec.batch * spec.l_new
+    rows = tokens / torus.group_size(spec.plan.ffn.batch_axes)
+    peak = spec.chip.peak_flops * eff.matmul_efficiency(rows)
+    hbm = spec.chip.hbm_bandwidth * eff.hbm_efficiency
+
+    gates = 2 if cfg.ffn is FfnKind.SWIGLU else 1
+    in_width = gates * cfg.d_ff + (cfg.n_heads + 2 * cfg.n_kv_heads) \
+        * cfg.d_head
+    out_width = cfg.d_ff + cfg.n_heads * cfg.d_head
+    in_flops = 2.0 * tokens * cfg.d_model * in_width / n
+    out_flops = 2.0 * tokens * cfg.d_model * out_width / n
+    in_weight_bytes = cfg.d_model * in_width * spec.weight_dtype_bytes / n
+    out_weight_bytes = cfg.d_model * out_width * spec.weight_dtype_bytes / n
+
+    avg_kv = spec.context_before + (spec.l_new + 1) / 2.0
+    attn_flops = (4.0 * cfg.n_heads * cfg.d_head * avg_kv * tokens / n)
+    attn_peak = spec.chip.peak_flops * eff.attention_flops_efficiency
+    kv_after = spec.context_before + spec.l_new
+    # kv_bytes_per_chip counts all layers; each layer streams its slice.
+    kv_bytes = kv_bytes_per_chip(cfg, spec.plan.attention, n, spec.batch,
+                                 kv_after,
+                                 spec.kv_dtype_bytes) / cfg.n_layers
+
+    layer_events = layer_comm_events(cfg, spec.plan, torus, spec.batch,
+                                     spec.l_new)
+    entry_ev, middle_ev, exit_ev = _bucket_events(layer_events)
+
+    prog = Program()
+    prev = prog.add("step-overhead", "mxu", eff.per_step_overhead,
+                    tag="overhead")
+
+    def stage(name, tag, deps, *, comm_events=(), matmul_s=0.0,
+              weight_bytes=0.0, hbm_bytes=0.0) -> int:
+        """One fused stage; returns a barrier id joining its parts."""
+        parts = []
+        comm_s = sum(_event_seconds(ev, spec) for ev in comm_events)
+        comm_id = None
+        if comm_s > 0:
+            comm_id = prog.add(f"{name}/comm", "ici", comm_s, deps, tag)
+            parts.append(comm_id)
+        # Without overlap, compute/memory wait for the communication.
+        compute_deps = ((comm_id,) if (comm_id is not None
+                                       and not spec.overlap) else deps)
+        if hbm_bytes > 0:
+            parts.append(prog.add(f"{name}/hbm", "hbm", hbm_bytes / hbm,
+                                  compute_deps, tag))
+        if weight_bytes > 0:
+            parts.append(prog.add(f"{name}/weights", "hbm",
+                                  weight_bytes / hbm, compute_deps, tag))
+        if matmul_s > 0:
+            parts.append(prog.add(f"{name}/matmul", "mxu", matmul_s,
+                                  compute_deps, tag))
+        if not parts:
+            return prog.barrier(f"{name}/empty", deps)
+        return prog.barrier(f"{name}/done", parts)
+
+    for layer in range(cfg.n_layers):
+        tag = f"layer{layer}"
+        in_proj = stage(f"{tag}/in_proj", tag, (prev,),
+                        comm_events=entry_ev, matmul_s=in_flops / peak,
+                        weight_bytes=in_weight_bytes)
+        attn = stage(f"{tag}/attention", tag, (in_proj,),
+                     comm_events=middle_ev,
+                     matmul_s=attn_flops / attn_peak, hbm_bytes=kv_bytes)
+        out_proj = stage(f"{tag}/out_proj", tag, (attn,),
+                         comm_events=exit_ev, matmul_s=out_flops / peak,
+                         weight_bytes=out_weight_bytes)
+        prev = prog.add(f"{tag}/overhead", "mxu", eff.per_layer_overhead,
+                        (out_proj,), tag)
+
+    final_ev = final_comm_events(cfg, spec.plan, torus, spec.batch,
+                                 spec.l_new)
+    unembed_flops = 2.0 * tokens * cfg.d_model * cfg.vocab_size / n
+    unembed_bytes = cfg.embedding_params * spec.weight_dtype_bytes / n
+    stage("logits", "final", (prev,), comm_events=final_ev,
+          matmul_s=unembed_flops / peak, weight_bytes=unembed_bytes)
+    return prog
+
+
+def build_generation_program(spec: BuildSpec, n_steps: int) -> Program:
+    """Prefill (``spec``) followed by ``n_steps`` decode steps.
+
+    The decode steps reuse the same plan with one token per sequence and a
+    context that grows each step — a full Table 2-style end-to-end
+    schedule in one DAG (useful for whole-request traces).
+    """
+    import dataclasses
+
+    if n_steps < 0:
+        raise ValueError("n_steps must be >= 0")
+    prog = build_forward_program(spec)
+    context = spec.context_before + spec.l_new
+    for step in range(n_steps):
+        step_spec = dataclasses.replace(spec, l_new=1,
+                                        context_before=context)
+        step_prog = build_forward_program(step_spec)
+        offset = len(prog)
+        last = offset - 1
+        for op in step_prog.ops:
+            deps = tuple(d + offset for d in op.deps) or (last,)
+            prog.add(f"step{step}/{op.name}", op.resource, op.duration,
+                     deps, tag=f"decode{step}")
+        context += 1
+    return prog

@@ -1,0 +1,104 @@
+"""Multi-chip simulation with heterogeneity (straggler analysis).
+
+The paper's SPMD execution model makes every collective a synchronization
+point: all participating chips must reach it, and it completes for
+everyone when the slowest arrives.  A consequence production systems care
+about — and the single-chip simulator cannot show — is that *one* slow
+chip (thermal throttling, a flaky HBM stack) drags the whole slice down.
+
+``simulate_spmd`` runs the same op DAG on N virtual chips with per-chip
+speed factors.  Local ops (``mxu``/``hbm``) scale with the chip's speed;
+``ici`` ops are barriers: every chip must arrive, and they finish
+together.  The result exposes per-chip finish times and the slice-level
+slowdown, with the analytic property (tested) that the makespan is
+governed by the slowest chip's local work plus the shared communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.simulator.program import Program
+
+
+@dataclass(frozen=True)
+class SpmdResult:
+    """Per-chip schedules of one SPMD execution."""
+
+    makespan: float
+    per_chip_finish: tuple[float, ...]
+    barrier_wait_s: tuple[float, ...]  # time each chip idled at barriers
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.per_chip_finish)
+
+    def slowdown_vs(self, baseline: "SpmdResult") -> float:
+        return self.makespan / baseline.makespan
+
+
+def simulate_spmd(program: Program, speed_factors: Sequence[float]
+                  ) -> SpmdResult:
+    """Execute the DAG on every chip; ``ici`` ops synchronize all chips.
+
+    ``speed_factors[i]`` scales chip *i*'s local op durations (1.0 =
+    nominal; 2.0 = twice as slow).  Communication ops take their nominal
+    duration but start only when every chip has satisfied the op's
+    dependencies — the straggler effect.
+    """
+    program.validate()
+    if not speed_factors:
+        raise ValueError("need at least one chip")
+    if any(s <= 0 for s in speed_factors):
+        raise ValueError("speed factors must be positive")
+    n_chips = len(speed_factors)
+    n_ops = len(program.ops)
+
+    # finish[chip][op]; per-chip per-resource availability.
+    finish = [[0.0] * n_ops for _ in range(n_chips)]
+    resource_free = [{"mxu": 0.0, "hbm": 0.0, "ici": 0.0}
+                     for _ in range(n_chips)]
+    barrier_wait = [0.0] * n_chips
+
+    # Ops are indexed topologically (deps point backwards), so one pass
+    # in id order with barrier joins is an exact SPMD schedule.
+    for idx, op in enumerate(program.ops):
+        if op.resource == "ici":
+            # Barrier: every chip's dependencies must be done.
+            ready_per_chip = [
+                max((finish[c][d] for d in op.deps), default=0.0)
+                for c in range(n_chips)]
+            start_per_chip = [max(r, resource_free[c]["ici"])
+                              for c, r in enumerate(ready_per_chip)]
+            start = max(start_per_chip)
+            for c in range(n_chips):
+                barrier_wait[c] += start - start_per_chip[c]
+                done = start + op.duration
+                resource_free[c]["ici"] = done
+                finish[c][idx] = done
+        else:
+            for c in range(n_chips):
+                ready = max((finish[c][d] for d in op.deps), default=0.0)
+                start = max(ready, resource_free[c][op.resource])
+                done = start + op.duration * speed_factors[c]
+                resource_free[c][op.resource] = done
+                finish[c][idx] = done
+
+    per_chip = tuple(max(chip_finish, default=0.0)
+                     for chip_finish in finish)
+    return SpmdResult(makespan=max(per_chip, default=0.0),
+                      per_chip_finish=per_chip,
+                      barrier_wait_s=tuple(barrier_wait))
+
+
+def straggler_slowdown(program: Program, n_chips: int,
+                       straggler_factor: float) -> float:
+    """Slice slowdown when exactly one chip runs ``factor`` times slower."""
+    if straggler_factor < 1:
+        raise ValueError("straggler_factor must be >= 1")
+    nominal = simulate_spmd(program, [1.0] * n_chips)
+    factors = [1.0] * n_chips
+    factors[0] = straggler_factor
+    degraded = simulate_spmd(program, factors)
+    return degraded.slowdown_vs(nominal)

@@ -1,0 +1,71 @@
+"""Op graphs for the discrete-event simulator.
+
+A :class:`Program` is a DAG of :class:`Op` nodes, each bound to one of
+three per-chip resources:
+
+* ``mxu`` — the matrix unit (matmul FLOPs, elementwise work, overheads);
+* ``hbm`` — the memory system (weight streaming, KV-cache loads);
+* ``ici`` — the inter-chip interconnect (collectives).
+
+Because the resources are distinct, ops on different resources whose
+dependencies allow it run *concurrently* — this is how the simulator
+expresses the Looped CollectiveEinsum overlap of Section 3.5: a collective
+and the matmul it feeds into are given the same dependencies, so the pair
+costs ``max(comm, compute)`` instead of the sum.  Disabling overlap
+serializes them (``comm + compute``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+RESOURCES = ("mxu", "hbm", "ici")
+
+
+@dataclass
+class Op:
+    """One unit of work on one resource."""
+
+    name: str
+    resource: str
+    duration: float
+    deps: tuple[int, ...] = ()
+    tag: str = ""  # free-form grouping label (e.g. "layer3/ffn")
+
+    def __post_init__(self) -> None:
+        if self.resource not in RESOURCES:
+            raise ValueError(f"unknown resource {self.resource!r}; "
+                             f"expected one of {RESOURCES}")
+        if self.duration < 0:
+            raise ValueError(f"negative duration for op {self.name!r}")
+
+
+@dataclass
+class Program:
+    """An append-only op DAG.  ``add`` returns the new op's id."""
+
+    ops: list[Op] = field(default_factory=list)
+
+    def add(self, name: str, resource: str, duration: float,
+            deps: Iterable[int] = (), tag: str = "") -> int:
+        deps = tuple(deps)
+        for d in deps:
+            if not 0 <= d < len(self.ops):
+                raise ValueError(f"op {name!r} depends on unknown op {d}")
+        self.ops.append(Op(name, resource, duration, deps, tag))
+        return len(self.ops) - 1
+
+    def barrier(self, name: str, deps: Iterable[int]) -> int:
+        """A zero-duration synchronization point on the mxu."""
+        return self.add(name, "mxu", 0.0, deps)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def validate(self) -> None:
+        """Check every dependency points backwards (the DAG is acyclic)."""
+        for idx, op in enumerate(self.ops):
+            if any(d >= idx for d in op.deps):
+                raise ValueError(
+                    f"op {idx} ({op.name!r}) has a forward dependency")

@@ -1,0 +1,47 @@
+"""Chrome-trace export of simulated schedules.
+
+Write the JSON to a file and open it in Perfetto / ``chrome://tracing`` to
+see the per-resource timeline (MXU / HBM / interconnect lanes) of a
+simulated forward pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.simulator.engine import SimulationResult
+from repro.simulator.program import RESOURCES
+
+_MICROSECONDS = 1e6
+
+
+def to_chrome_trace(result: SimulationResult,
+                    process_name: str = "chip0") -> dict:
+    """Convert a schedule into the Chrome trace-event JSON format."""
+    events = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": process_name},
+    }]
+    tids = {resource: i for i, resource in enumerate(RESOURCES)}
+    for resource, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": resource}})
+    for record in result.records:
+        if record.duration == 0:
+            continue
+        events.append({
+            "name": record.name,
+            "cat": record.tag or "op",
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[record.resource],
+            "ts": record.start * _MICROSECONDS,
+            "dur": record.duration * _MICROSECONDS,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(result: SimulationResult, path: str,
+                       process_name: str = "chip0") -> None:
+    with open(path, "w") as f:
+        json.dump(to_chrome_trace(result, process_name), f)

@@ -1,0 +1,120 @@
+"""The analytic communication model must match the executed program.
+
+For every layout plan we run one prefill and one decode step of a tiny
+model on the virtual mesh with communication logging enabled, and compare
+against :func:`repro.perf.comm_model.forward_comm_events` — op by op, axes
+by axes, byte by byte.  This is what licenses using the closed-form model
+at PaLM-540B scale: it is the measured communication of a program whose
+numerics are verified, not a hand-derived approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layouts import ShardedTransformer
+from repro.mesh import VirtualMesh, enable_comm_log
+from repro.model import (
+    AttentionKind,
+    FfnKind,
+    init_weights,
+    tiny_test_config,
+)
+from repro.partitioning import AttentionLayoutKind, FfnLayoutKind, LayoutPlan
+from repro.perf.comm_model import forward_comm_events
+
+MESH_SHAPE = (2, 2, 2)
+CFG_KWARGS = dict(n_layers=2, d_model=16, d_ff=32, n_heads=8, d_head=8,
+                  vocab_size=32)
+FLOAT64_BYTES = 8
+
+ALL_PLANS = [
+    LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.HEAD),
+    LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD),
+    LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WG_X, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH),
+]
+
+
+def _plan_id(plan):
+    return f"{plan.ffn.value}/{plan.attention.value}"
+
+
+def executed_log(config, plan, batch, prompt_len, decode_steps):
+    """(prefill events, one-decode-step events) measured on the mesh."""
+    weights = init_weights(config)
+    mesh = VirtualMesh(MESH_SHAPE)
+    log = enable_comm_log(mesh)
+    model = ShardedTransformer(weights, mesh, plan)
+    log.clear()
+
+    rng = np.random.default_rng(0)
+    prompt = rng.integers(0, config.vocab_size, size=(batch, prompt_len))
+    _, caches = model.prefill(prompt, prompt_len + decode_steps)
+    prefill_events = list(log)
+
+    log.clear()
+    model.decode_step(prompt[:, -1], caches)
+    decode_events = list(log)
+    return prefill_events, decode_events
+
+
+def assert_events_match(measured, modeled, mesh):
+    assert len(measured) == len(modeled), (
+        f"{len(measured)} executed collectives vs {len(modeled)} modeled:\n"
+        f"executed: {[(r.op, r.axes) for r in measured]}\n"
+        f"modeled:  {[(e.op, e.axes) for e in modeled]}")
+    for i, (got, want) in enumerate(zip(measured, modeled)):
+        assert got.op == want.op, f"event {i}: {got.op} != {want.op}"
+        assert got.axes == want.axes, (
+            f"event {i} ({got.op}): axes {got.axes} != {want.axes}")
+        want_bytes = want.payload_elements * FLOAT64_BYTES
+        assert got.payload_bytes == pytest.approx(want_bytes), (
+            f"event {i} ({got.op} over {got.axes}): measured "
+            f"{got.payload_bytes} B vs modeled {want_bytes} B")
+
+
+@pytest.mark.parametrize("plan", ALL_PLANS, ids=_plan_id)
+@pytest.mark.parametrize("parallel", [True, False],
+                         ids=["parallel", "serial"])
+def test_events_match_multiquery(plan, parallel):
+    config = tiny_test_config(parallel_block=parallel, **CFG_KWARGS)
+    batch, prompt_len = 8, 4
+    prefill, decode = executed_log(config, plan, batch, prompt_len, 1)
+    mesh = VirtualMesh(MESH_SHAPE)
+    assert_events_match(
+        prefill,
+        forward_comm_events(config, plan, mesh.topology, batch, prompt_len),
+        mesh)
+    assert_events_match(
+        decode,
+        forward_comm_events(config, plan, mesh.topology, batch, 1),
+        mesh)
+
+
+@pytest.mark.parametrize("plan", [p for p in ALL_PLANS
+                                  if p.attention is AttentionLayoutKind.HEAD
+                                  or p.ffn.is_weight_gathered],
+                         ids=_plan_id)
+def test_events_match_multihead(plan):
+    config = tiny_test_config(attention=AttentionKind.MULTIHEAD,
+                              **CFG_KWARGS)
+    batch, prompt_len = 8, 4
+    prefill, decode = executed_log(config, plan, batch, prompt_len, 1)
+    mesh = VirtualMesh(MESH_SHAPE)
+    assert_events_match(
+        prefill,
+        forward_comm_events(config, plan, mesh.topology, batch, prompt_len),
+        mesh)
+
+
+def test_events_match_mlp_ffn():
+    config = tiny_test_config(ffn=FfnKind.MLP, **CFG_KWARGS)
+    plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+    prefill, _ = executed_log(config, plan, 8, 4, 1)
+    mesh = VirtualMesh(MESH_SHAPE)
+    assert_events_match(
+        prefill, forward_comm_events(config, plan, mesh.topology, 8, 4),
+        mesh)

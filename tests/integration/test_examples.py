@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end-to-end and prints what its
+docstring promises.  Keeps the examples from rotting as the API evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "selected decode plan" in out
+    assert "matches the single-device reference" in out
+
+
+def test_chatbot_latency():
+    out = run_example("chatbot_latency.py")
+    assert "total turn latency" in out
+    assert "(paper: 1.9 s)" in out
+    assert "verified: batching changed no one's reply" in out
+    # The modeled turn lands near the paper's 1.9 seconds.
+    total = float(out.split("total turn latency: ")[1].split(" s")[0])
+    assert 1.2 < total < 2.8
+
+
+def test_offline_batch_inference():
+    out = run_example("offline_batch_inference.py")
+    assert "overall" in out
+    mfu = float(out.split("overall :")[1].split("MFU")[1].split("%")[0])
+    assert 60.0 < mfu < 85.0  # paper: 73%
+
+
+def test_long_context_scaling():
+    out = run_example("long_context_scaling.py")
+    assert "42,653" in out  # Table 1's optimized multiquery cell
+    assert "32,768" in out or "32768" in out
+
+
+def test_serving_slo():
+    out = run_example("serving_slo.py")
+    assert "cheapest config meeting p95" in out
+
+
+@pytest.mark.slow
+def test_partitioning_explorer():
+    out = run_example("partitioning_explorer.py", timeout=600)
+    assert "recommended" in out or "no configuration" in out

@@ -1,0 +1,150 @@
+"""Grouped-query attention (GQA): the space between the paper's endpoints.
+
+The paper studies multiquery (1 KV head) vs multihead (H KV heads); modern
+models ship grouped-query attention in between.  The library generalizes:
+``kv_heads=k`` interpolates the KV-cache accounting, the layouts shard the
+shared heads when they divide the head group (and refuse the misaligned
+corner explicitly), and batch-sharded attention applies whenever heads are
+shared.  Numerics are held to the same bar as everything else: equal to
+the unsharded reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TPU_V4
+from repro.layouts import ShardedTransformer
+from repro.mesh import VirtualMesh
+from repro.model import (
+    PALM_540B,
+    ReferenceTransformer,
+    init_weights,
+    tiny_test_config,
+)
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import table1_max_context
+
+CFG_KWARGS = dict(n_layers=2, d_model=16, d_ff=32, n_heads=8, d_head=8,
+                  vocab_size=32)
+
+
+def gqa_config(kv_heads, **overrides):
+    kwargs = dict(CFG_KWARGS)
+    kwargs.update(overrides)
+    return tiny_test_config(**kwargs).replace(kv_heads=kv_heads)
+
+
+class TestConfig:
+    def test_kv_heads_interpolate(self):
+        assert gqa_config(4).n_kv_heads == 4
+        assert gqa_config(None).n_kv_heads == 1  # multiquery default
+
+    def test_param_count_between_endpoints(self):
+        from repro.model import AttentionKind
+
+        mq = tiny_test_config(**CFG_KWARGS)
+        mh = tiny_test_config(attention=AttentionKind.MULTIHEAD,
+                              **CFG_KWARGS)
+        gqa = gqa_config(4)
+        assert mq.n_params < gqa.n_params < mh.n_params
+
+    def test_kv_cache_scales_with_kv_heads(self):
+        assert gqa_config(4).kv_cache_bytes_per_token() == \
+            4 * gqa_config(1).kv_cache_bytes_per_token()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kv_heads"):
+            gqa_config(9)
+        with pytest.raises(ValueError, match="not divisible"):
+            gqa_config(3)
+
+
+@pytest.mark.parametrize("kv_heads", [2, 4, 8])
+@pytest.mark.parametrize("plan", [
+    LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD),
+    LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH),
+    LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH),
+], ids=lambda p: p.describe() if hasattr(p, "describe") else str(p))
+def test_gqa_layout_equivalence(kv_heads, plan):
+    config = gqa_config(kv_heads)
+    if kv_heads == config.n_heads and \
+            plan.attention is AttentionLayoutKind.BATCH and \
+            not plan.ffn.is_weight_gathered:
+        pytest.skip("full multihead cannot batch-shard (paper §3.3)")
+    narrow = kv_heads > 1 and kv_heads % 4 != 0  # 4 = head-group size
+    heads_sharded = (plan.attention is AttentionLayoutKind.HEAD
+                     and not plan.ffn.is_weight_gathered) or \
+        (plan.ffn.is_weight_gathered
+         and plan.ffn is not FfnLayoutKind.WG_XYZ)
+    if narrow and heads_sharded:
+        pytest.skip("misaligned replicated GQA: rejected by design "
+                    "(TestUnsupportedCorner)")
+    weights = init_weights(config, seed=0)
+    reference = ReferenceTransformer(weights)
+    sharded = ShardedTransformer(weights, VirtualMesh((2, 2, 2)), plan)
+    prompt = np.random.default_rng(1).integers(0, 32, size=(8, 3))
+    ref, ref_caches = reference.prefill(prompt, 5)
+    got, got_caches = sharded.prefill(prompt, 5)
+    np.testing.assert_allclose(got, ref, rtol=1e-8, atol=1e-10)
+    token = np.argmax(ref, -1)
+    np.testing.assert_allclose(sharded.decode_step(token, got_caches),
+                               reference.decode_step(token, ref_caches),
+                               rtol=1e-8, atol=1e-10)
+
+
+class TestUnsupportedCorner:
+    def test_misaligned_replicated_gqa_rejected(self):
+        """2 KV heads cannot shard over a 4-chip head group and cannot be
+        replicated under head-sharded attention — reject, don't corrupt."""
+        config = gqa_config(2)
+        weights = init_weights(config, seed=0)
+        with pytest.raises(ValueError, match="KV heads"):
+            ShardedTransformer(
+                weights, VirtualMesh((2, 2, 2)),
+                LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD))
+
+    def test_same_model_fine_with_batch_attention(self):
+        config = gqa_config(2)
+        weights = init_weights(config, seed=0)
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+        sharded = ShardedTransformer(weights, VirtualMesh((2, 2, 2)),
+                                     plan)
+        reference = ReferenceTransformer(weights)
+        prompt = np.random.default_rng(2).integers(0, 32, size=(8, 3))
+        got, _ = sharded.prefill(prompt, 3)
+        ref, _ = reference.prefill(prompt, 3)
+        np.testing.assert_allclose(got, ref, rtol=1e-8, atol=1e-10)
+
+
+class TestGqaAccounting:
+    def test_max_context_between_endpoints(self):
+        """A PaLM-540B GQA variant's memory limit interpolates Table 1."""
+        gqa = PALM_540B.replace(kv_heads=8)
+        mq = table1_max_context(PALM_540B, AttentionLayoutKind.BATCH,
+                                TPU_V4, 64, 128)
+        mid = table1_max_context(gqa, AttentionLayoutKind.BATCH, TPU_V4,
+                                 64, 128)
+        assert mid == pytest.approx(mq / 8, rel=0.01)
+
+    def test_comm_model_still_matches_executor(self):
+        from repro.mesh import enable_comm_log
+        from repro.perf.comm_model import forward_comm_events
+
+        config = gqa_config(4)
+        weights = init_weights(config, seed=0)
+        mesh = VirtualMesh((2, 2, 2))
+        log = enable_comm_log(mesh)
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+        model = ShardedTransformer(weights, mesh, plan)
+        log.clear()
+        model.prefill(np.zeros((8, 3), dtype=int), 3)
+        modeled = forward_comm_events(config, plan, mesh.topology, 8, 3)
+        assert len(log) == len(modeled)
+        for got, want in zip(log, modeled):
+            assert (got.op, got.axes) == (want.op, want.axes)
+            assert got.payload_bytes == want.payload_elements * 8

@@ -1,0 +1,137 @@
+"""Cross-phase layout switching on shared weight storage (Section 3.2.3).
+
+The paper's Table 2 high-throughput recipe prefills with a weight-gathered
+layout and decodes with 2D weight-stationary, *without moving weights*,
+because both store weights as ``E_x F_yz``.  These tests run that exact
+workflow end-to-end on the virtual mesh: WG prefill -> cache reshard ->
+WS-2D batch-sharded decode, and check (a) the output equals the reference
+and (b) the big weight shards are literally shared (same array objects).
+"""
+
+import numpy as np
+import pytest
+
+from repro.layouts import ShardedTransformer
+from repro.mesh import VirtualMesh
+from repro.model import (
+    AttentionKind,
+    ReferenceTransformer,
+    init_weights,
+    tiny_test_config,
+)
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+
+CFG = tiny_test_config(n_layers=2, d_model=16, d_ff=32, n_heads=8,
+                       d_head=8, vocab_size=32)
+WEIGHTS = init_weights(CFG, seed=0)
+MESH = (2, 2, 2)
+PROMPT = np.random.default_rng(5).integers(0, CFG.vocab_size, size=(8, 4))
+
+WS2D_BATCH = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+WG_PLANS = [LayoutPlan(k, AttentionLayoutKind.BATCH)
+            for k in (FfnLayoutKind.WG_X, FfnLayoutKind.WG_XY,
+                      FfnLayoutKind.WG_XYZ)]
+
+
+def reference_generation(n_steps=3):
+    model = ReferenceTransformer(WEIGHTS)
+    return model.generate(PROMPT, n_steps)
+
+
+class TestWeightSharing:
+    @pytest.mark.parametrize("plan", WG_PLANS,
+                             ids=lambda p: p.ffn.value)
+    def test_weight_shards_shared_by_reference(self, plan):
+        prefill_model = ShardedTransformer(WEIGHTS, VirtualMesh(MESH),
+                                           plan)
+        decode_model = prefill_model.with_plan(WS2D_BATCH)
+        for before, after in zip(prefill_model.layers,
+                                 decode_model.layers):
+            for name in ("wq", "wk", "wv", "wo", "w_in", "w_out",
+                         "w_gate"):
+                assert before[name] is after[name], name
+        assert decode_model.embedding is prefill_model.embedding
+
+    def test_norm_scales_resharded_correctly(self):
+        prefill_model = ShardedTransformer(WEIGHTS, VirtualMesh(MESH),
+                                           WG_PLANS[1])
+        decode_model = prefill_model.with_plan(WS2D_BATCH)
+        np.testing.assert_array_equal(
+            decode_model.layers[0]["ln"].to_global(),
+            WEIGHTS.layers[0].ln_scale)
+
+    def test_incompatible_storage_rejected(self):
+        model = ShardedTransformer(
+            WEIGHTS, VirtualMesh(MESH),
+            LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.HEAD))
+        with pytest.raises(ValueError, match="share weight storage"):
+            model.with_plan(WS2D_BATCH)
+
+    def test_switch_within_2d_family_both_directions(self):
+        a = ShardedTransformer(WEIGHTS, VirtualMesh(MESH), WS2D_HEAD)
+        b = a.with_plan(WG_PLANS[2])
+        c = b.with_plan(WS2D_BATCH)
+        assert c.layers[0]["wq"] is a.layers[0]["wq"]
+
+
+class TestCrossPhaseGeneration:
+    @pytest.mark.parametrize("prefill_plan", WG_PLANS + [WS2D_HEAD],
+                             ids=lambda p: p.ffn.value + "/"
+                             + p.attention.value)
+    def test_wg_prefill_then_ws2d_decode_matches_reference(self,
+                                                           prefill_plan):
+        """The Table 2 high-throughput serving recipe, end to end."""
+        mesh = VirtualMesh(MESH)
+        prefill_model = ShardedTransformer(WEIGHTS, mesh, prefill_plan)
+        decode_model = prefill_model.with_plan(WS2D_BATCH)
+
+        n_steps = 3
+        logits, caches = prefill_model.prefill(
+            PROMPT, PROMPT.shape[1] + n_steps)
+        caches = prefill_model.reshard_cache(caches, decode_model)
+        tokens = [PROMPT]
+        current = np.argmax(logits, -1)
+        for _ in range(n_steps - 1):
+            tokens.append(current[:, None])
+            current = np.argmax(decode_model.decode_step(current, caches),
+                                -1)
+        tokens.append(current[:, None])
+        generated = np.concatenate(tokens, axis=1)
+        np.testing.assert_array_equal(generated, reference_generation())
+
+    def test_multihead_cross_phase(self):
+        config = CFG.replace(attention=AttentionKind.MULTIHEAD)
+        weights = init_weights(config, seed=1)
+        mesh = VirtualMesh(MESH)
+        prefill_model = ShardedTransformer(
+            weights, mesh,
+            LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH))
+        decode_model = prefill_model.with_plan(WS2D_HEAD)
+        logits, caches = prefill_model.prefill(PROMPT, 6)
+        caches = prefill_model.reshard_cache(caches, decode_model)
+        current = np.argmax(logits, -1)
+        step = decode_model.decode_step(current, caches)
+
+        reference = ReferenceTransformer(weights)
+        ref_logits, ref_caches = reference.prefill(PROMPT, 6)
+        ref_step = reference.decode_step(np.argmax(ref_logits, -1),
+                                         ref_caches)
+        np.testing.assert_allclose(step, ref_step, rtol=1e-8, atol=1e-10)
+
+    def test_cache_reshard_preserves_content(self):
+        mesh = VirtualMesh(MESH)
+        prefill_model = ShardedTransformer(WEIGHTS, mesh, WG_PLANS[1])
+        decode_model = prefill_model.with_plan(WS2D_BATCH)
+        _, caches = prefill_model.prefill(PROMPT, 8)
+        resharded = prefill_model.reshard_cache(caches, decode_model)
+        for old, new in zip(caches, resharded):
+            assert new.length == old.length
+            old_k, _ = old.as_sharded()
+            new_k, _ = new.as_sharded()
+            np.testing.assert_allclose(new_k.to_global(),
+                                       old_k.to_global())

@@ -1,0 +1,136 @@
+"""Tests for the closed-form analysis module.
+
+Each closed form is validated against brute-force numerical optimization
+of the exact expression — the "analytical beats black-box search" claim,
+checked both ways.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.analysis import (
+    latency_scaling_exponent,
+    memory_compute_crossover_tokens,
+    numeric_minimum,
+    weight_gathered_optimum,
+    ws2d_optimum,
+    ws_wg_crossover_tokens,
+)
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B, PALM_8B
+from repro.partitioning import FfnLayoutKind
+from repro.partitioning.ffn_costs import (
+    ffn_volume,
+    weight_gathered_volume,
+    ws2d_volume,
+)
+from repro.perf import sweep_decode
+
+
+class TestClosedFormOptima:
+    def test_ws2d_optimum_matches_numeric(self):
+        n, e, f = 64, 16384, 65536
+        closed = ws2d_optimum(n, e, f)
+        numeric = numeric_minimum(
+            lambda x: ws2d_volume(1.0, e, f, x, n / x), 1.0, n)
+        assert closed.argmin == pytest.approx(numeric.argmin, rel=0.01)
+        assert closed.value == pytest.approx(numeric.value, rel=1e-4)
+
+    def test_ws2d_optimum_matches_scipy(self):
+        n, e, f = 256, 8192, 32768
+        closed = ws2d_optimum(n, e, f)
+        result = optimize.minimize_scalar(
+            lambda x: ws2d_volume(1.0, e, f, x, n / x),
+            bounds=(1.0, n), method="bounded")
+        assert closed.argmin == pytest.approx(result.x, rel=1e-3)
+
+    def test_wg_optimum_matches_scipy(self):
+        tokens, n, e, f = 500_000, 64, 16384, 65536
+        closed = weight_gathered_optimum(tokens, n, e, f)
+        result = optimize.minimize_scalar(
+            lambda m: weight_gathered_volume(tokens, e, f, n, m),
+            bounds=(1.0, n), method="bounded")
+        assert closed.argmin == pytest.approx(result.x, rel=1e-3)
+        assert closed.value == pytest.approx(result.fun, rel=1e-6)
+
+
+class TestCrossovers:
+    TORUS = Torus3D(4, 4, 4)
+    E, F = 16384, 65536
+
+    @pytest.mark.parametrize("kind", [FfnLayoutKind.WG_X,
+                                      FfnLayoutKind.WG_XY,
+                                      FfnLayoutKind.WG_XYZ])
+    def test_crossover_is_exact(self, kind):
+        t_star = ws_wg_crossover_tokens(self.TORUS, self.E, self.F, kind)
+        assert math.isfinite(t_star)
+        ws = ffn_volume(FfnLayoutKind.WS_2D, self.TORUS, t_star, self.E,
+                        self.F)
+        wg = ffn_volume(kind, self.TORUS, t_star, self.E, self.F)
+        assert ws == pytest.approx(wg, rel=1e-9)
+        # Strictly ordered on either side of the crossover.
+        assert ffn_volume(kind, self.TORUS, t_star / 2, self.E, self.F) \
+            > ffn_volume(FfnLayoutKind.WS_2D, self.TORUS, t_star / 2,
+                         self.E, self.F)
+        assert ffn_volume(kind, self.TORUS, t_star * 2, self.E, self.F) \
+            < ffn_volume(FfnLayoutKind.WS_2D, self.TORUS, t_star * 2,
+                         self.E, self.F)
+
+    def test_crossovers_ordered_by_gather_width(self):
+        ts = [ws_wg_crossover_tokens(self.TORUS, self.E, self.F, k)
+              for k in (FfnLayoutKind.WG_X, FfnLayoutKind.WG_XY,
+                        FfnLayoutKind.WG_XYZ)]
+        assert ts == sorted(ts)
+
+    def test_non_wg_rejected(self):
+        with pytest.raises(ValueError):
+            ws_wg_crossover_tokens(self.TORUS, self.E, self.F,
+                                   FfnLayoutKind.WS_2D)
+
+
+class TestRooflineCrossover:
+    def test_tpu_v4_bf16_crossover(self):
+        # machine balance ~229 FLOPs/byte; bf16 -> ~229 tokens.
+        t = memory_compute_crossover_tokens(PALM_540B, TPU_V4, 2)
+        assert t == pytest.approx(229.2, rel=0.01)
+
+    def test_int8_halves_the_crossover(self):
+        bf16 = memory_compute_crossover_tokens(PALM_540B, TPU_V4, 2)
+        int8 = memory_compute_crossover_tokens(PALM_540B, TPU_V4, 1)
+        assert int8 == pytest.approx(bf16 / 2)
+
+    def test_crossover_is_model_independent(self):
+        assert memory_compute_crossover_tokens(PALM_8B, TPU_V4) == \
+            memory_compute_crossover_tokens(PALM_540B, TPU_V4)
+
+
+class TestScalingExponent:
+    def test_fit_recovers_known_exponent(self):
+        sizes = np.array([1e9, 1e10, 1e11])
+        latencies = 1e-3 * (sizes / 1e9) ** 0.5
+        assert latency_scaling_exponent(list(sizes), list(latencies)) == \
+            pytest.approx(0.5, abs=1e-9)
+
+    def test_paper_sublinear_claim(self):
+        """Section 4.4: minimum decode latency grows ~sqrt(model size)."""
+        models = [(PALM_8B, None), (PALM_62B, None),
+                  (PALM_540B_PADDED, PALM_540B.n_params)]
+        sizes, latencies = [], []
+        for config, mfu_params in models:
+            points = sweep_decode(
+                config, TPU_V4, context_len=2048, gen_len=64,
+                chip_counts=(8, 16, 32, 64, 128, 256),
+                batches=(1, 4, 16, 64), weight_dtype_bytes=1,
+                mfu_params=mfu_params)
+            sizes.append(config.n_params)
+            latencies.append(min(p.latency_s for p in points))
+        k = latency_scaling_exponent(sizes, latencies)
+        # Clearly sublinear; the paper estimates ~0.5.
+        assert 0.1 < k < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_scaling_exponent([1.0], [1.0])

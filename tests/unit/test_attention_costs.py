@@ -1,0 +1,112 @@
+"""Tests for attention memory accounting (Section 3.3, Table 1)."""
+
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import (
+    PALM_540B,
+    PALM_540B_MULTIHEAD,
+    AttentionKind,
+    tiny_test_config,
+)
+from repro.partitioning import AttentionLayoutKind
+from repro.partitioning.attention_costs import (
+    attention_all_to_all_elements,
+    kv_bytes_per_chip,
+    kv_load_time,
+    max_context_length,
+)
+from repro.perf import table1_max_context
+
+
+class TestKvFootprint:
+    def test_batch_sharding_divides_by_chip_count(self):
+        cfg = PALM_540B
+        head = kv_bytes_per_chip(cfg, AttentionLayoutKind.HEAD, 64, 512,
+                                 2048)
+        batch = kv_bytes_per_chip(cfg, AttentionLayoutKind.BATCH, 64, 512,
+                                  2048)
+        assert head == pytest.approx(64 * batch)
+
+    def test_batch_sharding_limited_by_batch(self):
+        # A batch of 8 can split over at most 8 chips.
+        cfg = PALM_540B
+        b8 = kv_bytes_per_chip(cfg, AttentionLayoutKind.BATCH, 64, 8, 2048)
+        head = kv_bytes_per_chip(cfg, AttentionLayoutKind.HEAD, 64, 8, 2048)
+        assert b8 == pytest.approx(head / 8)
+
+    def test_multihead_partial_replication(self):
+        # 48 heads on 64 chips -> ceil = 1 head per chip.
+        mh = PALM_540B_MULTIHEAD
+        per_chip = kv_bytes_per_chip(mh, AttentionLayoutKind.HEAD, 64, 1, 1)
+        one_head = 2 * mh.n_layers * mh.d_head * 2
+        assert per_chip == pytest.approx(one_head)
+
+    def test_batch_requires_shared_kv_heads(self):
+        with pytest.raises(ValueError, match="shared KV heads"):
+            kv_bytes_per_chip(PALM_540B_MULTIHEAD,
+                              AttentionLayoutKind.BATCH, 64, 8, 128)
+
+
+class TestTable1:
+    """Exact reproduction of Table 1 (within rounding)."""
+
+    @pytest.mark.parametrize("batch,published", [(128, 1320), (512, 330)])
+    def test_multihead(self, batch, published):
+        got = table1_max_context(PALM_540B_MULTIHEAD,
+                                 AttentionLayoutKind.HEAD, TPU_V4, 64,
+                                 batch)
+        assert got == pytest.approx(published, rel=0.02)
+
+    @pytest.mark.parametrize("batch,published", [(128, 660), (512, 165)])
+    def test_baseline_multiquery(self, batch, published):
+        got = table1_max_context(PALM_540B, AttentionLayoutKind.HEAD,
+                                 TPU_V4, 64, batch)
+        assert got == pytest.approx(published, rel=0.02)
+
+    @pytest.mark.parametrize("batch,published", [(128, 43_000),
+                                                 (512, 10_700)])
+    def test_optimized_multiquery(self, batch, published):
+        got = table1_max_context(PALM_540B, AttentionLayoutKind.BATCH,
+                                 TPU_V4, 64, batch)
+        assert got == pytest.approx(published, rel=0.02)
+
+    def test_headline_32x_claim(self):
+        """Optimized multiquery supports ~32x the multihead context."""
+        for batch in (128, 512):
+            opt = table1_max_context(PALM_540B, AttentionLayoutKind.BATCH,
+                                     TPU_V4, 64, batch)
+            mh = table1_max_context(PALM_540B_MULTIHEAD,
+                                    AttentionLayoutKind.HEAD, TPU_V4, 64,
+                                    batch)
+            assert opt / mh == pytest.approx(32, rel=0.05)
+
+
+class TestTimesAndSmallTensors:
+    def test_kv_load_time_linear_in_context(self):
+        cfg = PALM_540B
+        t1 = kv_load_time(cfg, AttentionLayoutKind.BATCH, 64, 256, 1024,
+                          1.2e12)
+        t2 = kv_load_time(cfg, AttentionLayoutKind.BATCH, 64, 256, 2048,
+                          1.2e12)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_all_to_all_tiny_versus_kv_cache(self):
+        """Section 3.3: the all-to-all moves orders of magnitude fewer
+        bytes than the per-step KV-cache load it eliminates."""
+        cfg = PALM_540B
+        torus = Torus3D(4, 4, 4)
+        tokens = 256  # decode step at batch 256
+        moved = attention_all_to_all_elements(cfg, torus, tokens) * 2
+        kv_per_chip = kv_bytes_per_chip(cfg, AttentionLayoutKind.HEAD,
+                                        64, 256, 2048)
+        assert moved * 100 < kv_per_chip
+
+    def test_max_context_scales_inversely_with_batch(self):
+        cfg = tiny_test_config()
+        budget = 1e9
+        c1 = max_context_length(cfg, AttentionLayoutKind.HEAD, 8, 16,
+                                budget)
+        c2 = max_context_length(cfg, AttentionLayoutKind.HEAD, 8, 32,
+                                budget)
+        assert c1 == pytest.approx(2 * c2, rel=0.01)

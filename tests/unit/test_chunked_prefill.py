@@ -1,0 +1,100 @@
+"""Tests for incremental (chunked) prefill on both model backends."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.layouts import ShardedTransformer
+from repro.mesh import VirtualMesh
+from repro.model import (
+    PALM_540B,
+    PALM_540B_PADDED,
+    ReferenceTransformer,
+    init_weights,
+    tiny_test_config,
+)
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+from repro.serving.chunked import chunked_prefill, chunked_prefill_cost
+
+CFG = tiny_test_config(n_layers=2, d_model=16, d_ff=32, n_heads=8,
+                       d_head=8, vocab_size=32)
+WEIGHTS = init_weights(CFG, seed=0)
+PROMPT = np.random.default_rng(0).integers(0, CFG.vocab_size, size=(8, 6))
+
+
+class TestNumericalEquivalence:
+    def test_reference_chunked_equals_single_pass(self):
+        model = ReferenceTransformer(WEIGHTS)
+        whole, _ = model.prefill(PROMPT, max_len=8)
+        for chunk in (1, 2, 3, 4, 6, 7):
+            chunked, _ = chunked_prefill(model, PROMPT, chunk, max_len=8)
+            np.testing.assert_allclose(chunked, whole, rtol=1e-9,
+                                       atol=1e-12)
+
+    def test_sharded_chunked_equals_single_pass(self):
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+        model = ShardedTransformer(WEIGHTS, VirtualMesh((2, 2, 2)), plan)
+        whole, _ = model.prefill(PROMPT, max_len=8)
+        chunked, _ = chunked_prefill(model, PROMPT, 2, max_len=8)
+        np.testing.assert_allclose(chunked, whole, rtol=1e-9, atol=1e-12)
+
+    def test_decode_continues_from_chunked_cache(self):
+        model = ReferenceTransformer(WEIGHTS)
+        whole_logits, whole_caches = model.prefill(PROMPT, max_len=8)
+        chunk_logits, chunk_caches = chunked_prefill(model, PROMPT, 2, 8)
+        token = np.argmax(whole_logits, -1)
+        np.testing.assert_allclose(
+            model.decode_step(token, chunk_caches),
+            model.decode_step(token, whole_caches), rtol=1e-9)
+
+    def test_validation(self):
+        model = ReferenceTransformer(WEIGHTS)
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunked_prefill(model, PROMPT, 0, 8)
+        with pytest.raises(ValueError, match="max_len"):
+            chunked_prefill(model, PROMPT, 2, 4)
+
+
+class TestAnalyticalCost:
+    def estimator(self):
+        return InferenceEstimator(PALM_540B_PADDED, TPU_V4,
+                                  Torus3D(4, 4, 4),
+                                  mfu_params=PALM_540B.n_params)
+
+    PLAN = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+
+    def test_whole_prompt_is_one_chunk(self):
+        est = self.estimator()
+        total, costs = chunked_prefill_cost(est, self.PLAN, 4, 2048, 2048)
+        assert len(costs) == 1
+        assert total == pytest.approx(
+            est.prefill_cost(self.PLAN, 4, 2048).time_s)
+
+    def test_chunking_adds_overhead(self):
+        est = self.estimator()
+        one, _ = chunked_prefill_cost(est, self.PLAN, 4, 2048, 2048)
+        many, costs = chunked_prefill_cost(est, self.PLAN, 4, 2048, 128)
+        assert len(costs) == 16
+        assert many > one
+
+    def test_covers_all_tokens(self):
+        est = self.estimator()
+        _, costs = chunked_prefill_cost(est, self.PLAN, 4, 1000, 256)
+        assert sum(c.tokens for c in costs) == 4 * 1000
+        assert [c.tokens // 4 for c in costs] == [256, 256, 256, 232]
+
+    def test_later_chunks_cost_more_attention(self):
+        est = self.estimator()
+        _, costs = chunked_prefill_cost(est, self.PLAN, 64, 2048, 512)
+        kv_loads = [c.kv_load_s for c in costs]
+        assert kv_loads == sorted(kv_loads)
+        assert kv_loads[-1] > kv_loads[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunked_prefill_cost(self.estimator(), self.PLAN, 4, 100, 0)

@@ -1,0 +1,123 @@
+"""Tests for the ``repro-inference`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_decode_breakdown(self, capsys):
+        out = run(capsys, "estimate", "--model", "palm-540b", "--chips",
+                  "64", "--batch", "64", "--int8")
+        assert "ms/token" in out
+        assert "MFU" in out
+        assert "int8 weights" in out
+        assert "ffn=ws-2d" in out
+
+    def test_prefill(self, capsys):
+        out = run(capsys, "estimate", "--model", "palm-62b", "--phase",
+                  "prefill", "--chips", "16", "--batch", "1",
+                  "--seq-len", "512")
+        assert "prefill of 512 tokens" in out
+
+    def test_headline_number(self, capsys):
+        """The CLI reproduces the paper's 28.5 ms/token headline."""
+        out = run(capsys, "estimate", "--model", "palm-540b", "--chips",
+                  "64", "--batch", "64", "--context", "2048", "--int8")
+        ms = float(out.split("decode step at context 2048: ")[1]
+                   .split(" ms/token")[0])
+        assert 25 < ms < 33  # paper: 28.5
+
+
+class TestPlan:
+    def test_decode_recipe(self, capsys):
+        out = run(capsys, "plan", "--model", "palm-540b", "--chips", "64",
+                  "--batch", "512")
+        assert "ffn=ws-2d, attention=batch" in out
+
+    def test_prefill_large_batch_weight_gathered(self, capsys):
+        out = run(capsys, "plan", "--model", "palm-540b", "--chips", "64",
+                  "--batch", "512", "--phase", "prefill")
+        assert "wg-" in out
+
+
+class TestSweep:
+    def test_frontier_table(self, capsys):
+        out = run(capsys, "sweep", "--model", "palm-8b", "--phase",
+                  "decode")
+        assert "Pareto frontier" in out
+        assert "chip-ms/tok" in out
+        assert out.count("\n") > 5
+
+
+class TestMaxContext:
+    def test_table1_values(self, capsys):
+        out = run(capsys, "max-context", "--model", "palm-540b",
+                  "--batch", "128")
+        assert "42,653" in out
+        assert "666" in out
+
+    def test_multihead_model_has_no_batch_layout(self, capsys):
+        out = run(capsys, "max-context", "--model", "megatron-530b",
+                  "--batch", "128")
+        assert "n/a" in out
+
+
+class TestSimulate:
+    def test_simulation_and_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = run(capsys, "simulate", "--model", "palm-540b", "--batch",
+                  "64", "--trace", str(trace))
+        assert "simulated decode step" in out
+        assert "mxu utilization" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_no_overlap_is_slower(self, capsys):
+        def makespan(*extra):
+            out = run(capsys, "simulate", "--model", "palm-540b",
+                      "--batch", "512", *extra)
+            return float(out.split(": ")[1].split(" ms")[0])
+
+        assert makespan("--no-overlap") > makespan()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestServe:
+    def test_queueing_report(self, capsys):
+        out = run(capsys, "serve", "--model", "palm-62b", "--chips", "16",
+                  "--rate", "2", "--duration", "40")
+        assert "p95 latency" in out
+        assert "utilization" in out
+
+
+class TestCalibrate:
+    def test_report(self, capsys):
+        out = run(capsys, "calibrate")
+        assert "ll-decode" in out
+        assert "objective" in out
+
+
+class TestDisaggregate:
+    def test_pipeline_sizing(self, capsys):
+        out = run(capsys, "disaggregate", "--model", "palm-540b",
+                  "--int8")
+        assert "prefill replicas per decode server" in out
+        assert "pipeline throughput" in out

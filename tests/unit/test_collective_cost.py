@@ -1,0 +1,72 @@
+"""Tests for the Appendix A.1 analytic collective cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveCost,
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    reduce_scatter_time,
+)
+
+
+class TestFormulas:
+    def test_all_gather_exact_factor(self):
+        # T = D/bw * (K-1)/K
+        assert all_gather_time(1e9, 4, 1e9) == pytest.approx(0.75)
+
+    def test_all_gather_approximate(self):
+        assert all_gather_time(1e9, 4, 1e9, exact=False) == pytest.approx(1.0)
+
+    def test_group_of_one_is_free(self):
+        for fn in (all_gather_time, reduce_scatter_time, all_reduce_time,
+                   all_to_all_time):
+            assert fn(1e9, 1, 1e9) == 0.0
+
+    def test_all_reduce_is_twice_all_gather(self):
+        assert all_reduce_time(1e9, 8, 2e9) == pytest.approx(
+            2 * all_gather_time(1e9, 8, 2e9))
+
+    def test_reduce_scatter_matches_all_gather_symmetry(self):
+        # Same D: reduce-scatter of input D costs what all-gather of
+        # output D costs (Appendix A.1).
+        assert reduce_scatter_time(5e8, 16, 1e9) == pytest.approx(
+            all_gather_time(5e8, 16, 1e9))
+
+    def test_all_to_all_cheaper_than_all_gather(self):
+        assert all_to_all_time(1e9, 16, 1e9) < all_gather_time(1e9, 16, 1e9)
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            all_gather_time(1e9, 0, 1e9)
+
+
+class TestProperties:
+    @given(st.floats(1, 1e12), st.integers(2, 1024), st.floats(1e6, 1e12))
+    def test_monotone_in_bytes(self, d, k, bw):
+        assert all_gather_time(d, k, bw) <= all_gather_time(2 * d, k, bw)
+
+    @given(st.floats(1, 1e12), st.integers(2, 1024), st.floats(1e6, 1e12))
+    def test_exact_below_approximate(self, d, k, bw):
+        assert all_gather_time(d, k, bw) <= all_gather_time(
+            d, k, bw, exact=False)
+
+    @given(st.integers(2, 4096))
+    def test_factor_approaches_one(self, k):
+        # (K-1)/K -> 1: exact time within 1/K of approximate time.
+        exact = all_gather_time(1.0, k, 1.0)
+        assert exact == pytest.approx(1.0, abs=1.0 / k + 1e-12)
+
+
+class TestCollectiveCost:
+    def test_addition(self):
+        total = CollectiveCost(1.0, 10) + CollectiveCost(2.0, 20)
+        assert total.seconds == 3.0
+        assert total.bytes == 30
+
+    def test_zero_identity(self):
+        c = CollectiveCost(1.5, 7)
+        assert CollectiveCost.zero() + c == c

@@ -1,0 +1,70 @@
+"""Tests for prefill/decode disaggregation sizing (Section 4.4)."""
+
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B, PALM_540B_PADDED
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+from repro.perf.disaggregation import size_pipeline, turn_latency
+
+PREFILL_PLAN = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+DECODE_PLAN = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+
+
+def estimators():
+    est = InferenceEstimator(PALM_540B_PADDED, TPU_V4, Torus3D(4, 4, 4),
+                             weight_dtype_bytes=1,
+                             mfu_params=PALM_540B.n_params)
+    return est, est
+
+
+def paper_pipeline(**kwargs):
+    prefill_est, decode_est = estimators()
+    defaults = dict(input_len=2048, gen_len=64, decode_batch=64)
+    defaults.update(kwargs)
+    return size_pipeline(prefill_est, decode_est, PREFILL_PLAN,
+                         DECODE_PLAN, **defaults)
+
+
+class TestSizing:
+    def test_paper_operating_point(self):
+        """The Table 2 low-latency pair: batch-1 prefill (~0.2 s/request)
+        against a batch-64 decode round (~1.8 s for 64 requests) needs a
+        handful of prefill replicas per decode server."""
+        plan = paper_pipeline()
+        assert 4 <= plan.prefill_replicas <= 12
+        assert plan.requests_per_second > 20
+        assert plan.bottleneck == "decode"
+
+    def test_utilizations_bounded(self):
+        plan = paper_pipeline()
+        assert 0 < plan.prefill_utilization <= 1 + 1e-9
+        assert 0 < plan.decode_utilization <= 1 + 1e-9
+        # Sized so the decode server never starves.
+        assert plan.decode_utilization == pytest.approx(1.0)
+
+    def test_replicas_scale_with_prompt_length(self):
+        short = paper_pipeline(input_len=256)
+        long = paper_pipeline(input_len=2048)
+        assert long.prefill_replicas >= short.prefill_replicas
+
+    def test_longer_generation_needs_fewer_prefills(self):
+        quick = paper_pipeline(gen_len=16)
+        slow = paper_pipeline(gen_len=256)
+        assert slow.prefill_replicas <= quick.prefill_replicas
+
+    def test_turn_latency_matches_chatbot_story(self):
+        """Prefill + a 64-token decode round ~ the paper's ~2 s turn."""
+        plan = paper_pipeline(input_len=2048)
+        assert 1.0 < turn_latency(plan) < 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_pipeline(decode_batch=0)
+        with pytest.raises(ValueError):
+            paper_pipeline(gen_len=0)

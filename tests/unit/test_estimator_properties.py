@@ -1,0 +1,111 @@
+"""Property-based tests of the analytical estimator.
+
+These encode the qualitative physics the paper reasons with — if a model
+change breaks one of them, the Pareto sweeps cannot be trusted no matter
+how well the anchors fit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import TPU_V4, default_slice_shape
+from repro.model import PALM_540B_PADDED, PALM_62B
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import EfficiencyModel, InferenceEstimator
+
+WS2D_BATCH = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+
+BATCHES = st.sampled_from([1, 4, 16, 64, 256, 1024])
+CHIPS = st.sampled_from([8, 16, 32, 64, 128, 256])
+
+
+def estimator(chips=64, **kwargs):
+    return InferenceEstimator(PALM_62B, TPU_V4,
+                              default_slice_shape(chips), **kwargs)
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(BATCHES)
+    def test_more_chips_never_slow_prefill(self, batch):
+        times = [estimator(c).prefill_cost(WS2D_HEAD, batch, 2048).time_s
+                 for c in (8, 32, 128)]
+        # Weakly decreasing up to the comm/overhead floor.
+        assert times[0] >= times[1] * 0.95
+        assert times[1] >= times[2] * 0.95
+
+    @settings(max_examples=20, deadline=None)
+    @given(CHIPS)
+    def test_step_time_weakly_increases_with_batch(self, chips):
+        est = estimator(chips)
+        times = [est.decode_step_cost(WS2D_BATCH, b, 2048).time_s
+                 for b in (4, 64, 1024)]
+        assert times == sorted(times)
+
+    @settings(max_examples=20, deadline=None)
+    @given(BATCHES, CHIPS)
+    def test_cost_times_tokens_is_chip_seconds(self, batch, chips):
+        est = estimator(chips)
+        cost = est.decode_step_cost(WS2D_BATCH, batch, 2048)
+        assert cost.cost_chip_seconds_per_token * cost.tokens == \
+            pytest.approx(chips * cost.time_s)
+
+    @settings(max_examples=20, deadline=None)
+    @given(BATCHES)
+    def test_throughput_per_chip_improves_with_batch(self, batch):
+        est = estimator()
+        small = est.decode_step_cost(WS2D_BATCH, batch, 2048)
+        large = est.decode_step_cost(WS2D_BATCH, batch * 2, 2048)
+        assert large.cost_chip_seconds_per_token <= \
+            small.cost_chip_seconds_per_token * 1.001
+
+
+class TestCompositionInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(BATCHES, st.sampled_from([256, 1024, 4096]))
+    def test_time_decomposes(self, batch, context):
+        cost = estimator().decode_step_cost(WS2D_BATCH, batch, context)
+        assert cost.time_s == pytest.approx(
+            max(cost.compute_s, cost.memory_s) + cost.comm_exposed_s
+            + cost.overhead_s)
+        assert 0 <= cost.comm_exposed_s <= cost.comm_s
+        assert 0 < cost.mfu < 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(BATCHES)
+    def test_efficiency_knobs_direction(self, batch):
+        base = estimator().decode_step_cost(WS2D_BATCH, batch, 2048)
+        derated = InferenceEstimator(
+            PALM_62B, TPU_V4, default_slice_shape(64),
+            efficiency=EfficiencyModel(hbm_efficiency=0.4,
+                                       network_efficiency=0.4)
+        ).decode_step_cost(WS2D_BATCH, batch, 2048)
+        assert derated.time_s >= base.time_s
+
+    def test_generate_equals_sum_of_steps_affine(self):
+        """The mean-context shortcut is exact because step time is affine
+        in context length."""
+        est = estimator()
+        total = est.generate_cost(WS2D_BATCH, 64, 1000, 11).total_s
+        explicit = sum(
+            est.decode_step_cost(WS2D_BATCH, 64, 1000 + i).time_s
+            for i in range(11))
+        assert total == pytest.approx(explicit, rel=1e-6)
+
+    def test_padded_model_slower_but_same_useful_flops(self):
+        from repro.model import PALM_540B
+
+        padded = InferenceEstimator(PALM_540B_PADDED, TPU_V4,
+                                    default_slice_shape(64),
+                                    mfu_params=PALM_540B.n_params)
+        plain = InferenceEstimator(PALM_540B, TPU_V4,
+                                   default_slice_shape(64))
+        a = padded.prefill_cost(WS2D_HEAD, 16, 2048)
+        b = plain.prefill_cost(WS2D_HEAD, 16, 2048)
+        assert a.time_s > b.time_s  # extra padded-head FLOPs

@@ -1,0 +1,115 @@
+"""Tests for the closed-form FFN communication costs (Appendix A.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Torus3D
+from repro.partitioning import FfnLayoutKind
+from repro.partitioning.ffn_costs import (
+    best_ws2d_split,
+    ffn_volume,
+    optimal_weight_gathered_n,
+    optimal_ws2d_x,
+    weight_gathered_min_volume,
+    weight_gathered_volume,
+    ws1d_volume,
+    ws2d_min_volume,
+    ws2d_volume,
+)
+
+
+class TestClosedForms:
+    def test_ws1d_constant_in_chip_count(self):
+        # Section 3.2.1: 1D comm is independent of n_chips.
+        assert ws1d_volume(1000, 8192) == ws1d_volume(1000, 8192)
+        assert ws1d_volume(1000, 8192) == 2 * 1000 * 8192
+
+    def test_ws2d_paper_optimum_f_equals_4e(self):
+        # With F = 4E: X* = 0.5 sqrt(n) and V = 8 tokens E / sqrt(n).
+        n, e = 64, 1024
+        f = 4 * e
+        x = optimal_ws2d_x(n, e, f)
+        assert x == pytest.approx(0.5 * math.sqrt(n))
+        v = ws2d_volume(1.0, e, f, x, n / x)
+        assert v == pytest.approx(8 * e / math.sqrt(n))
+        assert v == pytest.approx(ws2d_min_volume(1.0, e, f, n))
+
+    def test_ws2d_beats_ws1d_beyond_16_chips(self):
+        # Section 3.2.2: 2D wins when sqrt(n) > F/E = 4, i.e. n > 16.
+        e, f = 1024, 4096
+        for n in (4, 16):
+            assert ws2d_min_volume(1, e, f, n) >= ws1d_volume(1, e) * 0.99
+        for n in (64, 256):
+            assert ws2d_min_volume(1, e, f, n) < ws1d_volume(1, e)
+
+    def test_weight_gathered_optimum(self):
+        tokens, n, e, f = 1_000_000, 64, 1024, 4096
+        n_star = optimal_weight_gathered_n(tokens, n, f)
+        v_star = weight_gathered_volume(tokens, e, f, n, n_star)
+        assert v_star == pytest.approx(
+            weight_gathered_min_volume(tokens, e, f, n))
+        # Perturbing N increases the volume.
+        for other in (n_star / 2, n_star * 2):
+            assert weight_gathered_volume(tokens, e, f, n, other) > v_star
+
+    def test_weight_gathered_scales_with_sqrt_tokens(self):
+        e, f, n = 1024, 4096, 64
+        v1 = weight_gathered_min_volume(10_000, e, f, n)
+        v4 = weight_gathered_min_volume(40_000, e, f, n)
+        assert v4 == pytest.approx(2 * v1)
+
+    def test_ws_scales_linearly_with_tokens(self):
+        e, f, n = 1024, 4096, 64
+        assert ws2d_min_volume(4000, e, f, n) == pytest.approx(
+            4 * ws2d_min_volume(1000, e, f, n))
+
+
+class TestTorusConstrained:
+    def test_best_split_on_cube(self):
+        # On 4x4x4 with F = 4E, the optimum X = 4 is achievable.
+        split = best_ws2d_split(Torus3D(4, 4, 4), 16384, 65536)
+        assert split.x_size == 4
+        assert split.yz_size == 16
+
+    def test_best_split_covers_chips(self):
+        for shape in [(2, 2, 2), (1, 4, 8), (4, 4, 16)]:
+            torus = Torus3D(*shape)
+            split = best_ws2d_split(torus, 8192, 32768)
+            assert split.n_chips == torus.num_chips
+
+    def test_ffn_volume_crossover_with_batch(self):
+        """Figure 3's qualitative shape: WS-2D wins at small token counts,
+        progressively larger weight-gathered layouts win as tokens grow."""
+        torus = Torus3D(4, 4, 4)
+        e, f = 16384, 65536
+
+        def winner(tokens):
+            kinds = [FfnLayoutKind.WS_2D, FfnLayoutKind.WG_X,
+                     FfnLayoutKind.WG_XY, FfnLayoutKind.WG_XYZ]
+            return min(kinds, key=lambda k: ffn_volume(k, torus, tokens,
+                                                       e, f))
+
+        assert winner(1_000) is FfnLayoutKind.WS_2D
+        assert winner(5_000_000) is FfnLayoutKind.WG_XYZ
+        # The sequence of winners as tokens grows is monotone in N.
+        order = [FfnLayoutKind.WS_2D, FfnLayoutKind.WG_X,
+                 FfnLayoutKind.WG_XY, FfnLayoutKind.WG_XYZ]
+        seen = []
+        for tokens in [2 ** k for k in range(8, 24)]:
+            w = winner(tokens)
+            if not seen or seen[-1] != w:
+                seen.append(w)
+        assert seen == [k for k in order if k in seen]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from([(2, 2, 2), (4, 4, 4), (1, 4, 4)]),
+           st.integers(6, 22))
+    def test_volumes_positive_and_finite(self, shape, log_tokens):
+        torus = Torus3D(*shape)
+        for kind in FfnLayoutKind:
+            v = ffn_volume(kind, torus, 2.0 ** log_tokens, 4096, 16384)
+            assert v > 0
+            assert math.isfinite(v)

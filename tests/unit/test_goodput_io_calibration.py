@@ -1,0 +1,129 @@
+"""Tests for cost conversions, weight checkpoints, and the calibration."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TPU_V4
+from repro.model import (
+    PALM_540B,
+    ReferenceTransformer,
+    init_weights,
+    tiny_test_config,
+)
+from repro.model.io import (
+    config_from_dict,
+    config_to_dict,
+    load_weights,
+    save_weights,
+)
+from repro.perf.calibrate import (
+    TABLE2_ANCHORS,
+    EfficiencyModel,
+    calibrate,
+    model_seconds,
+    objective,
+    report,
+)
+from repro.perf.goodput import (
+    PricedPoint,
+    fleet_tokens_per_second,
+    mfu_from_cost,
+    usd_per_million_tokens,
+)
+
+
+class TestGoodput:
+    def test_unit_conversion(self):
+        # 0.0036 chip-seconds/token at $1/chip-hour = $1 per M tokens.
+        assert usd_per_million_tokens(0.0036, 1.0) == pytest.approx(1.0)
+
+    def test_priced_point_identities(self):
+        p = PricedPoint(chip_seconds_per_token=0.0072,
+                        chip_hour_price_usd=2.0)
+        assert p.usd_per_token * p.tokens_per_usd == pytest.approx(1.0)
+        assert p.usd_per_million_tokens == pytest.approx(4.0)
+
+    def test_fleet_throughput(self):
+        assert fleet_tokens_per_second(64, 0.008) == pytest.approx(8000)
+
+    def test_mfu_identity_roundtrip(self):
+        """cost = n*t/(B*L) and MFU = 2N*B*L/(t*n*peak) are reciprocal
+        through 2N/peak — the Section 4.4 statement."""
+        cost = 0.008
+        mfu = mfu_from_cost(cost, PALM_540B.n_params, TPU_V4.peak_flops)
+        back = 2 * PALM_540B.n_params / (mfu * TPU_V4.peak_flops)
+        assert back == pytest.approx(cost)
+        assert 0 < mfu < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricedPoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            fleet_tokens_per_second(0, 1.0)
+
+
+class TestWeightsIO:
+    def test_roundtrip_preserves_forward_pass(self, tmp_path):
+        cfg = tiny_test_config()
+        weights = init_weights(cfg, seed=4)
+        path = tmp_path / "ckpt.npz"
+        save_weights(weights, path)
+        loaded = load_weights(path)
+        assert loaded.config == cfg
+        tokens = np.array([[1, 2, 3]])
+        original = ReferenceTransformer(weights)
+        restored = ReferenceTransformer(loaded)
+        np.testing.assert_array_equal(
+            original.forward(tokens, original.new_cache(1, 3)),
+            restored.forward(tokens, restored.new_cache(1, 3)))
+
+    def test_serial_block_roundtrip(self, tmp_path):
+        cfg = tiny_test_config(parallel_block=False)
+        weights = init_weights(cfg, seed=5)
+        path = tmp_path / "serial.npz"
+        save_weights(weights, path)
+        loaded = load_weights(path)
+        np.testing.assert_array_equal(loaded.layers[0].ln2_scale,
+                                      weights.layers[0].ln2_scale)
+
+    def test_config_dict_roundtrip(self):
+        cfg = tiny_test_config()
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        cfg = tiny_test_config()
+        weights = init_weights(cfg)
+        path = tmp_path / "bad.npz"
+        weights.embedding = weights.embedding[:-1]  # wrong vocab rows
+        save_weights(weights, path)
+        with pytest.raises(ValueError, match="embedding shape"):
+            load_weights(path)
+
+
+class TestCalibration:
+    def test_defaults_within_band(self):
+        """Every Table 2 anchor within 1.5x under the shipped defaults,
+        and the two headline anchors within 5%."""
+        eff = EfficiencyModel()
+        for anchor in TABLE2_ANCHORS:
+            ratio = model_seconds(anchor, eff) / anchor.paper_seconds
+            assert 1 / 1.5 < ratio < 1.5, anchor.name
+        headline = {a.name: model_seconds(a, eff) / a.paper_seconds
+                    for a in TABLE2_ANCHORS}
+        assert abs(headline["ll-decode"] - 1) < 0.05
+        assert abs(headline["ht-prefill"] - 1) < 0.05
+
+    def test_objective_regression_bound(self):
+        # Shipped defaults: ~0.22.  Fails if a model change drifts them.
+        assert objective(EfficiencyModel()) < 0.35
+
+    def test_calibrate_improves_or_matches(self):
+        best, value = calibrate(sweeps=1, points_per_axis=5)
+        assert value <= objective(EfficiencyModel()) + 1e-9
+        # And the optimum stays a sane efficiency model.
+        assert 0 < best.flops_efficiency <= 1
+
+    def test_report_format(self):
+        text = report()
+        assert "ll-decode" in text
+        assert "objective" in text

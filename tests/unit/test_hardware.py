@@ -1,0 +1,118 @@
+"""Tests for chip specs and torus topology."""
+
+import math
+
+import pytest
+
+from repro.hardware import (
+    A100_80GB,
+    TPU_V4,
+    ChipSpec,
+    Mesh,
+    Torus3D,
+    default_slice_shape,
+    enumerate_slice_shapes,
+    get_chip,
+)
+
+
+class TestChipSpec:
+    def test_tpu_v4_published_constants(self):
+        assert TPU_V4.peak_flops == 275e12
+        assert TPU_V4.hbm_bytes == 32 * 1024**3
+        assert TPU_V4.hbm_bandwidth == 1200e9
+        assert TPU_V4.interconnect_bandwidth == 270e9
+        assert TPU_V4.num_torus_axes == 3
+
+    def test_a100_is_flat_topology(self):
+        assert A100_80GB.num_torus_axes == 1
+
+    def test_machine_balance(self):
+        # TPU v4: 275 TFLOP/s over 1200 GB/s ~ 229 FLOPs/byte.
+        assert TPU_V4.machine_balance == pytest.approx(229.17, rel=1e-3)
+
+    def test_lookup(self):
+        assert get_chip("tpu-v4") is TPU_V4
+        with pytest.raises(KeyError, match="unknown chip"):
+            get_chip("h100")
+
+    def test_with_overrides(self):
+        derated = TPU_V4.with_overrides(hbm_bandwidth=600e9)
+        assert derated.hbm_bandwidth == 600e9
+        assert derated.peak_flops == TPU_V4.peak_flops
+        assert TPU_V4.hbm_bandwidth == 1200e9  # original untouched
+
+    @pytest.mark.parametrize("field", ["peak_flops", "hbm_bytes",
+                                       "hbm_bandwidth",
+                                       "interconnect_bandwidth"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError, match="must be positive"):
+            TPU_V4.with_overrides(**{field: 0})
+
+
+class TestTorus:
+    def test_shape_and_count(self):
+        t = Torus3D(4, 4, 8)
+        assert t.shape == (4, 4, 8)
+        assert t.num_chips == 128
+
+    def test_axis_lookup(self):
+        t = Torus3D(2, 4, 8)
+        assert t.axis_size("x") == 2
+        assert t.axis_size("y") == 4
+        assert t.axis_size("z") == 8
+        assert t.group_size(("y", "z")) == 32
+        assert t.group_size(()) == 1
+
+    def test_devices_enumeration(self):
+        t = Torus3D(2, 1, 3)
+        coords = list(t.devices())
+        assert len(coords) == 6
+        assert coords[0] == (0, 0, 0)
+        assert coords[-1] == (1, 0, 2)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            Torus3D(0, 4, 4)
+
+    def test_mesh_from_shape(self):
+        m = Mesh.from_shape((2, 2, 2))
+        assert m.num_chips == 8
+        assert m.axis_names == ("x", "y", "z")
+        with pytest.raises(ValueError):
+            Mesh.from_shape((2, 2))
+
+
+class TestSliceShapes:
+    @pytest.mark.parametrize("n", [1, 4, 8, 16, 64, 256])
+    def test_all_shapes_have_right_count(self, n):
+        for shape in enumerate_slice_shapes(n):
+            assert shape.num_chips == n
+
+    def test_64_chips_includes_cube(self):
+        shapes = {s.shape for s in enumerate_slice_shapes(64)}
+        assert (4, 4, 4) in shapes
+
+    def test_canonical_ordering(self):
+        for shape in enumerate_slice_shapes(128):
+            assert shape.x <= shape.y <= shape.z
+
+    def test_min_axis_filters(self):
+        shapes = enumerate_slice_shapes(64, min_axis=4)
+        for s in shapes:
+            for size in s.shape:
+                assert size == 1 or size >= 4
+
+    def test_default_shape_is_most_cubic(self):
+        assert default_slice_shape(64).shape == (4, 4, 4)
+        d = default_slice_shape(256)
+        assert d.num_chips == 256
+        side = 256 ** (1 / 3)
+        # No enumerated shape is strictly more cubic.
+        for s in enumerate_slice_shapes(256):
+            assert (sum(abs(math.log(v / side)) for v in d.shape)
+                    <= sum(abs(math.log(v / side)) for v in s.shape) + 1e-12)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            enumerate_slice_shapes(0)

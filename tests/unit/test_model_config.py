@@ -1,0 +1,112 @@
+"""Tests for model configs: published parameter counts and accounting rules."""
+
+import pytest
+
+from repro.model import (
+    MEGATRON_530B,
+    PALM_540B,
+    PALM_540B_MULTIHEAD,
+    PALM_540B_PADDED,
+    PALM_62B,
+    PALM_8B,
+    AttentionKind,
+    FfnKind,
+    ModelConfig,
+    get_model,
+    tiny_test_config,
+)
+
+
+class TestPublishedParameterCounts:
+    """The presets must reproduce the published model sizes."""
+
+    def test_palm_540b(self):
+        assert PALM_540B.n_params == pytest.approx(540e9, rel=0.01)
+
+    def test_palm_62b(self):
+        assert PALM_62B.n_params == pytest.approx(62.5e9, rel=0.01)
+
+    def test_palm_8b(self):
+        assert PALM_8B.n_params == pytest.approx(8.6e9, rel=0.05)
+
+    def test_megatron_530b(self):
+        assert MEGATRON_530B.n_params == pytest.approx(530e9, rel=0.01)
+
+    def test_padding_adds_18b(self):
+        # Section 4: padding 48 -> 64 heads adds ~18B parameters.
+        added = PALM_540B_PADDED.n_params - PALM_540B.n_params
+        assert added == pytest.approx(18e9, rel=0.05)
+
+    def test_multihead_variant_attention_params_roughly_constant(self):
+        # Section 4.2: d_head 256 -> 128 keeps attention params constant.
+        mq = PALM_540B.attn_params_per_layer
+        mh = PALM_540B_MULTIHEAD.attn_params_per_layer
+        assert mh == pytest.approx(mq, rel=0.1)
+
+
+class TestAccounting:
+    def test_2n_flops_rule(self):
+        cfg = tiny_test_config()
+        assert cfg.matmul_flops_per_token == 2 * cfg.n_params
+
+    def test_kv_cache_multiquery_vs_multihead(self):
+        # Multiquery shrinks the KV cache by n_heads (Section 3.3).
+        mq = tiny_test_config(attention=AttentionKind.MULTIQUERY)
+        mh = tiny_test_config(attention=AttentionKind.MULTIHEAD)
+        ratio = (mh.kv_cache_bytes_per_token()
+                 / mq.kv_cache_bytes_per_token())
+        assert ratio == mh.n_heads
+
+    def test_paper_3tb_kv_cache_example(self):
+        # Section 2.1: a 500B+ multihead model at batch 512, context 2048
+        # has a ~3TB KV cache, ~3x its parameter bytes (the paper's
+        # multihead variant uses d_head 128, Section 4.2).
+        mh = PALM_540B_MULTIHEAD
+        kv = mh.kv_cache_bytes(batch=512, context_len=2048)
+        assert kv == pytest.approx(3e12, rel=0.3)
+        assert kv / mh.weight_bytes(2) == pytest.approx(3.0, rel=0.3)
+
+    def test_attention_flops_linear_in_context(self):
+        cfg = tiny_test_config()
+        assert cfg.attention_flops_per_token(
+            2048) == 2 * cfg.attention_flops_per_token(1024)
+
+    def test_weight_bytes_scale_with_dtype(self):
+        cfg = tiny_test_config()
+        assert cfg.weight_bytes(1) * 2 == cfg.weight_bytes(2)
+
+    def test_ffn_matrix_count(self):
+        assert tiny_test_config(ffn=FfnKind.SWIGLU).ffn_matrices == 3
+        assert tiny_test_config(ffn=FfnKind.MLP).ffn_matrices == 2
+
+    def test_n_kv_heads(self):
+        assert tiny_test_config(
+            attention=AttentionKind.MULTIQUERY).n_kv_heads == 1
+        mh = tiny_test_config(attention=AttentionKind.MULTIHEAD)
+        assert mh.n_kv_heads == mh.n_heads
+
+
+class TestConfigApi:
+    def test_get_model(self):
+        assert get_model("palm-540b") is PALM_540B
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-5")
+
+    def test_replace_makes_variant(self):
+        eight = PALM_540B.replace(n_layers=8)
+        assert eight.n_layers == 8
+        assert PALM_540B.n_layers == 118
+
+    def test_padding_cannot_shrink(self):
+        with pytest.raises(ValueError, match="cannot reduce"):
+            PALM_540B.with_padded_heads(32)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", n_layers=0, d_model=8, d_ff=8,
+                        n_heads=1, d_head=8, vocab_size=10)
+
+    def test_str_mentions_size(self):
+        text = str(PALM_540B)
+        assert "540" in text
+        assert "multiquery" in text

@@ -1,0 +1,178 @@
+"""Tests for the mixture-of-experts extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.mesh import ShardedTensor, VirtualMesh
+from repro.model import FfnKind
+from repro.moe import (
+    MoeSpec,
+    ShardedMoeLayer,
+    init_moe_weights,
+    moe_forward,
+    moe_forward_dispatched,
+    moe_layer_decode_cost,
+    moe_vs_dense_decode,
+    route,
+)
+from repro.sharding import ShardingError
+
+RNG = np.random.default_rng(2)
+SPEC = MoeSpec(d_model=16, d_ff=32, n_experts=4, experts_per_token=2)
+WEIGHTS = init_moe_weights(SPEC, seed=0)
+
+
+class TestSpecAccounting:
+    def test_param_counts(self):
+        assert SPEC.params_per_expert == 3 * 16 * 32
+        assert SPEC.total_params == 4 * SPEC.params_per_expert + 16 * 4
+        assert SPEC.active_params == 2 * SPEC.params_per_expert + 16 * 4
+
+    def test_sparsity_factor_near_experts_over_k(self):
+        assert SPEC.sparsity_factor == pytest.approx(2.0, rel=0.05)
+
+    def test_mlp_variant_two_matrices(self):
+        mlp = MoeSpec(16, 32, 4, 1, ffn=FfnKind.MLP)
+        assert mlp.ffn_matrices == 2
+
+    def test_dense_equivalent_matches_total(self):
+        d_ff = SPEC.dense_equivalent_d_ff()
+        dense_params = SPEC.ffn_matrices * SPEC.d_model * d_ff
+        assert dense_params == pytest.approx(SPEC.total_params, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MoeSpec(16, 32, 0, 1)
+        with pytest.raises(ValueError):
+            MoeSpec(16, 32, 4, 5)
+
+
+class TestRouting:
+    def test_gates_sum_to_one_over_top_k(self):
+        y = RNG.normal(size=(8, 5, SPEC.d_model))
+        gates, chosen = route(SPEC, WEIGHTS, y)
+        np.testing.assert_allclose(gates.sum(-1), 1.0)
+        assert (chosen.sum(-1) == SPEC.experts_per_token).all()
+        assert (gates[~chosen] == 0).all()
+
+    def test_top_1_picks_argmax(self):
+        spec = MoeSpec(16, 32, 4, 1)
+        weights = init_moe_weights(spec, seed=1)
+        y = RNG.normal(size=(6, SPEC.d_model))
+        gates, _ = route(spec, weights, y)
+        logits = y @ weights.router
+        np.testing.assert_array_equal(np.argmax(gates, -1),
+                                      np.argmax(logits, -1))
+        np.testing.assert_allclose(gates.max(-1), 1.0)
+
+    def test_tied_logits_still_pick_exactly_k(self):
+        spec = MoeSpec(4, 8, 4, 2)
+        weights = init_moe_weights(spec, seed=0)
+        weights.router[:] = 0.0  # all experts tie
+        y = RNG.normal(size=(5, 4))
+        gates, chosen = route(spec, weights, y)
+        assert (chosen.sum(-1) == 2).all()
+        np.testing.assert_allclose(gates.sum(-1), 1.0)
+
+
+class TestForward:
+    def test_dense_and_dispatched_agree(self):
+        y = RNG.normal(size=(4, 3, SPEC.d_model))
+        np.testing.assert_allclose(
+            moe_forward(SPEC, WEIGHTS, y),
+            moe_forward_dispatched(SPEC, WEIGHTS, y), rtol=1e-10)
+
+    def test_full_routing_equals_dense_mixture(self):
+        """With k = n_experts, MoE is a softmax-weighted expert mixture."""
+        spec = MoeSpec(16, 32, 4, 4)
+        weights = init_moe_weights(spec, seed=2)
+        y = RNG.normal(size=(2, 2, 16))
+        from repro.model.functional import softmax
+        from repro.moe import expert_ffn
+
+        gates = softmax(y @ weights.router, axis=-1)
+        expected = sum(gates[..., i:i + 1]
+                       * expert_ffn(spec, weights, y, i) for i in range(4))
+        np.testing.assert_allclose(moe_forward(spec, weights, y), expected,
+                                   rtol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6), st.sampled_from([1, 2, 3]))
+    def test_property_dispatch_equivalence(self, seed, k):
+        spec = MoeSpec(8, 16, 4, k)
+        weights = init_moe_weights(spec, seed=seed % 100)
+        y = np.random.default_rng(seed).normal(size=(6, 2, 8))
+        np.testing.assert_allclose(
+            moe_forward(spec, weights, y),
+            moe_forward_dispatched(spec, weights, y),
+            rtol=1e-9, atol=1e-12)
+
+
+class TestShardedMoe:
+    @pytest.mark.parametrize("shape,axes", [((1, 2, 2), ("y", "z")),
+                                            ((1, 4, 1), ("y",)),
+                                            ((2, 2, 1), ("x", "y"))])
+    def test_matches_reference(self, shape, axes):
+        mesh = VirtualMesh(shape)
+        layer = ShardedMoeLayer(WEIGHTS, mesh, expert_axes=axes)
+        y = RNG.normal(size=(4, 3, SPEC.d_model))
+        got = layer.forward(
+            ShardedTensor.from_global(mesh, y, "BLE")).to_global()
+        np.testing.assert_allclose(got, moe_forward(SPEC, WEIGHTS, y),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_weight_memory_divided(self):
+        mesh = VirtualMesh((1, 2, 2))
+        layer = ShardedMoeLayer(WEIGHTS, mesh)
+        assert layer.w_in.per_chip_bytes == WEIGHTS.w_in.nbytes // 4
+
+    def test_batch_sharded_tokens(self):
+        """Tokens may be sharded over non-expert axes (x here)."""
+        mesh = VirtualMesh((2, 2, 1))
+        layer = ShardedMoeLayer(WEIGHTS, mesh, expert_axes=("y",))
+        y = RNG.normal(size=(4, 3, SPEC.d_model))
+        got = layer.forward(
+            ShardedTensor.from_global(mesh, y, "B_xLE")).to_global()
+        np.testing.assert_allclose(got, moe_forward(SPEC, WEIGHTS, y),
+                                   rtol=1e-9)
+
+    def test_validation(self):
+        mesh = VirtualMesh((1, 2, 2))
+        layer = ShardedMoeLayer(WEIGHTS, mesh)
+        bad = ShardedTensor.from_global(
+            mesh, RNG.normal(size=(4, 2, SPEC.d_model)), "B_yLE")
+        with pytest.raises(ShardingError, match="expert axes"):
+            layer.forward(bad)
+        with pytest.raises(ShardingError, match="not divisible"):
+            ShardedMoeLayer(init_moe_weights(MoeSpec(8, 16, 3, 1)), mesh)
+
+
+class TestCosts:
+    BIG = MoeSpec(d_model=18432, d_ff=73728, n_experts=16,
+                  experts_per_token=2)
+    TORUS = Torus3D(4, 4, 4)
+
+    def test_flops_reduction_matches_sparsity(self):
+        cmp = moe_vs_dense_decode(self.BIG, TPU_V4, self.TORUS, 256)
+        assert cmp.flops_reduction == pytest.approx(
+            self.BIG.sparsity_factor, rel=0.02)
+
+    def test_moe_wins_at_compute_bound_batch(self):
+        cmp = moe_vs_dense_decode(self.BIG, TPU_V4, self.TORUS, 512)
+        assert cmp.speedup > 1.0
+
+    def test_memory_bound_regime_is_neutral(self):
+        """At batch 1 both layers are weight-loading bound (same stored
+        bytes), so sparsity buys little — FLOPs are not the bottleneck."""
+        cmp = moe_vs_dense_decode(self.BIG, TPU_V4, self.TORUS, 1)
+        assert cmp.speedup == pytest.approx(1.0, abs=0.2)
+
+    def test_dispatch_scales_with_capacity(self):
+        lean = moe_layer_decode_cost(self.BIG, TPU_V4, self.TORUS, 256,
+                                     capacity_factor=1.0)
+        padded = moe_layer_decode_cost(self.BIG, TPU_V4, self.TORUS, 256,
+                                       capacity_factor=2.0)
+        assert padded.dispatch_s == pytest.approx(2 * lean.dispatch_s)

@@ -1,0 +1,101 @@
+"""Tests for the multi-chip SPMD simulation and straggler analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B_PADDED
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.simulator import (
+    BuildSpec,
+    Program,
+    build_forward_program,
+    simulate,
+)
+from repro.simulator.multichip import (
+    simulate_spmd,
+    straggler_slowdown,
+)
+
+
+def decode_program(n_layers=4):
+    config = PALM_540B_PADDED.replace(n_layers=n_layers)
+    spec = BuildSpec(config,
+                     LayoutPlan(FfnLayoutKind.WS_2D,
+                                AttentionLayoutKind.BATCH),
+                     Torus3D(4, 4, 4), TPU_V4, batch=256, l_new=1,
+                     context_before=2048)
+    return build_forward_program(spec)
+
+
+class TestSpmdSemantics:
+    def test_homogeneous_matches_single_chip(self):
+        prog = decode_program()
+        single = simulate(prog).makespan
+        spmd = simulate_spmd(prog, [1.0] * 8)
+        assert spmd.makespan == pytest.approx(single, rel=1e-9)
+        assert all(w == 0.0 for w in spmd.barrier_wait_s)
+
+    def test_barriers_synchronize(self):
+        prog = Program()
+        a = prog.add("local", "mxu", 1.0)
+        prog.add("collective", "ici", 0.5, (a,))
+        result = simulate_spmd(prog, [1.0, 3.0])
+        # The collective starts when the slow chip (3s) arrives.
+        assert result.makespan == pytest.approx(3.5)
+        assert result.barrier_wait_s[0] == pytest.approx(2.0)
+        assert result.barrier_wait_s[1] == 0.0
+
+    def test_local_only_program_no_coupling(self):
+        prog = Program()
+        prog.add("m", "mxu", 2.0)
+        result = simulate_spmd(prog, [1.0, 2.0])
+        assert result.per_chip_finish == (2.0, 4.0)
+
+    def test_validation(self):
+        prog = Program()
+        prog.add("m", "mxu", 1.0)
+        with pytest.raises(ValueError):
+            simulate_spmd(prog, [])
+        with pytest.raises(ValueError):
+            simulate_spmd(prog, [1.0, 0.0])
+
+
+class TestStragglers:
+    def test_one_slow_chip_slows_everyone(self):
+        prog = decode_program()
+        slowdown = straggler_slowdown(prog, 8, 1.5)
+        # Local work dominates this program, so the slice tracks the
+        # straggler closely.
+        assert 1.2 < slowdown <= 1.5 + 1e-9
+
+    def test_slowdown_bounded_by_factor(self):
+        prog = decode_program()
+        for factor in (1.1, 2.0, 4.0):
+            assert straggler_slowdown(prog, 8, factor) <= factor + 1e-9
+
+    def test_no_straggler_no_slowdown(self):
+        prog = decode_program()
+        assert straggler_slowdown(prog, 8, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_factor(self):
+        prog = decode_program(n_layers=2)
+        values = [straggler_slowdown(prog, 4, f)
+                  for f in (1.0, 1.3, 2.0, 3.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            straggler_slowdown(decode_program(2), 4, 0.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(1.0, 4.0), st.integers(2, 8))
+    def test_property_bounds(self, factor, n_chips):
+        prog = decode_program(n_layers=1)
+        slowdown = straggler_slowdown(prog, n_chips, factor)
+        assert 1.0 - 1e-9 <= slowdown <= factor + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for sequence packing and segment-masked attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import ReferenceTransformer, init_weights, tiny_test_config
+from repro.serving.packing import (
+    pack_prompts,
+    packing_efficiency,
+    padded_efficiency,
+    score_packed,
+)
+
+CFG = tiny_test_config()
+MODEL = ReferenceTransformer(init_weights(CFG, seed=0))
+RNG = np.random.default_rng(0)
+
+
+def prompt(length, seed):
+    return np.random.default_rng(seed).integers(0, CFG.vocab_size,
+                                                size=length)
+
+
+class TestPackPrompts:
+    def test_single_prompt(self):
+        rows = pack_prompts([5], 8)
+        assert len(rows) == 1
+        assert rows[0].prompt_ids == [0]
+        assert rows[0].used == 5
+
+    def test_two_fit_one_row(self):
+        rows = pack_prompts([3, 5], 8)
+        assert len(rows) == 1
+        assert rows[0].used == 8
+
+    def test_first_fit_decreasing_beats_arrival_order(self):
+        # Lengths [6, 5, 3, 2] into capacity 8: FFD packs 2 rows (6+2,
+        # 5+3); naive arrival order would need 3.
+        rows = pack_prompts([6, 5, 3, 2], 8)
+        assert len(rows) == 2
+
+    def test_offsets_are_disjoint(self):
+        lengths = [4, 4, 3, 2, 6, 1]
+        for row in pack_prompts(lengths, 8):
+            spans = sorted(
+                (off, off + lengths[pid])
+                for pid, off in zip(row.prompt_ids, row.offsets))
+            for (a_start, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert a_end <= b_start
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            pack_prompts([9], 8)
+        with pytest.raises(ValueError):
+            pack_prompts([1], 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=20),
+           st.integers(16, 32))
+    def test_property_all_prompts_packed_once(self, lengths, capacity):
+        rows = pack_prompts(lengths, capacity)
+        packed = sorted(pid for row in rows for pid in row.prompt_ids)
+        assert packed == list(range(len(lengths)))
+        for row in rows:
+            assert row.used <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 16), min_size=2, max_size=20))
+    def test_property_packing_at_least_as_efficient_as_padding(
+            self, lengths):
+        capacity = max(lengths)
+        assert packing_efficiency(lengths, capacity) >= \
+            padded_efficiency(lengths) - 1e-12
+
+
+class TestForwardPacked:
+    def test_matches_individual_forward(self):
+        prompts = [prompt(4, 1), prompt(3, 2), prompt(5, 3)]
+        packed_logits = score_packed(MODEL, prompts, capacity=8)
+        for p, got in zip(prompts, packed_logits):
+            solo = MODEL.forward(p[None, :], MODEL.new_cache(1, len(p)))[0]
+            np.testing.assert_allclose(got, solo, rtol=1e-9, atol=1e-12)
+
+    def test_padding_tokens_do_not_leak(self):
+        """Scores are independent of the pad token value."""
+        prompts = [prompt(3, 4), prompt(2, 5)]
+        a = score_packed(MODEL, prompts, capacity=8, pad_token=0)
+        b = score_packed(MODEL, prompts, capacity=8, pad_token=7)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y)
+
+    def test_neighbours_do_not_leak(self):
+        """A prompt's scores are independent of what it is packed with."""
+        target = prompt(4, 6)
+        alone = score_packed(MODEL, [target], capacity=8)[0]
+        packed = score_packed(MODEL, [prompt(4, 7), target], capacity=8)
+        np.testing.assert_allclose(packed[1], alone, rtol=1e-9)
+
+    def test_positions_restart_per_segment(self):
+        """Two copies of the same prompt in one row score identically."""
+        p = prompt(3, 8)
+        scores = score_packed(MODEL, [p, p], capacity=8)
+        np.testing.assert_allclose(scores[0], scores[1], rtol=1e-12)
+
+    def test_validation(self):
+        tokens = np.zeros((1, 4), dtype=int)
+        with pytest.raises(ValueError, match="match tokens"):
+            MODEL.forward_packed(tokens, np.zeros((1, 3), dtype=int))
+        with pytest.raises(ValueError, match="contiguous"):
+            MODEL.forward_packed(tokens,
+                                 np.array([[0, 1, 0, 1]]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=5),
+           st.integers(0, 10**6))
+    def test_property_packed_equals_solo(self, lengths, seed):
+        prompts = [np.random.default_rng(seed + i).integers(
+            0, CFG.vocab_size, size=n) for i, n in enumerate(lengths)]
+        packed = score_packed(MODEL, prompts, capacity=max(8,
+                                                           max(lengths)))
+        for p, got in zip(prompts, packed):
+            solo = MODEL.forward(p[None, :], MODEL.new_cache(1, len(p)))[0]
+            np.testing.assert_allclose(got, solo, rtol=1e-8, atol=1e-11)

@@ -1,0 +1,107 @@
+"""Tests for the pipeline-parallelism model."""
+
+import pytest
+
+from repro.hardware import A100_80GB, TPU_V4, Torus3D
+from repro.model import MEGATRON_530B, PALM_540B_PADDED
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+from repro.perf.pipeline import (
+    pipeline_decode_step_cost,
+    pipeline_prefill_cost,
+)
+
+TP_PLAN = LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.HEAD)
+STAGE_TORUS = Torus3D(1, 1, 8)
+
+
+def prefill(stages, batch=32, microbatches=None, **kwargs):
+    return pipeline_prefill_cost(
+        MEGATRON_530B, A100_80GB, STAGE_TORUS, stages, batch, 128,
+        TP_PLAN, microbatches=microbatches, **kwargs)
+
+
+class TestPrefill:
+    def test_single_stage_matches_plain_estimator(self):
+        cost = pipeline_prefill_cost(MEGATRON_530B, A100_80GB,
+                                     STAGE_TORUS, 1, 8, 128, TP_PLAN,
+                                     microbatches=1)
+        plain = InferenceEstimator(MEGATRON_530B, A100_80GB,
+                                   STAGE_TORUS).prefill_cost(TP_PLAN, 8,
+                                                             128)
+        assert cost.total_s == pytest.approx(plain.time_s)
+        assert cost.bubble_fraction == 0.0
+
+    def test_bubble_fraction_formula(self):
+        cost = prefill(stages=3, batch=16, microbatches=16)
+        assert cost.bubble_fraction == pytest.approx(2 / 18)
+
+    def test_more_microbatches_shrink_the_bubble(self):
+        few = prefill(stages=3, batch=32, microbatches=2)
+        many = prefill(stages=3, batch=32, microbatches=32)
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_deep_pipeline_at_batch_one_is_mostly_bubble(self):
+        cost = prefill(stages=5, batch=1, microbatches=1)
+        assert cost.bubble_fraction == pytest.approx(4 / 5)
+
+    def test_layer_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            prefill(stages=4)  # 105 layers % 4 != 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prefill(stages=0)
+        with pytest.raises(ValueError):
+            prefill(stages=3, batch=4, microbatches=8)
+
+
+class TestDecode:
+    def test_stages_serialize(self):
+        one = pipeline_decode_step_cost(MEGATRON_530B, A100_80GB,
+                                        STAGE_TORUS, 1, 8, 128, TP_PLAN)
+        three = pipeline_decode_step_cost(MEGATRON_530B, A100_80GB,
+                                          STAGE_TORUS, 3, 8, 128, TP_PLAN)
+        # Per-stage work shrinks ~3x but three stages run in series plus
+        # transfers: decode latency cannot improve much.
+        assert three.total_s > one.total_s * 0.9
+        assert three.stage_time_s < one.stage_time_s
+
+    def test_no_bubble_in_decode(self):
+        cost = pipeline_decode_step_cost(MEGATRON_530B, A100_80GB,
+                                         STAGE_TORUS, 3, 8, 128, TP_PLAN)
+        assert cost.bubble_fraction == 0.0
+
+
+class TestPaperNarrative:
+    def test_ft_pp3_tp8_slower_than_tp32_at_small_batch(self):
+        """Appendix D: at small batch PP3/TP8 (24 GPUs) trails TP32 —
+        the pipeline's serial decode and bubble waste its extra chips."""
+        tp32 = InferenceEstimator(MEGATRON_530B, A100_80GB,
+                                  Torus3D(1, 1, 32))
+        tp32_total = (tp32.prefill_cost(TP_PLAN, 2, 20).time_s
+                      + tp32.generate_cost(TP_PLAN, 2, 20, 8).total_s)
+        pp_pre = pipeline_prefill_cost(MEGATRON_530B, A100_80GB,
+                                       STAGE_TORUS, 3, 2, 20, TP_PLAN,
+                                       microbatches=2)
+        pp_dec = pipeline_decode_step_cost(MEGATRON_530B, A100_80GB,
+                                           STAGE_TORUS, 3, 2, 20, TP_PLAN)
+        pp_total = pp_pre.total_s + 8 * pp_dec.total_s
+        assert pp_total > tp32_total
+
+    def test_tpu_2d_needs_no_pipeline(self):
+        """The paper's 64-way 2D layout outperforms adding a pipeline
+        dimension on the same chip count for decode latency."""
+        flat = InferenceEstimator(
+            PALM_540B_PADDED, TPU_V4, Torus3D(4, 4, 4)).decode_step_cost(
+                LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH),
+                64, 2048)
+        piped = pipeline_decode_step_cost(
+            PALM_540B_PADDED.replace(n_layers=118), TPU_V4,
+            Torus3D(4, 4, 2), 2, 64, 2048,
+            LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH))
+        assert flat.time_s < piped.total_s

@@ -1,0 +1,237 @@
+"""Tests for int8 weight quantization (Section 3.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import init_weights, tiny_test_config
+from repro.quant import (
+    INT8_MAX,
+    model_weight_bytes,
+    quantization_error,
+    quantize,
+    quantize_model_weights,
+    quantized_matmul,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        w = RNG.normal(size=(64, 32))
+        q = quantize(w, axis=1)
+        step = np.max(np.abs(w), axis=0) / INT8_MAX
+        err = np.abs(q.dequantize() - w)
+        assert (err <= step / 2 + 1e-12).all()
+
+    def test_values_are_int8_in_range(self):
+        q = quantize(RNG.normal(size=(16, 16)) * 100)
+        assert q.values.dtype == np.int8
+        assert q.values.min() >= -INT8_MAX
+        assert q.values.max() <= INT8_MAX
+
+    def test_zero_channel_is_exact(self):
+        w = RNG.normal(size=(8, 4))
+        w[:, 2] = 0.0
+        q = quantize(w, axis=1)
+        np.testing.assert_array_equal(q.dequantize()[:, 2], 0.0)
+
+    def test_scale_invariance_per_channel(self):
+        """Scaling one output channel only rescales that channel."""
+        w = RNG.normal(size=(8, 4))
+        w2 = w.copy()
+        w2[:, 1] *= 1000.0
+        q1, q2 = quantize(w, 1), quantize(w2, 1)
+        np.testing.assert_array_equal(q1.values[:, 1], q2.values[:, 1])
+        np.testing.assert_array_equal(q1.values[:, 0], q2.values[:, 0])
+
+    def test_storage_is_quarter_of_float32(self):
+        w = RNG.normal(size=(256, 256)).astype(np.float32)
+        q = quantize(w)
+        assert q.nbytes < w.nbytes / 4 + q.scales.nbytes + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1_000_000))
+    def test_property_error_small_relative_to_range(self, seed):
+        w = np.random.default_rng(seed).normal(size=(16, 8))
+        err = quantization_error(w)
+        assert err <= np.abs(w).max() / INT8_MAX + 1e-12
+
+
+class TestQuantizedMatmul:
+    def test_matches_dequantized_matmul_output_channel_scales(self):
+        x = RNG.normal(size=(4, 32))
+        w = RNG.normal(size=(32, 16))
+        q = quantize(w, axis=1)
+        np.testing.assert_allclose(quantized_matmul(x, q),
+                                   x @ q.dequantize(), rtol=1e-10)
+
+    def test_matches_dequantized_matmul_input_channel_scales(self):
+        x = RNG.normal(size=(4, 32))
+        w = RNG.normal(size=(32, 16))
+        q = quantize(w, axis=0)
+        np.testing.assert_allclose(quantized_matmul(x, q),
+                                   x @ q.dequantize(), rtol=1e-10)
+
+    def test_accuracy_against_float(self):
+        x = RNG.normal(size=(8, 64))
+        w = RNG.normal(size=(64, 64)) * 0.02
+        rel = (np.linalg.norm(quantized_matmul(x, quantize(w)) - x @ w)
+               / np.linalg.norm(x @ w))
+        assert rel < 0.01  # "no noticeable quality loss" at the macro level
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            quantized_matmul(RNG.normal(size=(2, 2)),
+                             quantize(RNG.normal(size=(2, 2, 2))))
+
+
+class TestModelQuantization:
+    def test_quantizes_every_projection(self):
+        cfg = tiny_test_config()
+        weights = init_weights(cfg)
+        q = quantize_model_weights(weights)
+        assert set(q.keys()) == set(range(cfg.n_layers))
+        for per_layer in q.values():
+            assert {"wq", "wk", "wv", "wo", "w_in", "w_gate",
+                    "w_out"} == set(per_layer)
+
+    def test_mlp_model_has_no_gate(self):
+        from repro.model import FfnKind
+
+        weights = init_weights(tiny_test_config(ffn=FfnKind.MLP))
+        q = quantize_model_weights(weights)
+        assert "w_gate" not in q[0]
+
+    def test_memory_roughly_one_byte_per_param(self):
+        # Per-channel scale overhead shrinks with the channel length; use
+        # a d_model large enough for the ~1 byte/param regime.
+        cfg = tiny_test_config(d_model=128, d_ff=256, n_heads=4, d_head=32)
+        weights = init_weights(cfg)
+        q = quantize_model_weights(weights)
+        body_params = cfg.n_layers * cfg.params_per_layer
+        total = model_weight_bytes(q)
+        assert body_params <= total <= 1.2 * body_params
+
+
+class TestActivationQuantization:
+    """Section 3.6 future work: dynamic per-token int8 activations."""
+
+    def test_roundtrip_error_small(self):
+        from repro.quant import activation_roundtrip_error
+
+        x = RNG.normal(size=(4, 8, 64))
+        assert activation_roundtrip_error(x) <= 1.0 / INT8_MAX + 1e-12
+
+    def test_per_token_scales(self):
+        from repro.quant import quantize_activations
+
+        x = RNG.normal(size=(4, 16))
+        x[2] *= 100.0  # one loud token must not degrade the others
+        q = quantize_activations(x)
+        deq = q.dequantize()
+        for row in (0, 1, 3):
+            np.testing.assert_allclose(deq[row], x[row], atol=np.abs(
+                x[row]).max() / INT8_MAX + 1e-12)
+
+    def test_rejects_1d(self):
+        from repro.quant import quantize_activations
+
+        with pytest.raises(ValueError):
+            quantize_activations(np.ones(8))
+
+    def test_halves_comm_volume_in_estimator(self):
+        """act_dtype_bytes=1 halves weight-stationary activation comm —
+        the paper's hoped-for benefit."""
+        from repro.hardware import TPU_V4, Torus3D
+        from repro.model import PALM_540B_PADDED
+        from repro.partitioning import (
+            AttentionLayoutKind,
+            FfnLayoutKind,
+            LayoutPlan,
+        )
+        from repro.perf import InferenceEstimator
+
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+        torus = Torus3D(4, 4, 4)
+        bf16 = InferenceEstimator(PALM_540B_PADDED, TPU_V4, torus,
+                                  act_dtype_bytes=2)
+        int8 = InferenceEstimator(PALM_540B_PADDED, TPU_V4, torus,
+                                  act_dtype_bytes=1)
+        c2 = bf16.decode_step_cost(plan, 512, 2048)
+        c1 = int8.decode_step_cost(plan, 512, 2048)
+        assert c1.comm_s == pytest.approx(c2.comm_s / 2, rel=1e-6)
+        assert c1.time_s < c2.time_s
+
+
+class TestNbitQuantization:
+    """The cited 4-bit direction (Abdolrashidi et al., 2021)."""
+
+    def test_int8_special_case_matches_quantize(self):
+        from repro.quant import quantize_nbit
+
+        w = RNG.normal(size=(16, 8))
+        np.testing.assert_array_equal(quantize_nbit(w, 8).values,
+                                      quantize(w).values)
+
+    def test_error_grows_as_bits_shrink(self):
+        from repro.quant import quantize_nbit
+
+        w = RNG.normal(size=(64, 32))
+        errors = []
+        for bits in (8, 6, 4, 2):
+            q = quantize_nbit(w, bits)
+            errors.append(float(np.abs(q.dequantize() - w).max()))
+        assert errors == sorted(errors)
+
+    def test_int4_grid(self):
+        from repro.quant import quantize_nbit
+
+        q = quantize_nbit(RNG.normal(size=(8, 8)) * 50, 4)
+        assert q.values.min() >= -7
+        assert q.values.max() <= 7
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.quant import pack_int4, quantize_nbit, unpack_int4
+
+        w = RNG.normal(size=(16, 8))
+        q = quantize_nbit(w, 4)
+        packed = pack_int4(q.values)
+        assert packed.nbytes == q.values.size // 2  # real 4-bit storage
+        np.testing.assert_array_equal(unpack_int4(packed, q.values.shape),
+                                      q.values)
+
+    def test_pack_validation(self):
+        from repro.quant import pack_int4
+
+        with pytest.raises(ValueError, match="even"):
+            pack_int4(np.zeros(3, dtype=np.int8))
+        with pytest.raises(ValueError, match="int4 grid"):
+            pack_int4(np.array([8, 0], dtype=np.int8))
+        from repro.quant import quantize_nbit
+
+        with pytest.raises(ValueError):
+            quantize_nbit(np.zeros((2, 2)), 1)
+
+    def test_int4_estimator_halves_int8_weight_time(self):
+        from repro.hardware import TPU_V4, Torus3D
+        from repro.model import PALM_540B_PADDED
+        from repro.partitioning import (
+            AttentionLayoutKind,
+            FfnLayoutKind,
+            LayoutPlan,
+        )
+        from repro.perf import InferenceEstimator
+
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+        torus = Torus3D(4, 4, 4)
+        int8 = InferenceEstimator(PALM_540B_PADDED, TPU_V4, torus,
+                                  weight_dtype_bytes=1)
+        int4 = InferenceEstimator(PALM_540B_PADDED, TPU_V4, torus,
+                                  weight_dtype_bytes=0.5)
+        a = int8.decode_step_cost(plan, 4, 2048)
+        b = int4.decode_step_cost(plan, 4, 2048)
+        assert b.weight_load_s == pytest.approx(a.weight_load_s / 2)
+        assert b.time_s <= a.time_s

@@ -1,0 +1,157 @@
+"""Tests for the ring-algorithm collectives (Appendix A.1's mechanism).
+
+These verify that the neighbor-exchange constructions (a) compute the
+same results as the direct group implementations in ``repro.mesh.ops``
+and (b) exhibit exactly the step counts and per-chip traffic the paper's
+cost model assumes: ``K - 1`` steps moving ``D * (K-1)/K`` bytes for an
+all-gather of per-chip output ``D``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.ring import (
+    collective_permute,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+)
+from repro.mesh import (
+    ShardedTensor,
+    VirtualMesh,
+    all_gather,
+    all_reduce,
+    reduce_scatter,
+)
+from repro.sharding import ShardingError, parse
+
+RNG = np.random.default_rng(0)
+
+
+def partial_tensor(mesh, x, axis):
+    spec = parse("BE").with_partial_sum((axis,))
+    k = mesh.axis_size(axis)
+    rng = np.random.default_rng(1)
+    pieces = rng.dirichlet(np.ones(k))  # unequal contributions per rank
+
+    def make(coord):
+        rank = mesh.coords_on(coord, (axis,))[0]
+        return x * pieces[rank]
+
+    return ShardedTensor(mesh, spec, x.shape, mesh.map_devices(make))
+
+
+class TestCollectivePermute:
+    def test_shift_moves_buffers(self):
+        mesh = VirtualMesh((1, 4, 1))
+        shards = mesh.map_devices(lambda c: np.array([float(c[1])]))
+        shifted = collective_permute(mesh, shards, "y", shift=1)
+        for j in range(4):
+            assert shifted[0, j, 0][0] == (j - 1) % 4
+
+    def test_full_cycle_is_identity(self):
+        mesh = VirtualMesh((1, 4, 1))
+        shards = mesh.map_devices(lambda c: np.array([float(c[1])]))
+        out = shards
+        for _ in range(4):
+            out = collective_permute(mesh, out, "y", shift=1)
+        for coord in mesh.devices():
+            np.testing.assert_array_equal(out[coord], shards[coord])
+
+    def test_unknown_axis(self):
+        mesh = VirtualMesh((2, 2, 2))
+        with pytest.raises(ShardingError):
+            collective_permute(mesh, mesh.empty_shards(), "q")
+
+
+@pytest.mark.parametrize("axis,shape", [("y", (1, 4, 1)), ("z", (1, 1, 8)),
+                                        ("x", (2, 2, 2))])
+class TestRingAllGather:
+    def test_matches_direct(self, axis, shape):
+        mesh = VirtualMesh(shape)
+        x = RNG.normal(size=(4, 8 * mesh.axis_size(axis)))
+        t = ShardedTensor.from_global(mesh, x, f"BE_{axis}")
+        direct = all_gather(t, (axis,), "E")
+        ring, stats = ring_all_gather(t, axis, "E")
+        assert ring.spec == direct.spec
+        for coord in mesh.devices():
+            np.testing.assert_allclose(ring.shards[coord],
+                                       direct.shards[coord])
+
+    def test_step_count_and_traffic(self, axis, shape):
+        mesh = VirtualMesh(shape)
+        k = mesh.axis_size(axis)
+        x = RNG.normal(size=(4, 8 * k))
+        t = ShardedTensor.from_global(mesh, x, f"BE_{axis}")
+        out, stats = ring_all_gather(t, axis, "E")
+        assert stats.steps == k - 1
+        # Per-chip traffic = (K-1)/K x the per-chip *output* bytes.
+        expected = out.per_chip_bytes * (k - 1) // k
+        assert stats.bytes_sent_per_chip == expected
+
+
+@pytest.mark.parametrize("axis,shape", [("y", (1, 4, 1)), ("z", (1, 1, 8)),
+                                        ("x", (2, 2, 2))])
+class TestRingReduceScatter:
+    def test_matches_direct(self, axis, shape):
+        mesh = VirtualMesh(shape)
+        k = mesh.axis_size(axis)
+        x = RNG.normal(size=(4, 8 * k))
+        t = partial_tensor(mesh, x, axis)
+        direct = reduce_scatter(t, (axis,), "E")
+        ring, _ = ring_reduce_scatter(t, axis, "E")
+        assert ring.spec == direct.spec
+        for coord in mesh.devices():
+            np.testing.assert_allclose(ring.shards[coord],
+                                       direct.shards[coord])
+
+    def test_traffic_matches_cost_model(self, axis, shape):
+        mesh = VirtualMesh(shape)
+        k = mesh.axis_size(axis)
+        x = RNG.normal(size=(4, 8 * k))
+        t = partial_tensor(mesh, x, axis)
+        _, stats = ring_reduce_scatter(t, axis, "E")
+        assert stats.steps == k - 1
+        # Per-chip traffic = (K-1)/K x the per-chip *input* bytes.
+        expected = t.per_chip_bytes * (k - 1) // k
+        assert stats.bytes_sent_per_chip == expected
+
+
+class TestRingAllReduce:
+    def test_matches_direct(self):
+        mesh = VirtualMesh((1, 4, 1))
+        x = RNG.normal(size=(4, 16))
+        t = partial_tensor(mesh, x, "y")
+        direct = all_reduce(t, ("y",))
+        ring, stats = ring_all_reduce(t, "y", "E")
+        assert ring.spec == direct.spec
+        for coord in mesh.devices():
+            np.testing.assert_allclose(ring.shards[coord],
+                                       direct.shards[coord])
+        assert stats.steps == 2 * (4 - 1)
+
+    def test_total_equals_global_sum(self):
+        mesh = VirtualMesh((1, 1, 4))
+        x = RNG.normal(size=(2, 8))
+        t = partial_tensor(mesh, x, "z")
+        ring, _ = ring_all_reduce(t, "z", "E")
+        np.testing.assert_allclose(ring.to_global(), x)
+
+    def test_requires_partial_sum(self):
+        mesh = VirtualMesh((1, 4, 1))
+        t = ShardedTensor.from_global(mesh, RNG.normal(size=(4, 8)), "BE")
+        with pytest.raises(ShardingError, match="partial-sum"):
+            ring_reduce_scatter(t, "y", "E")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.sampled_from([2, 4, 8]))
+def test_property_ring_roundtrip(seed, k):
+    """reduce-scatter then all-gather over a ring == all-reduce == sum."""
+    mesh = VirtualMesh((1, k, 1))
+    x = np.random.default_rng(seed).normal(size=(2, 4 * k))
+    t = partial_tensor(mesh, x, "y")
+    out, _ = ring_all_reduce(t, "y", "E")
+    np.testing.assert_allclose(out.to_global(), x, rtol=1e-9)

@@ -1,0 +1,134 @@
+"""Tests for the serving layer (two-phase recipe, scheduler)."""
+
+import numpy as np
+import pytest
+
+from repro.model import ReferenceTransformer, init_weights, tiny_test_config
+from repro.serving import (
+    InferenceEngine,
+    Request,
+    TwoPhaseServer,
+    group_requests,
+    merge_caches,
+)
+
+CFG = tiny_test_config()
+
+
+def model(seed=0):
+    return ReferenceTransformer(init_weights(CFG, seed=seed))
+
+
+def make_request(rid, length, n_new=4, seed=None):
+    rng = np.random.default_rng(seed if seed is not None else rid)
+    return Request(rid, rng.integers(0, CFG.vocab_size, size=length),
+                   n_new)
+
+
+class TestRequests:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1D"):
+            Request(0, np.zeros((2, 2), dtype=int), 4)
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            Request(0, np.zeros(3, dtype=int), 0)
+
+
+class TestScheduler:
+    def test_groups_by_length(self):
+        requests = [make_request(0, 4), make_request(1, 6),
+                    make_request(2, 4)]
+        groups = group_requests(requests, max_batch=8)
+        assert [len(g) for g in groups] == [2, 1]
+        assert {r.request_id for r in groups[0]} == {0, 2}
+
+    def test_respects_max_batch(self):
+        requests = [make_request(i, 4) for i in range(10)]
+        groups = group_requests(requests, max_batch=4)
+        assert [len(g) for g in groups] == [4, 4, 2]
+
+    def test_preserves_order_within_group(self):
+        requests = [make_request(i, 4) for i in range(5)]
+        groups = group_requests(requests, max_batch=8)
+        assert [r.request_id for r in groups[0]] == [0, 1, 2, 3, 4]
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            group_requests([], 0)
+
+
+class TestMergeCaches:
+    def test_merge_concatenates_batch(self):
+        m = model()
+        p1 = np.array([[1, 2, 3]])
+        p2 = np.array([[4, 5, 6]])
+        _, c1 = m.prefill(p1, 8)
+        _, c2 = m.prefill(p2, 8)
+        merged = merge_caches([c1, c2])
+        assert merged[0].k.shape[0] == 2
+        assert merged[0].length == 3
+        np.testing.assert_array_equal(merged[0].k[0], c1[0].k[0])
+        np.testing.assert_array_equal(merged[0].k[1], c2[0].k[0])
+
+    def test_mismatched_lengths_rejected(self):
+        m = model()
+        _, c1 = m.prefill(np.array([[1, 2, 3]]), 8)
+        _, c2 = m.prefill(np.array([[1, 2]]), 8)
+        with pytest.raises(ValueError, match="group requests by length"):
+            merge_caches([c1, c2])
+
+
+class TestTwoPhaseServer:
+    def test_matches_direct_batched_generation(self):
+        """The paper's pipelined recipe is a pure scheduling change: the
+        generated tokens must equal ordinary batched greedy decoding."""
+        m = model()
+        rng = np.random.default_rng(0)
+        prompts = rng.integers(0, CFG.vocab_size, size=(3, 5))
+        direct = m.generate(prompts, n_steps=4)
+
+        server = TwoPhaseServer(m, decode_batch=8)
+        requests = [Request(i, prompts[i], 4) for i in range(3)]
+        completions = server.serve(requests)
+        for i, completion in enumerate(completions):
+            np.testing.assert_array_equal(completion.tokens, direct[i])
+        assert server.prefill_count == 3
+        assert server.decode_batches == 1
+
+    def test_mixed_lengths_and_budgets(self):
+        m = model()
+        requests = [make_request(0, 4, n_new=3), make_request(1, 6, n_new=5),
+                    make_request(2, 4, n_new=2)]
+        completions = TwoPhaseServer(m, decode_batch=4).serve(requests)
+        assert [c.request_id for c in completions] == [0, 1, 2]
+        assert [len(c.tokens) for c in completions] == [7, 11, 6]
+        assert [c.n_generated for c in completions] == [3, 5, 2]
+
+    def test_completion_matches_solo_generation(self):
+        """Sharing a decode batch must not change any request's output."""
+        m = model()
+        requests = [make_request(i, 5, n_new=4) for i in range(4)]
+        batched = TwoPhaseServer(m, decode_batch=4).serve(requests)
+        for request, completion in zip(requests, batched):
+            solo = m.generate(request.prompt[None, :], 4)[0]
+            np.testing.assert_array_equal(completion.tokens, solo)
+
+    def test_generated_property(self):
+        m = model()
+        completion = TwoPhaseServer(m).serve([make_request(0, 4, 3)])[0]
+        assert len(completion.generated) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoPhaseServer(model(), decode_batch=0)
+
+
+class TestInferenceEngine:
+    def test_reproducible_sampling(self):
+        from repro.model import make_sampler
+
+        prompts = np.array([[1, 2, 3, 4]])
+        a = InferenceEngine(model(), make_sampler(top_k=4),
+                            seed=1).generate(prompts, 5)
+        b = InferenceEngine(model(), make_sampler(top_k=4),
+                            seed=1).generate(prompts, 5)
+        np.testing.assert_array_equal(a, b)

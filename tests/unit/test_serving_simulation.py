@@ -1,0 +1,138 @@
+"""Tests for the request-level serving simulation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B, PALM_540B_PADDED, PALM_62B
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf import InferenceEstimator
+from repro.serving.simulation import (
+    ServerConfig,
+    WorkloadSpec,
+    batch_service_time,
+    poisson_arrivals,
+    simulate_serving,
+)
+
+WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+WS2D_BATCH = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+WORKLOAD = WorkloadSpec(input_len=128, gen_len=16)
+
+
+def estimator():
+    return InferenceEstimator(PALM_62B, TPU_V4, Torus3D(2, 2, 4),
+                              weight_dtype_bytes=1)
+
+
+def config(max_batch=8, max_wait_s=0.0):
+    return ServerConfig(max_batch=max_batch, max_wait_s=max_wait_s,
+                        prefill_plan=WS2D_HEAD, decode_plan=WS2D_BATCH)
+
+
+class TestArrivals:
+    def test_seeded_and_sorted(self):
+        a = poisson_arrivals(10, 100, seed=1)
+        b = poisson_arrivals(10, 100, seed=1)
+        assert a == b
+        assert a == sorted(a)
+        assert all(0 <= t < 100 for t in a)
+
+    def test_rate_roughly_respected(self):
+        arrivals = poisson_arrivals(20, 500, seed=0)
+        assert len(arrivals) == pytest.approx(10_000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 10)
+
+
+class TestSimulation:
+    def test_all_requests_served_in_order(self):
+        arrivals = poisson_arrivals(2, 50, seed=3)
+        report = simulate_serving(estimator(), config(), WORKLOAD,
+                                  arrivals)
+        assert report.completed == len(arrivals)
+        finishes = [r.finish_s for r in report.records]
+        assert finishes == sorted(finishes)
+        for r in report.records:
+            assert r.finish_s > r.start_s >= r.arrival_s
+
+    def test_low_load_latency_near_service_time(self):
+        solo = batch_service_time(estimator(), config(), WORKLOAD, 1)
+        report = simulate_serving(estimator(), config(), WORKLOAD,
+                                  [0.0, 100.0, 200.0])
+        assert report.mean_latency_s == pytest.approx(solo, rel=0.05)
+
+    def test_latency_grows_with_load(self):
+        est = estimator()
+        low = simulate_serving(est, config(), WORKLOAD,
+                               poisson_arrivals(0.5, 200, seed=5))
+        high = simulate_serving(est, config(), WORKLOAD,
+                                poisson_arrivals(8, 200, seed=5))
+        assert high.latency_percentile(95) > low.latency_percentile(95)
+        assert high.mean_batch > low.mean_batch
+
+    def test_larger_batches_raise_capacity(self):
+        """Throughput capacity (requests per busy-second) improves with
+        batch size — the paper's core batching economics."""
+        est = estimator()
+        per_request_time = {
+            b: batch_service_time(est, config(), WORKLOAD, b) / b
+            for b in (1, 8, 64)}
+        assert per_request_time[64] < per_request_time[8] \
+            < per_request_time[1]
+
+    def test_deadline_policy_trades_latency_for_batching(self):
+        est = estimator()
+        arrivals = poisson_arrivals(4, 100, seed=7)
+        eager = simulate_serving(est, config(max_wait_s=0.0), WORKLOAD,
+                                 arrivals)
+        patient = simulate_serving(est, config(max_wait_s=2.0), WORKLOAD,
+                                   arrivals)
+        assert patient.mean_batch >= eager.mean_batch
+        assert patient.utilization <= eager.utilization + 1e-9
+
+    def test_overload_queues_grow(self):
+        """Offered load beyond capacity shows up as unbounded queueing."""
+        est = estimator()
+        solo = batch_service_time(est, config(max_batch=1), WORKLOAD, 1)
+        overload_rate = 3.0 / solo  # 3x a batch-1 server's capacity
+        report = simulate_serving(
+            est, config(max_batch=1), WORKLOAD,
+            poisson_arrivals(overload_rate, solo * 60, seed=9))
+        early = report.records[: report.completed // 4]
+        late = report.records[-report.completed // 4:]
+        assert np.mean([r.queueing_s for r in late]) > \
+            np.mean([r.queueing_s for r in early])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_serving(estimator(), config(max_batch=0), WORKLOAD,
+                             [0.0])
+
+    def test_empty_arrivals(self):
+        report = simulate_serving(estimator(), config(), WORKLOAD, [])
+        assert report.completed == 0
+        assert report.utilization == 0.0
+
+
+class TestPaperScenario:
+    def test_chatbot_fleet_meets_interactive_latency(self):
+        """A 64-chip PaLM 540B server at moderate load keeps p95 within a
+        few seconds per turn — the Section 1 chatbot scenario."""
+        est = InferenceEstimator(PALM_540B_PADDED, TPU_V4,
+                                 Torus3D(4, 4, 4), weight_dtype_bytes=1,
+                                 mfu_params=PALM_540B.n_params)
+        workload = WorkloadSpec(input_len=64, gen_len=64)
+        cfg = ServerConfig(max_batch=64, max_wait_s=0.2,
+                           prefill_plan=WS2D_HEAD,
+                           decode_plan=WS2D_BATCH)
+        report = simulate_serving(est, cfg, workload,
+                                  poisson_arrivals(5, 120, seed=0))
+        assert report.latency_percentile(95) < 8.0
+        assert report.completed > 500

@@ -1,0 +1,157 @@
+"""Tests for the Section 3.1 partitioning notation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware import Mesh
+from repro.sharding import ShardingError, ShardSpec, parse
+
+
+MESH = Mesh(2, 4, 8)
+
+
+class TestParse:
+    def test_fully_sharded_last_dim(self):
+        spec = parse("BLE_xyz")
+        assert spec.dims == ("B", "L", "E")
+        assert spec.axes == ((), (), ("x", "y", "z"))
+        assert spec.partial_sum == ()
+
+    def test_2d_weight_layout(self):
+        spec = parse("E_x F_yz")
+        assert spec.dims == ("E", "F")
+        assert spec.axes == (("x",), ("y", "z"))
+
+    def test_whitespace_is_optional(self):
+        assert parse("E_xF_yz") == parse("E_x F_yz")
+
+    def test_partial_sum_suffix(self):
+        spec = parse("BLE_yz (partialsum-x)")
+        assert spec.axes == ((), (), ("y", "z"))
+        assert spec.partial_sum == ("x",)
+
+    def test_partial_sum_multiple_axes(self):
+        spec = parse("BLE (partialsum-yz)")
+        assert spec.partial_sum == ("y", "z")
+
+    def test_roundtrip_through_str(self):
+        for text in ["BLE_xyz", "E_xF_yz", "BLE_yz (partialsum-x)",
+                     "B_xLHQ", "BLHQ"]:
+            spec = parse(text)
+            assert parse(str(spec)) == spec
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ShardingError):
+            parse("lower")
+        with pytest.raises(ShardingError):
+            parse("")
+
+    def test_rejects_duplicate_axis(self):
+        with pytest.raises(ShardingError, match="more than once"):
+            parse("B_xL_xE")
+
+    def test_rejects_duplicate_dim(self):
+        with pytest.raises(ShardingError, match="duplicate dim"):
+            parse("BB")
+
+    def test_rejects_axis_in_both_shard_and_partialsum(self):
+        with pytest.raises(ShardingError, match="more than once"):
+            parse("BLE_x (partialsum-x)")
+
+
+class TestLocalShapes:
+    def test_basic_division(self):
+        spec = parse("BLE_xyz")
+        assert spec.local_shape((8, 16, 64), MESH) == (8, 16, 1)
+
+    def test_2d_split(self):
+        spec = parse("E_x F_yz")
+        assert spec.local_shape((32, 64), MESH) == (16, 2)
+
+    def test_indivisible_raises(self):
+        spec = parse("E_x F_yz")
+        with pytest.raises(ShardingError, match="not divisible"):
+            spec.local_shape((32, 33), MESH)
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ShardingError, match="dims"):
+            parse("BLE").local_shape((2, 3), MESH)
+
+    def test_sharding_factor(self):
+        spec = parse("E_x F_yz")
+        assert spec.sharding_factor("E", MESH) == 2
+        assert spec.sharding_factor("F", MESH) == 32
+
+    def test_replication_factor(self):
+        assert parse("BLE").replication_factor(MESH) == 64
+        assert parse("BLE_xyz").replication_factor(MESH) == 1
+        assert parse("BLE_x").replication_factor(MESH) == 32
+        assert parse("BLE_yz (partialsum-x)").replication_factor(MESH) == 1
+
+    def test_num_shards(self):
+        assert parse("BLE_yz").num_shards(MESH) == 32
+
+
+class TestAlgebra:
+    def test_with_dim_axes(self):
+        spec = parse("BLE_xyz").with_dim_axes("E", ("x",))
+        assert spec == parse("BLE_x")
+
+    def test_with_partial_sum(self):
+        spec = parse("BLE").with_partial_sum(("x",))
+        assert spec == parse("BLE (partialsum-x)")
+
+    def test_validate_unknown_axis(self):
+        spec = ShardSpec(("B",), (("q",),))
+        with pytest.raises(ShardingError, match="not in mesh axes"):
+            spec.validate(MESH)
+
+    def test_axes_for_unknown_dim(self):
+        with pytest.raises(ShardingError, match="not in"):
+            parse("BLE").axes_for("Q")
+
+    def test_replicated_constructor(self):
+        spec = ShardSpec.replicated("BLE")
+        assert spec == parse("BLE")
+
+
+@st.composite
+def specs(draw):
+    n_dims = draw(st.integers(1, 4))
+    dims = draw(st.permutations("BLEFHQD"))[:n_dims]
+    axes_pool = list("xyz")
+    assignment = [[] for _ in range(n_dims + 1)]  # last bucket = partial sum
+    for axis in axes_pool:
+        if draw(st.booleans()):
+            assignment[draw(st.integers(0, n_dims))].append(axis)
+    return ShardSpec(tuple(dims),
+                     tuple(tuple(a) for a in assignment[:n_dims]),
+                     tuple(assignment[n_dims]))
+
+
+class TestProperties:
+    @given(specs())
+    def test_str_parse_roundtrip(self, spec):
+        assert parse(str(spec)) == spec
+
+    @given(specs())
+    def test_shard_count_times_replication_is_mesh(self, spec):
+        mesh = Mesh(2, 2, 2)
+        total = (spec.num_shards(mesh) * spec.replication_factor(mesh)
+                 * mesh.group_size(spec.partial_sum))
+        assert total == mesh.num_chips
+
+    @given(specs())
+    def test_local_shape_covers_global(self, spec):
+        mesh = Mesh(2, 2, 2)
+        global_shape = tuple(8 for _ in spec.dims)
+        local = spec.local_shape(global_shape, mesh)
+        assert _prod(local) * spec.num_shards(mesh) == _prod(global_shape)
+
+
+def _prod(values):
+    result = 1
+    for v in values:
+        result *= v
+    return result

@@ -1,0 +1,82 @@
+"""Tests for the transient (peak activation/weight-buffer) memory model."""
+
+import pytest
+
+from repro.hardware import TPU_V4, Torus3D
+from repro.model import PALM_540B_PADDED, tiny_test_config
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.perf.memory import (
+    fits_with_transients,
+    peak_activation_bytes,
+)
+
+TORUS = Torus3D(4, 4, 4)
+WG_XYZ = LayoutPlan(FfnLayoutKind.WG_XYZ, AttentionLayoutKind.BATCH)
+WS2D = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
+
+
+class TestSection35MemoryClaim:
+    """'Some of the weight-gathered layouts would exhaust memory without
+    these optimizations' — the looped-collective ablation on memory."""
+
+    def test_wg_xyz_prefill_fits_only_with_looping(self):
+        kwargs = dict(config=PALM_540B_PADDED, plan=WG_XYZ, torus=TORUS,
+                      batch=512, context_len=2048, l_new=2048,
+                      chip=TPU_V4)
+        assert fits_with_transients(**kwargs, looped_collectives=True)
+        assert not fits_with_transients(**kwargs,
+                                        looped_collectives=False)
+
+    def test_unlooped_buffer_is_full_layer_weights(self):
+        peak = peak_activation_bytes(PALM_540B_PADDED, WG_XYZ, TORUS,
+                                     512, 2048, looped_collectives=False)
+        expected = PALM_540B_PADDED.params_per_layer * 2  # bf16, N = n
+        assert peak.gathered_weights == pytest.approx(expected, rel=0.01)
+
+    def test_looping_shrinks_buffer_by_gather_width(self):
+        looped = peak_activation_bytes(PALM_540B_PADDED, WG_XYZ, TORUS,
+                                       512, 2048,
+                                       looped_collectives=True)
+        unlooped = peak_activation_bytes(PALM_540B_PADDED, WG_XYZ, TORUS,
+                                         512, 2048,
+                                         looped_collectives=False)
+        assert unlooped.gathered_weights == pytest.approx(
+            looped.gathered_weights * 64 / 2)  # N=64, double-buffered
+
+
+class TestGeneralProperties:
+    def test_weight_stationary_has_no_weight_buffers(self):
+        peak = peak_activation_bytes(PALM_540B_PADDED, WS2D, TORUS,
+                                     512, 1)
+        assert peak.gathered_weights == 0.0
+
+    def test_scales_with_tokens(self):
+        small = peak_activation_bytes(PALM_540B_PADDED, WS2D, TORUS,
+                                      64, 1)
+        large = peak_activation_bytes(PALM_540B_PADDED, WS2D, TORUS,
+                                      512, 1)
+        assert large.activations == pytest.approx(8 * small.activations)
+        assert large.hidden == pytest.approx(8 * small.hidden)
+
+    def test_narrower_gather_means_smaller_buffer(self):
+        wg_x = LayoutPlan(FfnLayoutKind.WG_X, AttentionLayoutKind.BATCH)
+        narrow = peak_activation_bytes(PALM_540B_PADDED, wg_x, TORUS,
+                                       512, 2048,
+                                       looped_collectives=False)
+        wide = peak_activation_bytes(PALM_540B_PADDED, WG_XYZ, TORUS,
+                                     512, 2048, looped_collectives=False)
+        assert narrow.gathered_weights < wide.gathered_weights
+
+    def test_decode_transients_are_tiny(self):
+        peak = peak_activation_bytes(PALM_540B_PADDED, WS2D, TORUS,
+                                     512, 1)
+        assert peak.total < 0.5e9  # well under a gigabyte
+
+    def test_tiny_config_fits_everywhere(self):
+        cfg = tiny_test_config()
+        assert fits_with_transients(cfg, WS2D, Torus3D(2, 2, 2), 8, 16,
+                                    16, TPU_V4)

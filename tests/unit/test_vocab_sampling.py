@@ -1,0 +1,208 @@
+"""Tests for vocab-sharded logits and distributed sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts.vocab import (
+    counter_uniform,
+    distributed_greedy,
+    distributed_sample,
+    distributed_top_k,
+    gumbel_noise,
+    sharded_logits,
+)
+from repro.mesh import ShardedTensor, VirtualMesh, all_reduce
+from repro.sharding import ShardingError
+
+RNG = np.random.default_rng(11)
+
+
+def vocab_sharded(mesh, logits, spec="BV_yz"):
+    return ShardedTensor.from_global(mesh, logits, spec)
+
+
+class TestCounterRandomness:
+    def test_deterministic(self):
+        idx = np.arange(100)
+        np.testing.assert_array_equal(counter_uniform(7, idx),
+                                      counter_uniform(7, idx))
+
+    def test_seed_sensitivity(self):
+        idx = np.arange(100)
+        assert not np.allclose(counter_uniform(7, idx),
+                               counter_uniform(8, idx))
+
+    def test_range_and_rough_uniformity(self):
+        u = counter_uniform(0, np.arange(200_000))
+        assert u.min() > 0.0
+        assert u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.01
+        assert abs(np.quantile(u, 0.25) - 0.25) < 0.01
+
+    def test_sharding_independence(self):
+        """Any slice of the index space yields the same values."""
+        full = counter_uniform(3, np.arange(64))
+        np.testing.assert_array_equal(full[16:32],
+                                      counter_uniform(3, np.arange(16, 32)))
+
+    def test_gumbel_statistics(self):
+        g = gumbel_noise(1, np.arange(500_000))
+        # Standard Gumbel: mean = Euler-Mascheroni, var = pi^2/6.
+        assert abs(g.mean() - 0.5772) < 0.01
+        assert abs(g.var() - np.pi**2 / 6) < 0.02
+
+
+class TestShardedLogits:
+    def test_matches_dense_unembedding(self):
+        mesh = VirtualMesh((2, 2, 2))
+        x = RNG.normal(size=(4, 1, 16))
+        emb = RNG.normal(size=(32, 16))
+        xt = ShardedTensor.from_global(mesh, x, "BLE_x")
+        et = ShardedTensor.from_global(mesh, emb, "V_yzE_x")
+        logits = sharded_logits(xt, et)
+        logits = all_reduce(logits, ("x",))
+        assert logits.spec.axes_for("V") == ("y", "z")
+        np.testing.assert_allclose(logits.to_global(),
+                                   np.einsum("ble,ve->blv", x, emb))
+
+
+class TestDistributedGreedy:
+    def test_matches_global_argmax(self):
+        mesh = VirtualMesh((1, 2, 2))
+        logits = RNG.normal(size=(8, 32))
+        tokens = distributed_greedy(vocab_sharded(mesh, logits))
+        np.testing.assert_array_equal(tokens, np.argmax(logits, axis=1))
+
+    def test_replicated_vocab_axis_ok(self):
+        mesh = VirtualMesh((2, 2, 1))  # x replicates, y shards V
+        logits = RNG.normal(size=(4, 16))
+        tokens = distributed_greedy(vocab_sharded(mesh, logits, "BV_y"))
+        np.testing.assert_array_equal(tokens, np.argmax(logits, axis=1))
+
+    def test_validation(self):
+        mesh = VirtualMesh((1, 2, 1))
+        with pytest.raises(ShardingError, match="BV"):
+            distributed_greedy(ShardedTensor.from_global(
+                mesh, RNG.normal(size=(2, 2, 4)), "BLV_y"))
+        with pytest.raises(ShardingError, match="batch-replicated"):
+            distributed_greedy(ShardedTensor.from_global(
+                mesh, RNG.normal(size=(4, 8)), "B_yV"))
+
+
+class TestDistributedTopK:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 10**6))
+    def test_matches_global_top_k(self, k, seed):
+        mesh = VirtualMesh((1, 2, 2))
+        logits = np.random.default_rng(seed).normal(size=(4, 32))
+        values, indices = distributed_top_k(vocab_sharded(mesh, logits), k)
+        expected_order = np.argsort(-logits, axis=1, kind="stable")[:, :k]
+        expected_values = np.take_along_axis(logits, expected_order,
+                                             axis=1)
+        np.testing.assert_allclose(values, expected_values)
+        # Values at returned indices must be the returned values.
+        np.testing.assert_allclose(
+            np.take_along_axis(logits, indices, axis=1), values)
+
+    def test_k_larger_than_shard(self):
+        mesh = VirtualMesh((1, 4, 1))
+        logits = RNG.normal(size=(2, 16))  # 4 tokens per shard
+        values, _ = distributed_top_k(vocab_sharded(mesh, logits, "BV_y"),
+                                      6)
+        expected = np.sort(logits, axis=1)[:, ::-1][:, :6]
+        np.testing.assert_allclose(values, expected)
+
+    def test_validation(self):
+        mesh = VirtualMesh((1, 2, 1))
+        t = vocab_sharded(mesh, RNG.normal(size=(2, 8)), "BV_y")
+        with pytest.raises(ValueError):
+            distributed_top_k(t, 0)
+
+
+class TestDistributedSample:
+    def test_identical_across_shardings(self):
+        """The same seed gives the same tokens no matter the sharding."""
+        logits = RNG.normal(size=(16, 32))
+        results = []
+        for shape, spec in [((1, 1, 1), "BV"), ((1, 2, 2), "BV_yz"),
+                            ((1, 4, 1), "BV_y")]:
+            t = vocab_sharded(VirtualMesh(shape), logits, spec)
+            results.append(distributed_sample(t, seed=42))
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_matches_manual_gumbel_max(self):
+        logits = RNG.normal(size=(4, 16))
+        t = vocab_sharded(VirtualMesh((1, 2, 1)), logits, "BV_y")
+        got = distributed_sample(t, seed=9)
+        idx = np.arange(4)[:, None] * 16 + np.arange(16)[None, :]
+        noisy = logits + gumbel_noise(9, idx)
+        np.testing.assert_array_equal(got, np.argmax(noisy, axis=1))
+
+    def test_distribution_roughly_softmax(self):
+        probs = np.array([0.6, 0.3, 0.1])
+        logits = np.log(probs)[None, :].repeat(6000, axis=0)
+        t = vocab_sharded(VirtualMesh((1, 1, 1)), logits, "BV")
+        counts = np.zeros(3)
+        tokens = distributed_sample(t, seed=1)
+        # Each row uses distinct counter indices, so one call suffices.
+        counts = np.bincount(tokens, minlength=3) / len(tokens)
+        np.testing.assert_allclose(counts, probs, atol=0.03)
+
+    def test_temperature_sharpens(self):
+        logits = np.log(np.array([0.55, 0.45]))[None, :].repeat(4000,
+                                                                axis=0)
+        t = vocab_sharded(VirtualMesh((1, 1, 1)), logits, "BV")
+        cold = distributed_sample(t, seed=2, temperature=0.05)
+        hot = distributed_sample(t, seed=2, temperature=5.0)
+        assert np.mean(cold == 0) > np.mean(hot == 0)
+        with pytest.raises(ValueError):
+            distributed_sample(t, seed=0, temperature=0.0)
+
+
+class TestShardedEmbeddingLookup:
+    def test_matches_dense_lookup(self):
+        from repro.layouts.vocab import sharded_embedding_lookup
+        from repro.mesh import all_reduce
+
+        mesh = VirtualMesh((1, 2, 2))
+        emb = RNG.normal(size=(32, 8))
+        tokens = RNG.integers(0, 32, size=(3, 4))
+        table = ShardedTensor.from_global(mesh, emb, "V_yzE")
+        out = all_reduce(
+            sharded_embedding_lookup(tokens, table), ("y", "z"))
+        np.testing.assert_allclose(out.to_global(), emb[tokens])
+
+    def test_e_sharding_carries_through(self):
+        from repro.layouts.vocab import sharded_embedding_lookup
+        from repro.mesh import all_reduce
+
+        mesh = VirtualMesh((2, 2, 1))
+        emb = RNG.normal(size=(16, 8))
+        tokens = RNG.integers(0, 16, size=(2, 3))
+        table = ShardedTensor.from_global(mesh, emb, "V_yE_x")
+        out = all_reduce(sharded_embedding_lookup(tokens, table), ("y",))
+        assert out.spec.axes_for("E") == ("x",)
+        np.testing.assert_allclose(out.to_global(), emb[tokens])
+
+    def test_replicated_table_needs_no_reduce(self):
+        from repro.layouts.vocab import sharded_embedding_lookup
+
+        mesh = VirtualMesh((1, 2, 1))
+        emb = RNG.normal(size=(16, 8))
+        tokens = RNG.integers(0, 16, size=(2, 2))
+        table = ShardedTensor.from_global(mesh, emb, "VE")
+        out = sharded_embedding_lookup(tokens, table)
+        assert out.spec.partial_sum == ()
+        np.testing.assert_allclose(out.to_global(), emb[tokens])
+
+    def test_validation(self):
+        from repro.layouts.vocab import sharded_embedding_lookup
+
+        mesh = VirtualMesh((1, 2, 1))
+        table = ShardedTensor.from_global(mesh, RNG.normal(size=(8, 4)),
+                                          "VE")
+        with pytest.raises(ShardingError, match="B, L"):
+            sharded_embedding_lookup(np.zeros(3, dtype=int), table)
