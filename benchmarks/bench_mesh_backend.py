@@ -1,0 +1,44 @@
+"""Loop vs stacked mesh backend: decode-step speedup vs mesh size.
+
+The stacked backend stores all shards of a tensor in one dense
+``mesh.shape + local`` array and runs every collective as a single
+reshape/transpose/reduce, so its decode-step time is nearly flat in the
+number of simulated chips; the loop backend dispatches Python per device
+per op and scales linearly.  This benchmark times both on the shared
+decode workload of :mod:`repro.mesh.bench` from 1 to 64 chips, asserts
+the two backends produce bit-identical logits at every shape, and writes
+the machine-readable result to ``BENCH_mesh_backend.json`` at the repo
+root (consumed by docs/mesh_backends.md and the README).
+"""
+
+import json
+import pathlib
+
+from repro.mesh.bench import MESH_SHAPES, compare_backends, format_table
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_mesh_backend.json"
+
+
+def run_comparison() -> list[dict]:
+    return compare_backends(MESH_SHAPES)
+
+
+def test_mesh_backend_speedup(benchmark, save_result):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = format_table(rows)
+    save_result("mesh_backend", table)
+    JSON_PATH.write_text(json.dumps({
+        "workload": "decode step, 16-layer multiquery model, WG_XY + "
+                    "BATCH layout, batch 64",
+        "rows": rows,
+    }, indent=2) + "\n")
+    print(f"[saved to {JSON_PATH}]")
+
+    by_mesh = {row["mesh"]: row for row in rows}
+    # The whole point of the stacked backend: on the paper's 4x4x4 torus
+    # the vectorized collectives beat per-device Python dispatch >= 5x.
+    assert by_mesh["4x4x4"]["speedup"] >= 5.0
+    # Speedup grows with chip count (loop scales with devices, stacked
+    # is nearly flat): the 64-chip mesh beats the 8-chip mesh.
+    assert by_mesh["4x4x4"]["speedup"] > by_mesh["2x2x2"]["speedup"]

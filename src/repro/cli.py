@@ -10,6 +10,8 @@ Subcommands mirror the library's main entry points:
   optional chrome-trace export.
 * ``serve`` — request-level queueing simulation under Poisson traffic.
 * ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
+* ``mesh-bench`` — time the loop vs stacked virtual-mesh backends on a
+  real decode workload (see docs/mesh_backends.md).
 * ``calibrate`` — the Table 2 calibration report (and optional refit).
 
 Examples::
@@ -232,6 +234,29 @@ def cmd_disaggregate(args) -> int:
     return 0
 
 
+def _mesh_shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(n) for n in text.split("x"))
+    except ValueError:
+        shape = ()
+    if len(shape) != 3 or min(shape) < 1:
+        raise argparse.ArgumentTypeError(
+            f"mesh shape must look like 2x2x4, got {text!r}")
+    return shape
+
+
+def cmd_mesh_bench(args) -> int:
+    from repro.mesh.bench import MESH_SHAPES, compare_backends, format_table
+
+    shapes = tuple(args.shapes) if args.shapes else MESH_SHAPES
+    backends = ("loop", "stacked") if args.backend == "both" \
+        else (args.backend,)
+    rows = compare_backends(shapes, steps=args.steps, batch=args.batch,
+                            reps=args.reps, backends=backends)
+    print(format_table(rows))
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf.calibrate import calibrate, report
 
@@ -317,6 +342,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gen-len", type=int, default=64)
     p.add_argument("--decode-batch", type=int, default=64)
     p.set_defaults(func=cmd_disaggregate)
+
+    p = sub.add_parser("mesh-bench",
+                       help="loop vs stacked mesh backend decode timing")
+    p.add_argument("--backend", choices=["loop", "stacked", "both"],
+                   default="both")
+    p.add_argument("--shapes", nargs="*", metavar="AxBxC",
+                   type=_mesh_shape,
+                   help="mesh shapes to time, e.g. 2x2x2 4x4x4 "
+                        "(default: the full 1..64-chip ladder)")
+    p.add_argument("--steps", type=int, default=4,
+                   help="decode steps per timed repetition")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--reps", type=int, default=3,
+                   help="repetitions (best is reported)")
+    p.set_defaults(func=cmd_mesh_bench)
 
     p = sub.add_parser("calibrate",
                        help="Table 2 calibration report / refit")

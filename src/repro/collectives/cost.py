@@ -17,11 +17,17 @@ it as ``D/(4*bandwidth) * (K-1)/K`` — 4x cheaper than an all-gather of the
 same payload.  The paper uses all-to-all only on tiny Q/K/V tensors
 (Section 3.3), so results are insensitive to this constant; tests only rely
 on it being <= the all-gather cost.
+
+The ``*_time`` functions are pure in hashable scalars and get called once
+per collective per layer inside the simulator's sweep loops, usually with a
+handful of distinct argument tuples — so they are memoized with
+``functools.lru_cache``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 def _factor(k: int, exact: bool) -> float:
@@ -32,6 +38,7 @@ def _factor(k: int, exact: bool) -> float:
     return (k - 1) / k if exact else 1.0
 
 
+@lru_cache(maxsize=4096)
 def all_gather_time(out_bytes_per_chip: float, group_size: int,
                     bandwidth: float, *, exact: bool = True,
                     alpha: float = 0.0) -> float:
@@ -46,6 +53,7 @@ def all_gather_time(out_bytes_per_chip: float, group_size: int,
             + alpha * (group_size - 1))
 
 
+@lru_cache(maxsize=4096)
 def reduce_scatter_time(in_bytes_per_chip: float, group_size: int,
                         bandwidth: float, *, exact: bool = True,
                         alpha: float = 0.0) -> float:
@@ -54,6 +62,7 @@ def reduce_scatter_time(in_bytes_per_chip: float, group_size: int,
             + alpha * (group_size - 1))
 
 
+@lru_cache(maxsize=4096)
 def all_reduce_time(bytes_per_chip: float, group_size: int,
                     bandwidth: float, *, exact: bool = True,
                     alpha: float = 0.0) -> float:
@@ -62,6 +71,7 @@ def all_reduce_time(bytes_per_chip: float, group_size: int,
             + 2 * alpha * (group_size - 1))
 
 
+@lru_cache(maxsize=4096)
 def all_to_all_time(bytes_per_chip: float, group_size: int,
                     bandwidth: float, *, exact: bool = True,
                     alpha: float = 0.0) -> float:

@@ -54,6 +54,10 @@ def collective_permute(mesh: VirtualMesh, shards: np.ndarray, axis: str,
     if axis not in mesh.axis_names:
         raise ShardingError(f"unknown axis {axis!r}")
     axis_idx = mesh.axis_indices((axis,))[0]
+    if shards.dtype != object:
+        # Stacked buffers: the whole ring shift is one roll of the device
+        # axis (out[coord + shift] = in[coord], with wraparound).
+        return np.roll(shards, shift, axis=axis_idx)
     size = mesh.axis_size(axis)
     out = mesh.empty_shards()
     for coord in mesh.devices():

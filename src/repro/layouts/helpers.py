@@ -17,16 +17,23 @@ from repro.sharding.spec import ShardSpec
 
 
 def zip_shards(out_spec: ShardSpec, out_shape: Sequence[int],
-               fn: Callable[..., np.ndarray], *tensors: ShardedTensor
-               ) -> ShardedTensor:
+               fn: Callable[..., np.ndarray], *tensors: ShardedTensor,
+               elementwise: bool = False) -> ShardedTensor:
     """Combine several sharded tensors device-wise with ``fn``.
 
     The caller asserts (by providing ``out_spec``) that ``fn`` is local —
     i.e. its output at each device depends only on that device's shards and
     is sharded as described.  Used for broadcast arithmetic like the
     normalization step, where specs differ in rank.
+
+    With ``elementwise=True`` the caller additionally promises that ``fn``
+    broadcasts over arbitrary leading axes; on the stacked backend it is
+    then applied once to the dense shard arrays instead of per device.
     """
     mesh = tensors[0].mesh
+    if elementwise and all(t.is_stacked for t in tensors):
+        shards = fn(*(t.shards for t in tensors))
+        return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
     shards = mesh.map_devices(
         lambda c: fn(*(t.shards[c] for t in tensors)))
     return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
@@ -53,6 +60,14 @@ def sharded_rmsnorm(x: ShardedTensor, scale: ShardedTensor,
         sumsq = all_reduce(sumsq, e_axes)
     e_size = x.dim_size("E")
 
+    if x.is_stacked and sumsq.is_stacked and scale.is_stacked:
+        # One whole-mesh broadcast: scale is a per-device [E_loc] vector, so
+        # it needs explicit singleton B/L axes against the dense
+        # [mesh..., B, L, E_loc] activations.
+        rms = np.sqrt(sumsq.shards[..., None] / e_size + eps)
+        shards = x.shards * scale.shards[:, :, :, None, None, :] / rms
+        return ShardedTensor(x.mesh, x.spec, x.global_shape, shards)
+
     def normalize(x_shard, ss_shard, scale_shard):
         rms = np.sqrt(ss_shard[..., None] / e_size + eps)
         return x_shard * scale_shard / rms
@@ -70,7 +85,10 @@ def sharded_rope(x: ShardedTensor, positions: np.ndarray,
     for dim in ("L", "D"):
         if x.spec.axes_for(dim):
             raise ValueError(f"RoPE requires unsharded {dim}, got {x.spec}")
-    return x.map_shards(lambda s: apply_rope(s, positions, theta))
+    # apply_rope broadcasts over arbitrary leading axes, so on the stacked
+    # backend one call covers the whole mesh.
+    return x.map_shards(lambda s: apply_rope(s, positions, theta),
+                        elementwise=True)
 
 
 def local_attention(mesh: VirtualMesh, out_spec: ShardSpec,
@@ -80,13 +98,27 @@ def local_attention(mesh: VirtualMesh, out_spec: ShardSpec,
                     q_offset: int) -> ShardedTensor:
     """Per-device causal attention over already co-located Q/K/V shards.
 
-    ``k_shards``/``v_shards`` are object arrays of per-device ``[B, M, K,
-    D]`` buffers (a view of the sharded KV cache).  The softmax and the
-    attention matmuls are strictly local; correctness of the layout is
-    therefore exactly the claim that Q and KV are sharded compatibly, which
-    the calling layout establishes and the equivalence tests verify.
+    ``k_shards``/``v_shards`` hold per-device ``[B, M, K, D]`` buffers (a
+    view of the sharded KV cache) — object arrays on the loop backend,
+    dense ``mesh.shape + local`` arrays on the stacked one.  The softmax
+    and the attention matmuls are strictly local; correctness of the layout
+    is therefore exactly the claim that Q and KV are sharded compatibly,
+    which the calling layout establishes and the equivalence tests verify.
     """
     from repro.model.reference import attention
+
+    if (q.is_stacked and k_shards.dtype != object
+            and v_shards.dtype != object):
+        # attention() is batched over its leading B axis, so folding the
+        # three device axes into the batch runs the whole mesh in one call.
+        def fold(dense):
+            return dense.reshape((-1,) + dense.shape[4:])
+
+        out = attention(fold(q.shards), fold(k_shards), fold(v_shards),
+                        q_offset)
+        b_loc = q.shards.shape[3]
+        shards = out.reshape(mesh.shape + (b_loc,) + out.shape[1:])
+        return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
 
     shards = mesh.map_devices(
         lambda c: attention(q.shards[c], k_shards[c], v_shards[c], q_offset))

@@ -13,6 +13,11 @@ same logical ``[B, M, K, D]`` history can be
 ``ShardedKVCache`` stores one preallocated (k, v) buffer pair per device
 under a sharding spec for the ``B`` and ``K`` dims (``M`` — the time dim —
 and ``D`` are never sharded).
+
+The buffers follow the mesh backend: an object array of per-device
+buffers on the ``loop`` backend, or one dense ``mesh.shape + local``
+array on the ``stacked`` backend, in which case appends and views are
+single whole-mesh slice operations.
 """
 
 from __future__ import annotations
@@ -42,9 +47,17 @@ class ShardedKVCache:
         self.spec = spec
         self.global_shape = (batch, max_len, n_kv_heads, d_head)
         local = spec.local_shape(self.global_shape, mesh.topology)
-        self.k = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
-        self.v = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
+        if mesh.backend == "stacked":
+            self.k = np.zeros(mesh.shape + local, dtype=dtype)
+            self.v = np.zeros(mesh.shape + local, dtype=dtype)
+        else:
+            self.k = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
+            self.v = mesh.map_devices(lambda c: np.zeros(local, dtype=dtype))
         self.length = 0
+
+    @property
+    def is_stacked(self) -> bool:
+        return self.k.dtype != object
 
     @property
     def max_len(self) -> int:
@@ -76,15 +89,38 @@ class ShardedKVCache:
             raise ShardingError(
                 f"KV cache overflow: {self.length} + {n} > {self.max_len}")
         start, stop = self.length, self.length + n
-        for coord in self.mesh.devices():
-            self.k[coord][:, start:stop] = k_new.shards[coord]
-            self.v[coord][:, start:stop] = v_new.shards[coord]
+        if self.is_stacked and k_new.is_stacked and v_new.is_stacked:
+            # One whole-mesh write: M is dense axis 4 (after the three
+            # device axes and B).
+            self.k[:, :, :, :, start:stop] = k_new.shards
+            self.v[:, :, :, :, start:stop] = v_new.shards
+        else:
+            for coord in self.mesh.devices():
+                self.k[coord][:, start:stop] = k_new.shards[coord]
+                self.v[coord][:, start:stop] = v_new.shards[coord]
         offset = self.length
         self.length = stop
         return offset
 
+    def load_prefix(self, k_t: ShardedTensor, v_t: ShardedTensor,
+                    length: int) -> None:
+        """Fill positions ``[0, length)`` from sharded ``[B, M, K, D]``
+        tensors whose M extent is ``length`` (cache hand-off/resharding)."""
+        if self.is_stacked and k_t.is_stacked and v_t.is_stacked:
+            self.k[:, :, :, :, :length] = k_t.shards
+            self.v[:, :, :, :, :length] = v_t.shards
+        else:
+            for coord in self.mesh.devices():
+                self.k[coord][:, :length] = k_t.shards[coord]
+                self.v[coord][:, :length] = v_t.shards[coord]
+        self.length = length
+
     def views(self) -> tuple[np.ndarray, np.ndarray]:
-        """Object arrays of per-device ``[B_loc, length, K_loc, D]`` views."""
+        """Per-device ``[B_loc, length, K_loc, D]`` views — an object array
+        on the loop backend, a dense view on the stacked one."""
+        if self.is_stacked:
+            return (self.k[:, :, :, :, :self.length],
+                    self.v[:, :, :, :, :self.length])
         k_view = self.mesh.map_devices(lambda c: self.k[c][:, :self.length])
         v_view = self.mesh.map_devices(lambda c: self.v[c][:, :self.length])
         return k_view, v_view

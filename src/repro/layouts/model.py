@@ -244,10 +244,7 @@ class ShardedTransformer:
                 spec.with_dim_axes("M", ()))
             filled_v = ShardedTensor.from_global(
                 target.mesh, v_global, spec.with_dim_axes("M", ()))
-            for coord in target.mesh.devices():
-                new.k[coord][:, :cache.length] = filled.shards[coord]
-                new.v[coord][:, :cache.length] = filled_v.shards[coord]
-            new.length = cache.length
+            new.load_prefix(filled, filled_v, cache.length)
             out.append(new)
         return out
 
@@ -322,7 +319,7 @@ class ShardedTransformer:
         h = sharded_einsum("ble,ef->blf", yg, w_in)
         if self._f_rs:
             h = reduce_scatter(h, self._f_rs, "F")
-        h = h.map_shards(swish)
+        h = h.map_shards(swish, elementwise=True)
         if self.config.ffn is FfnKind.SWIGLU:
             gate = sharded_einsum("ble,ef->blf",
                                   yg, self._gathered(layer["w_gate"],
@@ -330,7 +327,8 @@ class ShardedTransformer:
             if self._f_rs:
                 gate = reduce_scatter(gate, self._f_rs, "F")
             h = zip_shards(h.spec, h.global_shape,
-                           lambda a, b: a * b, h, gate)
+                           lambda a, b: a * b, h, gate,
+                           elementwise=True)
         if self._f_rs:
             h = all_gather(h, self._f_rs, "F")
         return sharded_einsum("blf,fe->ble", h, w_out)

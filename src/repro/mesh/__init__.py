@@ -19,7 +19,7 @@ from repro.mesh.ops import (
     split,
 )
 from repro.mesh.sharded_tensor import ShardedTensor
-from repro.mesh.virtual_mesh import VirtualMesh
+from repro.mesh.virtual_mesh import BACKENDS, VirtualMesh, default_backend
 
 
 def enable_comm_log(mesh: VirtualMesh) -> list:
@@ -30,7 +30,9 @@ def enable_comm_log(mesh: VirtualMesh) -> list:
 
 
 __all__ = [
+    "BACKENDS",
     "CommRecord",
+    "default_backend",
     "all_gather_einsum",
     "einsum_output_layout",
     "einsum_reduce_scatter",

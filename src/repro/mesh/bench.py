@@ -1,0 +1,129 @@
+"""Loop-vs-stacked backend benchmark on a decode-step workload.
+
+The two mesh backends are semantically identical (the differential tests
+assert bit-equality), so the only question is speed: the loop backend
+pays Python-interpreter time per device per op, the stacked backend runs
+each collective/einsum as one whole-mesh numpy call.  This module defines
+the shared decode-step workload — a deep, narrow multiquery model under a
+weight-gathered FFN layout with batch-sharded attention — and timing
+helpers used by both the CLI ``mesh-bench`` subcommand and
+``benchmarks/bench_mesh_backend.py``.
+
+The workload is chosen to mirror where the backends diverge most: at
+decode batch sizes the per-device tensors are tiny, so the loop backend's
+per-device Python dispatch dominates while the stacked backend stays in
+single whole-mesh numpy calls.  The weight-gathered layout (Section 3.2.3)
+re-gathers every weight each step, maximizing collective traffic per unit
+of compute — exactly the regime the stacked backend exists for.  Model
+dims divide evenly on every mesh from 1x1x1 up to 4x4x4 (H % 16,
+B % 64).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.mesh.virtual_mesh import BACKENDS, VirtualMesh
+
+# Smallest-to-largest torus shapes, matching how real slices grow.
+MESH_SHAPES = ((1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2),
+               (2, 2, 4), (2, 4, 4), (4, 4, 4))
+
+
+def decode_config():
+    """Benchmark model: deep and narrow, divisible on every mesh."""
+    from repro.model import tiny_test_config
+
+    return tiny_test_config(n_layers=16, d_model=16, d_ff=32, n_heads=16,
+                            d_head=4, vocab_size=16)
+
+
+def _build(mesh_shape, backend, batch, max_len, seed=0):
+    from repro.layouts import ShardedTransformer
+    from repro.model import init_weights
+    from repro.partitioning import (
+        AttentionLayoutKind,
+        FfnLayoutKind,
+        LayoutPlan,
+    )
+
+    config = decode_config()
+    weights = init_weights(config, seed=seed)
+    plan = LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH)
+    model = ShardedTransformer(weights, VirtualMesh(mesh_shape,
+                                                    backend=backend), plan)
+    prompt = np.random.default_rng(seed + 1).integers(
+        0, config.vocab_size, size=(batch, 4))
+    _, caches = model.prefill(prompt, max_len)
+    return model, caches, prompt
+
+
+def time_decode(mesh_shape, backend, *, steps: int = 4, batch: int = 64,
+                reps: int = 3, seed: int = 0) -> tuple[float, np.ndarray]:
+    """Best-of-``reps`` mean seconds per decode step plus final logits.
+
+    One untimed warm-up step amortizes cache/layout setup; timing the
+    best of several repetitions filters scheduler noise.  The returned
+    logits let callers assert cross-backend equality on the exact
+    workload being timed.
+    """
+    # prompt + warm-up step + timed steps per repetition
+    model, caches, prompt = _build(mesh_shape, backend, batch,
+                                   4 + 1 + steps * reps, seed)
+    token = prompt[:, -1]
+    logits = model.decode_step(token, caches)  # warm-up
+    token = np.argmax(logits, -1)
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(steps):
+            logits = model.decode_step(token, caches)
+        best = min(best, (time.perf_counter() - start) / steps)
+    return best, logits
+
+
+def compare_backends(mesh_shapes=MESH_SHAPES, *, steps: int = 4,
+                     batch: int = 64, reps: int = 3,
+                     backends=BACKENDS) -> list[dict]:
+    """Time each backend on each mesh; verify identical logits.
+
+    Returns one row dict per mesh shape with per-backend seconds/step and
+    the loop/stacked speedup (when both backends ran).
+    """
+    rows = []
+    for shape in mesh_shapes:
+        row: dict = {"mesh": "x".join(map(str, shape)),
+                     "chips": int(np.prod(shape))}
+        logits = {}
+        for backend in backends:
+            seconds, out = time_decode(shape, backend, steps=steps,
+                                       batch=batch, reps=reps)
+            row[f"{backend}_s"] = seconds
+            logits[backend] = out
+        if "loop" in logits and "stacked" in logits:
+            if not np.array_equal(logits["loop"], logits["stacked"]):
+                raise AssertionError(
+                    f"backends disagree on mesh {row['mesh']}")
+            row["speedup"] = row["loop_s"] / row["stacked_s"]
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: list[dict]) -> str:
+    lines = ["Decode step: loop vs stacked mesh backend (seconds/step)",
+             f"{'mesh':>7s} {'chips':>6s} {'loop':>10s} {'stacked':>10s} "
+             f"{'speedup':>8s}"]
+    for row in rows:
+        loop_s = row.get("loop_s")
+        stacked_s = row.get("stacked_s")
+        lines.append(
+            f"{row['mesh']:>7s} {row['chips']:>6d} "
+            + (f"{loop_s * 1e3:9.2f}m" if loop_s is not None
+               else f"{'-':>10s}") + " "
+            + (f"{stacked_s * 1e3:9.2f}m" if stacked_s is not None
+               else f"{'-':>10s}") + " "
+            + (f"{row['speedup']:7.1f}x" if "speedup" in row
+               else f"{'-':>8s}"))
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.collectives.ring import RingStats, collective_permute
+from repro.mesh import stacked as stacked_kernels
 from repro.mesh.ops import _parse_subscripts, einsum_output_layout
 from repro.mesh.sharded_tensor import ShardedTensor
 from repro.sharding.spec import ShardingError
@@ -87,6 +88,28 @@ def all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
                                                w)
 
     stats = RingStats()
+    if x.is_stacked and w.is_stacked:
+        # Fused fast path: every ring step is one whole-mesh slice +
+        # batched einsum; the ring hop is one roll of the device axis.
+        lhs, rhs, out_letters = _parse_subscripts(subscripts)
+        rank = mesh.rank_grid((axis,))
+        outer = mesh.rank_grid(x_axes[:-1])
+        accum_dense = None
+        flight = x.shards
+        for step in range(k):
+            origin = (rank - step) % k
+            lo = (outer * k + origin) * chunk_len
+            w_slice = stacked_kernels.take_local_slices(
+                mesh, w.shards, w_dim_idx, lo, chunk_len)
+            partial = stacked_kernels.batched_einsum(
+                mesh, lhs, rhs, out_letters, flight, w_slice)
+            accum_dense = (partial if accum_dense is None
+                           else accum_dense + partial)
+            if step < k - 1:
+                stats.record(flight[0, 0, 0].nbytes)
+                flight = collective_permute(mesh, flight, axis, shift=1)
+        return ShardedTensor(mesh, out_spec, out_shape, accum_dense), stats
+
     accum = mesh.empty_shards()
     in_flight = {c: x.shards[c] for c in mesh.devices()}
     for step in range(k):
@@ -159,6 +182,30 @@ def einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
             f"the ring size {k}")
     chunk = local_extent // k
     stats = RingStats()
+
+    if x.is_stacked and w.is_stacked:
+        # Fused fast path: each step slices the scatter-dim owner across
+        # the whole mesh at once and folds one batched einsum into the
+        # circulating ring sum.
+        rank = mesh.rank_grid((axis,))
+
+        def out_chunk_all(chunk_rank: np.ndarray) -> np.ndarray:
+            sliced = stacked_kernels.take_local_slices(
+                mesh, owner.shards, owner_dim_idx, chunk_rank * chunk,
+                chunk)
+            if owner is x:
+                return stacked_kernels.batched_einsum(
+                    mesh, lhs, rhs, out_letters, sliced, other.shards)
+            return stacked_kernels.batched_einsum(
+                mesh, lhs, rhs, out_letters, other.shards, sliced)
+
+        carry_dense = out_chunk_all((rank - 1) % k)
+        for step in range(k - 1):
+            stats.record(carry_dense[0, 0, 0].nbytes)
+            shifted = collective_permute(mesh, carry_dense, axis, shift=1)
+            carry_dense = shifted + out_chunk_all((rank - step + k - 2) % k)
+        return (ShardedTensor(mesh, final_spec, out_shape, carry_dense),
+                stats)
 
     def out_chunk(coord, chunk_rank):
         sliced = np.take(owner.shards[coord],

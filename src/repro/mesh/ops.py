@@ -16,15 +16,22 @@ Every op appends a :class:`CommRecord` to ``mesh.comm_log`` (if present),
 with the per-chip payload size ``D`` used by the Appendix A.1 cost model —
 this lets tests check the *measured* communication volume of a layout
 against the paper's closed-form formulas.
+
+Each collective has two implementations sharing one spec computation: the
+per-group Python loop below (the semantics oracle) and the vectorized
+stacked-shard kernels in :mod:`repro.mesh.stacked`, selected by the
+operand's shard representation.  The two are bit-identical by contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from repro.mesh import stacked as stacked_kernels
 from repro.mesh.sharded_tensor import ShardedTensor
 from repro.mesh.virtual_mesh import VirtualMesh
 from repro.sharding.spec import ShardingError, ShardSpec
@@ -76,11 +83,15 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
     remaining = _require_suffix(spec.axes_for(dim), axes, "all_gather")
     dim_idx = spec.dim_index(dim)
     new_spec = spec.with_dim_axes(dim, remaining)
-    shards = mesh.empty_shards()
-    for group in mesh.groups(axes):
-        gathered = np.concatenate([t.shards[c] for c in group], axis=dim_idx)
-        for coord in group:
-            shards[coord] = gathered
+    if t.is_stacked:
+        shards = stacked_kernels.all_gather(mesh, t.shards, axes, dim_idx)
+    else:
+        shards = mesh.empty_shards()
+        for group in mesh.groups(axes):
+            gathered = np.concatenate([t.shards[c] for c in group],
+                                      axis=dim_idx)
+            for coord in group:
+                shards[coord] = gathered
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_gather", axes, mesh.group_size(axes),
                           out.per_chip_bytes))
@@ -100,15 +111,19 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
     new_spec = spec.with_partial_sum(new_partial).with_dim_axes(
         dim, spec.axes_for(dim) + axes)
     k = mesh.group_size(axes)
-    shards = mesh.empty_shards()
     payload = t.per_chip_bytes
-    for group in mesh.groups(axes):
-        total = t.shards[group[0]]
-        for coord in group[1:]:
-            total = total + t.shards[coord]
-        chunks = np.split(total, k, axis=dim_idx)
-        for rank, coord in enumerate(group):
-            shards[coord] = np.ascontiguousarray(chunks[rank])
+    if t.is_stacked:
+        shards = stacked_kernels.reduce_scatter(mesh, t.shards, axes,
+                                                dim_idx)
+    else:
+        shards = mesh.empty_shards()
+        for group in mesh.groups(axes):
+            total = t.shards[group[0]]
+            for coord in group[1:]:
+                total = total + t.shards[coord]
+            chunks = np.split(total, k, axis=dim_idx)
+            for rank, coord in enumerate(group):
+                shards[coord] = np.ascontiguousarray(chunks[rank])
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("reduce_scatter", axes, k, payload))
     return out
@@ -128,14 +143,17 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
             f"all_reduce axes {axes} not all partial-sum axes of {spec}")
     new_partial = tuple(a for a in spec.partial_sum if a not in axes)
     new_spec = spec.with_partial_sum(new_partial)
-    shards = mesh.empty_shards()
     payload = t.per_chip_bytes
-    for group in mesh.groups(axes):
-        total = t.shards[group[0]]
-        for coord in group[1:]:
-            total = total + t.shards[coord]
-        for coord in group:
-            shards[coord] = total
+    if t.is_stacked:
+        shards = stacked_kernels.all_reduce(mesh, t.shards, axes)
+    else:
+        shards = mesh.empty_shards()
+        for group in mesh.groups(axes):
+            total = t.shards[group[0]]
+            for coord in group[1:]:
+                total = total + t.shards[coord]
+            for coord in group:
+                shards[coord] = total
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_reduce", axes, mesh.group_size(axes),
                           2 * payload))
@@ -160,14 +178,20 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
     new_spec = spec.with_dim_axes(src_dim, src_remaining).with_dim_axes(
         dst_dim, spec.axes_for(dst_dim) + axes)
     k = mesh.group_size(axes)
-    shards = mesh.empty_shards()
     payload = t.per_chip_bytes
-    for group in mesh.groups(axes):
-        # Assemble the group-local view along src_dim, then re-slice dst_dim.
-        assembled = np.concatenate([t.shards[c] for c in group], axis=src_idx)
-        chunks = np.split(assembled, k, axis=dst_idx)
-        for rank, coord in enumerate(group):
-            shards[coord] = np.ascontiguousarray(chunks[rank])
+    if t.is_stacked:
+        shards = stacked_kernels.all_to_all(mesh, t.shards, axes, src_idx,
+                                            dst_idx)
+    else:
+        shards = mesh.empty_shards()
+        for group in mesh.groups(axes):
+            # Assemble the group-local view along src_dim, then re-slice
+            # dst_dim.
+            assembled = np.concatenate([t.shards[c] for c in group],
+                                       axis=src_idx)
+            chunks = np.split(assembled, k, axis=dst_idx)
+            for rank, coord in enumerate(group):
+                shards[coord] = np.ascontiguousarray(chunks[rank])
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_to_all", axes, k, payload))
     return out
@@ -189,12 +213,15 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
     dim_idx = spec.dim_index(dim)
     new_spec = spec.with_dim_axes(dim, spec.axes_for(dim) + axes)
     k = mesh.group_size(axes)
-    shards = mesh.empty_shards()
-    for group in mesh.groups(axes):
-        for rank, coord in enumerate(group):
-            # Each device keeps its own slice of its own replica.
-            local_chunks = np.split(t.shards[coord], k, axis=dim_idx)
-            shards[coord] = np.ascontiguousarray(local_chunks[rank])
+    if t.is_stacked:
+        shards = stacked_kernels.split(mesh, t.shards, axes, dim_idx)
+    else:
+        shards = mesh.empty_shards()
+        for group in mesh.groups(axes):
+            for rank, coord in enumerate(group):
+                # Each device keeps its own slice of its own replica.
+                local_chunks = np.split(t.shards[coord], k, axis=dim_idx)
+                shards[coord] = np.ascontiguousarray(local_chunks[rank])
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("split", axes, k, 0))
     return out
@@ -204,6 +231,7 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
 # Sharded einsum
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=None)
 def _parse_subscripts(subscripts: str) -> tuple[str, str, str]:
     try:
         inputs, output = subscripts.replace(" ", "").split("->")
@@ -222,24 +250,37 @@ def einsum_output_layout(subscripts: str, a: ShardedTensor,
 
     Returns the output ``(spec, global_shape)``; used by the looped
     (fused) einsum variants, which build their outputs incrementally.
+    The inference itself is a pure function of the subscripts, operand
+    specs and global shapes, so it is memoized — an einsum deep inside a
+    decode loop repeats the same handful of layouts every step.
     """
+    if a.mesh is not b.mesh:
+        raise ShardingError("operands live on different meshes")
+    return _infer_einsum_layout(subscripts, a.spec, a.global_shape,
+                                b.spec, b.global_shape)
+
+
+@lru_cache(maxsize=None)
+def _infer_einsum_layout(subscripts: str, a_spec: ShardSpec,
+                         a_shape: tuple[int, ...], b_spec: ShardSpec,
+                         b_shape: tuple[int, ...]
+                         ) -> tuple[ShardSpec, tuple[int, ...]]:
     lhs, rhs, out_letters = _parse_subscripts(subscripts)
-    for letters, t, side in ((lhs, a, "lhs"), (rhs, b, "rhs")):
-        expected = "".join(t.spec.dims).lower()
+    for letters, spec, side in ((lhs, a_spec, "lhs"), (rhs, b_spec, "rhs")):
+        expected = "".join(spec.dims).lower()
         if letters != expected:
             raise ShardingError(
                 f"{side} subscripts {letters!r} do not match spec dims "
-                f"{t.spec.dims} (expected {expected!r})")
-    if a.mesh is not b.mesh:
-        raise ShardingError("operands live on different meshes")
+                f"{spec.dims} (expected {expected!r})")
 
     def info(letter: str) -> tuple[int, tuple[str, ...]]:
         """(global size, sharding axes) for a letter, checking agreement."""
         results = []
-        for letters, t in ((lhs, a), (rhs, b)):
+        for letters, spec, shape in ((lhs, a_spec, a_shape),
+                                     (rhs, b_spec, b_shape)):
             if letter in letters:
                 i = letters.index(letter)
-                results.append((t.global_shape[i], t.spec.axes[i]))
+                results.append((shape[i], spec.axes[i]))
         if len(results) == 2 and results[0] != results[1]:
             raise ShardingError(
                 f"dim {letter!r} mismatch between operands: "
@@ -247,15 +288,15 @@ def einsum_output_layout(subscripts: str, a: ShardedTensor,
         return results[0]
 
     # Safety for carried partial sums.
-    for t, other_letters, other in ((a, rhs, b), (b, lhs, a)):
-        for axis in t.spec.partial_sum:
-            if axis in other.spec.mesh_axes_used:
+    for spec, other_spec in ((a_spec, b_spec), (b_spec, a_spec)):
+        for axis in spec.partial_sum:
+            if axis in other_spec.mesh_axes_used:
                 raise ShardingError(
                     f"partial-sum axis {axis!r} of one operand is used by "
                     f"the other operand; result would be incorrect")
 
     contracted = sorted(set(lhs + rhs) - set(out_letters))
-    partial: list[str] = list(a.spec.partial_sum) + list(b.spec.partial_sum)
+    partial: list[str] = list(a_spec.partial_sum) + list(b_spec.partial_sum)
     for letter in contracted:
         _, axes = info(letter)
         partial.extend(axes)
@@ -268,15 +309,15 @@ def einsum_output_layout(subscripts: str, a: ShardedTensor,
         out_shape.append(size)
         out_axes.append(axes)
         # Recover the original (uppercase) dim name from whichever operand.
-        src = a if letter in lhs else b
+        src_spec = a_spec if letter in lhs else b_spec
         src_letters = lhs if letter in lhs else rhs
-        out_dims.append(src.spec.dims[src_letters.index(letter)])
+        out_dims.append(src_spec.dims[src_letters.index(letter)])
     try:
         out_spec = ShardSpec(tuple(out_dims), tuple(out_axes),
                              tuple(partial))
     except ShardingError as exc:
         raise ShardingError(
-            f"einsum {subscripts!r} on {a.spec} x {b.spec} produces an "
+            f"einsum {subscripts!r} on {a_spec} x {b_spec} produces an "
             f"inconsistent output sharding: {exc}") from exc
     return out_spec, tuple(out_shape)
 
@@ -298,6 +339,11 @@ def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
     """
     out_spec, out_shape = einsum_output_layout(subscripts, a, b)
     mesh = a.mesh
-    shards = mesh.map_devices(
-        lambda c: np.einsum(subscripts, a.shards[c], b.shards[c]))
+    if a.is_stacked and b.is_stacked:
+        lhs, rhs, out_letters = _parse_subscripts(subscripts)
+        shards = stacked_kernels.batched_einsum(mesh, lhs, rhs, out_letters,
+                                                a.shards, b.shards)
+    else:
+        shards = mesh.map_devices(
+            lambda c: np.einsum(subscripts, a.shards[c], b.shards[c]))
     return ShardedTensor(mesh, out_spec, out_shape, shards)

@@ -1,19 +1,30 @@
 """Sharded tensors on a :class:`~repro.mesh.virtual_mesh.VirtualMesh`.
 
 A :class:`ShardedTensor` pairs a sharding spec (Section 3.1 notation) with
-one numpy shard per device.  ``from_global``/``to_global`` define the
+per-device numpy shards.  ``from_global``/``to_global`` define the
 authoritative layout semantics; ``to_global`` additionally *verifies* that
 replicated copies are identical, which catches layout-algebra bugs in the
 partitioned model implementations.
+
+Two shard representations are supported, chosen by the mesh backend:
+
+* **loop** — an object array of one numpy array per device;
+* **stacked** — one dense array of shape ``mesh.shape + local_shape``.
+
+Indexing ``t.shards[coord]`` yields that device's shard in either case, so
+per-device code works on both; the stacked form additionally lets the
+collectives and einsums in :mod:`repro.mesh.stacked` run as single
+whole-mesh numpy ops.  Mixed-representation arithmetic falls back to the
+per-device path.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.mesh import stacked as stacked_kernels
 from repro.mesh.virtual_mesh import VirtualMesh
 from repro.sharding.spec import ShardingError, ShardSpec, parse
 
@@ -29,6 +40,13 @@ class ShardedTensor:
         self.global_shape = tuple(global_shape)
         self.shards = shards
         expected = spec.local_shape(self.global_shape, mesh.topology)
+        if shards.dtype != object:
+            if shards.shape != mesh.shape + expected:
+                raise ShardingError(
+                    f"stacked shards have shape {shards.shape}, spec "
+                    f"{spec} with global {self.global_shape} expects "
+                    f"{mesh.shape + expected}")
+            return
         for coord in mesh.devices():
             shard = shards[coord]
             if shard.shape != expected:
@@ -36,6 +54,11 @@ class ShardedTensor:
                     f"device {coord} shard has shape {shard.shape}, "
                     f"spec {spec} with global {self.global_shape} "
                     f"expects {expected}")
+
+    @property
+    def is_stacked(self) -> bool:
+        """True if shards live in one dense array (device axes leading)."""
+        return self.shards.dtype != object
 
     # -- construction -----------------------------------------------------
 
@@ -49,6 +72,10 @@ class ShardedTensor:
             raise ShardingError(
                 "cannot construct a partial-sum tensor from a global array")
         local = spec.local_shape(array.shape, mesh.topology)
+
+        if mesh.backend == "stacked":
+            shards = stacked_kernels.from_global(mesh, array, spec, local)
+            return cls(mesh, spec, array.shape, shards)
 
         def make(coord):
             slices = []
@@ -76,6 +103,9 @@ class ShardedTensor:
         invariant of SPMD layouts.
         """
         mesh, spec = self.mesh, self.spec
+        if self.is_stacked:
+            return stacked_kernels.to_global(mesh, spec, self.global_shape,
+                                             self.shards, check_replication)
         local = spec.local_shape(self.global_shape, mesh.topology)
         # Representative shard (or running partial sum) per shard position.
         accum: dict[tuple, np.ndarray] = {}
@@ -110,21 +140,36 @@ class ShardedTensor:
 
     def map_shards(self, fn: Callable[[np.ndarray], np.ndarray],
                    spec: ShardSpec | None = None,
-                   global_shape: Sequence[int] | None = None
-                   ) -> "ShardedTensor":
+                   global_shape: Sequence[int] | None = None,
+                   *, elementwise: bool = False) -> "ShardedTensor":
         """Apply a per-device function to every shard.
 
         ``fn`` must be shape-preserving unless a new ``spec``/
         ``global_shape`` describing the result is given.  Elementwise
         functions commute with sharding but not with partial sums; callers
         must not apply nonlinear ``fn`` to partial-sum tensors (asserted).
+
+        With ``elementwise=True`` the caller additionally promises that
+        ``fn`` broadcasts over arbitrary leading axes (true for anything
+        acting pointwise or over trailing dims only); on the stacked
+        backend this applies ``fn`` once to the whole dense array instead
+        of once per device.
         """
-        shards = self.mesh.map_devices(lambda c: fn(self.shards[c]))
+        if self.is_stacked:
+            if elementwise:
+                shards = fn(self.shards)
+            else:
+                results = [fn(self.shards[coord])
+                           for coord in self.mesh.devices()]
+                shards = np.stack(results).reshape(
+                    self.mesh.shape + results[0].shape)
+        else:
+            shards = self.mesh.map_devices(lambda c: fn(self.shards[c]))
         return ShardedTensor(self.mesh, spec or self.spec,
                              global_shape or self.global_shape, shards)
 
     def astype(self, dtype) -> "ShardedTensor":
-        return self.map_shards(lambda s: s.astype(dtype))
+        return self.map_shards(lambda s: s.astype(dtype), elementwise=True)
 
     def __add__(self, other: "ShardedTensor") -> "ShardedTensor":
         if not isinstance(other, ShardedTensor):
@@ -132,8 +177,11 @@ class ShardedTensor:
         if self.spec != other.spec or self.global_shape != other.global_shape:
             raise ShardingError(
                 f"cannot add tensors with specs {self.spec} vs {other.spec}")
-        shards = self.mesh.map_devices(
-            lambda c: self.shards[c] + other.shards[c])
+        if self.is_stacked and other.is_stacked:
+            shards = self.shards + other.shards
+        else:
+            shards = self.mesh.map_devices(
+                lambda c: self.shards[c] + other.shards[c])
         return ShardedTensor(self.mesh, self.spec, self.global_shape, shards)
 
     @property

@@ -6,23 +6,65 @@ through the collective operations in :mod:`repro.mesh.ops`, which only move
 data *within groups along the participating torus axes* — so a program that
 runs on the virtual mesh is implementable with exactly the communication
 pattern it claims.
+
+Two execution backends share the same semantics:
+
+* ``"loop"`` — one numpy array per device in an object array; collectives
+  iterate Python loops over communication groups.  Simple, and the
+  semantics oracle for the differential tests.
+* ``"stacked"`` — all shards live in one dense array with the three device
+  axes leading, and collectives become single whole-mesh numpy ops (see
+  :mod:`repro.mesh.stacked`).  Bit-identical to ``"loop"`` and far faster
+  on large meshes, because per-device work is batched instead of
+  interpreted.
+
+The backend is chosen per mesh: ``VirtualMesh(shape, backend="stacked")``,
+with the ``REPRO_MESH_BACKEND`` environment variable as the default.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.hardware.topology import AXIS_NAMES, Mesh
 
+BACKENDS = ("loop", "stacked")
+
+
+def default_backend() -> str:
+    """The backend used when ``VirtualMesh`` is built without one.
+
+    Controlled by the ``REPRO_MESH_BACKEND`` environment variable so whole
+    test suites / benchmarks can be flipped without touching call sites.
+    """
+    backend = os.environ.get("REPRO_MESH_BACKEND", "loop")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_MESH_BACKEND={backend!r} is not one of {BACKENDS}")
+    return backend
+
 
 class VirtualMesh:
     """A 3D grid of virtual devices with named axes ``x``, ``y``, ``z``."""
 
-    def __init__(self, shape: Sequence[int]):
+    def __init__(self, shape: Sequence[int], backend: str | None = None):
         self.topology = Mesh.from_shape(tuple(shape))
+        if backend is None:
+            backend = default_backend()
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown mesh backend {backend!r}; choose one of {BACKENDS}")
+        self.backend = backend
+        # Group coordinate lists and rank grids are pure functions of
+        # (shape, axes); they are re-used by every collective call, so
+        # derive each once.
+        self._groups_cache: dict[tuple[str, ...],
+                                 list[list[tuple[int, int, int]]]] = {}
+        self._rank_grid_cache: dict[tuple[str, ...], np.ndarray] = {}
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -59,12 +101,23 @@ class VirtualMesh:
         Each group is the list of device coordinates that differ only in the
         given axes; coordinates within a group are ordered row-major over
         ``axes`` (in the order given), which defines shard order for
-        gather/scatter semantics.
+        gather/scatter semantics.  Group lists are computed once per
+        ``axes`` tuple and cached; callers must not mutate them.
         """
+        axes = tuple(axes)
+        cached = self._groups_cache.get(axes)
+        if cached is None:
+            cached = self._build_groups(axes)
+            self._groups_cache[axes] = cached
+        return iter(cached)
+
+    def _build_groups(self, axes: tuple[str, ...]
+                      ) -> list[list[tuple[int, int, int]]]:
         part = self.axis_indices(axes)
         rest = [i for i in range(3) if i not in part]
         rest_ranges = [range(self.shape[i]) for i in rest]
         part_ranges = [range(self.shape[i]) for i in part]
+        groups = []
         for rest_coords in itertools.product(*rest_ranges):
             group = []
             for part_coords in itertools.product(*part_ranges):
@@ -74,7 +127,8 @@ class VirtualMesh:
                 for i, c in zip(part, part_coords):
                     coord[i] = c
                 group.append(tuple(coord))
-            yield group
+            groups.append(group)
+        return groups
 
     def coords_on(self, device: tuple[int, int, int],
                   axes: Sequence[str]) -> tuple[int, ...]:
@@ -89,6 +143,25 @@ class VirtualMesh:
             rank = rank * self.axis_size(axis) + coord
         return rank
 
+    def rank_grid(self, axes: Sequence[str]) -> np.ndarray:
+        """Integer array over the device grid of each device's group rank.
+
+        ``rank_grid(axes)[coord] == rank_in_group(coord, axes)``; used by
+        the stacked backend to vectorize rank-dependent slicing.  Cached
+        per axes tuple (ring einsums request the same grid every step).
+        """
+        axes = tuple(axes)
+        cached = self._rank_grid_cache.get(axes)
+        if cached is None:
+            coords = np.indices(self.shape)
+            rank = np.zeros(self.shape, dtype=np.intp)
+            for axis in axes:
+                idx = AXIS_NAMES.index(axis)
+                rank = rank * self.shape[idx] + coords[idx]
+            cached = rank
+            self._rank_grid_cache[axes] = cached
+        return cached
+
     def map_devices(self, fn: Callable[[tuple[int, int, int]], np.ndarray]
                     ) -> np.ndarray:
         """Build an object array by calling ``fn`` per device coordinate."""
@@ -98,4 +171,5 @@ class VirtualMesh:
         return shards
 
     def __repr__(self) -> str:
-        return f"VirtualMesh({self.shape[0]}x{self.shape[1]}x{self.shape[2]})"
+        return (f"VirtualMesh({self.shape[0]}x{self.shape[1]}x"
+                f"{self.shape[2]}, backend={self.backend!r})")

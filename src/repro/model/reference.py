@@ -159,8 +159,11 @@ def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
     if h % kv:
         raise ValueError(f"{h} query heads not divisible by {kv} KV heads")
     if kv != h:  # broadcast shared KV heads across the query-head groups
-        k = np.repeat(k, h // kv, axis=2)
-        v = np.repeat(v, h // kv, axis=2)
+        b, m, d = k.shape[0], k.shape[1], k.shape[3]
+        k = np.broadcast_to(k[:, :, :, None, :],
+                            (b, m, kv, h // kv, d)).reshape(b, m, h, d)
+        v = np.broadcast_to(v[:, :, :, None, :],
+                            (b, m, kv, h // kv, d)).reshape(b, m, h, d)
     scale = 1.0 / np.sqrt(q.shape[-1])
     scores = np.einsum("blhd,bmhd->bhlm", q, k) * scale
     if mask is None:

@@ -60,10 +60,7 @@ def merge_sharded_caches(per_request: Sequence[Sequence[ShardedKVCache]],
                                         cache.spec)
         v_t = ShardedTensor.from_global(decode_model.mesh, v_global,
                                         cache.spec)
-        for coord in decode_model.mesh.devices():
-            cache.k[coord][:, :length] = k_t.shards[coord]
-            cache.v[coord][:, :length] = v_t.shards[coord]
-        cache.length = length
+        cache.load_prefix(k_t, v_t, length)
         merged.append(cache)
     return merged
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Sequence
 
 from repro.hardware.topology import Mesh
@@ -59,6 +60,15 @@ class ShardSpec:
                 seen.add(axis)
         if len(set(self.dims)) != len(self.dims):
             raise ShardingError(f"duplicate dim names in {self.dims}")
+
+    def __hash__(self) -> int:
+        # Specs key several lru_caches on hot paths; the frozen-dataclass
+        # hash recomputes from fields every call, so cache it per instance.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.dims, self.axes, self.partial_sum))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # -- construction -----------------------------------------------------
 
@@ -109,36 +119,28 @@ class ShardSpec:
 
         Raises :class:`ShardingError` if any dim is not divisible by its
         partition count (the paper always pads to divisibility, e.g. PaLM's
-        48 heads padded to 64; see Section 4 "Methodology").
+        48 heads padded to 64; see Section 4 "Methodology").  Memoized:
+        every ShardedTensor construction calls this, usually with one of a
+        handful of (spec, shape, mesh) combinations per model.
         """
-        if len(global_shape) != len(self.dims):
-            raise ShardingError(
-                f"shape {tuple(global_shape)} has {len(global_shape)} dims, "
-                f"spec {self} has {len(self.dims)}")
-        local = []
-        for dim, size, group in zip(self.dims, global_shape, self.axes):
-            parts = mesh.group_size(group)
-            if size % parts:
-                raise ShardingError(
-                    f"dim {dim} of size {size} not divisible by {parts} "
-                    f"partitions (axes {group})")
-            local.append(size // parts)
-        return tuple(local)
+        return _local_shape(self, tuple(global_shape), mesh)
 
     # -- algebra ----------------------------------------------------------
 
     def with_dim_axes(self, dim: str, axes: Sequence[str]) -> "ShardSpec":
-        """Return a copy with the sharding of one dim replaced."""
-        idx = self.dim_index(dim)
-        new_axes = list(self.axes)
-        new_axes[idx] = tuple(axes)
-        return ShardSpec(self.dims, tuple(new_axes), self.partial_sum)
+        """Return a copy with the sharding of one dim replaced (memoized)."""
+        return _with_dim_axes(self, dim, tuple(axes))
 
     def with_partial_sum(self, axes: Sequence[str]) -> "ShardSpec":
-        return ShardSpec(self.dims, self.axes, tuple(axes))
+        return _with_partial_sum(self, tuple(axes))
 
+    @lru_cache(maxsize=None)
     def validate(self, mesh: Mesh) -> None:
-        """Check every referenced axis exists on the mesh."""
+        """Check every referenced axis exists on the mesh.
+
+        Memoized (per spec/mesh pair); only successful validations are
+        cached, so failures keep raising.
+        """
         for axis in self.mesh_axes_used:
             if axis not in mesh.axis_names:
                 raise ShardingError(
@@ -155,6 +157,38 @@ class ShardSpec:
         if self.partial_sum:
             text += f" (partialsum-{''.join(self.partial_sum)})"
         return text
+
+
+@lru_cache(maxsize=None)
+def _with_dim_axes(spec: ShardSpec, dim: str,
+                   axes: tuple[str, ...]) -> ShardSpec:
+    idx = spec.dim_index(dim)
+    new_axes = list(spec.axes)
+    new_axes[idx] = axes
+    return ShardSpec(spec.dims, tuple(new_axes), spec.partial_sum)
+
+
+@lru_cache(maxsize=None)
+def _with_partial_sum(spec: ShardSpec, axes: tuple[str, ...]) -> ShardSpec:
+    return ShardSpec(spec.dims, spec.axes, axes)
+
+
+@lru_cache(maxsize=None)
+def _local_shape(spec: ShardSpec, global_shape: tuple[int, ...],
+                 mesh: Mesh) -> tuple[int, ...]:
+    if len(global_shape) != len(spec.dims):
+        raise ShardingError(
+            f"shape {global_shape} has {len(global_shape)} dims, "
+            f"spec {spec} has {len(spec.dims)}")
+    local = []
+    for dim, size, group in zip(spec.dims, global_shape, spec.axes):
+        parts = mesh.group_size(group)
+        if size % parts:
+            raise ShardingError(
+                f"dim {dim} of size {size} not divisible by {parts} "
+                f"partitions (axes {group})")
+        local.append(size // parts)
+    return tuple(local)
 
 
 def parse(text: str) -> ShardSpec:

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.layouts import ShardedTransformer
-from repro.mesh import VirtualMesh, enable_comm_log
+from repro.mesh import BACKENDS, VirtualMesh, enable_comm_log
 from repro.model import (
     AttentionKind,
     FfnKind,
@@ -51,11 +51,18 @@ def _plan_id(plan):
     return plan.describe().replace(", ", "/").replace("=", ":")
 
 
-def run_both(config, plan, seed=0):
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Run the equivalence suite under both mesh execution backends."""
+    return request.param
+
+
+def run_both(config, plan, seed=0, backend="loop"):
     """Prefill + decode the same tokens on reference and sharded models."""
     weights = init_weights(config, seed=seed)
     reference = ReferenceTransformer(weights)
-    sharded = ShardedTransformer(weights, VirtualMesh(MESH_SHAPE), plan)
+    sharded = ShardedTransformer(
+        weights, VirtualMesh(MESH_SHAPE, backend=backend), plan)
 
     rng = np.random.default_rng(seed + 1)
     prompt = rng.integers(0, config.vocab_size, size=(BATCH, PROMPT_LEN))
@@ -75,14 +82,14 @@ def run_both(config, plan, seed=0):
 
 @pytest.mark.parametrize("plan", ALL_PLANS, ids=_plan_id)
 class TestEquivalenceAcrossLayouts:
-    def test_multiquery_parallel_block(self, plan):
+    def test_multiquery_parallel_block(self, plan, backend):
         config = tiny_test_config(**CFG_KWARGS)
-        for ref, sh in run_both(config, plan):
+        for ref, sh in run_both(config, plan, backend=backend):
             np.testing.assert_allclose(sh, ref, rtol=1e-8, atol=1e-10)
 
-    def test_multiquery_serial_block(self, plan):
+    def test_multiquery_serial_block(self, plan, backend):
         config = tiny_test_config(parallel_block=False, **CFG_KWARGS)
-        for ref, sh in run_both(config, plan):
+        for ref, sh in run_both(config, plan, backend=backend):
             np.testing.assert_allclose(sh, ref, rtol=1e-8, atol=1e-10)
 
 
@@ -91,17 +98,17 @@ class TestEquivalenceAcrossLayouts:
     [p for p in ALL_PLANS if p.attention is not AttentionLayoutKind.BATCH
      or p.ffn.is_weight_gathered],
     ids=_plan_id)
-def test_multihead_equivalence(plan):
+def test_multihead_equivalence(plan, backend):
     config = tiny_test_config(attention=AttentionKind.MULTIHEAD,
                               **CFG_KWARGS)
-    for ref, sh in run_both(config, plan):
+    for ref, sh in run_both(config, plan, backend=backend):
         np.testing.assert_allclose(sh, ref, rtol=1e-8, atol=1e-10)
 
 
 @pytest.mark.parametrize("plan", [WS_PLANS[2], WG_PLANS[2]], ids=_plan_id)
-def test_mlp_ffn_equivalence(plan):
+def test_mlp_ffn_equivalence(plan, backend):
     config = tiny_test_config(ffn=FfnKind.MLP, **CFG_KWARGS)
-    for ref, sh in run_both(config, plan):
+    for ref, sh in run_both(config, plan, backend=backend):
         np.testing.assert_allclose(sh, ref, rtol=1e-8, atol=1e-10)
 
 
@@ -115,12 +122,12 @@ def test_batch_attention_with_multihead_rejected():
                                       AttentionLayoutKind.BATCH))
 
 
-def test_generate_matches_reference_greedy():
+def test_generate_matches_reference_greedy(backend):
     config = tiny_test_config(**CFG_KWARGS)
     weights = init_weights(config)
     reference = ReferenceTransformer(weights)
     sharded = ShardedTransformer(
-        weights, VirtualMesh(MESH_SHAPE),
+        weights, VirtualMesh(MESH_SHAPE, backend=backend),
         LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH))
     prompt = np.random.default_rng(0).integers(
         0, config.vocab_size, size=(BATCH, PROMPT_LEN))
@@ -178,7 +185,7 @@ def test_serial_block_communicates_more_than_parallel():
 
 
 @pytest.mark.slow
-def test_32_device_mesh_equivalence():
+def test_32_device_mesh_equivalence(backend):
     """A 2x4x4 (32-device) mesh — closer to real slice shapes — still
     matches the reference bit-for-bit for the main decode plan."""
     config = tiny_test_config(n_layers=1, d_model=32, d_ff=64, n_heads=16,
@@ -186,7 +193,8 @@ def test_32_device_mesh_equivalence():
     weights = init_weights(config, seed=0)
     reference = ReferenceTransformer(weights)
     plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH)
-    sharded = ShardedTransformer(weights, VirtualMesh((2, 4, 4)), plan)
+    sharded = ShardedTransformer(
+        weights, VirtualMesh((2, 4, 4), backend=backend), plan)
     prompt = np.random.default_rng(0).integers(0, 32, size=(32, 3))
     ref, ref_caches = reference.prefill(prompt, 5)
     got, got_caches = sharded.prefill(prompt, 5)
