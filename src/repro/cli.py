@@ -9,6 +9,8 @@ Subcommands mirror the library's main entry points:
 * ``simulate`` — discrete-event simulation of one forward pass, with
   optional chrome-trace export.
 * ``serve`` — request-level queueing simulation under Poisson traffic.
+* ``fault-sim`` — the same simulation under an MTBF-driven chip-failure
+  process: goodput, p99 latency and availability (docs/fault_tolerance.md).
 * ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
 * ``mesh-bench`` — time the loop vs stacked virtual-mesh backends on a
   real decode workload (see docs/mesh_backends.md).
@@ -205,6 +207,54 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fault_sim(args) -> int:
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+    from repro.serving.simulation import (
+        FaultModel,
+        ServerConfig,
+        WorkloadSpec,
+        poisson_arrivals,
+        simulate_serving_under_faults,
+    )
+
+    config, mfu_params = _resolve_model(args.model)
+    torus = default_slice_shape(args.chips)
+    estimator = InferenceEstimator(
+        config, get_chip(args.chip), torus,
+        weight_dtype_bytes=1 if args.int8 else 2, mfu_params=mfu_params)
+    server = ServerConfig(
+        max_batch=args.max_batch, max_wait_s=args.max_wait,
+        prefill_plan=LayoutPlan(FfnLayoutKind.WS_2D,
+                                AttentionLayoutKind.HEAD),
+        decode_plan=LayoutPlan(FfnLayoutKind.WS_2D,
+                               AttentionLayoutKind.BATCH))
+    workload = WorkloadSpec(input_len=args.seq_len, gen_len=args.gen_len)
+    arrivals = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+    faults = FaultModel(mtbf_s=args.mtbf, replan_s=args.replan_s,
+                        recovery_s=args.recovery_s,
+                        degraded_factor=args.degraded_factor,
+                        seed=args.seed)
+    report = simulate_serving_under_faults(
+        estimator, server, workload, arrivals, faults,
+        deadline_s=args.deadline)
+    print(f"{config.name} on {args.chips} chips: {args.rate:g} req/s for "
+          f"{args.duration:g}s, MTBF {args.mtbf:g}s"
+          + (f", deadline {args.deadline:g}s" if args.deadline else ""))
+    print(f"  failures    {report.failures:7d}   "
+          f"downtime {report.downtime_s:8.1f} s")
+    print(f"  completed   {report.completed:7d}   "
+          f"retried {report.retried_requests:5d}  "
+          f"shed {report.shed_requests:5d}  "
+          f"dropped {report.dropped_requests:5d}")
+    if report.completed:
+        print(f"  p50 latency {report.latency_percentile(50):7.2f} s   "
+              f"p99 {report.latency_percentile(99):7.2f} s")
+    print(f"  goodput     {report.goodput_rps:7.2f} req/s "
+          f"(in-deadline completions)")
+    print(f"  availability {report.availability:6.1%}")
+    return 0
+
+
 def cmd_disaggregate(args) -> int:
     from repro.partitioning import FfnLayoutKind, LayoutPlan
     from repro.perf.disaggregation import size_pipeline, turn_latency
@@ -333,6 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gen-len", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("fault-sim",
+                       help="queueing simulation under chip failures")
+    _add_common(p)
+    p.add_argument("--chips", type=int, default=64)
+    p.add_argument("--rate", type=float, default=4.0,
+                   help="Poisson arrival rate, requests/second")
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--max-wait", type=float, default=0.2)
+    p.add_argument("--seq-len", type=int, default=64)
+    p.add_argument("--gen-len", type=int, default=64)
+    p.add_argument("--mtbf", type=float, default=120.0,
+                   help="mean time between chip failures, seconds")
+    p.add_argument("--replan-s", type=float, default=2.0,
+                   help="downtime per failure (detect + replan)")
+    p.add_argument("--recovery-s", type=float, default=60.0,
+                   help="time until the slice is repaired to full size")
+    p.add_argument("--degraded-factor", type=float, default=1.5,
+                   help="service-time multiplier while degraded")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline for goodput/shedding")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fault_sim)
 
     p = sub.add_parser("disaggregate",
                        help="size the prefill->decode pipeline (Sec. 4.4)")

@@ -1,0 +1,91 @@
+"""Structured event log for failure observability.
+
+Production serving stacks treat the failure path as a first-class,
+*observable* subsystem: every fault injection, detection, replan, retry and
+load-shed decision is recorded as a structured event so that operators (and
+tests) can reconstruct exactly what the system did.  :class:`EventLog` is
+the minimal queryable form of that: an append-only list of
+:class:`Event` records, each a ``kind`` plus arbitrary structured data.
+
+The log is deliberately dependency-free (it sits below both the mesh and
+the serving layers) so that fault injection in :mod:`repro.mesh.faults`
+and the request lifecycle in :mod:`repro.serving.resilient` can share one
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: Canonical event kinds emitted by the fault-tolerance stack.  The log
+#: accepts any string kind; these constants keep emitters and tests in sync.
+FAULT_INJECTED = "fault_injected"
+FAULT_DETECTED = "fault_detected"
+REPLANNED = "replanned"
+REQUEST_RETRIED = "request_retried"
+REQUEST_SHED = "request_shed"
+REQUEST_COMPLETED = "request_completed"
+REQUEST_FAILED = "request_failed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a kind, a sequence number, and a data dict."""
+
+    kind: str
+    seq: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class EventLog:
+    """Append-only, queryable log of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def record(self, kind: str, **data: Any) -> Event:
+        event = Event(kind=kind, seq=len(self.events), data=data)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def query(self, kind: str | None = None,
+              where: Callable[[Event], bool] | None = None) -> list[Event]:
+        """Filter events by kind and/or an arbitrary predicate."""
+        out = self.events if kind is None else self.of_kind(kind)
+        if where is not None:
+            out = [e for e in out if where(e)]
+        return list(out)
+
+    def kinds(self) -> list[str]:
+        """Event kinds in emission order (with repeats) — the timeline."""
+        return [e.kind for e in self.events]
+
+    def assert_sequence(self, *kinds: str) -> None:
+        """Assert the given kinds appear in order (not necessarily
+        adjacent) — the detect -> replan -> retry style assertion used by
+        the fault-tolerance tests."""
+        timeline = self.kinds()
+        pos = 0
+        for kind in kinds:
+            try:
+                pos = timeline.index(kind, pos) + 1
+            except ValueError:
+                raise AssertionError(
+                    f"event sequence {kinds} not found in order; log has "
+                    f"{timeline}") from None

@@ -45,6 +45,7 @@ class ShardedKVCache:
         spec.validate(mesh.topology)
         self.mesh = mesh
         self.spec = spec
+        self.dtype = np.dtype(dtype)
         self.global_shape = (batch, max_len, n_kv_heads, d_head)
         local = spec.local_shape(self.global_shape, mesh.topology)
         if mesh.backend == "stacked":

@@ -236,7 +236,7 @@ class ShardedTransformer:
             new = ShardedKVCache(
                 target.mesh, target.cache_spec(), cache.global_shape[0],
                 cache.max_len, cache.global_shape[2],
-                cache.global_shape[3], dtype=k_sh.shards[0, 0, 0].dtype)
+                cache.global_shape[3], dtype=cache.dtype)
             spec = new.spec
             k_global, v_global = k_sh.to_global(), v_sh.to_global()
             filled = ShardedTensor.from_global(

@@ -7,6 +7,19 @@ created by :func:`enable_comm_log`) records every collective's per-chip
 payload for volume accounting.
 """
 
+from repro.mesh.faults import (
+    ChipFailure,
+    ChipKill,
+    CollectiveCorruption,
+    CollectiveFault,
+    CollectiveTimeout,
+    FaultPlan,
+    FaultState,
+    MeshFault,
+    StragglerFault,
+    clear_faults,
+    install_fault_plan,
+)
 from repro.mesh.looped import all_gather_einsum, einsum_reduce_scatter
 from repro.mesh.ops import (
     CommRecord,
@@ -31,8 +44,19 @@ def enable_comm_log(mesh: VirtualMesh) -> list:
 
 __all__ = [
     "BACKENDS",
+    "ChipFailure",
+    "ChipKill",
+    "CollectiveCorruption",
+    "CollectiveFault",
+    "CollectiveTimeout",
     "CommRecord",
+    "FaultPlan",
+    "FaultState",
+    "MeshFault",
+    "StragglerFault",
+    "clear_faults",
     "default_backend",
+    "install_fault_plan",
     "all_gather_einsum",
     "einsum_output_layout",
     "einsum_reduce_scatter",

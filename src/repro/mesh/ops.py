@@ -59,6 +59,29 @@ def _log(mesh: VirtualMesh, record: CommRecord) -> None:
         log.append(record)
 
 
+def _fault_pre(mesh: VirtualMesh, op: str, axes: tuple[str, ...]) -> None:
+    """Fault-injection hook before a collective runs (both backends).
+
+    Raises the typed failures of :mod:`repro.mesh.faults` — a collective
+    touching a dead chip or a scheduled timeout never silently returns
+    garbage.  No-op unless a fault plan is installed on the mesh.
+    """
+    state = getattr(mesh, "fault_state", None)
+    if state is not None:
+        state.on_collective(op, axes)
+
+
+def _fault_post(mesh: VirtualMesh, op: str, axes: tuple[str, ...],
+                shards: np.ndarray) -> np.ndarray:
+    """Fault-injection hook on a collective's result shards (both
+    backends): applies scheduled payload corruption and raises
+    ``CollectiveCorruption`` when checksum detection is on."""
+    state = getattr(mesh, "fault_state", None)
+    if state is None:
+        return shards
+    return state.post_collective(op, axes, shards)
+
+
 def _require_suffix(dim_axes: tuple[str, ...], axes: Sequence[str],
                     what: str) -> tuple[str, ...]:
     axes = tuple(axes)
@@ -80,6 +103,7 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    _fault_pre(mesh, "all_gather", axes)
     remaining = _require_suffix(spec.axes_for(dim), axes, "all_gather")
     dim_idx = spec.dim_index(dim)
     new_spec = spec.with_dim_axes(dim, remaining)
@@ -92,6 +116,7 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
                                       axis=dim_idx)
             for coord in group:
                 shards[coord] = gathered
+    shards = _fault_post(mesh, "all_gather", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_gather", axes, mesh.group_size(axes),
                           out.per_chip_bytes))
@@ -103,6 +128,7 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
     """Sum partial sums over ``axes`` and scatter the result into ``dim``."""
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    _fault_pre(mesh, "reduce_scatter", axes)
     if not set(axes) <= set(spec.partial_sum):
         raise ShardingError(
             f"reduce_scatter axes {axes} not all partial-sum axes of {spec}")
@@ -124,6 +150,7 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
             chunks = np.split(total, k, axis=dim_idx)
             for rank, coord in enumerate(group):
                 shards[coord] = np.ascontiguousarray(chunks[rank])
+    shards = _fault_post(mesh, "reduce_scatter", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("reduce_scatter", axes, k, payload))
     return out
@@ -138,6 +165,7 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    _fault_pre(mesh, "all_reduce", axes)
     if not set(axes) <= set(spec.partial_sum):
         raise ShardingError(
             f"all_reduce axes {axes} not all partial-sum axes of {spec}")
@@ -154,6 +182,7 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
                 total = total + t.shards[coord]
             for coord in group:
                 shards[coord] = total
+    shards = _fault_post(mesh, "all_reduce", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_reduce", axes, mesh.group_size(axes),
                           2 * payload))
@@ -169,6 +198,7 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    _fault_pre(mesh, "all_to_all", axes)
     if src_dim == dst_dim:
         raise ShardingError("all_to_all src_dim and dst_dim must differ")
     src_remaining = _require_suffix(spec.axes_for(src_dim), axes,
@@ -192,6 +222,7 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
             chunks = np.split(assembled, k, axis=dst_idx)
             for rank, coord in enumerate(group):
                 shards[coord] = np.ascontiguousarray(chunks[rank])
+    shards = _fault_post(mesh, "all_to_all", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _log(mesh, CommRecord("all_to_all", axes, k, payload))
     return out
@@ -206,6 +237,7 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    _fault_pre(mesh, "split", axes)
     used = set(spec.mesh_axes_used)
     if used & set(axes):
         raise ShardingError(

@@ -162,6 +162,18 @@ class VirtualMesh:
             self._rank_grid_cache[axes] = cached
         return cached
 
+    def install_faults(self, plan, event_log=None):
+        """Attach a :class:`~repro.mesh.faults.FaultPlan` to this mesh.
+
+        From then on every collective in :mod:`repro.mesh.ops` consults
+        the returned :class:`~repro.mesh.faults.FaultState` — dead chips
+        and scheduled collective failures raise typed errors instead of
+        silently returning garbage.  Works identically on both backends.
+        """
+        from repro.mesh.faults import install_fault_plan
+
+        return install_fault_plan(self, plan, event_log)
+
     def map_devices(self, fn: Callable[[tuple[int, int, int]], np.ndarray]
                     ) -> np.ndarray:
         """Build an object array by calling ``fn`` per device coordinate."""

@@ -8,12 +8,30 @@ from repro.partitioning.plan import (
     FfnLayoutKind,
     LayoutPlan,
 )
+from repro.partitioning.degraded import (
+    DegradedDeployment,
+    SubSlice,
+    healthy_subslices,
+    largest_healthy_subslice,
+    migrate_caches,
+    plan_batch_group,
+    replan_after_failure,
+    select_degraded_plan,
+)
 
 __all__ = [
     "AttentionLayoutKind",
     "DECODE_PLAN_540B",
+    "DegradedDeployment",
     "FfnLayoutKind",
     "LayoutPlan",
     "PREFILL_PLAN_LARGE_BATCH",
     "PREFILL_PLAN_SMALL_BATCH",
+    "SubSlice",
+    "healthy_subslices",
+    "largest_healthy_subslice",
+    "migrate_caches",
+    "plan_batch_group",
+    "replan_after_failure",
+    "select_degraded_plan",
 ]

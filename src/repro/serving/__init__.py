@@ -19,12 +19,26 @@ from repro.serving.packing import (
     padded_efficiency,
     score_packed,
 )
+from repro.serving.resilient import (
+    CostModel,
+    RequestOutcome,
+    RequestStatus,
+    ResilientContinuousServer,
+    ResilientRequest,
+    ResilientTwoPhaseServer,
+)
 from repro.serving.scheduler import group_requests
 from repro.serving.sharded import ShardedTwoPhaseServer, merge_sharded_caches
 
 __all__ = [
     "Completion",
     "ContinuousBatchingEngine",
+    "CostModel",
+    "RequestOutcome",
+    "RequestStatus",
+    "ResilientContinuousServer",
+    "ResilientRequest",
+    "ResilientTwoPhaseServer",
     "SlotState",
     "slot_decode_step",
     "InferenceEngine",

@@ -138,7 +138,8 @@ class ContinuousBatchingEngine:
     """Slot-based decoder with batch-1 prefill admission."""
 
     def __init__(self, model: ReferenceTransformer, max_slots: int,
-                 max_len: int, sampler=None, seed: int = 0):
+                 max_len: int, sampler=None, seed: int = 0,
+                 step_hook=None):
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         self.model = model
@@ -148,6 +149,10 @@ class ContinuousBatchingEngine:
         self.rng = np.random.default_rng(seed)
         self.steps = 0
         self.admissions = 0
+        # Called with the global step index before each decode step; the
+        # resilient serving layer uses it to observe progress and to
+        # inject scheduled failures (a raise aborts the batch).
+        self.step_hook = step_hook
 
     def serve(self, requests: list[Request]) -> list[Completion]:
         queue = deque(requests)
@@ -178,6 +183,8 @@ class ContinuousBatchingEngine:
             if not any_active():
                 admit()
                 continue
+            if self.step_hook is not None:
+                self.step_hook(self.steps)
             active = np.array([s is not None for s in slots])
             tokens = np.array([s.pending_token if s else 0
                                for s in slots])

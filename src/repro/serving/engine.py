@@ -31,6 +31,14 @@ class Request:
     def __post_init__(self) -> None:
         if self.prompt.ndim != 1:
             raise ValueError("prompt must be a 1D token array")
+        if not np.issubdtype(self.prompt.dtype, np.integer):
+            raise ValueError(
+                f"prompt must hold integer token ids, got dtype "
+                f"{self.prompt.dtype}")
+        if self.prompt.size and int(self.prompt.min()) < 0:
+            raise ValueError(
+                f"prompt token ids must be non-negative, got "
+                f"{int(self.prompt.min())}")
         if self.max_new_tokens < 1:
             raise ValueError("max_new_tokens must be >= 1")
 
@@ -53,6 +61,8 @@ def merge_caches(per_request: Sequence[Sequence[KVCache]]
     All requests must have the same cache length (the scheduler groups by
     prompt length so this holds; real systems left-pad instead).
     """
+    if not per_request:
+        raise ValueError("cannot merge an empty list of request caches")
     lengths = {caches[0].length for caches in per_request}
     if len(lengths) != 1:
         raise ValueError(f"cannot merge caches of different lengths "

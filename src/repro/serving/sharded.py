@@ -32,6 +32,8 @@ def merge_sharded_caches(per_request: Sequence[Sequence[ShardedKVCache]],
     All caches must have equal length (the scheduler groups by prompt
     length).
     """
+    if not per_request:
+        raise ValueError("cannot merge an empty list of request caches")
     lengths = {caches[0].length for caches in per_request}
     if len(lengths) != 1:
         raise ValueError(f"cannot merge caches of different lengths "
@@ -41,7 +43,9 @@ def merge_sharded_caches(per_request: Sequence[Sequence[ShardedKVCache]],
     cfg = decode_model.config
     merged = []
     n_layers = len(per_request[0])
-    dtype = per_request[0][0].k[0, 0, 0].dtype
+    # The cache records its element dtype; probing a shard would depend
+    # on the backend's storage layout (object array vs dense stack).
+    dtype = per_request[0][0].dtype
     for layer in range(n_layers):
         k_parts, v_parts = [], []
         for caches in per_request:

@@ -22,7 +22,7 @@ from repro.partitioning import (
     LayoutPlan,
 )
 from repro.serving import Request, TwoPhaseServer
-from repro.serving.sharded import ShardedTwoPhaseServer
+from repro.serving.sharded import ShardedTwoPhaseServer, merge_sharded_caches
 
 CFG = tiny_test_config(n_layers=2, d_model=16, d_ff=32, n_heads=8,
                        d_head=8, vocab_size=32)
@@ -103,3 +103,26 @@ class TestShardedTwoPhase:
         for g, w in zip(got, want):
             np.testing.assert_array_equal(g.tokens, w.tokens)
             assert g.n_generated == w.n_generated
+
+
+class TestMergeShardedCaches:
+    def test_empty_request_list_rejected(self):
+        sharded, _ = make_servers()
+        with pytest.raises(ValueError, match="empty"):
+            merge_sharded_caches([], sharded.decode_model)
+
+    def test_mismatched_lengths_rejected(self):
+        sharded, _ = make_servers()
+        _, c1 = sharded.prefill_model.prefill(np.array([[1, 2, 3]]), 8)
+        _, c2 = sharded.prefill_model.prefill(np.array([[1, 2]]), 8)
+        with pytest.raises(ValueError, match="group requests by length"):
+            merge_sharded_caches([c1, c2], sharded.decode_model)
+
+    def test_dtype_comes_from_cache_attribute(self):
+        # The merge must not probe shard storage for the dtype (the
+        # layout differs between backends); the cache records it.
+        sharded, _ = make_servers()
+        _, caches = sharded.prefill_model.prefill(np.array([[1, 2, 3]]), 8)
+        merged = merge_sharded_caches([caches] * 8, sharded.decode_model)
+        assert merged[0].dtype == caches[0].dtype
+        assert merged[0].global_shape[0] == 8

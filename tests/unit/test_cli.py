@@ -121,3 +121,20 @@ class TestDisaggregate:
                   "--int8")
         assert "prefill replicas per decode server" in out
         assert "pipeline throughput" in out
+
+
+class TestFaultSim:
+    def test_availability_report(self, capsys):
+        out = run(capsys, "fault-sim", "--model", "palm-62b", "--chips",
+                  "16", "--rate", "2", "--duration", "60", "--mtbf",
+                  "30")
+        assert "failures" in out
+        assert "availability" in out
+        assert "goodput" in out
+
+    def test_huge_mtbf_is_fault_free(self, capsys):
+        out = run(capsys, "fault-sim", "--model", "palm-62b", "--chips",
+                  "16", "--rate", "2", "--duration", "40", "--mtbf",
+                  "1e12")
+        assert int(out.split("failures")[1].split()[0]) == 0
+        assert "availability 100.0%" in out

@@ -32,6 +32,17 @@ class TestRequests:
         with pytest.raises(ValueError, match="max_new_tokens"):
             Request(0, np.zeros(3, dtype=int), 0)
 
+    def test_rejects_non_integer_token_dtype(self):
+        with pytest.raises(ValueError, match="integer token ids"):
+            Request(0, np.array([1.0, 2.0]), 4)
+
+    def test_rejects_negative_token_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Request(0, np.array([3, -1, 2]), 4)
+
+    def test_empty_prompt_allowed_if_integer(self):
+        Request(0, np.zeros(0, dtype=np.int64), 1)
+
 
 class TestScheduler:
     def test_groups_by_length(self):
@@ -50,6 +61,20 @@ class TestScheduler:
         requests = [make_request(i, 4) for i in range(5)]
         groups = group_requests(requests, max_batch=8)
         assert [r.request_id for r in groups[0]] == [0, 1, 2, 3, 4]
+
+    def test_fifo_order_survives_length_interleaving(self):
+        # Arrival order must be preserved within every length class even
+        # when lengths interleave and groups split at max_batch.
+        lengths = [4, 6, 4, 6, 4, 6, 4, 6]
+        requests = [make_request(i, lengths[i]) for i in range(8)]
+        groups = group_requests(requests, max_batch=2)
+        by_length = {4: [], 6: []}
+        for group in groups:
+            assert len({len(r.prompt) for r in group}) == 1
+            by_length[len(group[0].prompt)].extend(
+                r.request_id for r in group)
+        assert by_length[4] == [0, 2, 4, 6]
+        assert by_length[6] == [1, 3, 5, 7]
 
     def test_invalid_batch(self):
         with pytest.raises(ValueError):
@@ -75,6 +100,10 @@ class TestMergeCaches:
         _, c2 = m.prefill(np.array([[1, 2]]), 8)
         with pytest.raises(ValueError, match="group requests by length"):
             merge_caches([c1, c2])
+
+    def test_empty_request_list_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            merge_caches([])
 
 
 class TestTwoPhaseServer:

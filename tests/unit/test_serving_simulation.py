@@ -12,11 +12,13 @@ from repro.partitioning import (
 )
 from repro.perf import InferenceEstimator
 from repro.serving.simulation import (
+    FaultModel,
     ServerConfig,
     WorkloadSpec,
     batch_service_time,
     poisson_arrivals,
     simulate_serving,
+    simulate_serving_under_faults,
 )
 
 WS2D_HEAD = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
@@ -136,3 +138,76 @@ class TestPaperScenario:
                                   poisson_arrivals(5, 120, seed=0))
         assert report.latency_percentile(95) < 8.0
         assert report.completed > 500
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            FaultModel(mtbf_s=0.0)
+        with pytest.raises(ValueError, match="degraded_factor"):
+            FaultModel(mtbf_s=10.0, degraded_factor=0.5)
+
+
+class TestFaultSimulation:
+    def test_no_failures_matches_fault_free_baseline(self):
+        arrivals = poisson_arrivals(2, 50, seed=3)
+        report = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=1e12))
+        baseline = simulate_serving(estimator(), config(), WORKLOAD,
+                                    arrivals)
+        assert report.failures == 0
+        assert report.downtime_s == 0.0
+        assert report.availability == 1.0
+        assert report.completed == baseline.completed
+        assert report.mean_latency_s == \
+            pytest.approx(baseline.mean_latency_s)
+
+    def test_failures_cost_availability_and_goodput(self):
+        arrivals = poisson_arrivals(2, 100, seed=3)
+        clean = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=1e12), deadline_s=10.0)
+        faulty = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=15.0), deadline_s=10.0)
+        assert faulty.failures > 0
+        assert faulty.downtime_s > 0.0
+        assert faulty.availability < 1.0
+        assert faulty.retried_requests > 0
+        assert faulty.goodput_rps < clean.goodput_rps
+
+    def test_deadline_sheds_unservable_requests(self):
+        arrivals = poisson_arrivals(4, 100, seed=7)
+        report = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=10.0, replan_s=5.0, degraded_factor=3.0),
+            deadline_s=3.0)
+        assert report.shed_requests > 0
+        assert report.completed + report.shed_requests + \
+            report.dropped_requests == len(arrivals)
+        assert report.met_deadline <= report.completed
+
+    def test_retry_cap_drops_batches(self):
+        # An MTBF far below the batch service time means every attempt
+        # dies mid-flight until the retry budget runs out.
+        solo = batch_service_time(estimator(), config(), WORKLOAD, 8)
+        report = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD,
+            poisson_arrivals(2, 20, seed=1),
+            FaultModel(mtbf_s=solo / 100, replan_s=0.01,
+                       max_batch_retries=2))
+        assert report.dropped_requests > 0
+
+    def test_seeded_determinism(self):
+        arrivals = poisson_arrivals(2, 60, seed=3)
+        a = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=20.0, seed=4))
+        b = simulate_serving_under_faults(
+            estimator(), config(), WORKLOAD, arrivals,
+            FaultModel(mtbf_s=20.0, seed=4))
+        assert a.failures == b.failures
+        assert a.downtime_s == b.downtime_s
+        assert [r.finish_s for r in a.records] == \
+            [r.finish_s for r in b.records]
