@@ -14,6 +14,12 @@ Subcommands mirror the library's main entry points:
 * ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
 * ``mesh-bench`` — time the loop vs stacked virtual-mesh backends on a
   real decode workload (see docs/mesh_backends.md).
+* ``trace`` — Perfetto/Chrome trace of one decode step: the analytical
+  simulator's schedule for model presets, or the *executed* span stream
+  of a tiny model on the virtual mesh (docs/observability.md).
+* ``metrics`` — per-phase/per-layer communication and roofline metrics of
+  an executed virtual-mesh workload; ``--crosscheck`` prints the
+  estimator vs. executed-trace event-match table.
 * ``calibrate`` — the Table 2 calibration report (and optional refit).
 
 Examples::
@@ -307,6 +313,114 @@ def cmd_mesh_bench(args) -> int:
     return 0
 
 
+def _executed_workload(topology, backend, batch, steps, seed=0):
+    """Run the shared decode workload with tracing on; returns the tracer.
+
+    The workload is :mod:`repro.mesh.bench`'s deep-narrow decode model
+    (divisible on every mesh up to 4x4x4) under the weight-gathered
+    layout — the most communication-heavy regime, so traces show every
+    span kind.
+    """
+    import numpy as np
+
+    from repro.layouts import ShardedTransformer
+    from repro.mesh import VirtualMesh
+    from repro.mesh.bench import decode_config
+    from repro.model import init_weights
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+
+    config = decode_config()
+    mesh = VirtualMesh(topology, backend=backend)
+    tracer = mesh.install_tracer()
+    plan = LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH)
+    model = ShardedTransformer(init_weights(config, seed=seed), mesh, plan)
+    prompt = np.random.default_rng(seed + 1).integers(
+        0, config.vocab_size, size=(batch, 4))
+    tracer.clear()  # weight placement, not the workload
+    _, caches = model.prefill(prompt, 4 + steps)
+    token = prompt[:, -1]
+    for _ in range(steps):
+        token = np.argmax(model.decode_step(token, caches), -1)
+    return tracer
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    mode = args.mode
+    if mode == "auto":
+        mode = "executed" if args.preset == "tiny" else "simulated"
+    if mode == "simulated":
+        if args.preset == "tiny":
+            raise SystemExit("the tiny preset has no analytical model; "
+                             "use --mode executed")
+        from repro.hardware.topology import Torus3D
+        from repro.partitioning import FfnLayoutKind, LayoutPlan
+        from repro.simulator import (
+            BuildSpec,
+            build_forward_program,
+            simulate,
+            to_chrome_trace,
+        )
+
+        config, _ = _resolve_model(args.preset)
+        torus = Torus3D(*args.topology)
+        plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.BATCH
+                          if args.batch >= 4 else AttentionLayoutKind.HEAD)
+        spec = BuildSpec(config, plan, torus, get_chip(args.chip),
+                         batch=args.batch, l_new=1,
+                         context_before=args.context,
+                         weight_dtype_bytes=1 if args.int8 else 2)
+        result = simulate(build_forward_program(spec))
+        trace = to_chrome_trace(result, process_name=f"{config.name}-chip0")
+        source = (f"simulated decode step of {config.name} on "
+                  f"{'x'.join(map(str, args.topology))}")
+    else:
+        from repro.observability import spans_to_chrome_trace
+
+        tracer = _executed_workload(args.topology, args.backend,
+                                    args.batch_exec, args.steps)
+        trace = spans_to_chrome_trace(
+            tracer.spans,
+            process_name=f"virtual-mesh-"
+                         f"{'x'.join(map(str, args.topology))}")
+        source = (f"executed {len(tracer.spans)}-span workload on the "
+                  f"{args.backend} backend")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(trace, f)
+        print(f"{source}: {len(trace['traceEvents'])} trace events "
+              f"written to {args.out}")
+    else:
+        json.dump(trace, sys.stdout)
+        print()
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.observability import (
+        format_layer_metrics,
+        format_phase_metrics,
+    )
+
+    tracer = _executed_workload(args.topology, args.backend, args.batch,
+                                args.steps)
+    print(format_phase_metrics(tracer.spans))
+    print()
+    print(format_layer_metrics(tracer.spans, "decode"))
+    if args.crosscheck:
+        from repro.observability import crosscheck
+
+        print()
+        print("Estimator vs. executed-trace crosscheck "
+              f"(mesh {'x'.join(map(str, crosscheck.MESH_SHAPE))}):")
+        checks = crosscheck.run_crosscheck()
+        print(crosscheck.format_table(checks))
+        if not all(c.ok for c in checks):
+            return 1
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf.calibrate import calibrate, report
 
@@ -431,6 +545,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reps", type=int, default=3,
                    help="repetitions (best is reported)")
     p.set_defaults(func=cmd_mesh_bench)
+
+    p = sub.add_parser("trace",
+                       help="Perfetto/Chrome trace of one decode step")
+    p.add_argument("--preset", default="palm-540b",
+                   choices=sorted(MODEL_PRESETS) + ["tiny"],
+                   help="model preset, or 'tiny' (executable proxy)")
+    p.add_argument("--topology", type=_mesh_shape, default=(4, 4, 4),
+                   metavar="AxBxC", help="torus shape, e.g. 4x4x4")
+    p.add_argument("--mode", choices=["auto", "simulated", "executed"],
+                   default="auto",
+                   help="auto: simulated for model presets, executed "
+                        "for tiny")
+    p.add_argument("--chip", default="tpu-v4")
+    p.add_argument("--int8", action="store_true")
+    p.add_argument("--batch", type=int, default=512,
+                   help="batch for the simulated schedule")
+    p.add_argument("--context", type=int, default=2048)
+    p.add_argument("--backend", choices=["loop", "stacked"],
+                   default="stacked",
+                   help="mesh backend for executed traces")
+    p.add_argument("--batch-exec", type=int, default=64,
+                   help="batch for the executed workload")
+    p.add_argument("--steps", type=int, default=2,
+                   help="decode steps in the executed workload")
+    p.add_argument("--out", help="write the trace JSON here "
+                                 "(default: stdout)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="per-phase/per-layer executed mesh metrics")
+    p.add_argument("--topology", type=_mesh_shape, default=(2, 2, 2),
+                   metavar="AxBxC")
+    p.add_argument("--backend", choices=["loop", "stacked"],
+                   default="stacked")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--crosscheck", action="store_true",
+                   help="also run the estimator vs. executed-trace "
+                        "event-match suite")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("calibrate",
                        help="Table 2 calibration report / refit")

@@ -1,16 +1,30 @@
-"""Structured event log for failure observability.
+"""Structured event log: the system-wide telemetry timeline.
 
-Production serving stacks treat the failure path as a first-class,
-*observable* subsystem: every fault injection, detection, replan, retry and
-load-shed decision is recorded as a structured event so that operators (and
-tests) can reconstruct exactly what the system did.  :class:`EventLog` is
-the minimal queryable form of that: an append-only list of
-:class:`Event` records, each a ``kind`` plus arbitrary structured data.
+Production serving stacks treat their behavior as a first-class,
+*observable* subsystem: fault injections, detections, replans, retries,
+load-shed decisions — and, since the observability layer landed,
+per-request span summaries — are all recorded as structured events so
+that operators (and tests) can reconstruct exactly what the system did.
+:class:`EventLog` is the minimal queryable form of that: an append-only
+list of :class:`Event` records, each a ``kind`` plus arbitrary
+structured data.
 
-The log is deliberately dependency-free (it sits below both the mesh and
-the serving layers) so that fault injection in :mod:`repro.mesh.faults`
-and the request lifecycle in :mod:`repro.serving.resilient` can share one
-timeline.
+The log is deliberately dependency-free (it sits below the mesh, serving
+and observability layers) so that fault injection in
+:mod:`repro.mesh.faults`, the request lifecycle in
+:mod:`repro.serving.resilient`, and the span tracer in
+:mod:`repro.observability.spans` (which emits ``request_span`` events)
+can share one timeline.
+
+    >>> log = EventLog()
+    >>> _ = log.record("fault_detected", chip=(0, 1, 0))
+    >>> _ = log.record("replanned", plan="degraded-2x1x2")
+    >>> log.kinds()
+    ['fault_detected', 'replanned']
+    >>> log.of_kind("replanned")[0]["plan"]
+    'degraded-2x1x2'
+    >>> log.query(where=lambda e: e.get("chip") == (0, 1, 0))[0].kind
+    'fault_detected'
 """
 
 from __future__ import annotations

@@ -38,6 +38,8 @@ Every layout is validated numerically against the reference model in
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.layouts.helpers import (
@@ -432,17 +434,27 @@ class ShardedTransformer:
 
     # -- public API -----------------------------------------------------------------
 
+    def _tracer_phase(self, name: str):
+        """Span-tracing context for a phase; no-op without a tracer."""
+        tracer = getattr(self.mesh, "tracer", None)
+        return tracer.phase(name) if tracer is not None else nullcontext()
+
     def forward(self, tokens: np.ndarray, caches: list[ShardedKVCache]
                 ) -> np.ndarray:
         """Forward over ``tokens`` ``[B, L]``; returns global logits."""
+        tracer = getattr(self.mesh, "tracer", None)
         offset = caches[0].length
         positions = np.arange(tokens.shape[1]) + offset
         # Embedding lookup is modeled host-side (a gather, not a matmul —
         # its cost is negligible next to the 2N matmul FLOPs, Section 2).
         x = ShardedTensor.from_global(
             self.mesh, self.weights.embedding[tokens], self._residual_spec)
-        for layer, cache in zip(self.layers, caches):
-            x = self._block(x, layer, cache, positions)
+        for i, (layer, cache) in enumerate(zip(self.layers, caches)):
+            if tracer is None:
+                x = self._block(x, layer, cache, positions)
+            else:
+                with tracer.layer(i):
+                    x = self._block(x, layer, cache, positions)
         x = sharded_rmsnorm(x, self.final_ln)
         e_axes = x.spec.axes_for("E")
         if e_axes:
@@ -452,13 +464,15 @@ class ShardedTransformer:
 
     def prefill(self, tokens: np.ndarray, max_len: int
                 ) -> tuple[np.ndarray, list[ShardedKVCache]]:
-        caches = self.new_cache(tokens.shape[0], max_len)
-        logits = self.forward(tokens, caches)
+        with self._tracer_phase("prefill"):
+            caches = self.new_cache(tokens.shape[0], max_len)
+            logits = self.forward(tokens, caches)
         return logits[:, -1], caches
 
     def decode_step(self, tokens: np.ndarray,
                     caches: list[ShardedKVCache]) -> np.ndarray:
-        return self.forward(tokens[:, None], caches)[:, -1]
+        with self._tracer_phase("decode"):
+            return self.forward(tokens[:, None], caches)[:, -1]
 
     def generate(self, prompt: np.ndarray, n_steps: int,
                  sampler=None, rng: np.random.Generator | None = None

@@ -61,17 +61,22 @@ def _build(mesh_shape, backend, batch, max_len, seed=0):
 
 
 def time_decode(mesh_shape, backend, *, steps: int = 4, batch: int = 64,
-                reps: int = 3, seed: int = 0) -> tuple[float, np.ndarray]:
+                reps: int = 3, seed: int = 0,
+                trace: bool = False) -> tuple[float, np.ndarray]:
     """Best-of-``reps`` mean seconds per decode step plus final logits.
 
     One untimed warm-up step amortizes cache/layout setup; timing the
     best of several repetitions filters scheduler noise.  The returned
     logits let callers assert cross-backend equality on the exact
-    workload being timed.
+    workload being timed.  With ``trace=True`` a span tracer is installed
+    before the timed steps — the knob behind
+    ``benchmarks/bench_observability_overhead.py``.
     """
     # prompt + warm-up step + timed steps per repetition
     model, caches, prompt = _build(mesh_shape, backend, batch,
                                    4 + 1 + steps * reps, seed)
+    if trace:
+        model.mesh.install_tracer()
     token = prompt[:, -1]
     logits = model.decode_step(token, caches)  # warm-up
     token = np.argmax(logits, -1)

@@ -29,6 +29,10 @@ exhaust memory without these optimizations").  The *latency* effect —
 communication hidden behind the matmuls — is modeled by the simulator's
 ``overlap`` flag; a functional numpy mesh has no true concurrency to
 measure.
+
+With a tracer installed on the mesh (:mod:`repro.observability`), each
+fused call is recorded as a ``fused`` envelope span and every ring hop as
+a ``ring_step`` child span with its in-flight buffer size.
 """
 
 from __future__ import annotations
@@ -40,6 +44,21 @@ from repro.mesh import stacked as stacked_kernels
 from repro.mesh.ops import _parse_subscripts, einsum_output_layout
 from repro.mesh.sharded_tensor import ShardedTensor
 from repro.sharding.spec import ShardingError
+
+
+def _ring_hop(mesh, tracer, shards, axis: str, step: int,
+              stats: RingStats) -> np.ndarray:
+    """One ring hop: account the in-flight buffer, permute, and (when a
+    tracer is installed) record the hop as a ``ring_step`` span."""
+    nbytes = shards[0, 0, 0].nbytes
+    stats.record(nbytes)
+    if tracer is None:
+        return collective_permute(mesh, shards, axis, shift=1)
+    start = tracer.now()
+    out = collective_permute(mesh, shards, axis, shift=1)
+    tracer.collective("collective_permute", (axis,), mesh.axis_size(axis),
+                      nbytes, kind="ring_step", start_s=start, step=step)
+    return out
 
 
 def _contraction_letter(subscripts: str) -> str:
@@ -63,6 +82,17 @@ def all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
     the local weight — on hardware, step s+1's communication overlaps
     step s's matmul.
     """
+    tracer = getattr(x.mesh, "tracer", None)
+    if tracer is None:
+        return _all_gather_einsum(subscripts, x, w, axis, None)
+    with tracer.region(f"all_gather_einsum:{subscripts}", kind="fused",
+                       axis=axis):
+        return _all_gather_einsum(subscripts, x, w, axis, tracer)
+
+
+def _all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
+                       axis: str, tracer
+                       ) -> tuple[ShardedTensor, RingStats]:
     mesh = x.mesh
     letter = _contraction_letter(subscripts)
     dim = letter.upper()
@@ -106,8 +136,7 @@ def all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
             accum_dense = (partial if accum_dense is None
                            else accum_dense + partial)
             if step < k - 1:
-                stats.record(flight[0, 0, 0].nbytes)
-                flight = collective_permute(mesh, flight, axis, shift=1)
+                flight = _ring_hop(mesh, tracer, flight, axis, step, stats)
         return ShardedTensor(mesh, out_spec, out_shape, accum_dense), stats
 
     accum = mesh.empty_shards()
@@ -128,8 +157,7 @@ def all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
             buffers = mesh.empty_shards()
             for coord in mesh.devices():
                 buffers[coord] = in_flight[coord]
-            stats.record(buffers[0, 0, 0].nbytes)
-            shifted = collective_permute(mesh, buffers, axis, shift=1)
+            shifted = _ring_hop(mesh, tracer, buffers, axis, step, stats)
             in_flight = {c: shifted[c] for c in mesh.devices()}
 
     out = ShardedTensor(mesh, out_spec, out_shape, accum)
@@ -148,6 +176,19 @@ def einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
     ``scatter_dim`` — and adds it to the circulating running sum.  The
     per-device intermediate is 1/K of the unfused partial tensor.
     """
+    tracer = getattr(x.mesh, "tracer", None)
+    if tracer is None:
+        return _einsum_reduce_scatter(subscripts, x, w, axis, scatter_dim,
+                                      None)
+    with tracer.region(f"einsum_reduce_scatter:{subscripts}", kind="fused",
+                       axis=axis, scatter_dim=scatter_dim):
+        return _einsum_reduce_scatter(subscripts, x, w, axis, scatter_dim,
+                                      tracer)
+
+
+def _einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
+                           w: ShardedTensor, axis: str, scatter_dim: str,
+                           tracer) -> tuple[ShardedTensor, RingStats]:
     mesh = x.mesh
     lhs, rhs, out_letters = _parse_subscripts(subscripts)
     letter = _contraction_letter(subscripts)
@@ -201,8 +242,8 @@ def einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
 
         carry_dense = out_chunk_all((rank - 1) % k)
         for step in range(k - 1):
-            stats.record(carry_dense[0, 0, 0].nbytes)
-            shifted = collective_permute(mesh, carry_dense, axis, shift=1)
+            shifted = _ring_hop(mesh, tracer, carry_dense, axis, step,
+                                stats)
             carry_dense = shifted + out_chunk_all((rank - step + k - 2) % k)
         return (ShardedTensor(mesh, final_spec, out_shape, carry_dense),
                 stats)
@@ -220,8 +261,7 @@ def einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
     carry = mesh.map_devices(
         lambda c: out_chunk(c, (mesh.coords_on(c, (axis,))[0] - 1) % k))
     for step in range(k - 1):
-        stats.record(carry[0, 0, 0].nbytes)
-        shifted = collective_permute(mesh, carry, axis, shift=1)
+        shifted = _ring_hop(mesh, tracer, carry, axis, step, stats)
         carry = mesh.empty_shards()
         for coord in mesh.devices():
             rank = mesh.coords_on(coord, (axis,))[0]

@@ -15,7 +15,11 @@ appends axes innermost.  The layout implementations in
 Every op appends a :class:`CommRecord` to ``mesh.comm_log`` (if present),
 with the per-chip payload size ``D`` used by the Appendix A.1 cost model —
 this lets tests check the *measured* communication volume of a layout
-against the paper's closed-form formulas.
+against the paper's closed-form formulas.  When a tracer is installed
+(:meth:`VirtualMesh.install_tracer`), every collective and sharded einsum
+is additionally recorded as a structured :class:`repro.observability.Span`
+with wall-clock timing and modeled cost; with no tracer the hook is a
+single ``getattr`` per op.
 
 Each collective has two implementations sharing one spec computation: the
 per-group Python loop below (the semantics oracle) and the vectorized
@@ -57,6 +61,31 @@ def _log(mesh: VirtualMesh, record: CommRecord) -> None:
     log = getattr(mesh, "comm_log", None)
     if log is not None:
         log.append(record)
+
+
+def _trace_start(mesh: VirtualMesh):
+    """Tracer hook entry: ``(tracer, start time)`` or ``(None, 0.0)``.
+
+    Duck-typed like ``comm_log``/``fault_state`` so the mesh package never
+    imports :mod:`repro.observability`; one ``getattr`` when tracing is
+    off keeps the uninstrumented path unchanged.
+    """
+    tracer = getattr(mesh, "tracer", None)
+    return tracer, (tracer.now() if tracer is not None else 0.0)
+
+
+def _observe(mesh: VirtualMesh, tracer, start_s: float,
+             record: CommRecord, out: ShardedTensor) -> None:
+    """Log a finished collective to ``comm_log`` and (if installed) the
+    tracer, as one span carrying the same Appendix A.1 payload."""
+    _log(mesh, record)
+    if tracer is not None:
+        local = out.shards[0, 0, 0]
+        itemsize = local.dtype.itemsize
+        tracer.collective(record.op, record.axes, record.group_size,
+                          record.payload_bytes,
+                          elements=record.payload_bytes // itemsize,
+                          start_s=start_s)
 
 
 def _fault_pre(mesh: VirtualMesh, op: str, axes: tuple[str, ...]) -> None:
@@ -103,6 +132,7 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    tracer, start = _trace_start(mesh)
     _fault_pre(mesh, "all_gather", axes)
     remaining = _require_suffix(spec.axes_for(dim), axes, "all_gather")
     dim_idx = spec.dim_index(dim)
@@ -118,8 +148,9 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
                 shards[coord] = gathered
     shards = _fault_post(mesh, "all_gather", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
-    _log(mesh, CommRecord("all_gather", axes, mesh.group_size(axes),
-                          out.per_chip_bytes))
+    _observe(mesh, tracer, start,
+             CommRecord("all_gather", axes, mesh.group_size(axes),
+                        out.per_chip_bytes), out)
     return out
 
 
@@ -128,6 +159,7 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
     """Sum partial sums over ``axes`` and scatter the result into ``dim``."""
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    tracer, start = _trace_start(mesh)
     _fault_pre(mesh, "reduce_scatter", axes)
     if not set(axes) <= set(spec.partial_sum):
         raise ShardingError(
@@ -152,7 +184,8 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
                 shards[coord] = np.ascontiguousarray(chunks[rank])
     shards = _fault_post(mesh, "reduce_scatter", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
-    _log(mesh, CommRecord("reduce_scatter", axes, k, payload))
+    _observe(mesh, tracer, start,
+             CommRecord("reduce_scatter", axes, k, payload), out)
     return out
 
 
@@ -165,6 +198,7 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    tracer, start = _trace_start(mesh)
     _fault_pre(mesh, "all_reduce", axes)
     if not set(axes) <= set(spec.partial_sum):
         raise ShardingError(
@@ -184,8 +218,9 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
                 shards[coord] = total
     shards = _fault_post(mesh, "all_reduce", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
-    _log(mesh, CommRecord("all_reduce", axes, mesh.group_size(axes),
-                          2 * payload))
+    _observe(mesh, tracer, start,
+             CommRecord("all_reduce", axes, mesh.group_size(axes),
+                        2 * payload), out)
     return out
 
 
@@ -198,6 +233,7 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    tracer, start = _trace_start(mesh)
     _fault_pre(mesh, "all_to_all", axes)
     if src_dim == dst_dim:
         raise ShardingError("all_to_all src_dim and dst_dim must differ")
@@ -224,7 +260,8 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
                 shards[coord] = np.ascontiguousarray(chunks[rank])
     shards = _fault_post(mesh, "all_to_all", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
-    _log(mesh, CommRecord("all_to_all", axes, k, payload))
+    _observe(mesh, tracer, start,
+             CommRecord("all_to_all", axes, k, payload), out)
     return out
 
 
@@ -237,6 +274,7 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
     """
     axes = tuple(axes)
     mesh, spec = t.mesh, t.spec
+    tracer, start = _trace_start(mesh)
     _fault_pre(mesh, "split", axes)
     used = set(spec.mesh_axes_used)
     if used & set(axes):
@@ -255,7 +293,7 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
                 local_chunks = np.split(t.shards[coord], k, axis=dim_idx)
                 shards[coord] = np.ascontiguousarray(local_chunks[rank])
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
-    _log(mesh, CommRecord("split", axes, k, 0))
+    _observe(mesh, tracer, start, CommRecord("split", axes, k, 0), out)
     return out
 
 
@@ -371,6 +409,7 @@ def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
     """
     out_spec, out_shape = einsum_output_layout(subscripts, a, b)
     mesh = a.mesh
+    tracer, start = _trace_start(mesh)
     if a.is_stacked and b.is_stacked:
         lhs, rhs, out_letters = _parse_subscripts(subscripts)
         shards = stacked_kernels.batched_einsum(mesh, lhs, rhs, out_letters,
@@ -378,4 +417,23 @@ def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
     else:
         shards = mesh.map_devices(
             lambda c: np.einsum(subscripts, a.shards[c], b.shards[c]))
-    return ShardedTensor(mesh, out_spec, out_shape, shards)
+    out = ShardedTensor(mesh, out_spec, out_shape, shards)
+    if tracer is not None:
+        tracer.compute(subscripts, flops=_einsum_local_flops(subscripts, a, b),
+                       elements=int(out.shards[0, 0, 0].size), start_s=start)
+    return out
+
+
+def _einsum_local_flops(subscripts: str, a: ShardedTensor,
+                        b: ShardedTensor) -> float:
+    """Per-chip FLOPs of a sharded einsum: 2 x the product of every
+    distinct letter's *local* extent (multiply + add per MAC)."""
+    lhs, rhs, _ = _parse_subscripts(subscripts)
+    sizes: dict[str, int] = {}
+    for letters, operand in ((lhs, a), (rhs, b)):
+        for letter, size in zip(letters, operand.local_shape):
+            sizes[letter] = size
+    flops = 2.0
+    for size in sizes.values():
+        flops *= size
+    return flops

@@ -29,6 +29,11 @@ Axis-ordering convention matches :mod:`repro.mesh.ops`: a communication
 group over ``axes`` is ordered row-major with the *last* listed axis
 innermost, which is exactly the order produced by transposing the device
 axes into ``axes`` order and flattening.
+
+Observability: these kernels carry no instrumentation of their own — the
+span hooks live at the backend-independent entry points in
+:mod:`repro.mesh.ops` and :mod:`repro.mesh.looped`, so a tracer sees the
+same event stream whichever backend executes it.
 """
 
 from __future__ import annotations

@@ -174,6 +174,24 @@ class VirtualMesh:
 
         return install_fault_plan(self, plan, event_log)
 
+    def install_tracer(self, chip=None, event_log=None):
+        """Attach a :class:`~repro.observability.Tracer` to this mesh.
+
+        From then on every collective and sharded einsum in
+        :mod:`repro.mesh.ops` (and every ring step of the looped einsums)
+        is recorded as a structured span with wall-clock timing and the
+        Appendix A.1 modeled cost at ``chip``'s constants (default TPU
+        v4).  Works identically on both backends; remove with
+        :func:`repro.observability.remove_tracer`.
+        """
+        from repro.observability.spans import install_tracer
+
+        if chip is None:
+            from repro.hardware.chip import TPU_V4
+
+            chip = TPU_V4
+        return install_tracer(self, chip=chip, event_log=event_log)
+
     def map_devices(self, fn: Callable[[tuple[int, int, int]], np.ndarray]
                     ) -> np.ndarray:
         """Build an object array by calling ``fn`` per device coordinate."""

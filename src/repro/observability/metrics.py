@@ -1,0 +1,149 @@
+"""Aggregate executed spans into per-phase / per-layer mesh metrics.
+
+The span stream of :mod:`repro.observability.spans` is exact but long;
+operators want the rolled-up view: how many collectives per phase, how
+many bytes moved, and how the *modeled* time splits between compute and
+communication.  :func:`phase_metrics` / :func:`layer_metrics` produce
+those tables from any span list, and the ``format_*`` helpers render the
+ASCII reports behind ``repro-inference metrics``.
+
+Modeled quantities use the same pricing as the estimator: collective
+seconds from Appendix A.1 (computed when the span was recorded, at the
+tracer's chip bandwidth) and compute seconds as FLOPs over the chip's
+peak — so ``mfu`` here is the roofline MFU the executed program would
+achieve if every op ran at the modeled rate, and ``compute_fraction`` is
+its roofline occupancy (the share of modeled time not spent waiting on
+the interconnect).  Wall-clock seconds are also aggregated, but on a
+numpy mesh they measure the simulation, not the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.chip import TPU_V4, ChipSpec
+from repro.observability.spans import COLLECTIVE, COMPUTE, PHASE, RING_STEP
+
+#: Span kinds that carry cost; envelope/region spans only provide wall
+#: time and grouping context.
+_LEAF_KINDS = (COLLECTIVE, RING_STEP, COMPUTE)
+
+
+@dataclass
+class GroupMetrics:
+    """Rolled-up metrics for one group of spans (a phase or a layer)."""
+
+    key: str
+    collective_counts: dict[str, int] = field(default_factory=dict)
+    comm_bytes: int = 0
+    comm_events: int = 0
+    flops: float = 0.0
+    compute_events: int = 0
+    wall_s: float = 0.0
+    modeled_comm_s: float = 0.0
+    modeled_compute_s: float = 0.0
+
+    @property
+    def modeled_total_s(self) -> float:
+        """Serial (no-overlap) modeled time: compute + communication."""
+        return self.modeled_comm_s + self.modeled_compute_s
+
+    @property
+    def compute_fraction(self) -> float:
+        """Roofline occupancy: modeled compute share of modeled time."""
+        total = self.modeled_total_s
+        return self.modeled_compute_s / total if total else 0.0
+
+    def mfu(self, chip: ChipSpec = TPU_V4) -> float:
+        """Model FLOPs utilization at the modeled (serial) step time."""
+        total = self.modeled_total_s
+        return (self.flops / (chip.peak_flops * total)) if total else 0.0
+
+    def _absorb(self, span) -> None:
+        if span.kind in (COLLECTIVE, RING_STEP):
+            self.collective_counts[span.name] = \
+                self.collective_counts.get(span.name, 0) + 1
+            self.comm_bytes += span.attrs.get("payload_bytes", 0)
+            self.comm_events += 1
+            self.modeled_comm_s += span.attrs.get("modeled_s", 0.0)
+            self.wall_s += span.duration_s
+        elif span.kind == COMPUTE:
+            self.flops += span.attrs.get("flops", 0.0)
+            self.compute_events += 1
+            self.modeled_compute_s += span.attrs.get("modeled_s", 0.0)
+            self.wall_s += span.duration_s
+
+
+def phase_metrics(spans) -> dict[str, GroupMetrics]:
+    """Per-phase rollup of leaf spans, in first-seen phase order.
+
+    ``wall_s`` of a phase is replaced by the enclosing phase-region
+    span's duration when one exists (it includes per-op glue the leaf
+    spans don't cover).
+    """
+    groups: dict[str, GroupMetrics] = {}
+    region_wall: dict[str, float] = {}
+    for span in spans:
+        if span.kind == PHASE:
+            region_wall[span.phase] = (region_wall.get(span.phase, 0.0)
+                                       + span.duration_s)
+            continue
+        if span.kind not in _LEAF_KINDS:
+            continue
+        group = groups.setdefault(span.phase,
+                                  GroupMetrics(key=span.phase or "(none)"))
+        group._absorb(span)
+    for phase, wall in region_wall.items():
+        if phase in groups:
+            groups[phase].wall_s = wall
+    return groups
+
+
+def layer_metrics(spans, phase: str | None = None
+                  ) -> dict[tuple[str, int], GroupMetrics]:
+    """Per-(phase, layer) rollup; ``layer == -1`` collects out-of-block
+    work (embedding residual entry, final norm, logits)."""
+    groups: dict[tuple[str, int], GroupMetrics] = {}
+    for span in spans:
+        if phase is not None and span.phase != phase:
+            continue
+        if span.kind not in _LEAF_KINDS:
+            continue
+        key = (span.phase, span.layer)
+        group = groups.setdefault(
+            key, GroupMetrics(key=f"{span.phase or '(none)'}/"
+                              f"{'L%d' % span.layer if span.layer >= 0 else 'outside'}"))
+        group._absorb(span)
+    return groups
+
+
+def _row(label: str, m: GroupMetrics, chip: ChipSpec) -> str:
+    counts = " ".join(f"{op}x{n}" for op, n in
+                      sorted(m.collective_counts.items()))
+    return (f"{label:>18s} {m.comm_events:>6d} {m.comm_bytes / 1e6:>9.3f} "
+            f"{m.modeled_comm_s * 1e6:>10.2f} {m.modeled_compute_s * 1e6:>10.2f} "
+            f"{m.compute_fraction:>8.1%} {m.mfu(chip):>7.1%}  {counts}")
+
+
+_HEADER = (f"{'group':>18s} {'colls':>6s} {'MB/chip':>9s} "
+           f"{'comm µs':>10s} {'mxu µs':>10s} {'roofline':>8s} "
+           f"{'MFU':>7s}  collective counts")
+
+
+def format_phase_metrics(spans, chip: ChipSpec = TPU_V4) -> str:
+    """ASCII per-phase table (the ``repro-inference metrics`` report)."""
+    lines = ["Per-phase mesh metrics (modeled times at "
+             f"{chip.name} constants)", _HEADER]
+    for phase, m in phase_metrics(spans).items():
+        lines.append(_row(phase or "(none)", m, chip))
+    return "\n".join(lines)
+
+
+def format_layer_metrics(spans, phase: str,
+                         chip: ChipSpec = TPU_V4) -> str:
+    """ASCII per-layer table for one phase."""
+    lines = [f"Per-layer mesh metrics, phase {phase!r}", _HEADER]
+    for (_, layer), m in sorted(layer_metrics(spans, phase).items()):
+        label = f"L{layer}" if layer >= 0 else "outside"
+        lines.append(_row(label, m, chip))
+    return "\n".join(lines)

@@ -7,10 +7,18 @@ over batch) feeds a batch-N decode model (batch-sharded multiquery), with
 host-mediated cache merging in between.  Weights are shared between the
 two models via :meth:`ShardedTransformer.with_plan` whenever their
 storage layouts match, exactly as deployed in the paper.
+
+When a tracer is installed on the shared mesh
+(:meth:`VirtualMesh.install_tracer`), the server wraps each prefill in a
+per-request span tree and each decode batch in a region tagged with the
+participating request ids; a tracer built with an
+:class:`~repro.events.EventLog` then joins the span timeline to the
+serving/fault event timeline via ``request_span`` events.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 import numpy as np
@@ -84,13 +92,19 @@ class ShardedTwoPhaseServer:
         self.sampler = sampler or (lambda logits, rng: greedy(logits))
         self.rng = np.random.default_rng(seed)
 
+    def _tracer(self):
+        return getattr(self.prefill_model.mesh, "tracer", None)
+
     def _serve_group(self, group: list[Request]) -> list[Completion]:
+        tracer = self._tracer()
         n_steps = max(r.max_new_tokens for r in group)
         max_len = len(group[0].prompt) + n_steps
         caches_per_request, first_logits = [], []
         for request in group:
-            logits, caches = self.prefill_model.prefill(
-                request.prompt[None, :], max_len)
+            with (tracer.request(request.request_id) if tracer is not None
+                  else nullcontext()):
+                logits, caches = self.prefill_model.prefill(
+                    request.prompt[None, :], max_len)
             caches_per_request.append(caches)
             first_logits.append(logits)
         caches = merge_sharded_caches(caches_per_request,
@@ -98,10 +112,14 @@ class ShardedTwoPhaseServer:
         current = self.sampler(np.concatenate(first_logits, axis=0),
                                self.rng)
         generated = [current[:, None]]
-        for _ in range(n_steps - 1):
-            logits = self.decode_model.decode_step(current, caches)
-            current = self.sampler(logits, self.rng)
-            generated.append(current[:, None])
+        decode_region = (tracer.region(
+            "decode_batch", request_ids=[r.request_id for r in group])
+            if tracer is not None else nullcontext())
+        with decode_region:
+            for _ in range(n_steps - 1):
+                logits = self.decode_model.decode_step(current, caches)
+                current = self.sampler(logits, self.rng)
+                generated.append(current[:, None])
         all_generated = np.concatenate(generated, axis=1)
         completions = []
         for i, request in enumerate(group):

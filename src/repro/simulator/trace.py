@@ -1,47 +1,47 @@
 """Chrome-trace export of simulated schedules.
 
-Write the JSON to a file and open it in Perfetto / ``chrome://tracing`` to
-see the per-resource timeline (MXU / HBM / interconnect lanes) of a
-simulated forward pass.
+This is the simulator-side client of the shared Perfetto builders in
+:mod:`repro.observability.chrome_trace` — the same trace-event JSON now
+also carries *executed* virtual-mesh programs (see
+:func:`repro.observability.chrome_trace.spans_to_chrome_trace`).  Here,
+each simulated record lands in the per-resource lane (MXU / HBM /
+interconnect) of one simulated chip.  Write the JSON to a file and open
+it in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
-import json
-
+from repro.observability.chrome_trace import (
+    build_trace,
+    complete_event,
+    process_metadata,
+    thread_metadata,
+    write_trace,
+)
 from repro.simulator.engine import SimulationResult
 from repro.simulator.program import RESOURCES
-
-_MICROSECONDS = 1e6
 
 
 def to_chrome_trace(result: SimulationResult,
                     process_name: str = "chip0") -> dict:
-    """Convert a schedule into the Chrome trace-event JSON format."""
-    events = [{
-        "name": "process_name", "ph": "M", "pid": 0,
-        "args": {"name": process_name},
-    }]
+    """Convert a schedule into the Chrome trace-event JSON format.
+
+    Zero-duration records (e.g. free reshards) are dropped — they would
+    render as invisible slivers and inflate the event count.
+    """
+    events = [process_metadata(0, process_name)]
     tids = {resource: i for i, resource in enumerate(RESOURCES)}
     for resource, tid in tids.items():
-        events.append({"name": "thread_name", "ph": "M", "pid": 0,
-                       "tid": tid, "args": {"name": resource}})
+        events.append(thread_metadata(0, tid, resource))
     for record in result.records:
         if record.duration == 0:
             continue
-        events.append({
-            "name": record.name,
-            "cat": record.tag or "op",
-            "ph": "X",
-            "pid": 0,
-            "tid": tids[record.resource],
-            "ts": record.start * _MICROSECONDS,
-            "dur": record.duration * _MICROSECONDS,
-        })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+        events.append(complete_event(
+            record.name, record.tag, 0, tids[record.resource],
+            ts_s=record.start, dur_s=record.duration))
+    return build_trace(events)
 
 
 def write_chrome_trace(result: SimulationResult, path: str,
                        process_name: str = "chip0") -> None:
-    with open(path, "w") as f:
-        json.dump(to_chrome_trace(result, process_name), f)
+    write_trace(to_chrome_trace(result, process_name), path)

@@ -1,0 +1,76 @@
+"""Estimator vs. executed-trace cross-validation (the acceptance matrix).
+
+The crosscheck pass replays a real prefill + decode step with span
+tracing on and matches the estimator's symbolic collective stream
+event-for-event — op, axes, bytes — on the three Section 3.2 layout
+families, under both mesh backends.  This is the automated form of
+EXPERIMENTS.md's "comm term pinned to the executed program" claim.
+"""
+
+import pytest
+
+from repro.observability import crosscheck
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+
+
+def _plan_id(plan):
+    return f"{plan.ffn.value}/{plan.attention.value}"
+
+
+@pytest.mark.parametrize("backend", ["loop", "stacked"])
+@pytest.mark.parametrize("plan", crosscheck.DEFAULT_PLANS, ids=_plan_id)
+def test_event_for_event_match(plan, backend):
+    checks = crosscheck.crosscheck_plan(plan, backend)
+    assert {c.phase for c in checks} == {"prefill", "decode"}
+    for check in checks:
+        assert check.executed_events > 0
+        assert check.ok, "\n".join(str(d) for d in check.deltas)
+        assert check.matched == check.executed_events == \
+            check.modeled_events
+
+
+def test_default_plans_cover_the_three_layout_families():
+    ffns = {plan.ffn for plan in crosscheck.DEFAULT_PLANS}
+    assert FfnLayoutKind.WS_1D in ffns      # 1D weight-stationary
+    assert FfnLayoutKind.WS_2D in ffns      # 2D weight-stationary
+    assert any(k.is_weight_gathered for k in ffns)  # weight-gathered
+
+
+def test_format_table_is_markdown_with_one_row_per_cell():
+    checks = crosscheck.crosscheck_plan(
+        LayoutPlan(FfnLayoutKind.WS_1D, AttentionLayoutKind.HEAD), "loop")
+    table = crosscheck.format_table(checks)
+    lines = table.splitlines()
+    assert lines[0].startswith("| layout ")
+    assert len(lines) == 2 + len(checks)
+    assert all("| ok |" in line for line in lines[2:])
+
+
+def test_deltas_surface_estimator_drift():
+    """A deliberately wrong modeled stream must produce typed deltas."""
+    from types import SimpleNamespace
+
+    class FakeSpan(SimpleNamespace):
+        pass
+
+    executed = [FakeSpan(name="all_gather",
+                         attrs={"axes": ("x",), "payload_bytes": 800})]
+    modeled = [SimpleNamespace(op="all_gather", axes=("y",),
+                               payload_elements=100)]
+    deltas = crosscheck._compare(executed, modeled, itemsize=8)
+    assert [d.what for d in deltas] == ["axes"]
+
+    modeled_ok_axes = [SimpleNamespace(op="all_gather", axes=("x",),
+                                       payload_elements=999)]
+    deltas = crosscheck._compare(executed, modeled_ok_axes, itemsize=8)
+    assert [d.what for d in deltas] == ["bytes"]
+
+    deltas = crosscheck._compare(executed, [], itemsize=8)
+    assert [d.what for d in deltas] == ["extra"]
+    deltas = crosscheck._compare(
+        [], modeled_ok_axes, itemsize=8)
+    assert [d.what for d in deltas] == ["missing"]

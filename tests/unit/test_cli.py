@@ -90,6 +90,68 @@ class TestSimulate:
         assert makespan("--no-overlap") > makespan()
 
 
+class TestTrace:
+    def test_palm540b_emits_perfetto_acceptable_trace(self, capsys,
+                                                      tmp_path):
+        """The acceptance-criteria invocation, validated structurally."""
+        path = tmp_path / "palm.json"
+        out = run(capsys, "trace", "--preset", "palm-540b", "--topology",
+                  "4x4x4", "--out", str(path))
+        assert "written to" in out
+        trace = json.loads(path.read_text())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X"}
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs
+        for event in xs:  # the complete-event fields Perfetto requires
+            assert {"name", "ph", "pid", "tid", "ts", "dur"} <= set(event)
+            assert event["dur"] > 0
+
+    def test_executed_trace_of_tiny_preset(self, capsys, tmp_path):
+        path = tmp_path / "tiny.json"
+        out = run(capsys, "trace", "--preset", "tiny", "--topology",
+                  "2x2x2", "--steps", "1", "--out", str(path))
+        assert "executed" in out
+        trace = json.loads(path.read_text())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert any(e.get("args", {}).get("phase") == "decode" for e in xs)
+        assert any(e["cat"] == "collective" for e in xs)
+
+    def test_trace_to_stdout(self, capsys):
+        out = run(capsys, "trace", "--preset", "palm-8b", "--topology",
+                  "2x2x2", "--batch", "32")
+        assert json.loads(out)["traceEvents"]
+
+    def test_tiny_has_no_analytical_model(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "--preset", "tiny", "--mode", "simulated"])
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--topology", "4x4"])
+
+
+class TestMetrics:
+    def test_phase_and_layer_tables(self, capsys):
+        out = run(capsys, "metrics", "--topology", "2x2x2", "--steps",
+                  "1")
+        assert "Per-phase mesh metrics" in out
+        assert "prefill" in out and "decode" in out
+        assert "Per-layer mesh metrics" in out
+        assert "all_gather" in out
+
+    def test_crosscheck_table(self, capsys):
+        out = run(capsys, "metrics", "--topology", "2x2x2", "--steps",
+                  "1", "--crosscheck")
+        assert "| layout | backend | phase |" in out
+        assert "ws-1d/head" in out and "wg-xy/batch" in out
+        assert "stacked" in out
+        assert "| ok |" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

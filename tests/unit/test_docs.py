@@ -1,0 +1,81 @@
+"""The docs job's checker (`tools/check_docs.py`) works and passes.
+
+`tools/` is deliberately not a package, so the module is loaded by file
+path.  Two contracts: (1) the checker finds real problems — a synthetic
+broken link or failing doctest is reported; (2) the repository as
+committed is clean — no broken internal links, all doctests pass.
+"""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestDocFiles:
+    def test_readme_and_experiments_are_scanned(self):
+        names = {f.name for f in checker.doc_files()}
+        assert {"README.md", "EXPERIMENTS.md"} <= names
+
+    def test_docs_directory_globbed(self):
+        files = checker.doc_files()
+        assert any(f.parent.name == "docs" for f in files)
+        assert any(f.name == "observability.md" for f in files)
+
+
+class TestLinkCheck:
+    def test_repository_has_no_broken_links(self):
+        assert checker.check_links() == []
+
+    def test_broken_link_detected(self, tmp_path, monkeypatch):
+        doc = tmp_path / "README.md"
+        doc.write_text("see [missing](does/not/exist.md) and "
+                       "[ok](#anchor) and [web](https://example.com)")
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        monkeypatch.setattr(checker, "DOC_FILES", ("README.md",))
+        monkeypatch.setattr(checker, "DOC_GLOBS", ())
+        errors = checker.check_links()
+        assert len(errors) == 1
+        assert "does/not/exist.md" in errors[0]
+
+    def test_anchor_suffix_stripped_before_resolving(self, tmp_path,
+                                                     monkeypatch):
+        (tmp_path / "other.md").write_text("target")
+        doc = tmp_path / "README.md"
+        doc.write_text("see [sec](other.md#some-section)")
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        monkeypatch.setattr(checker, "DOC_FILES", ("README.md",))
+        monkeypatch.setattr(checker, "DOC_GLOBS", ())
+        assert checker.check_links() == []
+
+
+class TestDoctests:
+    def test_modules_with_prompts_discovered(self):
+        modules = checker.doctest_modules()
+        assert "repro/observability/spans".replace("/", ".") in modules
+        assert "repro.events" in modules
+
+    def test_repository_doctests_pass(self):
+        assert checker.run_doctests() == []
+
+
+class TestMain:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert checker.main([]) == 0
+        out = capsys.readouterr().out
+        assert "link-check" in out and "doctests" in out
+
+    def test_links_only_flag(self, capsys):
+        assert checker.main(["--links"]) == 0
+        assert "doctests" not in capsys.readouterr().out

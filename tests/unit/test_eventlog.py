@@ -1,0 +1,80 @@
+"""Query-helper coverage for :class:`repro.events.EventLog`."""
+
+import pytest
+
+from repro.events import (
+    FAULT_DETECTED,
+    REPLANNED,
+    REQUEST_RETRIED,
+    Event,
+    EventLog,
+)
+
+
+@pytest.fixture
+def log():
+    log = EventLog()
+    log.record(FAULT_DETECTED, chip=(0, 1, 0), op="all_gather")
+    log.record(REPLANNED, plan="2x1x2")
+    log.record(REQUEST_RETRIED, request_id=3)
+    log.record(REQUEST_RETRIED, request_id=5)
+    return log
+
+
+class TestEvent:
+    def test_getitem_and_get(self):
+        event = Event(kind="k", seq=0, data={"a": 1})
+        assert event["a"] == 1
+        assert event.get("a") == 1
+        assert event.get("missing", "fallback") == "fallback"
+        with pytest.raises(KeyError):
+            event["missing"]
+
+    def test_seq_is_append_order(self, log):
+        assert [e.seq for e in log] == [0, 1, 2, 3]
+
+
+class TestQueries:
+    def test_of_kind(self, log):
+        retried = log.of_kind(REQUEST_RETRIED)
+        assert [e["request_id"] for e in retried] == [3, 5]
+        assert log.of_kind("nonexistent") == []
+
+    def test_query_by_kind_and_predicate(self, log):
+        out = log.query(REQUEST_RETRIED,
+                        where=lambda e: e["request_id"] > 4)
+        assert [e["request_id"] for e in out] == [5]
+
+    def test_query_predicate_only(self, log):
+        out = log.query(where=lambda e: "chip" in e.data)
+        assert [e.kind for e in out] == [FAULT_DETECTED]
+
+    def test_query_no_filters_copies(self, log):
+        out = log.query()
+        assert out == log.events
+        out.append("sentinel")
+        assert len(log) == 4  # the returned list is a copy
+
+    def test_kinds_timeline(self, log):
+        assert log.kinds() == [FAULT_DETECTED, REPLANNED,
+                               REQUEST_RETRIED, REQUEST_RETRIED]
+
+    def test_assert_sequence_in_order(self, log):
+        log.assert_sequence(FAULT_DETECTED, REPLANNED, REQUEST_RETRIED)
+        log.assert_sequence(FAULT_DETECTED, REQUEST_RETRIED)
+
+    def test_assert_sequence_rejects_wrong_order(self, log):
+        with pytest.raises(AssertionError, match="not found in order"):
+            log.assert_sequence(REPLANNED, FAULT_DETECTED)
+
+    def test_assert_sequence_counts_repeats(self, log):
+        log.assert_sequence(REQUEST_RETRIED, REQUEST_RETRIED)
+        with pytest.raises(AssertionError):
+            log.assert_sequence(REQUEST_RETRIED, REQUEST_RETRIED,
+                                REQUEST_RETRIED)
+
+    def test_len_and_record_returns_event(self):
+        log = EventLog()
+        event = log.record("custom", value=1)
+        assert len(log) == 1
+        assert event.kind == "custom" and event["value"] == 1

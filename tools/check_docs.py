@@ -1,0 +1,112 @@
+"""Documentation checks: internal links resolve, doctests pass.
+
+Run from the repo root (CI's docs job does both)::
+
+    python tools/check_docs.py            # link-check + doctests
+    python tools/check_docs.py --links    # link-check only
+    python tools/check_docs.py --doctests # doctests only
+
+Link-check: every markdown link in ``docs/*.md``, ``README.md`` and
+``EXPERIMENTS.md`` whose target is a relative path must resolve to a file
+in the repository (anchors and external URLs are skipped).  Doctests:
+``doctest.testmod`` runs on every module under ``src/`` whose source
+contains a ``>>>`` prompt, so examples in docstrings cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import importlib
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files whose internal references must resolve (the CI docs contract).
+DOC_FILES = ("README.md", "EXPERIMENTS.md")
+DOC_GLOBS = ("docs/*.md",)
+
+#: ``[text](target)`` — excluding images' leading ``!`` is unnecessary,
+#: image targets must resolve too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(ROOT.glob(pattern)))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list[str]:
+    """All broken internal references, as ``file: target`` strings."""
+    errors = []
+    for doc in doc_files():
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#")[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc.relative_to(ROOT)}: broken link "
+                              f"-> {target}")
+    return errors
+
+
+def doctest_modules() -> list[str]:
+    """Dotted names of ``src/`` modules containing doctest prompts."""
+    modules = []
+    for path in sorted((ROOT / "src").rglob("*.py")):
+        if ">>>" in path.read_text():
+            rel = path.relative_to(ROOT / "src").with_suffix("")
+            modules.append(".".join(rel.parts))
+    return modules
+
+
+def run_doctests() -> list[str]:
+    """Doctest failures, as ``module: n failed`` strings."""
+    sys.path.insert(0, str(ROOT / "src"))
+    errors = []
+    for name in doctest_modules():
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        if result.failed:
+            errors.append(f"{name}: {result.failed} of "
+                          f"{result.attempted} doctests failed")
+        elif not result.attempted:
+            errors.append(f"{name}: contains '>>>' but doctest collected "
+                          f"no examples (malformed docstring?)")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--links", action="store_true",
+                        help="only check markdown links")
+    parser.add_argument("--doctests", action="store_true",
+                        help="only run doctests")
+    args = parser.parse_args(argv)
+    do_links = args.links or not args.doctests
+    do_doctests = args.doctests or not args.links
+
+    errors = []
+    if do_links:
+        errors += check_links()
+        print(f"link-check: {len(doc_files())} files scanned")
+    if do_doctests:
+        errors += run_doctests()
+        print(f"doctests: {len(doctest_modules())} modules run")
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
