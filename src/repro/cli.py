@@ -14,9 +14,13 @@ Subcommands mirror the library's main entry points:
 * ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
 * ``mesh-bench`` — time the loop vs stacked virtual-mesh backends on a
   real decode workload (see docs/mesh_backends.md).
+* ``chaos`` — seeded chaos scenarios against the multi-replica cluster
+  control plane: availability, goodput and p99 per scenario, typed
+  shed-load counts, bit-identity vs. the reference (docs/cluster.md).
 * ``trace`` — Perfetto/Chrome trace of one decode step: the analytical
-  simulator's schedule for model presets, or the *executed* span stream
-  of a tiny model on the virtual mesh (docs/observability.md).
+  simulator's schedule for model presets, the *executed* span stream
+  of a tiny model on the virtual mesh (docs/observability.md), or a
+  chaos run's cluster span stream (``--mode cluster``).
 * ``metrics`` — per-phase/per-layer communication and roofline metrics of
   an executed virtual-mesh workload; ``--crosscheck`` prints the
   estimator vs. executed-trace event-match table.
@@ -344,13 +348,56 @@ def _executed_workload(topology, backend, batch, steps, seed=0):
     return tracer
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.cluster import SCENARIOS, format_report, run_scenario
+    from repro.observability import spans_to_chrome_trace
+
+    names = sorted(SCENARIOS) if args.scenario == "all" \
+        else [args.scenario]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown chaos scenario {unknown[0]!r}; have "
+                         f"{sorted(SCENARIOS)} or 'all'")
+    backends = ("loop", "stacked") if args.backend == "both" \
+        else (args.backend,)
+    all_ok = True
+    last_report = None
+    for backend in backends:
+        for name in names:
+            report = run_scenario(name, backend=backend, seed=args.seed)
+            last_report = report
+            print(format_report(report))
+            print()
+            all_ok = all_ok and report.ok
+    if args.trace and last_report is not None:
+        trace = spans_to_chrome_trace(last_report.spans,
+                                      process_name="cluster")
+        with open(args.trace, "w") as f:
+            json.dump(trace, f)
+        print(f"cluster span trace ({len(trace['traceEvents'])} events) "
+              f"written to {args.trace}")
+    return 0 if all_ok else 1
+
+
 def cmd_trace(args) -> int:
     import json
 
     mode = args.mode
     if mode == "auto":
         mode = "executed" if args.preset == "tiny" else "simulated"
-    if mode == "simulated":
+    if mode == "cluster":
+        from repro.cluster import run_scenario
+        from repro.observability import spans_to_chrome_trace
+
+        report = run_scenario(args.scenario, backend=args.backend,
+                              seed=args.seed)
+        trace = spans_to_chrome_trace(
+            report.spans, process_name=f"cluster-{args.scenario}")
+        source = (f"cluster chaos scenario {args.scenario!r} "
+                  f"({report.n_spans} spans, {report.n_events} events)")
+    elif mode == "simulated":
         if args.preset == "tiny":
             raise SystemExit("the tiny preset has no analytical model; "
                              "use --mode executed")
@@ -553,10 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="model preset, or 'tiny' (executable proxy)")
     p.add_argument("--topology", type=_mesh_shape, default=(4, 4, 4),
                    metavar="AxBxC", help="torus shape, e.g. 4x4x4")
-    p.add_argument("--mode", choices=["auto", "simulated", "executed"],
+    p.add_argument("--mode",
+                   choices=["auto", "simulated", "executed", "cluster"],
                    default="auto",
                    help="auto: simulated for model presets, executed "
-                        "for tiny")
+                        "for tiny; cluster: span stream of a chaos "
+                        "scenario run")
+    p.add_argument("--scenario", default="rolling-kill",
+                   help="chaos scenario for --mode cluster")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos seed for --mode cluster")
     p.add_argument("--chip", default="tpu-v4")
     p.add_argument("--int8", action="store_true")
     p.add_argument("--batch", type=int, default=512,
@@ -572,6 +625,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the trace JSON here "
                                  "(default: stdout)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("chaos",
+                       help="seeded cluster chaos scenarios "
+                            "(docs/cluster.md)")
+    p.add_argument("--scenario", default="all",
+                   help="scenario name, or 'all' (rolling-kill, "
+                        "planned-drain, correlated-stragglers, "
+                        "overload-burst, breaker-flap)")
+    p.add_argument("--backend", choices=["loop", "stacked", "both"],
+                   default="loop", help="mesh execution backend")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (the run is a pure function of "
+                        "scenario, backend and seed)")
+    p.add_argument("--trace", help="write the last run's cluster span "
+                                   "trace JSON here")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("metrics",
                        help="per-phase/per-layer executed mesh metrics")

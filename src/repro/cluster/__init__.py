@@ -1,0 +1,59 @@
+"""Cluster-level serving: N mesh replicas behind one control plane.
+
+The paper scales one model onto one TPU slice; production serving runs
+*fleets* of such slices.  This package is that layer, built entirely on
+the simulated substrate so every behavior is deterministic and testable:
+
+- :mod:`~repro.cluster.replica` — one mesh deployment plus its health
+  (heartbeats driven by the fault machinery, degraded replanning,
+  in-flight :class:`GroupRun` stepping, live KV-cache migration);
+- :mod:`~repro.cluster.admission` — token-bucket rate limits, bounded
+  priority queues, per-replica circuit breakers; rejections are typed
+  errors, never timeouts;
+- :mod:`~repro.cluster.control_plane` — dispatch, failover, planned
+  drain and hedged decode over a virtual clock;
+- :mod:`~repro.cluster.chaos` — seeded chaos scenarios and the reports
+  the CI chaos job asserts on.
+"""
+
+from repro.cluster.admission import (
+    DEFAULT_CLASSES,
+    AdmissionController,
+    AdmissionError,
+    BreakerState,
+    CircuitBreaker,
+    NoHealthyReplica,
+    PriorityClass,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+from repro.cluster.chaos import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    ChaosReport,
+    ChaosScenario,
+    build_workload,
+    format_report,
+    run_scenario,
+    run_suite,
+)
+from repro.cluster.control_plane import (
+    ClusterControlPlane,
+    ClusterOutcome,
+    ClusterPolicy,
+    ClusterRequestStatus,
+    ClusterSubmission,
+)
+from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
+
+__all__ = [
+    "AdmissionController", "AdmissionError", "BreakerState",
+    "ChaosReport", "ChaosScenario", "CircuitBreaker",
+    "ClusterControlPlane", "ClusterOutcome", "ClusterPolicy",
+    "ClusterRequestStatus", "ClusterSubmission", "DEFAULT_CLASSES",
+    "GroupRun", "NoHealthyReplica", "PriorityClass", "QueueFull",
+    "RateLimited", "Replica", "ReplicaHealth", "SCENARIOS",
+    "SMOKE_SCENARIOS", "TokenBucket", "build_workload", "format_report",
+    "run_scenario", "run_suite",
+]

@@ -1,0 +1,385 @@
+"""Seeded chaos scenarios against the cluster control plane.
+
+Chaos engineering for the simulated fleet: each :class:`ChaosScenario`
+is a fully deterministic experiment — a replica topology, a scheduled
+:class:`~repro.mesh.faults.FaultPlan` per replica, an admission policy
+and a synthetic workload — that :func:`run_scenario` executes under a
+fixed seed and distills into a :class:`ChaosReport` (availability,
+per-class goodput, latency percentiles, failover/hedge counts, and a
+bit-identity check of every completed token stream against the
+fault-free reference model).
+
+Because every clock in the stack is virtual (the control plane's
+``now_s``, the mesh fault clocks, the tracer), the *entire run* — tokens,
+events, spans, report — is a pure function of ``(scenario, backend,
+seed)``.  The CI chaos job exploits that: it replays the scenarios over
+a seed matrix on both mesh backends and asserts the invariants hold.
+
+Built-in scenarios (:data:`SCENARIOS`):
+
+* ``rolling-kill`` — a chip dies mid-decode on one of three replicas;
+  every admitted request must still complete, bit-identical, zero drops.
+* ``planned-drain`` — a replica is drained mid-decode; its live KV
+  caches migrate to a sibling (re-prefill only as fallback).
+* ``correlated-stragglers`` — two replicas stagger through a straggler
+  window; hedged decode races a clean replica and the first finish wins.
+* ``overload-burst`` — a burst over capacity; the token buckets and
+  bounded queues shed load with *typed* rejections, and the priority
+  classes show who kept their goodput.
+* ``breaker-flap`` — repeated collective timeouts on one replica walk
+  its circuit breaker closed -> open -> half-open -> closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.admission import PriorityClass
+from repro.cluster.control_plane import (
+    ClusterControlPlane,
+    ClusterOutcome,
+    ClusterPolicy,
+    ClusterRequestStatus,
+    ClusterSubmission,
+)
+from repro.events import EventLog
+from repro.mesh.faults import (
+    ChipKill,
+    CollectiveFault,
+    FaultPlan,
+    StragglerFault,
+)
+from repro.model import ReferenceTransformer, init_weights, tiny_test_config
+from repro.observability.spans import Tracer
+from repro.serving.engine import Request, TwoPhaseServer
+
+Coord = tuple[int, int, int]
+
+#: Model every scenario serves: tiny but real — the same config the
+#: fault-tolerance acceptance tests decode, so reference completions are
+#: cheap to recompute for the bit-identity check.
+CHAOS_CONFIG = tiny_test_config(n_layers=2, d_model=16, d_ff=32,
+                                n_heads=8, d_head=8, vocab_size=32)
+PROMPT_LEN = 6
+NEW_TOKENS = 6
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One deterministic chaos experiment (pure data; see module doc)."""
+
+    name: str
+    description: str
+    shapes: tuple[Coord, ...] = ((2, 2, 2), (2, 2, 2), (2, 2, 2))
+    decode_batch: int = 4
+    fault_plans: tuple[tuple[int, FaultPlan], ...] = ()
+    drains: tuple[tuple[str, float], ...] = ()
+    classes: tuple[PriorityClass, ...] = (PriorityClass("default"),)
+    policy: ClusterPolicy = ClusterPolicy()
+    n_requests: int = 8
+    arrival_spacing_s: float = 0.05
+    deadline_s: float | None = None
+    #: Round-robin class assignment over arrivals.
+    class_cycle: tuple[str, ...] = ("default",)
+    #: Invariants the report checks beyond the universal ones.
+    expect_failovers: bool = False
+    expect_hedges: bool = False
+    expect_rejections: tuple[str, ...] = ()
+    expect_breaker_round_trip: bool = False
+
+
+SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
+    ChaosScenario(
+        name="rolling-kill",
+        description="chip death mid-decode on 1 of 3 replicas; failover "
+                    "re-prefills, zero drops, bit-identical tokens",
+        fault_plans=((0, FaultPlan(faults=(
+            ChipKill(chip=(0, 1, 0), at_step=2, phase="decode"),))),),
+        n_requests=12,
+        expect_failovers=True,
+    ),
+    ChaosScenario(
+        name="planned-drain",
+        description="replica drained mid-decode; live KV caches migrate "
+                    "to a sibling replica",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        drains=(("r0", 0.02),),
+        n_requests=8,
+    ),
+    ChaosScenario(
+        name="correlated-stragglers",
+        description="straggler window on 2 of 3 replicas; hedged decode "
+                    "races a clean replica and the first finish wins",
+        fault_plans=(
+            (0, FaultPlan(faults=(
+                StragglerFault(chip=(0, 0, 1), slowdown=4.0,
+                               delay_s_per_op=2e-3, at_step=1,
+                               until_step=60, phase="decode"),))),
+            (1, FaultPlan(faults=(
+                StragglerFault(chip=(1, 1, 0), slowdown=4.0,
+                               delay_s_per_op=2e-3, at_step=1,
+                               until_step=60, phase="decode"),))),
+        ),
+        n_requests=8,
+        arrival_spacing_s=0.2,
+        expect_hedges=True,
+    ),
+    ChaosScenario(
+        name="overload-burst",
+        description="arrival burst over fleet capacity; token buckets "
+                    "and bounded queues shed load with typed errors "
+                    "while the interactive class keeps its goodput",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        classes=(
+            PriorityClass("interactive", priority=0, rate=1000.0,
+                          burst=24, queue_limit=6),
+            PriorityClass("batch", priority=1, rate=30.0, burst=4,
+                          queue_limit=4),
+        ),
+        class_cycle=("interactive", "batch"),
+        n_requests=36,
+        arrival_spacing_s=0.001,
+        deadline_s=60.0,
+        expect_rejections=("QueueFull", "RateLimited"),
+    ),
+    ChaosScenario(
+        name="breaker-flap",
+        description="repeated collective timeouts trip one replica's "
+                    "breaker open; after the cooldown a half-open probe "
+                    "closes it again",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        fault_plans=((0, FaultPlan(faults=(
+            CollectiveFault(kind="timeout", at_step=1, phase="decode",
+                            match_index=0),
+            CollectiveFault(kind="timeout", at_step=2, phase="decode",
+                            match_index=5),))),),
+        policy=ClusterPolicy(breaker_failures=2, breaker_cooldown_s=0.2),
+        n_requests=16,
+        arrival_spacing_s=0.05,
+        expect_failovers=True,
+        expect_breaker_round_trip=True,
+    ),
+)}
+
+#: The fast subset CI runs on every push (all of them are cheap; the
+#: name exists so heavier scenarios can be added without slowing CI).
+SMOKE_SCENARIOS = tuple(SCENARIOS)
+
+
+@dataclass
+class ChaosReport:
+    """What one seeded chaos run did, distilled for assertions and CLI."""
+
+    scenario: str
+    backend: str
+    seed: int
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    deadline_missed: int = 0
+    rejections: dict[str, int] = field(default_factory=dict)
+    dropped_in_flight: int = 0
+    availability: float = 1.0          # completed / admitted
+    goodput_per_class: dict[str, float] = field(default_factory=dict)
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    makespan_s: float = 0.0
+    failovers: int = 0
+    hedges: int = 0
+    breaker_states: list[str] = field(default_factory=list)
+    health_transitions: int = 0
+    n_events: int = 0
+    n_spans: int = 0
+    bit_identical: bool = True
+    violations: list[str] = field(default_factory=list)
+    #: The run's span stream (virtual-clock timestamps), for export.
+    spans: list = field(default_factory=list, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def build_workload(scenario: ChaosScenario,
+                   seed: int) -> list[ClusterSubmission]:
+    """The scenario's synthetic arrivals: prompts and classes from the
+    seed, arrival times from the scenario's spacing."""
+    rng = np.random.default_rng(seed)
+    subs = []
+    for i in range(scenario.n_requests):
+        prompt = rng.integers(0, CHAOS_CONFIG.vocab_size, size=PROMPT_LEN)
+        cls = scenario.class_cycle[i % len(scenario.class_cycle)]
+        subs.append(ClusterSubmission(
+            Request(i, prompt, NEW_TOKENS), priority_class=cls,
+            deadline_s=scenario.deadline_s,
+            arrival_s=i * scenario.arrival_spacing_s))
+    return subs
+
+
+def reference_completions(submissions: Sequence[ClusterSubmission],
+                          weights, decode_batch: int):
+    """Fault-free reference tokens, keyed by request id."""
+    requests = [s.request for s in submissions]
+    server = TwoPhaseServer(ReferenceTransformer(weights),
+                            decode_batch=decode_batch)
+    return {c.request_id: c for c in server.serve(requests)}
+
+
+def _check(report: ChaosReport, scenario: ChaosScenario,
+           outcomes: Sequence[ClusterOutcome]) -> None:
+    """Universal + per-scenario invariants -> ``report.violations``."""
+    v = report.violations
+    if not report.bit_identical:
+        v.append("completed token streams diverged from the fault-free "
+                 "reference")
+    if report.dropped_in_flight:
+        v.append(f"{report.dropped_in_flight} admitted requests have no "
+                 f"terminal outcome")
+    if report.failed:
+        v.append(f"{report.failed} admitted requests FAILED")
+    for kind in scenario.expect_rejections:
+        if not report.rejections.get(kind):
+            v.append(f"expected {kind} rejections; saw none")
+    if not scenario.expect_rejections and report.rejections:
+        v.append(f"unexpected rejections {report.rejections}")
+    if scenario.expect_failovers and not report.failovers:
+        v.append("expected failovers; saw none")
+    if scenario.expect_hedges and not report.hedges:
+        v.append("expected hedged decodes; saw none")
+    if scenario.expect_breaker_round_trip:
+        need = ["open", "half_open", "closed"]
+        states = list(report.breaker_states)
+        pos = 0
+        for want in need:
+            while pos < len(states) and states[pos] != want:
+                pos += 1
+            if pos == len(states):
+                v.append(f"breaker never made the open -> half_open -> "
+                         f"closed round trip; transitions were "
+                         f"{report.breaker_states}")
+                break
+            pos += 1
+
+
+def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
+                 seed: int = 0, event_log: EventLog | None = None,
+                 tracer: Tracer | None = None,
+                 weights_seed: int = 0) -> ChaosReport:
+    """Execute one scenario deterministically and report what happened.
+
+    Pass ``event_log`` / ``tracer`` to keep the run's timeline and spans
+    for export (the ``repro-inference chaos`` CLI does, to feed the
+    ``trace`` exporter); by default fresh ones are created and summarized
+    into the report's ``n_events`` / ``n_spans`` counts.
+    """
+    if isinstance(scenario, str):
+        try:
+            scenario = SCENARIOS[scenario]
+        except KeyError:
+            raise ValueError(f"unknown chaos scenario {scenario!r}; have "
+                             f"{sorted(SCENARIOS)}") from None
+    weights = init_weights(CHAOS_CONFIG, seed=weights_seed)
+    submissions = build_workload(scenario, seed)
+    events = event_log if event_log is not None else EventLog()
+    plane = ClusterControlPlane(
+        weights, scenario.shapes, backend=backend,
+        decode_batch=scenario.decode_batch,
+        classes=scenario.classes,
+        fault_plans=dict(scenario.fault_plans),
+        drains=dict(scenario.drains),
+        policy=scenario.policy, event_log=events, tracer=tracer,
+        prompt_len_hint=PROMPT_LEN)
+    outcomes = plane.serve(submissions)
+    reference = reference_completions(submissions, weights,
+                                      scenario.decode_batch)
+
+    report = ChaosReport(scenario.name, backend or "default", seed)
+    report.submitted = len(submissions)
+    by_status: dict[ClusterRequestStatus, list[ClusterOutcome]] = {}
+    for outcome in outcomes:
+        by_status.setdefault(outcome.status, []).append(outcome)
+    rejected = by_status.get(ClusterRequestStatus.REJECTED, [])
+    report.admitted = report.submitted - len(rejected)
+    completed = by_status.get(ClusterRequestStatus.COMPLETED, [])
+    report.completed = len(completed)
+    report.failed = len(by_status.get(ClusterRequestStatus.FAILED, []))
+    report.deadline_missed = len(
+        by_status.get(ClusterRequestStatus.DEADLINE_MISSED, []))
+    for outcome in rejected:
+        report.rejections[outcome.rejection] = \
+            report.rejections.get(outcome.rejection, 0) + 1
+    report.dropped_in_flight = report.admitted - report.completed \
+        - report.failed - report.deadline_missed
+    report.availability = (report.completed / report.admitted
+                           if report.admitted else 1.0)
+    report.failovers = plane.failovers
+    report.hedges = plane.hedges
+    report.breaker_states = [e["new"] for e
+                             in events.of_kind("breaker_transition")]
+    report.health_transitions = len(events.of_kind("replica_health"))
+    report.n_events = len(events)
+    report.n_spans = len(plane.tracer.spans)
+    report.spans = list(plane.tracer.spans)
+
+    finished = completed + by_status.get(
+        ClusterRequestStatus.DEADLINE_MISSED, [])
+    if finished:
+        latencies = sorted(o.latency_s for o in finished)
+        report.p50_latency_s = float(np.percentile(latencies, 50))
+        report.p99_latency_s = float(np.percentile(latencies, 99))
+        report.makespan_s = max(o.finish_s for o in finished)
+        span = max(report.makespan_s,
+                   max(o.arrival_s for o in finished)) or 1.0
+        for outcome in completed:
+            report.goodput_per_class[outcome.priority_class] = \
+                report.goodput_per_class.get(outcome.priority_class, 0.0) \
+                + outcome.completion.n_generated / span
+    for outcome in finished:
+        ref = reference[outcome.request_id]
+        if not np.array_equal(outcome.completion.tokens, ref.tokens):
+            report.bit_identical = False
+    _check(report, scenario, outcomes)
+    return report
+
+
+def run_suite(names: Sequence[str] | None = None, *,
+              backend: str = "loop", seed: int = 0) -> list[ChaosReport]:
+    """Run the named scenarios (default: all) under one seed."""
+    return [run_scenario(name, backend=backend, seed=seed)
+            for name in (names or sorted(SCENARIOS))]
+
+
+def format_report(report: ChaosReport) -> str:
+    """Human-readable block for one scenario run (CLI output)."""
+    lines = [
+        f"scenario {report.scenario} [backend={report.backend} "
+        f"seed={report.seed}]: {'OK' if report.ok else 'VIOLATED'}",
+        f"  requests: {report.submitted} submitted, {report.admitted} "
+        f"admitted, {report.completed} completed, {report.failed} failed, "
+        f"{report.deadline_missed} missed deadline, "
+        f"{report.dropped_in_flight} dropped in flight",
+        f"  availability: {report.availability:.3f}   latency p50 "
+        f"{report.p50_latency_s * 1e3:.1f} ms  p99 "
+        f"{report.p99_latency_s * 1e3:.1f} ms  makespan "
+        f"{report.makespan_s:.3f} s",
+        f"  resilience: {report.failovers} failovers, {report.hedges} "
+        f"hedges, {report.health_transitions} health transitions, "
+        f"breaker {report.breaker_states or '(quiet)'}",
+        f"  tokens bit-identical to reference: "
+        f"{'yes' if report.bit_identical else 'NO'}",
+    ]
+    if report.rejections:
+        shed = ", ".join(f"{k}={n}" for k, n
+                         in sorted(report.rejections.items()))
+        lines.append(f"  shed load (typed): {shed}")
+    if report.goodput_per_class:
+        good = ", ".join(f"{k}={v:.1f} tok/s" for k, v
+                         in sorted(report.goodput_per_class.items()))
+        lines.append(f"  goodput: {good}")
+    for violation in report.violations:
+        lines.append(f"  VIOLATION: {violation}")
+    return "\n".join(lines)

@@ -1,0 +1,490 @@
+"""The cluster control plane: N replicas behind one serving front end.
+
+The paper's Section 4 studies one slice; production PaLM-class serving
+runs many slices behind a router.  :class:`ClusterControlPlane` is that
+router, grown from the single-mesh resilient lifecycle (PR 2) to fleet
+scope:
+
+* **Admission** (:mod:`repro.cluster.admission`) — token buckets,
+  bounded priority queues, typed rejections.  Offered load the fleet
+  cannot carry is refused *explicitly*, never timed out.
+* **Dispatch** — request groups go to the least-busy dispatchable
+  replica whose circuit breaker admits traffic.  Heartbeats run at every
+  dispatch point, so a scheduled chip kill is usually absorbed by
+  proactive degraded replanning before any collective trips on it.
+* **Failover** — a :class:`~repro.mesh.faults.MeshFault` mid-group marks
+  the breaker, health-checks the replica (replan or ``DEAD``), and
+  re-dispatches the group to another replica by re-prefilling from the
+  prompts.  Greedy decoding makes the move invisible in the tokens.
+* **Drain** — a *planned* removal migrates the live KV caches to the
+  target replica mid-decode (:meth:`GroupRun.migrate_to`, the Section
+  4.4 host-mediated transfer) and falls back to re-prefill only when
+  the target's plan cannot host the batch.
+* **Hedged decode** — when consecutive decode steps run slower than the
+  straggler threshold, the group is re-dispatched to a second replica
+  and the first completion wins; both streams are asserted bit-identical
+  before the winner is taken.
+
+Time is *virtual* throughout: every model invocation charges its
+:class:`~repro.serving.resilient.CostModel` cost (scaled by replica
+degradation, plus injected straggler delay); replicas run in parallel in
+simulated time via per-replica ``busy_until_s``.  The attached
+:class:`~repro.observability.Tracer` runs on the same virtual clock, so
+a chaos run's spans and events are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.admission import (
+    DEFAULT_CLASSES,
+    AdmissionController,
+    AdmissionError,
+    CircuitBreaker,
+    NoHealthyReplica,
+    PriorityClass,
+)
+from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
+from repro.events import (
+    FAILOVER,
+    FAULT_DETECTED,
+    HEDGE,
+    REQUEST_COMPLETED,
+    REQUEST_FAILED,
+    EventLog,
+)
+from repro.mesh.faults import FaultPlan, MeshFault
+from repro.observability.spans import Tracer
+from repro.serving.engine import Completion, Request
+from repro.serving.resilient import CostModel, ResilientRequest
+
+Coord = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ClusterPolicy:
+    """Control-plane knobs: retries, hedging, breakers, overheads."""
+
+    max_retries: int = 3               # failovers per group before FAILED
+    failover_overhead_s: float = 0.05  # detect + re-dispatch cost
+    drain_migrate_s: float = 0.02      # host-mediated KV transfer cost
+    hedge_slowdown: float = 3.0        # observed/expected step-time ratio
+    hedge_after_steps: int = 2         # consecutive slow steps to hedge
+    breaker_failures: int = 3
+    breaker_cooldown_s: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterSubmission:
+    """One request as the front end sees it: class, deadline, arrival."""
+
+    request: Request
+    priority_class: str = "default"
+    deadline_s: float | None = None
+    arrival_s: float = 0.0
+
+
+class ClusterRequestStatus(str, Enum):
+    COMPLETED = "completed"
+    REJECTED = "rejected"              # typed admission rejection
+    FAILED = "failed"                  # failover budget exhausted
+    DEADLINE_MISSED = "deadline_missed"
+
+
+@dataclass
+class ClusterOutcome:
+    """Terminal record for one submission."""
+
+    request_id: int
+    status: ClusterRequestStatus
+    priority_class: str
+    completion: Completion | None = None
+    replica: str | None = None
+    arrival_s: float = 0.0
+    finish_s: float = 0.0
+    hedged: bool = False
+    failovers: int = 0
+    rejection: str | None = None       # AdmissionError subclass name
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ClusterRequestStatus.COMPLETED
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class _PendingGroup:
+    wrapped: list[ResilientRequest]
+    submissions: list[ClusterSubmission]
+
+
+class ClusterControlPlane:
+    """N heterogeneous mesh replicas behind one admission front end."""
+
+    def __init__(self, weights, shapes: Sequence[Coord], *,
+                 backend: str | None = None, decode_batch: int = 4,
+                 classes: Sequence[PriorityClass] = DEFAULT_CLASSES,
+                 fault_plans: Mapping[int, FaultPlan] | None = None,
+                 drains: Mapping[str, float] | None = None,
+                 costs: CostModel | None = None,
+                 policy: ClusterPolicy | None = None,
+                 event_log: EventLog | None = None,
+                 tracer: Tracer | None = None,
+                 trace_mesh: bool = False,
+                 prompt_len_hint: int = 64):
+        if not shapes:
+            raise ValueError("a cluster needs at least one replica")
+        self.costs = costs or CostModel()
+        self.policy = policy or ClusterPolicy()
+        self.events = event_log if event_log is not None else EventLog()
+        self.now_s = 0.0
+        # The tracer runs on the control plane's virtual clock: chaos
+        # runs under a fixed seed produce bit-identical span streams.
+        self.tracer = tracer if tracer is not None else Tracer(
+            event_log=self.events, clock=lambda: self.now_s)
+        fault_plans = dict(fault_plans or {})
+        self.replicas = [
+            Replica(f"r{i}", weights, shape, backend=backend,
+                    decode_batch=decode_batch,
+                    fault_plan=fault_plans.get(i), costs=self.costs,
+                    event_log=self.events, tracer=self.tracer,
+                    trace_mesh=trace_mesh,
+                    prompt_len_hint=prompt_len_hint)
+            for i, shape in enumerate(shapes)]
+        self.breakers = {
+            r.name: CircuitBreaker(
+                r.name, failure_threshold=self.policy.breaker_failures,
+                cooldown_s=self.policy.breaker_cooldown_s,
+                event_log=self.events, tracer=self.tracer)
+            for r in self.replicas}
+        self.admission = AdmissionController(
+            tuple(classes), event_log=self.events, tracer=self.tracer)
+        self.decode_batch = decode_batch
+        self._drains = dict(drains or {})
+        self._group_counter = 0
+        self.hedges = 0
+        self.failovers = 0
+
+    # -- time ---------------------------------------------------------------
+
+    def _set_now(self, t: float) -> None:
+        self.now_s = max(self.now_s, t)
+
+    # -- replica selection --------------------------------------------------
+
+    def _heartbeat_all(self, now_s: float) -> None:
+        for replica in self.replicas:
+            replica.heartbeat(now_s)
+
+    def _pick_replica(self, now_s: float, request_id: int,
+                      priority_class: str,
+                      exclude: Replica | None = None) -> Replica:
+        candidates = [r for r in self.replicas if r.dispatchable
+                      and self.breakers[r.name].allow(now_s)]
+        if exclude is not None and len(candidates) > 1:
+            candidates = [r for r in candidates if r is not exclude]
+        if not candidates:
+            raise NoHealthyReplica(
+                f"no dispatchable replica at t={now_s:.4f}s "
+                f"(health: {[(r.name, r.health.value) for r in self.replicas]})",
+                request_id=request_id, priority_class=priority_class)
+        return min(candidates, key=lambda r: (r.busy_until_s, r.name))
+
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, submissions: Sequence[ClusterSubmission]
+              ) -> list[ClusterOutcome]:
+        """Admit, dispatch and complete all submissions; one outcome each.
+
+        Submissions are processed in arrival order.  Between arrivals the
+        control plane dispatches any full group that a replica could have
+        started by that time — so queue occupancy (and the bounded-queue
+        backpressure it triggers) reflects actual fleet saturation, not
+        an artifact of batch processing.
+        """
+        ordered = sorted(enumerate(submissions),
+                         key=lambda pair: (pair[1].arrival_s, pair[0]))
+        by_id: dict[int, ClusterOutcome] = {}
+        seen: set[int] = set()
+        for _, sub in ordered:
+            if sub.request.request_id in seen:
+                raise ValueError(
+                    f"duplicate request id {sub.request.request_id}")
+            seen.add(sub.request.request_id)
+
+        for _, sub in ordered:
+            self._set_now(sub.arrival_s)
+            self._dispatch_ready(by_id, up_to_s=sub.arrival_s)
+            rid = sub.request.request_id
+            try:
+                self.admission.submit(sub, rid, sub.arrival_s,
+                                      class_name=sub.priority_class)
+            except AdmissionError as exc:
+                by_id[rid] = ClusterOutcome(
+                    rid, ClusterRequestStatus.REJECTED,
+                    sub.priority_class, arrival_s=sub.arrival_s,
+                    finish_s=sub.arrival_s,
+                    rejection=type(exc).__name__)
+        self._dispatch_ready(by_id, up_to_s=None, flush=True)
+        return [by_id[sub.request.request_id] for sub in submissions]
+
+    def _dispatch_ready(self, by_id: dict[int, ClusterOutcome],
+                        up_to_s: float | None,
+                        flush: bool = False) -> None:
+        """Dispatch queued groups a replica could start by ``up_to_s``."""
+        while True:
+            backlog = self.admission.backlog()
+            if backlog == 0:
+                return
+            if backlog < self.decode_batch and not flush:
+                return
+            self._heartbeat_all(self.now_s)
+            free = [r.busy_until_s for r in self.replicas
+                    if r.dispatchable]
+            if up_to_s is not None and (not free or min(free) > up_to_s):
+                return  # every replica still busy: backlog builds up
+            subs = self.admission.next_batch(self.decode_batch)
+            self._run_group([s for s in subs], by_id)
+
+    def _wrap(self, sub: ClusterSubmission) -> ResilientRequest:
+        return ResilientRequest(sub.request, deadline_s=sub.deadline_s)
+
+    def _run_group(self, subs: list[ClusterSubmission],
+                   by_id: dict[int, ClusterOutcome]) -> None:
+        """Run one group to completion with failover/drain/hedge cover."""
+        wrapped = [self._wrap(s) for s in subs]
+        first_rid = subs[0].request.request_id
+        first_class = subs[0].priority_class
+        gid = self._group_counter
+        self._group_counter += 1
+
+        try:
+            replica = self._pick_replica(self.now_s, first_rid, first_class)
+        except NoHealthyReplica as exc:
+            self._fail_group(subs, by_id, error=type(exc).__name__,
+                             failovers=0)
+            return
+
+        attempt = 0
+        hedged = False
+        hedge_finish: float | None = None
+        hedge_completions: list[Completion] | None = None
+        hedge_replica: str | None = None
+        run = GroupRun(replica, wrapped)
+        t = max(self.now_s, replica.busy_until_s)
+        with self.tracer.region(f"group{gid}", kind="group",
+                                group=gid, replica=replica.name,
+                                requests=[s.request.request_id
+                                          for s in subs]):
+            while True:
+                try:
+                    if run.caches is None:
+                        t += run.run_prefill()
+                        self._set_now(t)
+                    slow_steps = 0
+                    while not run.done:
+                        drained = self._maybe_drain(run, t)
+                        if drained is not None:
+                            run, t = drained
+                            continue
+                        dt = run.decode_step()
+                        t += dt
+                        self._set_now(t)
+                        expected = self.costs.decode_step_s * \
+                            run.replica.scale
+                        slow_steps = slow_steps + 1 \
+                            if dt > self.policy.hedge_slowdown * expected \
+                            else 0
+                        if not hedged and \
+                                slow_steps >= self.policy.hedge_after_steps:
+                            hedged, result = self._try_hedge(run, t, gid)
+                            if result is not None:
+                                hedge_finish, hedge_completions, \
+                                    hedge_replica = result
+                    break
+                except MeshFault as exc:
+                    t = self._on_group_fault(run.replica, exc, t)
+                    attempt += 1
+                    self.failovers += 1
+                    if attempt > self.policy.max_retries:
+                        self._fail_group(subs, by_id,
+                                         error=type(exc).__name__,
+                                         failovers=attempt, finish_s=t)
+                        return
+                    try:
+                        target = self._pick_replica(
+                            t, first_rid, first_class,
+                            exclude=run.replica)
+                    except NoHealthyReplica as nhr_exc:
+                        self._fail_group(subs, by_id,
+                                         error=type(nhr_exc).__name__,
+                                         failovers=attempt, finish_s=t)
+                        return
+                    self.events.record(
+                        FAILOVER, group=gid, mode="re-prefill",
+                        source=run.replica.name, target=target.name,
+                        t_s=t, error=type(exc).__name__)
+                    self.tracer.mark(
+                        f"failover:{run.replica.name}->{target.name}",
+                        group=gid, mode="re-prefill",
+                        error=type(exc).__name__)
+                    t = max(t + self.policy.failover_overhead_s,
+                            target.busy_until_s)
+                    run = GroupRun(target, wrapped)
+
+            # Group decoded to completion on run.replica at time t.
+            run.replica.busy_until_s = t
+            self.breakers[run.replica.name].record_success(t)
+            completions = run.completions()
+            winner_replica = run.replica.name
+            finish = t
+            if hedge_finish is not None and hedge_finish < finish:
+                # The hedge won the race; streams must agree bit-for-bit.
+                self._assert_identical(completions, hedge_completions)
+                completions = hedge_completions
+                finish = hedge_finish
+                winner_replica = hedge_replica
+            self._set_now(finish)
+            self._complete_group(subs, completions, by_id, finish,
+                                 winner_replica, hedged=hedged,
+                                 failovers=attempt)
+
+    # -- fault / drain / hedge handling ------------------------------------
+
+    def _on_group_fault(self, replica: Replica, exc: MeshFault,
+                        t: float) -> float:
+        self.events.record(FAULT_DETECTED, replica=replica.name,
+                           error=type(exc).__name__, detail=str(exc),
+                           t_s=t)
+        self.breakers[replica.name].record_failure(
+            t, reason=type(exc).__name__)
+        replica.busy_until_s = t  # partial work still occupied the slice
+        replica.heartbeat(t)      # replan around dead chips, or go DEAD
+        return t
+
+    def _maybe_drain(self, run: GroupRun,
+                     t: float) -> tuple[GroupRun, float] | None:
+        """Execute a scheduled drain of the replica running ``run``.
+
+        Marks the source ``DRAINING`` (out of rotation), migrates the
+        live KV caches to a target replica, and falls back to re-prefill
+        when the target's plan cannot host the migrated batch.
+        """
+        name = run.replica.name
+        drain_at = self._drains.get(name)
+        if drain_at is None or t < drain_at:
+            return None
+        del self._drains[name]
+        source = run.replica
+        source.set_health(ReplicaHealth.DRAINING, t,
+                          "scheduled drain (planned maintenance)")
+        source.busy_until_s = t
+        rid = run.group[0].request_id
+        try:
+            target = self._pick_replica(t, rid, "default", exclude=source)
+        except NoHealthyReplica:
+            # Nowhere to go: cancel the drain and keep serving here.
+            source.set_health(ReplicaHealth.DEGRADED, t,
+                              "drain aborted: no target replica")
+            return None
+        try:
+            new_run = run.migrate_to(target)
+            mode = "cache-migration"
+            t = max(t + self.policy.drain_migrate_s, target.busy_until_s)
+        except ValueError as exc:
+            new_run = GroupRun(target, run.wrapped)
+            mode = "re-prefill"
+            t = max(t + self.policy.failover_overhead_s,
+                    target.busy_until_s)
+            self.events.record(FAULT_DETECTED, replica=source.name,
+                               error="CacheMigrationFailed",
+                               detail=str(exc), t_s=t)
+        self.events.record(FAILOVER, mode=mode, source=source.name,
+                           target=target.name, t_s=t, error="drain")
+        self.tracer.mark(f"drain:{source.name}->{target.name}",
+                         mode=mode)
+        return new_run, t
+
+    def _try_hedge(self, run: GroupRun, t: float, gid: int):
+        """Dispatch a duplicate of the lagging group to a second replica.
+
+        Returns ``(True, (finish, completions, replica) | None)``; the
+        caller races the original to completion and takes the earlier
+        finish.  A hedge that faults is abandoned (the original is still
+        running); the breaker records the failure either way.
+        """
+        rid = run.group[0].request_id
+        try:
+            backup = self._pick_replica(t, rid, "default",
+                                        exclude=run.replica)
+        except NoHealthyReplica:
+            return True, None  # nobody to hedge to; don't retry the check
+        if backup is run.replica:
+            return True, None
+        self.hedges += 1
+        self.events.record(HEDGE, group=gid, source=run.replica.name,
+                           target=backup.name, t_s=t)
+        self.tracer.mark(f"hedge:{run.replica.name}->{backup.name}",
+                         group=gid)
+        hedge_run = GroupRun(backup, run.wrapped)
+        bt = max(t, backup.busy_until_s)
+        try:
+            bt += hedge_run.run_prefill()
+            while not hedge_run.done:
+                bt += hedge_run.decode_step()
+        except MeshFault as exc:
+            self._on_group_fault(backup, exc, bt)
+            return True, None
+        backup.busy_until_s = bt
+        self.breakers[backup.name].record_success(bt)
+        return True, (bt, hedge_run.completions(), backup.name)
+
+    @staticmethod
+    def _assert_identical(a: Sequence[Completion],
+                          b: Sequence[Completion]) -> None:
+        for left, right in zip(a, b):
+            if left.request_id != right.request_id or \
+                    not np.array_equal(left.tokens, right.tokens):
+                raise AssertionError(
+                    f"hedged streams diverged for request "
+                    f"{left.request_id}: greedy decode must be "
+                    f"replica-invariant")
+
+    # -- outcome bookkeeping ------------------------------------------------
+
+    def _complete_group(self, subs, completions, by_id, finish_s: float,
+                        replica: str, *, hedged: bool,
+                        failovers: int) -> None:
+        for sub, completion in zip(subs, completions):
+            rid = sub.request.request_id
+            met = sub.deadline_s is None or finish_s <= sub.deadline_s
+            status = (ClusterRequestStatus.COMPLETED if met
+                      else ClusterRequestStatus.DEADLINE_MISSED)
+            by_id[rid] = ClusterOutcome(
+                rid, status, sub.priority_class, completion=completion,
+                replica=replica, arrival_s=sub.arrival_s,
+                finish_s=finish_s, hedged=hedged, failovers=failovers)
+            self.events.record(REQUEST_COMPLETED, request_id=rid,
+                               t_s=finish_s, replica=replica,
+                               met_deadline=met, hedged=hedged,
+                               failovers=failovers)
+
+    def _fail_group(self, subs, by_id, *, error: str, failovers: int,
+                    finish_s: float | None = None) -> None:
+        finish = self.now_s if finish_s is None else finish_s
+        for sub in subs:
+            rid = sub.request.request_id
+            by_id[rid] = ClusterOutcome(
+                rid, ClusterRequestStatus.FAILED, sub.priority_class,
+                arrival_s=sub.arrival_s, finish_s=finish,
+                failovers=failovers, rejection=error)
+            self.events.record(REQUEST_FAILED, request_id=rid,
+                               retries=failovers, error=error)

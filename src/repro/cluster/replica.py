@@ -1,0 +1,319 @@
+"""One serving replica: a mesh, its models, and its health.
+
+A :class:`Replica` is the unit the cluster control plane schedules onto:
+a :class:`~repro.mesh.VirtualMesh` (its own slice, possibly a different
+shape from its siblings), shared-weight prefill/decode
+``ShardedTransformer`` models planned for that shape, and the fault
+state injected by a chaos scenario.  Health is tracked explicitly:
+
+* ``HEALTHY`` — full slice, dispatchable.
+* ``DEGRADED`` — lost chips (replanned onto a healthy sub-slice) or
+  carrying active stragglers; still dispatchable, just slower.
+* ``DRAINING`` — being emptied for planned maintenance; no new groups.
+* ``DEAD`` — no healthy sub-slice supports the model; out of rotation.
+
+:meth:`Replica.heartbeat` is the health check: it consults the mesh's
+:class:`~repro.mesh.faults.FaultState` (the same machinery that makes
+collectives raise), so a scheduled kill is noticed *proactively* at the
+next heartbeat even before a collective trips over it, triggering
+degraded replanning — or a transition to ``DEAD`` when no sub-slice
+fits.  Every transition is recorded in the shared
+:class:`~repro.events.EventLog` and as a tracer mark.
+
+:class:`GroupRun` is one request group's in-flight execution, stepped by
+the control plane one decode step at a time — that step granularity is
+what makes mid-decode failover, live KV-cache re-dispatch
+(:meth:`GroupRun.migrate_to`) and hedging observable and testable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.events import REPLICA_HEALTH, EventLog
+from repro.hardware.topology import Torus3D
+from repro.mesh import VirtualMesh
+from repro.mesh.faults import FaultPlan
+from repro.model.sampling import greedy
+from repro.partitioning.degraded import (
+    migrate_caches,
+    plan_batch_group,
+    replan_after_failure,
+    select_degraded_plan,
+)
+from repro.partitioning.selector import Phase
+from repro.serving.engine import Completion
+from repro.serving.resilient import CostModel, ResilientRequest
+from repro.serving.sharded import merge_sharded_caches
+
+Coord = tuple[int, int, int]
+
+
+class ReplicaHealth(str, Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+    DEAD = "dead"
+
+
+class Replica:
+    """A mesh deployment plus its health, clocked by the control plane."""
+
+    def __init__(self, name: str, weights, shape: Coord, *,
+                 backend: str | None = None, decode_batch: int = 4,
+                 fault_plan: FaultPlan | None = None,
+                 costs: CostModel | None = None,
+                 event_log: EventLog | None = None, tracer=None,
+                 trace_mesh: bool = False, prompt_len_hint: int = 64):
+        from repro.layouts.model import ShardedTransformer
+
+        self.name = name
+        self.weights = weights
+        self.decode_batch = decode_batch
+        self.costs = costs or CostModel()
+        self.events = event_log if event_log is not None else EventLog()
+        self.tracer = tracer
+        self.trace_mesh = trace_mesh
+        self.mesh = VirtualMesh(shape, backend=backend)
+        self.full_chips = self.mesh.num_chips
+        self.health = ReplicaHealth.HEALTHY
+        self.busy_until_s = 0.0
+
+        config = weights.config
+        torus = Torus3D(*shape)
+        decode_plan = select_degraded_plan(
+            config, torus, Phase.DECODE, batch=decode_batch,
+            tokens_per_seq=1)
+        prefill_plan = select_degraded_plan(
+            config, torus, Phase.PREFILL, batch=1,
+            tokens_per_seq=prompt_len_hint)
+        self.decode_model = ShardedTransformer(weights, self.mesh,
+                                               decode_plan)
+        try:
+            self.prefill_model = self.decode_model.with_plan(prefill_plan)
+        except ValueError:
+            self.prefill_model = ShardedTransformer(weights, self.mesh,
+                                                    prefill_plan)
+        self.fault_state = None
+        if fault_plan is not None:
+            self.fault_state = self.mesh.install_faults(fault_plan,
+                                                        self.events)
+        if tracer is not None and trace_mesh:
+            self.mesh.tracer = tracer
+
+    # -- simulated time -----------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        """Slowdown of the (possibly degraded) slice vs. its full size."""
+        return self.full_chips / self.mesh.num_chips
+
+    def delay_s(self) -> float:
+        """Accumulated straggler delay on this replica's fault clock."""
+        return self.fault_state.sim_delay_s if self.fault_state else 0.0
+
+    def advance(self, phase: str) -> None:
+        if self.fault_state is not None:
+            self.fault_state.advance(phase)
+
+    # -- health -------------------------------------------------------------
+
+    @property
+    def dispatchable(self) -> bool:
+        return self.health in (ReplicaHealth.HEALTHY,
+                               ReplicaHealth.DEGRADED)
+
+    def set_health(self, health: ReplicaHealth, now_s: float,
+                   reason: str) -> None:
+        if health is self.health:
+            return
+        old, self.health = self.health, health
+        self.events.record(REPLICA_HEALTH, replica=self.name,
+                           old=old.value, new=health.value, t_s=now_s,
+                           reason=reason)
+        if self.tracer is not None:
+            self.tracer.mark(f"health:{self.name}:{health.value}",
+                             replica=self.name, old=old.value,
+                             new=health.value, reason=reason)
+
+    def heartbeat(self, now_s: float) -> ReplicaHealth:
+        """Health-check probe, driven by the mesh fault machinery.
+
+        Reads the fault state's *currently active* faults — so a
+        scheduled kill surfaces at the heartbeat after its step arrives,
+        not only when a collective trips over it.  Dead chips trigger
+        degraded replanning right here (the proactive path); if no
+        healthy sub-slice supports the model, the replica goes ``DEAD``.
+        """
+        if self.health is ReplicaHealth.DEAD:
+            return self.health
+        state = self.fault_state
+        dead = sorted(state.dead_chips) if state is not None else []
+        if dead:
+            try:
+                self.replan_around(dead)
+                self.set_health(ReplicaHealth.DEGRADED, now_s,
+                                f"heartbeat found dead chips {dead}; "
+                                f"replanned to {self.mesh.shape}")
+            except ValueError as exc:
+                self.set_health(ReplicaHealth.DEAD, now_s,
+                                f"no healthy sub-slice: {exc}")
+        elif state is not None and state.straggler_chips():
+            self.set_health(
+                ReplicaHealth.DEGRADED, now_s,
+                f"straggler chips {sorted(state.straggler_chips())}")
+        elif self.health is ReplicaHealth.DEGRADED and \
+                self.mesh.num_chips == self.full_chips:
+            # Stragglers healed (windowed fault) and no chips were lost.
+            self.set_health(ReplicaHealth.HEALTHY, now_s,
+                            "stragglers healed")
+        return self.health
+
+    # -- recovery -----------------------------------------------------------
+
+    def replan_around(self, chips: Sequence[Coord]) -> None:
+        """Rebuild this replica on its largest healthy sub-slice.
+
+        Mirrors the single-mesh resilient server: re-select layouts for
+        the shrunken torus, re-shard weights, rebase the unfired fault
+        schedule and carry the fault clock so later faults still land.
+        """
+        deploy = replan_after_failure(
+            self.weights, self.mesh, chips,
+            decode_batch=self.decode_batch, event_log=self.events)
+        if self.fault_state is not None:
+            remaining = self.fault_state.remaining_plan(
+                deploy.subslice.origin, deploy.subslice.shape)
+            new_state = deploy.mesh.install_faults(remaining, self.events)
+            new_state.step = self.fault_state.step
+            new_state.phase = self.fault_state.phase
+            new_state.phase_steps = dict(self.fault_state.phase_steps)
+            new_state.sim_delay_s = self.fault_state.sim_delay_s
+            self.fault_state = new_state
+        if self.tracer is not None and self.trace_mesh:
+            deploy.mesh.tracer = self.tracer
+        self.mesh = deploy.mesh
+        self.prefill_model = deploy.prefill_model
+        self.decode_model = deploy.decode_model
+
+    def __repr__(self) -> str:
+        return (f"Replica({self.name!r}, {self.mesh.shape}, "
+                f"{self.health.value})")
+
+
+class GroupRun:
+    """One request group in flight on one replica, stepped externally.
+
+    The control plane drives it: :meth:`run_prefill` once, then
+    :meth:`decode_step` until :attr:`done`.  Both return the simulated
+    seconds that invocation cost on the replica (base cost scaled by the
+    degradation factor, plus any straggler delay the mesh fault state
+    accumulated during the call) and may raise
+    :class:`~repro.mesh.faults.MeshFault` — which the control plane
+    turns into failover, not a dropped request.
+    """
+
+    def __init__(self, replica: Replica,
+                 wrapped: Sequence[ResilientRequest]):
+        if not wrapped:
+            raise ValueError("cannot run an empty request group")
+        self.replica = replica
+        self.wrapped = list(wrapped)
+        self.group = [w.request for w in self.wrapped]
+        self.n_steps = max(r.max_new_tokens for r in self.group)
+        self.steps_done = 0
+        self.caches = None
+        self.current = None
+        self.generated: list[np.ndarray] = []
+
+    @property
+    def done(self) -> bool:
+        return self.caches is not None and \
+            self.steps_done >= self.n_steps - 1
+
+    @property
+    def remaining_steps(self) -> int:
+        return max(self.n_steps - 1 - self.steps_done, 0)
+
+    def run_prefill(self) -> float:
+        """Prefill every request and merge the decode batch."""
+        replica = self.replica
+        max_len = len(self.group[0].prompt) + self.n_steps
+        caches_per_request, first_logits = [], []
+        elapsed = 0.0
+        for request in self.group:
+            before = replica.delay_s()
+            replica.advance("prefill")
+            logits, caches = replica.prefill_model.prefill(
+                request.prompt[None, :], max_len)
+            elapsed += replica.costs.prefill_s * replica.scale \
+                + (replica.delay_s() - before)
+            caches_per_request.append(caches)
+            first_logits.append(logits)
+
+        # Pad up to the decode plan's batch-sharding divisor by repeating
+        # the last request's caches (host-side; padded rows are dropped).
+        batch_group = plan_batch_group(replica.decode_model.plan,
+                                       Torus3D(*replica.mesh.shape))
+        pad = (-len(self.group)) % max(batch_group, 1)
+        for _ in range(pad):
+            caches_per_request.append(caches_per_request[-1])
+            first_logits.append(first_logits[-1])
+
+        self.caches = merge_sharded_caches(caches_per_request,
+                                           replica.decode_model)
+        self.current = greedy(np.concatenate(first_logits, axis=0))
+        self.generated = [self.current[:, None]]
+        return elapsed
+
+    def decode_step(self) -> float:
+        """One batched decode step; returns its simulated cost."""
+        replica = self.replica
+        before = replica.delay_s()
+        replica.advance("decode")
+        logits = replica.decode_model.decode_step(self.current, self.caches)
+        elapsed = replica.costs.decode_step_s * replica.scale \
+            + (replica.delay_s() - before)
+        self.current = greedy(logits)
+        self.generated.append(self.current[:, None])
+        self.steps_done += 1
+        return elapsed
+
+    def completions(self) -> list[Completion]:
+        all_generated = np.concatenate(self.generated, axis=1)
+        out = []
+        for i, request in enumerate(self.group):
+            n = request.max_new_tokens
+            tokens = np.concatenate([request.prompt, all_generated[i, :n]])
+            out.append(Completion(request.request_id, tokens, n))
+        return out
+
+    def migrate_to(self, target: Replica) -> "GroupRun":
+        """Re-dispatch this in-flight group onto ``target`` with its KV.
+
+        Host-mediated cache migration (the Section 4.4 transfer): valid
+        while the source mesh's data is readable — a drain or straggler,
+        not a chip death.  Raises ``ValueError`` when the target's plan
+        cannot host the migrated batch; the control plane then falls
+        back to re-prefill.
+        """
+        if self.caches is None:
+            raise ValueError("group has not prefilled; nothing to migrate")
+        migrated = migrate_caches(self.caches, self.replica.decode_model,
+                                  target.decode_model)
+        batch = migrated[0].global_shape[0]
+        batch_group = plan_batch_group(target.decode_model.plan,
+                                       Torus3D(*target.mesh.shape))
+        if batch % max(batch_group, 1) != 0:
+            raise ValueError(
+                f"migrated batch {batch} does not divide target plan's "
+                f"batch group {batch_group}")
+        run = GroupRun(target, self.wrapped)
+        run.caches = migrated
+        run.current = self.current
+        run.generated = list(self.generated)
+        run.steps_done = self.steps_done
+        return run

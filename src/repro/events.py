@@ -42,6 +42,14 @@ REQUEST_SHED = "request_shed"
 REQUEST_COMPLETED = "request_completed"
 REQUEST_FAILED = "request_failed"
 
+#: Cluster control-plane event kinds (see :mod:`repro.cluster`).
+REPLICA_HEALTH = "replica_health"
+BREAKER_TRANSITION = "breaker_transition"
+ADMISSION_REJECTED = "admission_rejected"
+REQUEST_ADMITTED = "request_admitted"
+FAILOVER = "failover"
+HEDGE = "hedge"
+
 
 @dataclass(frozen=True)
 class Event:
@@ -59,14 +67,30 @@ class Event:
 
 
 class EventLog:
-    """Append-only, queryable log of :class:`Event` records."""
+    """Append-only, queryable log of :class:`Event` records.
 
-    def __init__(self) -> None:
+    ``max_events`` (optional) bounds the log to a ring buffer: once full,
+    recording a new event silently drops the *oldest* one and increments
+    :attr:`dropped`.  Sequence numbers keep counting over the whole
+    lifetime, so a bounded log's events still carry their true emission
+    index.  The default stays unbounded — long chaos runs opt in.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
         self.events: list[Event] = []
+        self.dropped = 0
+        self._seq = 0
 
     def record(self, kind: str, **data: Any) -> Event:
-        event = Event(kind=kind, seq=len(self.events), data=data)
+        event = Event(kind=kind, seq=self._seq, data=data)
+        self._seq += 1
         self.events.append(event)
+        if self.max_events is not None and len(self.events) > self.max_events:
+            del self.events[0]
+            self.dropped += 1
         return event
 
     def __len__(self) -> int:

@@ -132,7 +132,9 @@ class StragglerFault:
 
     Each collective the chip participates in (all of them, under SPMD)
     adds ``delay_s_per_op * (slowdown - 1)`` of simulated wall-clock to
-    :attr:`FaultState.sim_delay_s`.
+    :attr:`FaultState.sim_delay_s`.  ``until_step`` (exclusive, on the
+    same clock as ``at_step``) makes the straggle a *window*: the chip
+    heals once the clock reaches it.  ``None`` means it never heals.
     """
 
     chip: Coord
@@ -140,6 +142,7 @@ class StragglerFault:
     delay_s_per_op: float = 1e-3
     at_step: int = 0
     phase: str | None = None
+    until_step: int | None = None
 
 
 Fault = ChipKill | CollectiveFault | StragglerFault
@@ -147,13 +150,48 @@ Fault = ChipKill | CollectiveFault | StragglerFault
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A seeded, deterministic schedule of mesh faults."""
+    """A seeded, deterministic schedule of mesh faults.
+
+    Construction validates the schedule: duplicate :class:`ChipKill`\\ s
+    for the same chip (a chip cannot die twice; which one "wins" would be
+    execution-order-dependent), negative ``at_step``\\ s, and inverted
+    straggler windows (``until_step <= at_step``) are all rejected with a
+    clear error instead of producing undefined runtime behaviour.
+    """
 
     faults: tuple[Fault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
+        self._validate()
+
+    def _validate(self) -> None:
+        killed: dict[Coord, ChipKill] = {}
+        for fault in self.faults:
+            if fault.at_step < 0:
+                raise ValueError(
+                    f"fault {fault!r} has negative at_step "
+                    f"{fault.at_step}; the fault clock starts at 0")
+            if isinstance(fault, ChipKill):
+                earlier = killed.get(fault.chip)
+                if earlier is not None:
+                    raise ValueError(
+                        f"duplicate ChipKill for chip {fault.chip}: "
+                        f"{earlier!r} and {fault!r} overlap — a chip "
+                        f"can only die once per plan")
+                killed[fault.chip] = fault
+            elif isinstance(fault, StragglerFault):
+                if fault.until_step is not None \
+                        and fault.until_step <= fault.at_step:
+                    raise ValueError(
+                        f"inverted straggler window in {fault!r}: "
+                        f"until_step {fault.until_step} must be > "
+                        f"at_step {fault.at_step}")
+                if fault.slowdown < 1.0:
+                    raise ValueError(
+                        f"straggler slowdown must be >= 1, got "
+                        f"{fault.slowdown} in {fault!r}")
 
     @property
     def kills(self) -> tuple[ChipKill, ...]:
@@ -203,9 +241,15 @@ class FaultState:
 
     def _active(self, fault: Fault) -> bool:
         if fault.phase is None:
-            return self.step >= fault.at_step
-        return (self.phase == fault.phase
-                and self.phase_steps.get(fault.phase, 0) >= fault.at_step)
+            clock = self.step
+            in_phase = True
+        else:
+            clock = self.phase_steps.get(fault.phase, 0)
+            in_phase = self.phase == fault.phase
+        until = getattr(fault, "until_step", None)
+        if until is not None and clock >= until:
+            return False  # windowed fault (straggler) has healed
+        return in_phase and clock >= fault.at_step
 
     # -- queries ----------------------------------------------------------
 

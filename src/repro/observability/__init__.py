@@ -36,6 +36,7 @@ from repro.observability.spans import (
     COMPUTE,
     FUSED,
     LAYER,
+    MARK,
     PHASE,
     REGION,
     REQUEST,
@@ -48,7 +49,7 @@ from repro.observability.spans import (
 )
 
 __all__ = [
-    "COLLECTIVE", "COMPUTE", "FUSED", "LAYER", "PHASE", "REGION",
+    "COLLECTIVE", "COMPUTE", "FUSED", "LAYER", "MARK", "PHASE", "REGION",
     "REQUEST", "RING_STEP", "Span", "Tracer", "install_tracer",
     "remove_tracer", "tracer_of", "GroupMetrics", "phase_metrics",
     "layer_metrics", "format_phase_metrics", "format_layer_metrics",

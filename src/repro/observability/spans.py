@@ -36,7 +36,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.collectives.cost import (
     all_gather_time,
@@ -55,6 +55,7 @@ PHASE = "phase"             # prefill / decode region
 LAYER = "layer"             # one transformer block
 REQUEST = "request"         # one serving request
 REGION = "region"           # free-form grouping
+MARK = "mark"               # zero-duration point event (state transition)
 
 
 @dataclass(frozen=True)
@@ -95,11 +96,13 @@ class Tracer:
     ``request_span`` event carrying the same ``request_id``.
     """
 
-    def __init__(self, chip: ChipSpec = TPU_V4, event_log=None):
+    def __init__(self, chip: ChipSpec = TPU_V4, event_log=None,
+                 clock: Callable[[], float] | None = None):
         self.chip = chip
         self.event_log = event_log
         self.spans: list[Span] = []
-        self._epoch = time.perf_counter()
+        self.clock = clock
+        self._epoch = 0.0 if clock is not None else time.perf_counter()
         self._next_id = 0
         self._phase = ""
         self._layer = -1
@@ -108,7 +111,16 @@ class Tracer:
     # -- time & bookkeeping -------------------------------------------------
 
     def now(self) -> float:
-        """Seconds since the tracer was created (span timestamp base)."""
+        """Span timestamp base: seconds since the tracer was created.
+
+        With a ``clock`` installed, returns that *virtual* clock instead
+        of wall time — the cluster control plane passes its simulated
+        ``now_s`` so chaos-run span streams (and the ``request_span``
+        events they record) are bit-for-bit deterministic under a fixed
+        seed, with no wall-clock leakage.
+        """
+        if self.clock is not None:
+            return self.clock()
         return time.perf_counter() - self._epoch
 
     def clear(self) -> None:
@@ -168,6 +180,16 @@ class Tracer:
         }
         attrs.update(extra)
         return self._record(name, COMPUTE, start, end - start, attrs=attrs)
+
+    def mark(self, name: str, kind: str = MARK, **attrs: Any) -> Span:
+        """Record a zero-duration point span (a state transition).
+
+        The cluster control plane uses these for replica health changes,
+        circuit-breaker transitions, failovers and hedges, so the same
+        trace that shows mesh work also shows *why* traffic moved.
+        """
+        now = self.now()
+        return self._record(name, kind, now, 0.0, attrs=dict(attrs))
 
     def modeled_collective_s(self, op: str, payload_bytes: float,
                              group_size: int) -> float:

@@ -44,6 +44,7 @@ import numpy as np
 from repro.events import (
     FAULT_DETECTED,
     FAULT_INJECTED,
+    REPLANNED,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
     REQUEST_RETRIED,
@@ -55,6 +56,7 @@ from repro.mesh import VirtualMesh
 from repro.mesh.faults import ChipFailure, FaultPlan, MeshFault
 from repro.model.sampling import greedy
 from repro.partitioning.degraded import (
+    largest_healthy_subslice,
     migrate_caches,
     plan_batch_group,
     replan_after_failure,
@@ -413,19 +415,33 @@ class ResilientTwoPhaseServer:
 class ResilientContinuousServer:
     """Deadline/retry/shedding wrapper around the continuous engine.
 
-    The reference-model engine has no mesh to inject faults into, so
-    scheduled failures arrive through the engine's ``step_hook``:
-    ``fail_at_steps`` lists global decode-step indices at which a chip
-    failure fires (each one-shot).  Recovery restarts the engine and
-    re-serves every request the crashed run had not returned — idempotent
-    because decoding is greedy, so completed tokens are bit-identical to
-    a fault-free run.
+    The reference-model engine has no mesh of its own, so scheduled
+    failures can arrive two ways:
+
+    * ``fail_at_steps`` lists global decode-step indices at which a chip
+      failure fires through the engine's ``step_hook`` (each one-shot);
+    * ``mesh`` + ``fault_plan`` attach a :class:`VirtualMesh` as the
+      *health substrate*: every decode step runs one tiny heartbeat
+      collective on it (through whichever execution backend the mesh
+      uses), so kills and timeouts raise real :class:`MeshFault`\\ s and
+      stragglers accumulate real simulated delay.  When that delay
+      projects a deadline miss, the straggler chips are *evicted* — the
+      mesh is replanned onto its largest healthy sub-slice (capacity
+      drops to ``scale``; the delay stops).
+
+    Recovery restarts the engine and re-serves every request the crashed
+    run had not returned — idempotent because decoding is greedy, so
+    completed tokens are bit-identical to a fault-free run.
     """
 
     def __init__(self, model, max_slots: int, max_len: int, *,
                  fail_at_steps: Sequence[int] = (),
+                 mesh: VirtualMesh | None = None,
+                 fault_plan: FaultPlan | None = None,
                  costs: CostModel | None = None,
                  event_log: EventLog | None = None, seed: int = 0):
+        if fault_plan is not None and mesh is None:
+            raise ValueError("fault_plan requires a mesh to install it on")
         self.model = model
         self.max_slots = max_slots
         self.max_len = max_len
@@ -435,6 +451,79 @@ class ResilientContinuousServer:
         self._fail_at = sorted(set(int(s) for s in fail_at_steps))
         self._steps_done = 0
         self.now_s = 0.0
+        self.mesh = mesh
+        self.full_chips = mesh.num_chips if mesh is not None else 1
+        self.fault_state = None
+        if mesh is not None and fault_plan is not None:
+            self.fault_state = mesh.install_faults(fault_plan, self.events)
+        self._extra_s = 0.0            # delay/replan charges within a run
+        self._min_deadline: float | None = None
+        self._remaining_hint = 0       # conservative steps left in the run
+
+    @property
+    def scale(self) -> float:
+        """Slowdown factor of the (possibly degraded) health mesh."""
+        if self.mesh is None:
+            return 1.0
+        return self.full_chips / self.mesh.num_chips
+
+    def _heartbeat(self) -> float:
+        """One probe collective on the health mesh; returns its straggler
+        delay.  Raises the same typed faults real model collectives do."""
+        from repro.mesh.ops import all_gather
+        from repro.mesh.sharded_tensor import ShardedTensor
+
+        state = self.fault_state
+        before = state.sim_delay_s
+        state.advance("decode")
+        probe = ShardedTensor.from_global(
+            self.mesh, np.zeros(self.mesh.num_chips), "V_xyz")
+        all_gather(probe, ("x", "y", "z"), "V")
+        return state.sim_delay_s - before
+
+    def _evict_stragglers(self, local_step: int, step_delay: float) -> None:
+        """Replan the health mesh around stragglers that endanger the
+        earliest deadline in the current run (mirrors the two-phase
+        server's eviction, at whole-mesh granularity)."""
+        stragglers = sorted(self.fault_state.straggler_chips())
+        if not stragglers or self._min_deadline is None:
+            return
+        remaining = max(self._remaining_hint - local_step, 0)
+        sim_now = self.now_s + self._extra_s \
+            + (local_step + 1) * self.costs.decode_step_s * self.scale
+        projected = sim_now + remaining * (
+            self.costs.decode_step_s * self.scale + step_delay)
+        if projected <= self._min_deadline:
+            return
+        self.events.record(
+            FAULT_DETECTED, error="StragglerFault",
+            detail=f"straggler chips {stragglers} project finish "
+                   f"{projected:.4f}s past deadline "
+                   f"{self._min_deadline:.4f}s", t_s=sim_now)
+        self._shrink_mesh(stragglers)
+
+    def _shrink_mesh(self, bad_chips) -> None:
+        """Rebuild the health mesh on its largest sub-slice avoiding
+        ``bad_chips``, carrying the fault clock (the engine's reference
+        model needs no resharding — only capacity and delay change)."""
+        old_shape = self.mesh.shape
+        sub = largest_healthy_subslice(old_shape, bad_chips)
+        new_mesh = VirtualMesh(sub.shape, backend=self.mesh.backend)
+        remaining_plan = self.fault_state.remaining_plan(sub.origin,
+                                                         sub.shape)
+        new_state = new_mesh.install_faults(remaining_plan, self.events)
+        new_state.step = self.fault_state.step
+        new_state.phase = self.fault_state.phase
+        new_state.phase_steps = dict(self.fault_state.phase_steps)
+        new_state.sim_delay_s = self.fault_state.sim_delay_s
+        self.mesh = new_mesh
+        self.fault_state = new_state
+        self._extra_s += self.costs.replan_s
+        self.events.record(REPLANNED, dead_chips=[tuple(c) for c
+                                                  in bad_chips],
+                           old_shape=old_shape, new_shape=sub.shape,
+                           origin=sub.origin, prefill_plan="(unchanged)",
+                           decode_plan="(unchanged)")
 
     def _step_hook(self, local_step: int) -> None:
         global_step = self._steps_done + local_step
@@ -445,6 +534,14 @@ class ResilientContinuousServer:
                 fault={"type": "ChipKill", "chip": (0, 0, 0),
                        "at_step": at_step})
             raise ChipFailure((0, 0, 0), "slot_decode_step", global_step)
+        if self.fault_state is not None:
+            step_delay = self._heartbeat()
+            # Surcharge beyond the base per-step cost the caller already
+            # accounts: straggler delay plus the degraded-capacity factor.
+            self._extra_s += step_delay \
+                + (self.scale - 1.0) * self.costs.decode_step_s
+            if step_delay > 0.0:
+                self._evict_stragglers(local_step, step_delay)
 
     def serve(self, requests: Sequence[Request | ResilientRequest]
               ) -> list[RequestOutcome]:
@@ -474,6 +571,12 @@ class ResilientContinuousServer:
 
         attempt = 0
         while pending:
+            deadlines = [w.deadline_s for w in pending
+                         if w.deadline_s is not None]
+            self._min_deadline = min(deadlines) if deadlines else None
+            self._remaining_hint = max(w.request.max_new_tokens
+                                       for w in pending)
+            self._extra_s = 0.0
             engine = ContinuousBatchingEngine(
                 self.model, self.max_slots, self.max_len, seed=self.seed,
                 step_hook=self._step_hook)
@@ -482,10 +585,19 @@ class ResilientContinuousServer:
             except MeshFault as exc:
                 self._steps_done += engine.steps
                 self.now_s += engine.admissions * self.costs.prefill_s + \
-                    engine.steps * self.costs.decode_step_s
+                    engine.steps * self.costs.decode_step_s + self._extra_s
+                self._extra_s = 0.0
                 self.events.record(FAULT_DETECTED,
                                    error=type(exc).__name__,
                                    detail=str(exc), t_s=self.now_s)
+                if self.fault_state is not None:
+                    # Permanent mesh faults (chip kills) must be replanned
+                    # around, or the next heartbeat re-raises forever.
+                    dead = sorted(self.fault_state.dead_chips)
+                    if dead:
+                        self._shrink_mesh(dead)
+                        self.now_s += self._extra_s
+                        self._extra_s = 0.0
                 attempt += 1
                 survivors = []
                 for wreq in pending:
@@ -513,7 +625,7 @@ class ResilientContinuousServer:
                 continue
             self._steps_done += engine.steps
             self.now_s += engine.admissions * self.costs.prefill_s + \
-                engine.steps * self.costs.decode_step_s
+                engine.steps * self.costs.decode_step_s + self._extra_s
             for wreq, completion in zip(pending, completions):
                 rid = wreq.request.request_id
                 met = wreq.deadline_s is None or self.now_s <= wreq.deadline_s

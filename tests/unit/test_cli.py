@@ -185,6 +185,42 @@ class TestDisaggregate:
         assert "pipeline throughput" in out
 
 
+class TestChaos:
+    def test_single_scenario_report(self, capsys):
+        out = run(capsys, "chaos", "--scenario", "rolling-kill")
+        assert "scenario rolling-kill" in out
+        assert "OK" in out
+        assert "availability" in out
+        assert "bit-identical to reference: yes" in out
+
+    def test_all_scenarios_both_backends(self, capsys):
+        out = run(capsys, "chaos", "--backend", "both")
+        for name in ("rolling-kill", "planned-drain", "overload-burst",
+                     "correlated-stragglers", "breaker-flap"):
+            assert f"scenario {name}" in out
+        assert "backend=loop" in out and "backend=stacked" in out
+        assert "VIOLATED" not in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        out = run(capsys, "chaos", "--scenario", "rolling-kill",
+                  "--trace", str(path))
+        assert "written to" in out
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert any(n.startswith("group") for n in names)
+
+    def test_cluster_trace_mode(self, capsys):
+        out = run(capsys, "trace", "--mode", "cluster", "--scenario",
+                  "breaker-flap", "--topology", "2x2x2")
+        trace = json.loads(out)
+        assert trace["traceEvents"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "nope"])
+
+
 class TestFaultSim:
     def test_availability_report(self, capsys):
         out = run(capsys, "fault-sim", "--model", "palm-62b", "--chips",

@@ -78,3 +78,47 @@ class TestQueries:
         event = log.record("custom", value=1)
         assert len(log) == 1
         assert event.kind == "custom" and event["value"] == 1
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for i in range(100):
+            log.record("k", i=i)
+        assert len(log) == 100 and log.dropped == 0
+
+    def test_bound_drops_oldest(self):
+        log = EventLog(max_events=3)
+        for i in range(5):
+            log.record("k", i=i)
+        assert len(log) == 3
+        assert [e["i"] for e in log] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_seq_keeps_counting_past_drops(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.record("k", i=i)
+        # The surviving events carry their true lifetime emission index.
+        assert [e.seq for e in log] == [3, 4]
+
+    def test_queries_see_only_retained_events(self):
+        log = EventLog(max_events=2)
+        log.record(FAULT_DETECTED)
+        log.record(REPLANNED)
+        log.record(REQUEST_RETRIED, request_id=1)
+        assert log.kinds() == [REPLANNED, REQUEST_RETRIED]
+        assert log.of_kind(FAULT_DETECTED) == []
+        with pytest.raises(AssertionError):
+            log.assert_sequence(FAULT_DETECTED, REPLANNED)
+
+    def test_bound_of_one(self):
+        log = EventLog(max_events=1)
+        log.record("a")
+        log.record("b")
+        assert log.kinds() == ["b"] and log.dropped == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_invalid_bound_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_events must be >= 1"):
+            EventLog(max_events=bad)

@@ -193,3 +193,70 @@ class TestEventsAndRemainingPlan:
         with pytest.raises(CollectiveTimeout):
             all_gather(sharded_x(mesh), ("x",), "D")
         assert state.remaining_plan((0, 0, 0), (2, 2, 2)).faults == ()
+
+
+class TestFaultPlanValidation:
+    def test_duplicate_chip_kill_rejected(self):
+        with pytest.raises(ValueError, match="duplicate ChipKill"):
+            FaultPlan(faults=(ChipKill(chip=(0, 1, 0), at_step=1),
+                              ChipKill(chip=(0, 1, 0), at_step=5)))
+
+    def test_duplicate_kill_same_step_rejected(self):
+        with pytest.raises(ValueError, match="can only die once"):
+            FaultPlan(faults=(ChipKill(chip=(1, 1, 1)),
+                              ChipKill(chip=(1, 1, 1))))
+
+    def test_kills_of_distinct_chips_allowed(self):
+        plan = FaultPlan(faults=(ChipKill(chip=(0, 0, 0)),
+                                 ChipKill(chip=(0, 0, 1), at_step=3)))
+        assert len(plan.kills) == 2
+
+    def test_inverted_straggler_window_rejected(self):
+        with pytest.raises(ValueError, match="inverted straggler window"):
+            FaultPlan(faults=(StragglerFault(chip=(0, 0, 1), at_step=5,
+                                             until_step=3),))
+
+    def test_empty_straggler_window_rejected(self):
+        # until_step is exclusive, so until_step == at_step never fires.
+        with pytest.raises(ValueError, match="inverted straggler window"):
+            FaultPlan(faults=(StragglerFault(chip=(0, 0, 1), at_step=4,
+                                             until_step=4),))
+
+    def test_forward_straggler_window_allowed(self):
+        plan = FaultPlan(faults=(StragglerFault(chip=(0, 0, 1), at_step=2,
+                                                until_step=9),))
+        assert plan.stragglers[0].until_step == 9
+
+    @pytest.mark.parametrize("fault", [
+        ChipKill(chip=(0, 0, 0), at_step=-1),
+        StragglerFault(chip=(0, 0, 1), at_step=-3),
+        CollectiveFault(kind="timeout", at_step=-2),
+    ])
+    def test_negative_at_step_rejected(self, fault):
+        with pytest.raises(ValueError, match="negative at_step"):
+            FaultPlan(faults=(fault,))
+
+    def test_sub_unit_slowdown_rejected(self):
+        with pytest.raises(ValueError, match="slowdown must be >= 1"):
+            FaultPlan(faults=(StragglerFault(chip=(0, 0, 1),
+                                             slowdown=0.5),))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStragglerWindow:
+    def test_straggler_heals_at_until_step(self, backend):
+        mesh = VirtualMesh((2, 2, 2), backend=backend)
+        state = mesh.install_faults(FaultPlan(faults=(
+            StragglerFault(chip=(0, 0, 1), slowdown=2.0,
+                           delay_s_per_op=1e-3, at_step=1,
+                           until_step=3),)))
+        delays = []
+        for _ in range(4):
+            state.advance("decode")
+            before = state.sim_delay_s
+            all_gather(sharded_x(mesh), ("x",), "D")
+            delays.append(state.sim_delay_s - before)
+        # Active on steps 1 and 2, healed from step 3 (exclusive bound).
+        assert delays[0] > 0 and delays[1] > 0
+        assert delays[2] == 0 and delays[3] == 0
+        assert state.straggler_chips() == frozenset()

@@ -259,3 +259,48 @@ class TestServingSpans:
         decode_leaves = [s for s in tracer.collectives()
                         if s.phase == "decode"]
         assert decode_leaves
+
+
+class TestVirtualClockAndMarks:
+    def test_default_clock_is_wall_time(self):
+        t = Tracer()
+        assert t.now() >= 0.0
+
+    def test_virtual_clock_drives_timestamps(self):
+        from repro.observability import MARK
+
+        clock = {"now": 1.5}
+        t = Tracer(clock=lambda: clock["now"])
+        first = t.mark("breaker:open")
+        clock["now"] = 2.5
+        second = t.mark("breaker:closed")
+        assert (first.start_s, second.start_s) == (1.5, 2.5)
+        assert first.kind == MARK
+        assert first.duration_s == 0.0
+
+    def test_virtual_clock_regions_have_exact_durations(self):
+        clock = {"now": 0.0}
+        t = Tracer(clock=lambda: clock["now"])
+        with t.region("group0"):
+            clock["now"] = 0.25
+        (span,) = t.spans
+        assert span.start_s == 0.0 and span.duration_s == 0.25
+
+    def test_request_span_event_uses_virtual_clock(self):
+        from repro.events import EventLog
+
+        log = EventLog()
+        clock = {"now": 0.0}
+        t = Tracer(event_log=log, clock=lambda: clock["now"])
+        with t.request(7):
+            clock["now"] = 0.125
+        (event,) = log.of_kind("request_span")
+        assert event["request_id"] == 7
+        assert event["duration_s"] == 0.125  # exact: no wall-clock leak
+
+    def test_mark_carries_attrs(self):
+        t = Tracer()
+        span = t.mark("health:r0:degraded", replica="r0", old="healthy",
+                      new="degraded")
+        assert span.attrs["new"] == "degraded"
+        assert span.duration_s == 0.0
