@@ -1,0 +1,57 @@
+"""Eager vs captured-replay decode steps: the trace-once step compiler.
+
+The decode step re-runs an identical partitioned op sequence every
+iteration; :mod:`repro.mesh.capture` traces one eager step into a flat
+program of whole-mesh kernels (constants folded, output buffers arena-
+allocated) and replays it bit-identically without any of the per-step
+layout/ShardSpec/group bookkeeping.  This benchmark times both modes on
+the shared decode workload of :mod:`repro.mesh.bench` at the
+latency-oriented decode batch (per-chip batch 1 on the 4x4x4 torus),
+asserts replayed logits are bit-identical to eager on both backends at
+every shape, and writes the machine-readable result to
+``BENCH_step_capture.json`` at the repo root (consumed by
+docs/mesh_backends.md and the README).
+"""
+
+import json
+import pathlib
+
+from repro.mesh.bench import (
+    CAPTURE_BATCH,
+    MESH_SHAPES,
+    compare_capture,
+    format_capture_table,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_step_capture.json"
+
+
+def run_comparison() -> list[dict]:
+    return compare_capture(MESH_SHAPES)
+
+
+def test_step_capture_speedup(benchmark, save_result):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = format_capture_table(rows)
+    save_result("step_capture", table)
+    JSON_PATH.write_text(json.dumps({
+        "workload": "decode step, 16-layer multiquery model, WG_XY + "
+                    f"BATCH layout, batch {CAPTURE_BATCH} "
+                    "(latency-oriented decode point); timed windows "
+                    "reset the KV fill to a common base so eager and "
+                    "replay pay identical numpy work",
+        "rows": rows,
+    }, indent=2) + "\n")
+    print(f"[saved to {JSON_PATH}]")
+
+    # Replay must be bit-identical to eager everywhere, on both backends.
+    assert all(row["bit_identical"] for row in rows)
+    by_key = {(row["mesh"], row["backend"]): row for row in rows}
+    # The acceptance bar: tracing away the per-step bookkeeping at least
+    # halves the decode step on the paper's 4x4x4 torus.
+    assert by_key[("4x4x4", "stacked")]["speedup"] >= 2.0
+    # Folding hoists the weight-gather collectives out of the step: most
+    # of the captured collectives must be constant-folded under WG_XY.
+    row = by_key[("4x4x4", "stacked")]
+    assert row["collectives_folded"] > row["collectives_live"]

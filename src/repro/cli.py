@@ -13,7 +13,8 @@ Subcommands mirror the library's main entry points:
   process: goodput, p99 latency and availability (docs/fault_tolerance.md).
 * ``disaggregate`` — size the §4.4 prefill-server → decode-server pipeline.
 * ``mesh-bench`` — time the loop vs stacked virtual-mesh backends on a
-  real decode workload (see docs/mesh_backends.md).
+  real decode workload; ``--capture`` times eager vs captured-replay
+  decode steps instead (see docs/mesh_backends.md).
 * ``chaos`` — seeded chaos scenarios against the multi-replica cluster
   control plane: availability, goodput and p99 per scenario, typed
   shed-load counts, bit-identity vs. the reference (docs/cluster.md).
@@ -306,12 +307,26 @@ def _mesh_shape(text: str) -> tuple[int, ...]:
 
 
 def cmd_mesh_bench(args) -> int:
-    from repro.mesh.bench import MESH_SHAPES, compare_backends, format_table
+    from repro.mesh.bench import (
+        CAPTURE_BATCH,
+        MESH_SHAPES,
+        compare_backends,
+        compare_capture,
+        format_capture_table,
+        format_table,
+    )
 
     shapes = tuple(args.shapes) if args.shapes else MESH_SHAPES
     backends = ("loop", "stacked") if args.backend == "both" \
         else (args.backend,)
-    rows = compare_backends(shapes, steps=args.steps, batch=args.batch,
+    if args.capture:
+        batch = args.batch if args.batch is not None else CAPTURE_BATCH
+        rows = compare_capture(shapes, steps=args.steps, batch=batch,
+                               reps=args.reps, backends=backends)
+        print(format_capture_table(rows))
+        return 0 if all(r["bit_identical"] for r in rows) else 1
+    batch = args.batch if args.batch is not None else 64
+    rows = compare_backends(shapes, steps=args.steps, batch=batch,
                             reps=args.reps, backends=backends)
     print(format_table(rows))
     return 0
@@ -588,9 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the full 1..64-chip ladder)")
     p.add_argument("--steps", type=int, default=4,
                    help="decode steps per timed repetition")
-    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--batch", type=int, default=None,
+                   help="decode batch (default: 64, or 16 with --capture "
+                        "— the latency-oriented decode point)")
     p.add_argument("--reps", type=int, default=3,
                    help="repetitions (best is reported)")
+    p.add_argument("--capture", action="store_true",
+                   help="time eager vs captured-replay decode steps "
+                        "instead of loop vs stacked (exits nonzero if "
+                        "replay is not bit-identical)")
     p.set_defaults(func=cmd_mesh_bench)
 
     p = sub.add_parser("trace",

@@ -36,6 +36,7 @@ import numpy as np
 from repro.events import REPLICA_HEALTH, EventLog
 from repro.hardware.topology import Torus3D
 from repro.mesh import VirtualMesh
+from repro.mesh.capture import StepCompiler
 from repro.mesh.faults import FaultPlan
 from repro.model.sampling import greedy
 from repro.partitioning.degraded import (
@@ -103,6 +104,14 @@ class Replica:
                                                         self.events)
         if tracer is not None and trace_mesh:
             self.mesh.tracer = tracer
+        # Per-replica capture-and-replay compiler for decode steps.  It
+        # outlives health transitions (HEALTHY <-> DEGRADED): the captured
+        # program keeps replaying while the mesh object and fault clock
+        # stay quiet, falls back to eager while a fault is live, and is
+        # invalidated (re-captured on the new deployment) by
+        # :meth:`replan_around` — so failover and degraded replanning
+        # exercise the full invalidate -> eager -> re-capture cycle.
+        self.step_compiler = StepCompiler()
 
     # -- simulated time -----------------------------------------------------
 
@@ -198,6 +207,7 @@ class Replica:
         self.mesh = deploy.mesh
         self.prefill_model = deploy.prefill_model
         self.decode_model = deploy.decode_model
+        self.step_compiler.invalidate()
 
     def __repr__(self) -> str:
         return (f"Replica({self.name!r}, {self.mesh.shape}, "
@@ -274,7 +284,8 @@ class GroupRun:
         replica = self.replica
         before = replica.delay_s()
         replica.advance("decode")
-        logits = replica.decode_model.decode_step(self.current, self.caches)
+        logits = replica.step_compiler.decode_step(
+            replica.decode_model, self.current, self.caches)
         elapsed = replica.costs.decode_step_s * replica.scale \
             + (replica.delay_s() - before)
         self.current = greedy(logits)

@@ -12,8 +12,16 @@ from repro.mesh import (
     all_reduce,
     sharded_einsum,
 )
+from repro.model.functional import causal_mask, masked_softmax, softmax
 from repro.model.rope import apply_rope
 from repro.sharding.spec import ShardSpec
+
+
+def _record(mesh, fn, inputs, output, label) -> None:
+    """Capture-recorder hook (duck-typed; see :mod:`repro.mesh.capture`)."""
+    recorder = getattr(mesh, "capture", None)
+    if recorder is not None:
+        recorder.record(fn, inputs, output, label)
 
 
 def zip_shards(out_spec: ShardSpec, out_shape: Sequence[int],
@@ -31,11 +39,17 @@ def zip_shards(out_spec: ShardSpec, out_shape: Sequence[int],
     then applied once to the dense shard arrays instead of per device.
     """
     mesh = tensors[0].mesh
+    inputs = tuple(t.shards for t in tensors)
     if elementwise and all(t.is_stacked for t in tensors):
-        shards = fn(*(t.shards for t in tensors))
+        shards = fn(*inputs)
+        _record(mesh, fn, inputs, shards, "zip_shards")
         return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
     shards = mesh.map_devices(
         lambda c: fn(*(t.shards[c] for t in tensors)))
+    _record(mesh,
+            lambda *arrs: mesh.map_devices(
+                lambda c: fn(*(a[c] for a in arrs))),
+            inputs, shards, "zip_shards")
     return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
 
 
@@ -64,8 +78,13 @@ def sharded_rmsnorm(x: ShardedTensor, scale: ShardedTensor,
         # One whole-mesh broadcast: scale is a per-device [E_loc] vector, so
         # it needs explicit singleton B/L axes against the dense
         # [mesh..., B, L, E_loc] activations.
-        rms = np.sqrt(sumsq.shards[..., None] / e_size + eps)
-        shards = x.shards * scale.shards[:, :, :, None, None, :] / rms
+        def stacked_norm(xs, ss, sc):
+            rms = np.sqrt(ss[..., None] / e_size + eps)
+            return xs * sc[:, :, :, None, None, :] / rms
+
+        shards = stacked_norm(x.shards, sumsq.shards, scale.shards)
+        _record(x.mesh, stacked_norm,
+                (x.shards, sumsq.shards, scale.shards), shards, "rmsnorm")
         return ShardedTensor(x.mesh, x.spec, x.global_shape, shards)
 
     def normalize(x_shard, ss_shard, scale_shard):
@@ -87,8 +106,25 @@ def sharded_rope(x: ShardedTensor, positions: np.ndarray,
             raise ValueError(f"RoPE requires unsharded {dim}, got {x.spec}")
     # apply_rope broadcasts over arbitrary leading axes, so on the stacked
     # backend one call covers the whole mesh.
-    return x.map_shards(lambda s: apply_rope(s, positions, theta),
-                        elementwise=True)
+    recorder = getattr(x.mesh, "capture", None)
+    if recorder is None or not recorder.recording:
+        return x.map_shards(lambda s: apply_rope(s, positions, theta),
+                            elementwise=True)
+    # Under capture, the generic map_shards hook would bake this step's
+    # positions into the program as a constant.  Suppress it and record
+    # one instruction with the positions array as a tracked input (the
+    # model's position instruction recomputes it per replay).
+    mesh = x.mesh
+    with recorder.suppress():
+        out = x.map_shards(lambda s: apply_rope(s, positions, theta),
+                           elementwise=True)
+    if x.is_stacked:
+        replay = lambda p, s: apply_rope(s, p, theta)  # noqa: E731
+    else:
+        replay = lambda p, s: mesh.map_devices(  # noqa: E731
+            lambda c: apply_rope(s[c], p, theta))
+    recorder.record(replay, (positions, x.shards), out.shards, "rope")
+    return out
 
 
 def local_attention(mesh: VirtualMesh, out_spec: ShardSpec,
@@ -118,8 +154,53 @@ def local_attention(mesh: VirtualMesh, out_spec: ShardSpec,
                         q_offset)
         b_loc = q.shards.shape[3]
         shards = out.reshape(mesh.shape + (b_loc,) + out.shape[1:])
+
+        def replay_stacked(qs, ks, vs):
+            # The decode position is step-varying: rederive it from the
+            # KV view length (M - L), exactly what the model passes in.
+            folded = _attention_fast(
+                qs.reshape((-1,) + qs.shape[4:]),
+                ks.reshape((-1,) + ks.shape[4:]),
+                vs.reshape((-1,) + vs.shape[4:]),
+                ks.shape[4] - qs.shape[4])
+            return folded.reshape(mesh.shape + (b_loc,) + folded.shape[1:])
+
+        _record(mesh, replay_stacked, (q.shards, k_shards, v_shards),
+                shards, "attention")
         return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
 
     shards = mesh.map_devices(
         lambda c: attention(q.shards[c], k_shards[c], v_shards[c], q_offset))
+    _record(mesh,
+            lambda qs, ks, vs: mesh.map_devices(
+                lambda c: attention(qs[c], ks[c], vs[c],
+                                    ks[c].shape[1] - qs[c].shape[1])),
+            (q.shards, k_shards, v_shards), shards, "attention")
     return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
+
+
+def _attention_fast(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                    q_offset: int) -> np.ndarray:
+    """Replay-path attention, bit-identical to ``reference.attention``.
+
+    Identical computation, except the single-query decode case
+    (``L == 1`` attending to its full history) skips building the causal
+    mask: the mask is provably all-True there, and ``np.where`` with an
+    all-True mask returns a fresh array with the same values and layout
+    as ``scores`` — so the softmax bits cannot change.
+    """
+    h, kv = q.shape[2], k.shape[2]
+    if kv != h:  # broadcast shared KV heads across the query-head groups
+        b, m, d = k.shape[0], k.shape[1], k.shape[3]
+        k = np.broadcast_to(k[:, :, :, None, :],
+                            (b, m, kv, h // kv, d)).reshape(b, m, h, d)
+        v = np.broadcast_to(v[:, :, :, None, :],
+                            (b, m, kv, h // kv, d)).reshape(b, m, h, d)
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = np.einsum("blhd,bmhd->bhlm", q, k) * scale
+    if q.shape[1] == 1 and q_offset + 1 == k.shape[1]:
+        probs = softmax(scores, axis=-1)
+    else:
+        probs = masked_softmax(
+            scores, causal_mask(q.shape[1], k.shape[1], q_offset))
+    return np.einsum("bhlm,bmhd->blhd", probs, v)

@@ -90,7 +90,8 @@ class ShardedKVCache:
             raise ShardingError(
                 f"KV cache overflow: {self.length} + {n} > {self.max_len}")
         start, stop = self.length, self.length + n
-        if self.is_stacked and k_new.is_stacked and v_new.is_stacked:
+        stacked = self.is_stacked and k_new.is_stacked and v_new.is_stacked
+        if stacked:
             # One whole-mesh write: M is dense axis 4 (after the three
             # device axes and B).
             self.k[:, :, :, :, start:stop] = k_new.shards
@@ -101,6 +102,29 @@ class ShardedKVCache:
                 self.v[coord][:, start:stop] = v_new.shards[coord]
         offset = self.length
         self.length = stop
+
+        recorder = getattr(self.mesh, "capture", None)
+        if recorder is not None and recorder.recording:
+            idx = recorder.cache_index(self)
+            if idx is not None:
+                def replay(ctx, ks, vs, idx=idx, n=n, stacked=stacked):
+                    cache = ctx.caches[idx]
+                    if cache.length + n > cache.max_len:
+                        raise ShardingError(
+                            f"KV cache overflow: {cache.length} + {n} > "
+                            f"{cache.max_len}")
+                    s, e = cache.length, cache.length + n
+                    if stacked:
+                        cache.k[:, :, :, :, s:e] = ks
+                        cache.v[:, :, :, :, s:e] = vs
+                    else:
+                        for coord in cache.mesh.devices():
+                            cache.k[coord][:, s:e] = ks[coord]
+                            cache.v[coord][:, s:e] = vs[coord]
+                    cache.length = e
+
+                recorder.record(replay, (recorder.CTX, k_new.shards,
+                                         v_new.shards), None, "kv_append")
         return offset
 
     def load_prefix(self, k_t: ShardedTensor, v_t: ShardedTensor,
@@ -120,10 +144,39 @@ class ShardedKVCache:
         """Per-device ``[B_loc, length, K_loc, D]`` views — an object array
         on the loop backend, a dense view on the stacked one."""
         if self.is_stacked:
-            return (self.k[:, :, :, :, :self.length],
-                    self.v[:, :, :, :, :self.length])
-        k_view = self.mesh.map_devices(lambda c: self.k[c][:, :self.length])
-        v_view = self.mesh.map_devices(lambda c: self.v[c][:, :self.length])
+            k_view = self.k[:, :, :, :, :self.length]
+            v_view = self.v[:, :, :, :, :self.length]
+
+            def replay_k(ctx, idx=None):
+                cache = ctx.caches[idx]
+                return cache.k[:, :, :, :, :cache.length]
+
+            def replay_v(ctx, idx=None):
+                cache = ctx.caches[idx]
+                return cache.v[:, :, :, :, :cache.length]
+        else:
+            length = self.length
+            k_view = self.mesh.map_devices(lambda c: self.k[c][:, :length])
+            v_view = self.mesh.map_devices(lambda c: self.v[c][:, :length])
+
+            def replay_k(ctx, idx=None):
+                cache = ctx.caches[idx]
+                return cache.mesh.map_devices(
+                    lambda c: cache.k[c][:, :cache.length])
+
+            def replay_v(ctx, idx=None):
+                cache = ctx.caches[idx]
+                return cache.mesh.map_devices(
+                    lambda c: cache.v[c][:, :cache.length])
+
+        recorder = getattr(self.mesh, "capture", None)
+        if recorder is not None and recorder.recording:
+            idx = recorder.cache_index(self)
+            if idx is not None:
+                recorder.record(lambda ctx: replay_k(ctx, idx),
+                                (recorder.CTX,), k_view, "kv_view_k")
+                recorder.record(lambda ctx: replay_v(ctx, idx),
+                                (recorder.CTX,), v_view, "kv_view_v")
         return k_view, v_view
 
     def as_sharded(self) -> tuple[ShardedTensor, ShardedTensor]:

@@ -443,12 +443,23 @@ class ShardedTransformer:
                 ) -> np.ndarray:
         """Forward over ``tokens`` ``[B, L]``; returns global logits."""
         tracer = getattr(self.mesh, "tracer", None)
+        recorder = getattr(self.mesh, "capture", None)
         offset = caches[0].length
         positions = np.arange(tokens.shape[1]) + offset
         # Embedding lookup is modeled host-side (a gather, not a matmul —
         # its cost is negligible next to the 2N matmul FLOPs, Section 2).
-        x = ShardedTensor.from_global(
-            self.mesh, self.weights.embedding[tokens], self._residual_spec)
+        emb = self.weights.embedding[tokens]
+        if recorder is not None and recorder.recording:
+            # Step-varying program entry points: the decode position and
+            # the token embeddings are rederived from the replay context.
+            seq_len = tokens.shape[1]
+            recorder.record(
+                lambda ctx: np.arange(seq_len) + ctx.caches[0].length,
+                (recorder.CTX,), positions, "positions")
+            recorder.record(
+                lambda ctx, w=self.weights.embedding: w[ctx.tokens],
+                (recorder.CTX,), emb, "embed")
+        x = ShardedTensor.from_global(self.mesh, emb, self._residual_spec)
         for i, (layer, cache) in enumerate(zip(self.layers, caches)):
             if tracer is None:
                 x = self._block(x, layer, cache, positions)
@@ -472,7 +483,24 @@ class ShardedTransformer:
     def decode_step(self, tokens: np.ndarray,
                     caches: list[ShardedKVCache]) -> np.ndarray:
         with self._tracer_phase("decode"):
-            return self.forward(tokens[:, None], caches)[:, -1]
+            full = self.forward(tokens[:, None], caches)
+            out = full[:, -1]
+            recorder = getattr(self.mesh, "capture", None)
+            if recorder is not None and recorder.recording:
+                recorder.record(lambda f: f[:, -1], (full,), out,
+                                "last_token")
+            return out
+
+    def capture_decode_step(self, tokens: np.ndarray,
+                            caches: list[ShardedKVCache]):
+        """One eager decode step, recorded into a replayable program.
+
+        Returns ``(logits, program)``; see
+        :func:`repro.mesh.capture.capture_decode_step`.
+        """
+        from repro.mesh.capture import capture_decode_step
+
+        return capture_decode_step(self, tokens, caches)
 
     def generate(self, prompt: np.ndarray, n_steps: int,
                  sampler=None, rng: np.random.Generator | None = None

@@ -32,7 +32,14 @@ from repro.mesh.ops import (
     split,
 )
 from repro.mesh.sharded_tensor import ShardedTensor
-from repro.mesh.virtual_mesh import BACKENDS, VirtualMesh, default_backend
+from repro.mesh.virtual_mesh import (
+    AUTO_BACKEND_MIN_CHIPS,
+    BACKEND_CHOICES,
+    BACKENDS,
+    VirtualMesh,
+    default_backend,
+    resolve_backend,
+)
 
 
 def enable_comm_log(mesh: VirtualMesh) -> list:
@@ -43,6 +50,8 @@ def enable_comm_log(mesh: VirtualMesh) -> list:
 
 
 __all__ = [
+    "AUTO_BACKEND_MIN_CHIPS",
+    "BACKEND_CHOICES",
     "BACKENDS",
     "ChipFailure",
     "ChipKill",
@@ -67,6 +76,7 @@ __all__ = [
     "all_to_all",
     "enable_comm_log",
     "reduce_scatter",
+    "resolve_backend",
     "sharded_einsum",
     "split",
 ]

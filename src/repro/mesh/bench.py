@@ -116,6 +116,97 @@ def compare_backends(mesh_shapes=MESH_SHAPES, *, steps: int = 4,
     return rows
 
 
+#: Decode batch for the capture benchmark: the latency-oriented decode
+#: point (per-chip batch 1 on the 4x4x4 torus under the BATCH attention
+#: layout), where step time is Python-bookkeeping-bound — the regime the
+#: step compiler exists for.  Throughput-oriented batches amortize the
+#: bookkeeping over more numpy work, shrinking the replay advantage.
+CAPTURE_BATCH = 16
+
+
+def time_capture(mesh_shape, backend, *, steps: int = 4, batch: int =
+                 CAPTURE_BATCH, reps: int = 3, seed: int = 0) -> dict:
+    """Eager vs captured-replay seconds/step on one mesh, plus bit checks.
+
+    Timing methodology: attention cost grows with the KV history length,
+    so eager and replay windows are only comparable at the *same* cache
+    fill.  Every timed repetition first resets the caches to a common
+    base length; the timed steps then re-run the same decode positions
+    (re-writing identical KV entries), so both modes pay identical numpy
+    work and differ only in dispatch.
+    """
+    from repro.mesh.capture import capture_decode_step
+
+    model, caches, prompt = _build(mesh_shape, backend, batch,
+                                   4 + 2 + steps, seed)
+    token = prompt[:, -1]
+    logits = model.decode_step(token, caches)  # warm-up
+    token = np.argmax(logits, -1)
+    _, program = capture_decode_step(model, token, caches)
+    if program is None:
+        raise AssertionError(
+            f"decode step did not capture on {mesh_shape} {backend}")
+
+    # Bit-identity on the step after capture: run it once eagerly and
+    # once replayed from the same cache state and require exact equality.
+    base = caches[0].length
+    eager_logits = model.decode_step(token, caches)
+    for cache in caches:
+        cache.length = base
+    replay_logits = program.replay(token, caches)
+    bit_identical = bool(np.array_equal(eager_logits, replay_logits))
+
+    def best_of(step_fn) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            for cache in caches:
+                cache.length = base
+            start = time.perf_counter()
+            for _ in range(steps):
+                step_fn()
+            best = min(best, (time.perf_counter() - start) / steps)
+        return best
+
+    eager_s = best_of(lambda: model.decode_step(token, caches))
+    replay_s = best_of(lambda: program.replay(token, caches))
+    return {
+        "mesh": "x".join(map(str, mesh_shape)),
+        "chips": int(np.prod(mesh_shape)),
+        "backend": backend,
+        "eager_s": eager_s,
+        "replay_s": replay_s,
+        "speedup": eager_s / replay_s,
+        "bit_identical": bit_identical,
+        "instructions": program.n_instructions,
+        "collectives_live": program.collectives_live,
+        "collectives_folded": program.collectives_folded,
+    }
+
+
+def compare_capture(mesh_shapes=MESH_SHAPES, *, steps: int = 4,
+                    batch: int = CAPTURE_BATCH, reps: int = 3,
+                    backends=BACKENDS) -> list[dict]:
+    """One :func:`time_capture` row per (mesh shape, backend)."""
+    return [time_capture(shape, backend, steps=steps, batch=batch,
+                         reps=reps)
+            for shape in mesh_shapes for backend in backends]
+
+
+def format_capture_table(rows: list[dict]) -> str:
+    lines = ["Decode step: eager vs captured replay (seconds/step)",
+             f"{'mesh':>7s} {'chips':>6s} {'backend':>8s} {'eager':>10s} "
+             f"{'replay':>10s} {'speedup':>8s} {'folded':>9s} {'bits':>5s}"]
+    for row in rows:
+        folded = (f"{row['collectives_folded']}/"
+                  f"{row['collectives_folded'] + row['collectives_live']}")
+        lines.append(
+            f"{row['mesh']:>7s} {row['chips']:>6d} {row['backend']:>8s} "
+            f"{row['eager_s'] * 1e3:9.2f}m {row['replay_s'] * 1e3:9.2f}m "
+            f"{row['speedup']:7.2f}x {folded:>9s} "
+            f"{'ok' if row['bit_identical'] else 'FAIL':>5s}")
+    return "\n".join(lines)
+
+
 def format_table(rows: list[dict]) -> str:
     lines = ["Decode step: loop vs stacked mesh backend (seconds/step)",
              f"{'mesh':>7s} {'chips':>6s} {'loop':>10s} {'stacked':>10s} "

@@ -1,0 +1,481 @@
+"""Capture-and-replay decode programs: a trace-once step compiler.
+
+The decode phase is latency-critical and runs the *same* partitioned op
+sequence every step (Sections 2, 3.5): the layouts, communication groups
+and einsum shapes are all fixed for the lifetime of a (mesh, plan, batch)
+deployment, yet the eager path re-derives every one of them per step —
+``ShardSpec`` resolution, layout inference, group construction, weight
+re-gathers.  At decode batch sizes that Python-side bookkeeping dominates
+the (tiny) numpy compute.
+
+This module removes it by *tracing one eager step*.  While a
+:class:`StepRecorder` is installed on a mesh (duck-typed ``mesh.capture``,
+like ``tracer``/``fault_state``/``comm_log``), every collective and
+sharded einsum in :mod:`repro.mesh.ops`, every shard-level helper in
+:mod:`repro.layouts`, and the KV-cache append/view operations record a
+*replay closure* over their already-resolved kernel parameters, alongside
+the identity of their input and output shard arrays.  The recorder links
+those records into a dataflow tape; :meth:`StepRecorder.finalize` turns
+the tape into a :class:`CapturedProgram`:
+
+* **Constant folding** — any instruction whose inputs are all
+  step-invariant (weights, or values derived only from weights) is
+  dropped, and its *captured output* becomes a program constant.  This
+  hoists the per-step weight all-gathers of the weight-gathered layouts
+  (Section 3.2.3) out of the step entirely — the dominant collective
+  count at decode — and is trivially bit-exact, because the constant is
+  the very array the eager step produced.
+* **Buffer arena** — instructions whose kernels accept an output buffer
+  (batched einsums, residual adds) get a preallocated arena buffer
+  matching their captured output, eliminating per-step allocation churn.
+  Buffers are reused *across* steps, never within one (the tape is SSA),
+  and the program's final output stays freshly allocated so callers may
+  hold logits across steps.
+* **Stable input slots** — the step-varying inputs (token ids, KV-cache
+  pages, the decode position) enter through a :class:`ReplayContext`
+  bound per replay; cache instructions index ``ctx.caches``, so a
+  program survives cache hand-off as long as the cache *layout* matches.
+
+``program.replay(tokens, caches)`` then executes the flat closure list —
+no layout selection, no ``ShardSpec`` work, no group construction, no
+``ShardedTensor`` validation — and is required to be **bit-identical** to
+the eager step (the differential suite in
+``tests/unit/test_step_capture.py`` asserts exact equality on both mesh
+backends, across multiple steps and mesh shapes).
+
+Interplay with the rest of the stack:
+
+* **Faults** — replay consults nothing mid-step, so it only runs when
+  the mesh's fault state is :meth:`~repro.mesh.faults.FaultState.
+  quiescent`; :class:`StepCompiler` falls back to eager execution for
+  any step on which a scheduled fault is live, so kills, timeouts,
+  corruption and straggler delay fire exactly as they would eagerly.
+* **Observability** — a replayed step emits one condensed
+  ``kind="replay"`` span carrying the instruction/collective counts
+  (inside the usual ``decode`` phase envelope), so Tracer-based tooling
+  keeps working without paying per-op span costs.
+* **Invalidation** — a program is only replayed while its signature
+  matches: same mesh *object*, same plan, same token batch shape, same
+  cache layouts.  Degraded replanning and cluster failover swap the mesh
+  and models, which invalidates automatically; :class:`StepCompiler`
+  then re-captures on the new deployment.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class CaptureError(RuntimeError):
+    """A step could not be captured into a replayable program."""
+
+
+class ReplayContext:
+    """The step-varying inputs of one replayed step (the stable slots)."""
+
+    __slots__ = ("tokens", "caches")
+
+    def __init__(self, tokens: np.ndarray | None, caches: Sequence):
+        self.tokens = tokens
+        self.caches = caches
+
+
+class _Instr:
+    """One replayable instruction: a closure over resolved kernel params."""
+
+    __slots__ = ("fn", "inputs", "out", "label", "collective", "arena",
+                 "buffer")
+
+    def __init__(self, fn: Callable, inputs: tuple[int, ...],
+                 out: int | None, label: str, collective: bool,
+                 arena: bool):
+        self.fn = fn
+        self.inputs = inputs
+        self.out = out
+        self.label = label
+        self.collective = collective
+        self.arena = arena
+        self.buffer: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class ProgramSignature:
+    """What must stay unchanged for a program to remain valid.
+
+    The mesh itself is compared by *object identity* (stored on the
+    program, not here): replanning and failover build a new
+    ``VirtualMesh``, so identity is the cheapest exact invalidation
+    test.  Cache entries record layout only — ``max_len`` and the fill
+    level are free to vary, because the cache instructions re-derive
+    offsets from the live caches every replay.
+    """
+
+    backend: str
+    mesh_shape: tuple[int, int, int]
+    plan: Any = None
+    tokens_shape: tuple[int, ...] | None = None
+    tokens_dtype: str | None = None
+    cache_sig: tuple = ()
+
+
+def _cache_sig(cache) -> tuple:
+    """Layout signature of one KV cache (max_len/fill level excluded)."""
+    batch, _, kv, d = cache.global_shape
+    return (str(cache.spec), batch, kv, d, str(cache.dtype),
+            bool(cache.is_stacked))
+
+
+class CapturedProgram:
+    """A flat list of whole-mesh kernels replaying one decode step."""
+
+    def __init__(self, mesh, instrs: list[_Instr], template: list,
+                 out_vid: int, signature: ProgramSignature, *,
+                 tokens_2d: bool = False, span_name: str = "captured_step",
+                 collectives_captured: int = 0,
+                 collectives_folded: int = 0):
+        self.mesh = mesh
+        self.signature = signature
+        self.replays = 0
+        self._instrs = instrs
+        self._template = template
+        self._out_vid = out_vid
+        self._tokens_2d = tokens_2d
+        self._span_name = span_name
+        self.collectives_captured = collectives_captured
+        self.collectives_folded = collectives_folded
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self._instrs)
+
+    @property
+    def collectives_live(self) -> int:
+        return self.collectives_captured - self.collectives_folded
+
+    # -- validity ----------------------------------------------------------
+
+    def matches_mesh(self, mesh) -> bool:
+        return mesh is self.mesh and mesh.backend == self.signature.backend
+
+    def matches(self, model, tokens: np.ndarray, caches: Sequence) -> bool:
+        """True when replaying would be valid for these step inputs."""
+        sig = self.signature
+        if not self.matches_mesh(model.mesh):
+            return False
+        if sig.plan is not None and model.plan != sig.plan:
+            return False
+        if sig.tokens_shape is not None and (
+                tokens.shape != sig.tokens_shape
+                or str(tokens.dtype) != sig.tokens_dtype):
+            return False
+        if len(caches) != len(sig.cache_sig):
+            return False
+        for cache, entry in zip(caches, sig.cache_sig):
+            if cache.mesh is not self.mesh or _cache_sig(cache) != entry:
+                return False
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def replay(self, tokens: np.ndarray | None = None,
+               caches: Sequence = ()) -> np.ndarray:
+        """Execute the captured step against fresh step-varying inputs.
+
+        Callers are responsible for validity (:meth:`matches`) and for
+        only replaying while the mesh's fault state is quiescent —
+        :class:`StepCompiler` enforces both.
+        """
+        values = list(self._template)
+        ctx_tokens = tokens
+        if tokens is not None and self._tokens_2d:
+            ctx_tokens = tokens[:, None]
+        values[0] = ReplayContext(ctx_tokens, caches)
+        tracer = getattr(self.mesh, "tracer", None)
+        if tracer is None:
+            out = self._run(values)
+        else:
+            with tracer.phase("decode"):
+                with tracer.region(
+                        self._span_name, kind="replay",
+                        instructions=self.n_instructions,
+                        collectives=self.collectives_live,
+                        collectives_folded=self.collectives_folded):
+                    out = self._run(values)
+        state = getattr(self.mesh, "fault_state", None)
+        if state is not None:
+            # Keep the collective bookkeeping faithful: eager execution
+            # would have bumped the counter once per captured collective.
+            state.op_counter += self.collectives_captured
+        self.replays += 1
+        return out
+
+    def _run(self, values: list) -> np.ndarray:
+        for ins in self._instrs:
+            args = [values[v] for v in ins.inputs]
+            if ins.buffer is not None:
+                result = ins.fn(*args, out=ins.buffer)
+            else:
+                result = ins.fn(*args)
+            if ins.out is not None:
+                values[ins.out] = result
+        return values[self._out_vid]
+
+    def __repr__(self) -> str:
+        return (f"CapturedProgram({self.n_instructions} instrs, "
+                f"{self.collectives_live}/{self.collectives_captured} "
+                f"collectives live, mesh={self.signature.mesh_shape}, "
+                f"backend={self.signature.backend!r})")
+
+
+class StepRecorder:
+    """Records one eager step's kernel stream into a dataflow tape.
+
+    Installed as ``mesh.capture`` (duck-typed, mirroring ``tracer``); the
+    hooks throughout :mod:`repro.mesh` and :mod:`repro.layouts` call
+    :meth:`record` with a replay closure, the input arrays and the output
+    array.  Arrays are identified by ``id``; the recorder keeps every
+    seen array alive, so ids are stable for the capture's lifetime.  An
+    input never seen before is a *constant* (a step-invariant like a
+    weight shard).  Recording is failure-tolerant by design: anything
+    unsupported calls :meth:`mark_broken` and the eager step simply
+    completes without producing a program.
+    """
+
+    CTX = object()  # sentinel input: the per-replay ReplayContext
+
+    def __init__(self, mesh, caches: Sequence = ()):
+        self.mesh = mesh
+        self.caches = list(caches)
+        self.broken: str | None = None
+        self.collectives = 0
+        self._suppressed = 0
+        self._instrs: list[_Instr] = []
+        self._values: list[Any] = [None]       # vid 0 reserved for CTX
+        self._vid_of: dict[int, int] = {}
+        self._const: set[int] = set()
+
+    @property
+    def recording(self) -> bool:
+        """False while suppressed (inside an op recorded at a coarser
+        granularity) or after the capture broke."""
+        return self._suppressed == 0 and self.broken is None
+
+    @contextmanager
+    def suppress(self):
+        """Hide inner hook calls from an op recorded as one instruction."""
+        self._suppressed += 1
+        try:
+            yield
+        finally:
+            self._suppressed -= 1
+
+    def mark_broken(self, reason: str) -> None:
+        if self.broken is None:
+            self.broken = reason
+
+    def cache_index(self, cache) -> int | None:
+        """Slot of ``cache`` in the bound cache list (None breaks the
+        capture: an unbound cache cannot be re-targeted at replay)."""
+        for i, bound in enumerate(self.caches):
+            if bound is cache:
+                return i
+        self.mark_broken("operation on a cache not bound to the capture")
+        return None
+
+    # -- tape construction -------------------------------------------------
+
+    def _vid(self, arr) -> int:
+        vid = self._vid_of.get(id(arr))
+        if vid is None:
+            vid = len(self._values)
+            self._values.append(arr)
+            self._vid_of[id(arr)] = vid
+            self._const.add(vid)
+        return vid
+
+    def _define(self, arr) -> int:
+        vid = len(self._values)
+        self._values.append(arr)
+        self._vid_of[id(arr)] = vid
+        return vid
+
+    def record(self, fn: Callable, inputs: Sequence, output,
+               label: str = "", *, collective: bool = False,
+               arena: bool = False) -> None:
+        """Append one instruction.
+
+        ``fn`` must recompute ``output`` bit-identically from the input
+        arrays (same kernel, resolved parameters baked in).  ``output``
+        of ``None`` marks a side-effecting instruction (cache writes).
+        With ``arena=True``, ``fn`` additionally accepts an ``out=``
+        keyword buffer.  Pass :attr:`CTX` as an input for closures over
+        the step-varying replay context.
+        """
+        if not self.recording:
+            return
+        ins = tuple(0 if x is self.CTX else self._vid(x) for x in inputs)
+        out = self._define(output) if output is not None else None
+        if collective:
+            self.collectives += 1
+        self._instrs.append(_Instr(fn, ins, out, label, collective, arena))
+
+    # -- program construction ----------------------------------------------
+
+    def finalize(self, output: np.ndarray, *,
+                 signature: ProgramSignature | None = None,
+                 tokens_2d: bool = False,
+                 span_name: str = "captured_step"
+                 ) -> CapturedProgram | None:
+        """Fold constants, build the arena, and emit the program.
+
+        Returns ``None`` when the capture broke, ``output`` was not
+        produced by a recorded instruction, or the whole program folded
+        to a constant — the eager step still completed correctly, there
+        is just nothing to replay.
+        """
+        if self.broken is not None:
+            return None
+        out_vid = self._vid_of.get(id(output))
+        if out_vid is None or out_vid in self._const:
+            return None
+
+        # Constant folding: an instruction whose inputs are all
+        # step-invariant produced a step-invariant output — and we hold
+        # that output (the eager result), so folding costs nothing and
+        # hoists the weight-gather collectives out of the step.
+        const = set(self._const)
+        kept: list[_Instr] = []
+        folded_collectives = 0
+        for ins in self._instrs:
+            if ins.out is not None and all(v in const for v in ins.inputs):
+                const.add(ins.out)
+                if ins.collective:
+                    folded_collectives += 1
+                continue
+            kept.append(ins)
+        if out_vid in const:
+            # The entire program is step-invariant (e.g. a probe that
+            # touches no live input): replaying a constant is pointless
+            # and would hide staleness bugs, so refuse to build one.
+            return None
+
+        template: list[Any] = [None] * len(self._values)
+        for vid in const:
+            template[vid] = self._values[vid]
+
+        # Buffer arena: one preallocated output per arena-capable live
+        # instruction, reused across steps (never within one — SSA).
+        # The program output itself is never arena-backed, so callers
+        # may hold logits across replays.
+        for ins in kept:
+            if ins.arena and ins.out is not None and ins.out != out_vid:
+                captured = self._values[ins.out]
+                ins.buffer = np.empty(captured.shape, captured.dtype)
+
+        if signature is None:
+            signature = ProgramSignature(backend=self.mesh.backend,
+                                         mesh_shape=self.mesh.shape)
+        return CapturedProgram(
+            self.mesh, kept, template, out_vid, signature,
+            tokens_2d=tokens_2d, span_name=span_name,
+            collectives_captured=self.collectives,
+            collectives_folded=folded_collectives)
+
+
+@contextmanager
+def capturing(mesh, caches: Sequence = ()):
+    """Install a :class:`StepRecorder` on ``mesh`` for the ``with`` body.
+
+    The generic tape API: run any mesh program inside the block, then
+    ``recorder.finalize(result_array)`` yields a replayable program (or
+    ``None``).  :func:`capture_decode_step` builds on this for the
+    model-level decode step.
+    """
+    if getattr(mesh, "capture", None) is not None:
+        raise CaptureError("a capture is already active on this mesh")
+    recorder = StepRecorder(mesh, caches)
+    mesh.capture = recorder
+    try:
+        yield recorder
+    finally:
+        del mesh.capture
+
+
+def capture_decode_step(model, tokens: np.ndarray, caches: Sequence
+                        ) -> tuple[np.ndarray, CapturedProgram | None]:
+    """Run one eager decode step while recording it.
+
+    Returns ``(logits, program)`` — the logits are the eager step's
+    (the step really ran: caches advanced exactly as usual), and the
+    program replays subsequent steps bit-identically, or is ``None``
+    when the step could not be captured.
+    """
+    mesh = model.mesh
+    with capturing(mesh, caches) as recorder:
+        logits = model.decode_step(tokens, caches)
+    signature = ProgramSignature(
+        backend=mesh.backend, mesh_shape=mesh.shape, plan=model.plan,
+        tokens_shape=tokens.shape, tokens_dtype=str(tokens.dtype),
+        cache_sig=tuple(_cache_sig(c) for c in caches))
+    program = recorder.finalize(logits, signature=signature,
+                                tokens_2d=True)
+    return logits, program
+
+
+class StepCompiler:
+    """Capture-after-warmup, replay-while-valid decode-step driver.
+
+    Drop-in replacement for calling ``model.decode_step`` directly::
+
+        compiler = StepCompiler()
+        logits = compiler.decode_step(model, tokens, caches)
+
+    The first ``warmup_steps`` calls run eagerly (layout caches warm
+    up); the next quiescent step is captured; every later call replays
+    while the program's signature still matches and no fault is live.
+    A mismatch (replanned mesh, new plan, different batch, migrated
+    cache layout) invalidates and triggers re-capture on the new
+    deployment; a step with an active or pending fault falls back to
+    eager execution so the fault machinery fires exactly as usual.
+    """
+
+    def __init__(self, warmup_steps: int = 1):
+        self.warmup_steps = warmup_steps
+        self.program: CapturedProgram | None = None
+        self.eager_steps = 0
+        self.captures = 0
+        self.replays = 0
+        self.invalidations = 0
+        self._capture_failed = False
+
+    def invalidate(self) -> None:
+        if self.program is not None:
+            self.program = None
+            self.invalidations += 1
+        self._capture_failed = False
+
+    def decode_step(self, model, tokens: np.ndarray,
+                    caches: Sequence) -> np.ndarray:
+        state = getattr(model.mesh, "fault_state", None)
+        quiet = state is None or state.quiescent()
+        if self.program is not None and \
+                not self.program.matches(model, tokens, caches):
+            self.invalidate()
+        if self.program is not None and quiet:
+            self.replays += 1
+            return self.program.replay(tokens, caches)
+        if quiet and self.eager_steps >= self.warmup_steps \
+                and not self._capture_failed:
+            logits, program = capture_decode_step(model, tokens, caches)
+            if program is None:
+                self._capture_failed = True
+            else:
+                self.program = program
+                self.captures += 1
+            return logits
+        self.eager_steps += 1
+        return model.decode_step(tokens, caches)

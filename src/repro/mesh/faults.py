@@ -261,6 +261,23 @@ class FaultState:
         return frozenset(f.chip for f in self.plan.stragglers
                          if self._active(f))
 
+    def quiescent(self) -> bool:
+        """True when no scheduled fault could fire or accrue delay now.
+
+        The gate for captured-program replay
+        (:mod:`repro.mesh.capture`): replay skips the per-collective
+        fault hooks, so it is only allowed while every unspent fault is
+        inactive on the current clock — any live kill, timeout,
+        corruption or straggler forces the step back onto the eager
+        path where the hooks fire exactly as usual.
+        """
+        for index, fault in enumerate(self.plan.faults):
+            if isinstance(fault, CollectiveFault) and index in self._spent:
+                continue
+            if self._active(fault):
+                return False
+        return True
+
     # -- collective hooks -------------------------------------------------
 
     def _announce(self, index: int, fault: Fault, op: str) -> None:

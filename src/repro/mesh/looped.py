@@ -33,6 +33,13 @@ measure.
 With a tracer installed on the mesh (:mod:`repro.observability`), each
 fused call is recorded as a ``fused`` envelope span and every ring hop as
 a ``ring_step`` child span with its in-flight buffer size.
+
+Under step capture (:mod:`repro.mesh.capture`), each fused call records
+as a *single* envelope instruction whose replay closure re-runs the
+already-resolved ring schedule with tracing off — the K per-step slices,
+einsums and hops never appear on the tape individually, and when the
+operands are step-invariant (the usual weight-gathering case) the whole
+envelope constant-folds out of the replayed step.
 """
 
 from __future__ import annotations
@@ -61,6 +68,32 @@ def _ring_hop(mesh, tracer, shards, axis: str, step: int,
     return out
 
 
+def _capture_envelope(x: ShardedTensor, w: ShardedTensor,
+                      out: ShardedTensor, label: str, run) -> None:
+    """Record one fused call as a single replayable envelope instruction.
+
+    ``run(x_tensor, w_tensor)`` must be the resolved eager path with
+    tracing disabled — bit-identity of replay is then the statement that
+    the ring schedule is deterministic in its operands, which the
+    looped-einsum differential tests already assert.
+    """
+    recorder = getattr(x.mesh, "capture", None)
+    if recorder is None or not recorder.recording:
+        return
+    mesh = x.mesh
+    x_spec, x_shape = x.spec, x.global_shape
+    w_spec, w_shape = w.spec, w.global_shape
+
+    def replay(xs, ws):
+        xt = ShardedTensor(mesh, x_spec, x_shape, xs)
+        wt = ShardedTensor(mesh, w_spec, w_shape, ws)
+        result, _ = run(xt, wt)
+        return result.shards
+
+    recorder.record(replay, (x.shards, w.shards), out.shards, label,
+                    collective=True)
+
+
 def _contraction_letter(subscripts: str) -> str:
     lhs, rhs, out = _parse_subscripts(subscripts)
     contracted = sorted((set(lhs) & set(rhs)) - set(out))
@@ -84,10 +117,15 @@ def all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
     """
     tracer = getattr(x.mesh, "tracer", None)
     if tracer is None:
-        return _all_gather_einsum(subscripts, x, w, axis, None)
-    with tracer.region(f"all_gather_einsum:{subscripts}", kind="fused",
-                       axis=axis):
-        return _all_gather_einsum(subscripts, x, w, axis, tracer)
+        out, stats = _all_gather_einsum(subscripts, x, w, axis, None)
+    else:
+        with tracer.region(f"all_gather_einsum:{subscripts}", kind="fused",
+                           axis=axis):
+            out, stats = _all_gather_einsum(subscripts, x, w, axis, tracer)
+    _capture_envelope(
+        x, w, out, f"all_gather_einsum:{subscripts}",
+        lambda xt, wt: _all_gather_einsum(subscripts, xt, wt, axis, None))
+    return out, stats
 
 
 def _all_gather_einsum(subscripts: str, x: ShardedTensor, w: ShardedTensor,
@@ -178,12 +216,19 @@ def einsum_reduce_scatter(subscripts: str, x: ShardedTensor,
     """
     tracer = getattr(x.mesh, "tracer", None)
     if tracer is None:
-        return _einsum_reduce_scatter(subscripts, x, w, axis, scatter_dim,
-                                      None)
-    with tracer.region(f"einsum_reduce_scatter:{subscripts}", kind="fused",
-                       axis=axis, scatter_dim=scatter_dim):
-        return _einsum_reduce_scatter(subscripts, x, w, axis, scatter_dim,
-                                      tracer)
+        out, stats = _einsum_reduce_scatter(subscripts, x, w, axis,
+                                            scatter_dim, None)
+    else:
+        with tracer.region(f"einsum_reduce_scatter:{subscripts}",
+                           kind="fused", axis=axis,
+                           scatter_dim=scatter_dim):
+            out, stats = _einsum_reduce_scatter(subscripts, x, w, axis,
+                                                scatter_dim, tracer)
+    _capture_envelope(
+        x, w, out, f"einsum_reduce_scatter:{subscripts}",
+        lambda xt, wt: _einsum_reduce_scatter(subscripts, xt, wt, axis,
+                                              scatter_dim, None))
+    return out, stats
 
 
 def _einsum_reduce_scatter(subscripts: str, x: ShardedTensor,

@@ -111,6 +111,23 @@ def _fault_post(mesh: VirtualMesh, op: str, axes: tuple[str, ...],
     return state.post_collective(op, axes, shards)
 
 
+def _capture(mesh: VirtualMesh, fn, inputs: tuple, output,
+             label: str, *, collective: bool = True,
+             arena: bool = False) -> None:
+    """Capture-recorder hook (duck-typed like ``tracer``/``fault_state``).
+
+    With a :class:`repro.mesh.capture.StepRecorder` installed as
+    ``mesh.capture``, records ``fn`` — a closure over the already
+    resolved kernel and its parameters — as one replay instruction
+    mapping the input shard arrays to the output shard array.  One
+    ``getattr`` when capture is off.
+    """
+    recorder = getattr(mesh, "capture", None)
+    if recorder is not None:
+        recorder.record(fn, inputs, output, label, collective=collective,
+                        arena=arena)
+
+
 def _require_suffix(dim_axes: tuple[str, ...], axes: Sequence[str],
                     what: str) -> tuple[str, ...]:
     axes = tuple(axes)
@@ -121,6 +138,77 @@ def _require_suffix(dim_axes: tuple[str, ...], axes: Sequence[str],
             f"{what}: axes {axes} must be the innermost (suffix) axes of "
             f"the dim's sharding {dim_axes}")
     return dim_axes[:len(dim_axes) - len(axes)]
+
+
+# ---------------------------------------------------------------------------
+# Per-group loop kernels (the semantics oracle)
+#
+# Extracted to module level so a captured program can replay them directly:
+# each takes the raw shards and the already-resolved group parameters, like
+# its vectorized twin in :mod:`repro.mesh.stacked`.
+# ---------------------------------------------------------------------------
+
+def _loop_all_gather(mesh: VirtualMesh, shards_in: np.ndarray,
+                     axes: tuple[str, ...], dim_idx: int) -> np.ndarray:
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        gathered = np.concatenate([shards_in[c] for c in group],
+                                  axis=dim_idx)
+        for coord in group:
+            shards[coord] = gathered
+    return shards
+
+
+def _loop_reduce_scatter(mesh: VirtualMesh, shards_in: np.ndarray,
+                         axes: tuple[str, ...], dim_idx: int,
+                         k: int) -> np.ndarray:
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        total = shards_in[group[0]]
+        for coord in group[1:]:
+            total = total + shards_in[coord]
+        chunks = np.split(total, k, axis=dim_idx)
+        for rank, coord in enumerate(group):
+            shards[coord] = np.ascontiguousarray(chunks[rank])
+    return shards
+
+
+def _loop_all_reduce(mesh: VirtualMesh, shards_in: np.ndarray,
+                     axes: tuple[str, ...]) -> np.ndarray:
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        total = shards_in[group[0]]
+        for coord in group[1:]:
+            total = total + shards_in[coord]
+        for coord in group:
+            shards[coord] = total
+    return shards
+
+
+def _loop_all_to_all(mesh: VirtualMesh, shards_in: np.ndarray,
+                     axes: tuple[str, ...], src_idx: int, dst_idx: int,
+                     k: int) -> np.ndarray:
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        # Assemble the group-local view along src_dim, then re-slice
+        # dst_dim.
+        assembled = np.concatenate([shards_in[c] for c in group],
+                                   axis=src_idx)
+        chunks = np.split(assembled, k, axis=dst_idx)
+        for rank, coord in enumerate(group):
+            shards[coord] = np.ascontiguousarray(chunks[rank])
+    return shards
+
+
+def _loop_split(mesh: VirtualMesh, shards_in: np.ndarray,
+                axes: tuple[str, ...], dim_idx: int, k: int) -> np.ndarray:
+    shards = mesh.empty_shards()
+    for group in mesh.groups(axes):
+        for rank, coord in enumerate(group):
+            # Each device keeps its own slice of its own replica.
+            local_chunks = np.split(shards_in[coord], k, axis=dim_idx)
+            shards[coord] = np.ascontiguousarray(local_chunks[rank])
+    return shards
 
 
 def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
@@ -137,20 +225,15 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
     remaining = _require_suffix(spec.axes_for(dim), axes, "all_gather")
     dim_idx = spec.dim_index(dim)
     new_spec = spec.with_dim_axes(dim, remaining)
-    if t.is_stacked:
-        shards = stacked_kernels.all_gather(mesh, t.shards, axes, dim_idx)
-    else:
-        shards = mesh.empty_shards()
-        for group in mesh.groups(axes):
-            gathered = np.concatenate([t.shards[c] for c in group],
-                                      axis=dim_idx)
-            for coord in group:
-                shards[coord] = gathered
+    kernel = stacked_kernels.all_gather if t.is_stacked else _loop_all_gather
+    shards = kernel(mesh, t.shards, axes, dim_idx)
     shards = _fault_post(mesh, "all_gather", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start,
              CommRecord("all_gather", axes, mesh.group_size(axes),
                         out.per_chip_bytes), out)
+    _capture(mesh, lambda s: kernel(mesh, s, axes, dim_idx),
+             (t.shards,), out.shards, "all_gather")
     return out
 
 
@@ -173,19 +256,17 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
     if t.is_stacked:
         shards = stacked_kernels.reduce_scatter(mesh, t.shards, axes,
                                                 dim_idx)
+        replay = lambda s: stacked_kernels.reduce_scatter(  # noqa: E731
+            mesh, s, axes, dim_idx)
     else:
-        shards = mesh.empty_shards()
-        for group in mesh.groups(axes):
-            total = t.shards[group[0]]
-            for coord in group[1:]:
-                total = total + t.shards[coord]
-            chunks = np.split(total, k, axis=dim_idx)
-            for rank, coord in enumerate(group):
-                shards[coord] = np.ascontiguousarray(chunks[rank])
+        shards = _loop_reduce_scatter(mesh, t.shards, axes, dim_idx, k)
+        replay = lambda s: _loop_reduce_scatter(  # noqa: E731
+            mesh, s, axes, dim_idx, k)
     shards = _fault_post(mesh, "reduce_scatter", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start,
              CommRecord("reduce_scatter", axes, k, payload), out)
+    _capture(mesh, replay, (t.shards,), out.shards, "reduce_scatter")
     return out
 
 
@@ -206,21 +287,15 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
     new_partial = tuple(a for a in spec.partial_sum if a not in axes)
     new_spec = spec.with_partial_sum(new_partial)
     payload = t.per_chip_bytes
-    if t.is_stacked:
-        shards = stacked_kernels.all_reduce(mesh, t.shards, axes)
-    else:
-        shards = mesh.empty_shards()
-        for group in mesh.groups(axes):
-            total = t.shards[group[0]]
-            for coord in group[1:]:
-                total = total + t.shards[coord]
-            for coord in group:
-                shards[coord] = total
+    kernel = stacked_kernels.all_reduce if t.is_stacked else _loop_all_reduce
+    shards = kernel(mesh, t.shards, axes)
     shards = _fault_post(mesh, "all_reduce", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start,
              CommRecord("all_reduce", axes, mesh.group_size(axes),
                         2 * payload), out)
+    _capture(mesh, lambda s: kernel(mesh, s, axes), (t.shards,),
+             out.shards, "all_reduce")
     return out
 
 
@@ -248,20 +323,17 @@ def all_to_all(t: ShardedTensor, axes: Sequence[str], src_dim: str,
     if t.is_stacked:
         shards = stacked_kernels.all_to_all(mesh, t.shards, axes, src_idx,
                                             dst_idx)
+        replay = lambda s: stacked_kernels.all_to_all(  # noqa: E731
+            mesh, s, axes, src_idx, dst_idx)
     else:
-        shards = mesh.empty_shards()
-        for group in mesh.groups(axes):
-            # Assemble the group-local view along src_dim, then re-slice
-            # dst_dim.
-            assembled = np.concatenate([t.shards[c] for c in group],
-                                       axis=src_idx)
-            chunks = np.split(assembled, k, axis=dst_idx)
-            for rank, coord in enumerate(group):
-                shards[coord] = np.ascontiguousarray(chunks[rank])
+        shards = _loop_all_to_all(mesh, t.shards, axes, src_idx, dst_idx, k)
+        replay = lambda s: _loop_all_to_all(  # noqa: E731
+            mesh, s, axes, src_idx, dst_idx, k)
     shards = _fault_post(mesh, "all_to_all", axes, shards)
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start,
              CommRecord("all_to_all", axes, k, payload), out)
+    _capture(mesh, replay, (t.shards,), out.shards, "all_to_all")
     return out
 
 
@@ -285,15 +357,14 @@ def split(t: ShardedTensor, axes: Sequence[str], dim: str) -> ShardedTensor:
     k = mesh.group_size(axes)
     if t.is_stacked:
         shards = stacked_kernels.split(mesh, t.shards, axes, dim_idx)
+        replay = lambda s: stacked_kernels.split(  # noqa: E731
+            mesh, s, axes, dim_idx)
     else:
-        shards = mesh.empty_shards()
-        for group in mesh.groups(axes):
-            for rank, coord in enumerate(group):
-                # Each device keeps its own slice of its own replica.
-                local_chunks = np.split(t.shards[coord], k, axis=dim_idx)
-                shards[coord] = np.ascontiguousarray(local_chunks[rank])
+        shards = _loop_split(mesh, t.shards, axes, dim_idx, k)
+        replay = lambda s: _loop_split(mesh, s, axes, dim_idx, k)  # noqa: E731
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start, CommRecord("split", axes, k, 0), out)
+    _capture(mesh, replay, (t.shards,), out.shards, "split")
     return out
 
 
@@ -414,13 +485,21 @@ def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
         lhs, rhs, out_letters = _parse_subscripts(subscripts)
         shards = stacked_kernels.batched_einsum(mesh, lhs, rhs, out_letters,
                                                 a.shards, b.shards)
+        replay = lambda x, y, out=None: stacked_kernels.batched_einsum(  # noqa: E731
+            mesh, lhs, rhs, out_letters, x, y, out=out)
+        arena = True
     else:
         shards = mesh.map_devices(
             lambda c: np.einsum(subscripts, a.shards[c], b.shards[c]))
+        replay = lambda x, y: mesh.map_devices(  # noqa: E731
+            lambda c: np.einsum(subscripts, x[c], y[c]))
+        arena = False
     out = ShardedTensor(mesh, out_spec, out_shape, shards)
     if tracer is not None:
         tracer.compute(subscripts, flops=_einsum_local_flops(subscripts, a, b),
                        elements=int(out.shards[0, 0, 0].size), start_s=start)
+    _capture(mesh, replay, (a.shards, b.shards), out.shards,
+             f"einsum:{subscripts}", collective=False, arena=arena)
     return out
 
 

@@ -29,6 +29,47 @@ from repro.mesh.virtual_mesh import VirtualMesh
 from repro.sharding.spec import ShardingError, ShardSpec, parse
 
 
+def _record(mesh, fn, inputs, output, label, *, arena: bool = False) -> None:
+    """Capture-recorder hook (duck-typed; see :mod:`repro.mesh.capture`)."""
+    recorder = getattr(mesh, "capture", None)
+    if recorder is not None:
+        recorder.record(fn, inputs, output, label, arena=arena)
+
+
+def _loop_to_global(mesh: VirtualMesh, spec: ShardSpec,
+                    global_shape: tuple[int, ...], shards_in: np.ndarray,
+                    check_replication: bool) -> np.ndarray:
+    """Loop-backend global reassembly (see :meth:`ShardedTensor.to_global`)."""
+    local = spec.local_shape(global_shape, mesh.topology)
+    # Representative shard (or running partial sum) per shard position.
+    accum: dict[tuple, np.ndarray] = {}
+    seen: dict[tuple, np.ndarray] = {}
+    for coord in mesh.devices():
+        pos = tuple(mesh.rank_in_group(coord, axes) for axes in spec.axes)
+        psum_rank = mesh.rank_in_group(coord, spec.partial_sum)
+        key = pos + (psum_rank,)
+        shard = shards_in[coord]
+        if key in seen:
+            if check_replication and not np.array_equal(seen[key], shard,
+                                                        equal_nan=True):
+                raise ShardingError(
+                    f"replicas disagree at shard position {pos} "
+                    f"(partial-sum rank {psum_rank}) for spec {spec}")
+            continue
+        seen[key] = shard
+        if pos in accum:
+            accum[pos] = accum[pos] + shard
+        else:
+            accum[pos] = shard.copy()
+
+    out = np.zeros(global_shape, dtype=next(iter(accum.values())).dtype)
+    for pos, shard in accum.items():
+        slices = tuple(slice(r * s, (r + 1) * s)
+                       for r, s in zip(pos, local))
+        out[slices] = shard
+    return out
+
+
 class ShardedTensor:
     """A logically global tensor stored as per-device shards."""
 
@@ -75,17 +116,25 @@ class ShardedTensor:
 
         if mesh.backend == "stacked":
             shards = stacked_kernels.from_global(mesh, array, spec, local)
+            _record(mesh,
+                    lambda g: stacked_kernels.from_global(mesh, g, spec,
+                                                          local),
+                    (array,), shards, f"from_global:{spec}")
             return cls(mesh, spec, array.shape, shards)
 
-        def make(coord):
-            slices = []
-            for dim_idx, axes in enumerate(spec.axes):
-                rank = mesh.rank_in_group(coord, axes)
-                size = local[dim_idx]
-                slices.append(slice(rank * size, (rank + 1) * size))
-            return np.ascontiguousarray(array[tuple(slices)])
+        def make_shards(global_array):
+            def make(coord):
+                slices = []
+                for dim_idx, axes in enumerate(spec.axes):
+                    rank = mesh.rank_in_group(coord, axes)
+                    size = local[dim_idx]
+                    slices.append(slice(rank * size, (rank + 1) * size))
+                return np.ascontiguousarray(global_array[tuple(slices)])
+            return mesh.map_devices(make)
 
-        return cls(mesh, spec, array.shape, mesh.map_devices(make))
+        shards = make_shards(array)
+        _record(mesh, make_shards, (array,), shards, f"from_global:{spec}")
+        return cls(mesh, spec, array.shape, shards)
 
     @classmethod
     def replicated(cls, mesh: VirtualMesh, array: np.ndarray,
@@ -103,37 +152,19 @@ class ShardedTensor:
         invariant of SPMD layouts.
         """
         mesh, spec = self.mesh, self.spec
+        gshape = self.global_shape
         if self.is_stacked:
-            return stacked_kernels.to_global(mesh, spec, self.global_shape,
-                                             self.shards, check_replication)
-        local = spec.local_shape(self.global_shape, mesh.topology)
-        # Representative shard (or running partial sum) per shard position.
-        accum: dict[tuple, np.ndarray] = {}
-        seen: dict[tuple, np.ndarray] = {}
-        for coord in mesh.devices():
-            pos = tuple(mesh.rank_in_group(coord, axes) for axes in spec.axes)
-            psum_rank = mesh.rank_in_group(coord, spec.partial_sum)
-            key = pos + (psum_rank,)
-            shard = self.shards[coord]
-            if key in seen:
-                if check_replication and not np.array_equal(seen[key], shard,
-                                                            equal_nan=True):
-                    raise ShardingError(
-                        f"replicas disagree at shard position {pos} "
-                        f"(partial-sum rank {psum_rank}) for spec {spec}")
-                continue
-            seen[key] = shard
-            if pos in accum:
-                accum[pos] = accum[pos] + shard
-            else:
-                accum[pos] = shard.copy()
-
-        out = np.zeros(self.global_shape,
-                       dtype=next(iter(accum.values())).dtype)
-        for pos, shard in accum.items():
-            slices = tuple(slice(r * s, (r + 1) * s)
-                           for r, s in zip(pos, local))
-            out[slices] = shard
+            out = stacked_kernels.to_global(mesh, spec, gshape, self.shards,
+                                            check_replication)
+            kernel = stacked_kernels.to_global
+        else:
+            out = _loop_to_global(mesh, spec, gshape, self.shards,
+                                  check_replication)
+            kernel = _loop_to_global
+        # Replay skips the replication check: the captured step already
+        # verified it, and replay reproduces the same bits by contract.
+        _record(mesh, lambda s: kernel(mesh, spec, gshape, s, False),
+                (self.shards,), out, f"to_global:{spec}")
         return out
 
     # -- elementwise / structural helpers ----------------------------------
@@ -155,17 +186,23 @@ class ShardedTensor:
         backend this applies ``fn`` once to the whole dense array instead
         of once per device.
         """
+        mesh = self.mesh
         if self.is_stacked:
             if elementwise:
                 shards = fn(self.shards)
+                replay = fn
             else:
-                results = [fn(self.shards[coord])
-                           for coord in self.mesh.devices()]
-                shards = np.stack(results).reshape(
-                    self.mesh.shape + results[0].shape)
+                def replay(dense):
+                    results = [fn(dense[coord]) for coord in mesh.devices()]
+                    return np.stack(results).reshape(
+                        mesh.shape + results[0].shape)
+                shards = replay(self.shards)
         else:
-            shards = self.mesh.map_devices(lambda c: fn(self.shards[c]))
-        return ShardedTensor(self.mesh, spec or self.spec,
+            shards = mesh.map_devices(lambda c: fn(self.shards[c]))
+            replay = lambda s: mesh.map_devices(  # noqa: E731
+                lambda c: fn(s[c]))
+        _record(mesh, replay, (self.shards,), shards, "map_shards")
+        return ShardedTensor(mesh, spec or self.spec,
                              global_shape or self.global_shape, shards)
 
     def astype(self, dtype) -> "ShardedTensor":
@@ -177,12 +214,18 @@ class ShardedTensor:
         if self.spec != other.spec or self.global_shape != other.global_shape:
             raise ShardingError(
                 f"cannot add tensors with specs {self.spec} vs {other.spec}")
+        mesh = self.mesh
         if self.is_stacked and other.is_stacked:
             shards = self.shards + other.shards
+            _record(mesh, lambda x, y, out=None: np.add(x, y, out=out),
+                    (self.shards, other.shards), shards, "add", arena=True)
         else:
-            shards = self.mesh.map_devices(
+            shards = mesh.map_devices(
                 lambda c: self.shards[c] + other.shards[c])
-        return ShardedTensor(self.mesh, self.spec, self.global_shape, shards)
+            _record(mesh,
+                    lambda x, y: mesh.map_devices(lambda c: x[c] + y[c]),
+                    (self.shards, other.shards), shards, "add")
+        return ShardedTensor(mesh, self.spec, self.global_shape, shards)
 
     @property
     def local_shape(self) -> tuple[int, ...]:

@@ -63,10 +63,20 @@ def stack_shards(mesh, shards: np.ndarray) -> np.ndarray:
 
 
 def unstack_shards(mesh, dense: np.ndarray) -> np.ndarray:
-    """Convert a dense stacked array to an object array of copies."""
+    """Convert a dense stacked array to an object array of per-device
+    shards.
+
+    A contiguous slice of ``dense`` is kept as a view; only
+    non-contiguous slices (e.g. of a transposed stacked array) are
+    copied, so the common unstack of a freshly materialized stacked
+    tensor allocates nothing.
+    """
     out = mesh.empty_shards()
     for coord in mesh.devices():
-        out[coord] = np.ascontiguousarray(dense[coord])
+        shard = dense[coord]
+        if not shard.flags["C_CONTIGUOUS"]:
+            shard = np.ascontiguousarray(shard)
+        out[coord] = shard
     return out
 
 
@@ -244,17 +254,22 @@ def collective_permute(mesh, shards: np.ndarray, axis: str,
 # Batched einsum
 # ---------------------------------------------------------------------------
 
-def batched_einsum(mesh, lhs: str, rhs: str, out: str,
-                   a_shards: np.ndarray, b_shards: np.ndarray) -> np.ndarray:
+def batched_einsum(mesh, lhs: str, rhs: str, out_subs: str,
+                   a_shards: np.ndarray, b_shards: np.ndarray,
+                   out: np.ndarray | None = None) -> np.ndarray:
     """One ``np.einsum`` over all devices (device grid as batch axes).
 
     The three device axes ride along as an ellipsis, which broadcasts —
     so replicated operands held as zero-stride views cost no copies.  The
     contraction loop per output element is identical to the per-device
-    einsum, keeping the result bit-identical to the loop backend.
+    einsum, keeping the result bit-identical to the loop backend; the
+    optional ``out`` buffer (the capture-replay arena) does not change
+    the contraction order, so writing into it preserves the bits.
     """
-    return np.einsum(_ellipsis_subscripts(lhs, rhs, out),
-                     a_shards, b_shards)
+    subscripts = _ellipsis_subscripts(lhs, rhs, out_subs)
+    if out is None:
+        return np.einsum(subscripts, a_shards, b_shards)
+    return np.einsum(subscripts, a_shards, b_shards, out=out)
 
 
 @lru_cache(maxsize=None)

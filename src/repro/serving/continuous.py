@@ -44,6 +44,12 @@ class SlotState:
         self.lengths = np.zeros(max_slots, dtype=np.int64)
         self.max_len = max_len
         self.max_slots = max_slots
+        # Step-invariant index tables, prepared once (the slot engine's
+        # analogue of the mesh step compiler's stable slots): the row
+        # index vector for cursor writes and the KV position row used to
+        # build each step's per-slot prefix mask.
+        self.rows = np.arange(max_slots)
+        self.kv_positions = np.arange(max_len)[None, :]
 
     def load_prefill(self, slot: int, caches) -> None:
         """Install a batch-1 prefill's caches into one slot."""
@@ -74,7 +80,7 @@ def slot_decode_step(model: ReferenceTransformer, tokens: np.ndarray,
     x = w.embedding[tokens][:, None, :]                    # [S, 1, E]
     max_kv = min(int(state_lengths.max()) + 1, state.max_len) \
         if len(state_lengths) else 1
-    kv_pos = np.arange(max_kv)[None, :]
+    kv_pos = state.kv_positions[:, :max_kv]
     # Each slot sees its own prefix plus the token being written now.
     mask = (kv_pos <= state_lengths[:, None])[:, None, None, :]
 
@@ -86,7 +92,7 @@ def slot_decode_step(model: ReferenceTransformer, tokens: np.ndarray,
             q = apply_rope(q, positions, cfg.rope_theta)
             k_new = apply_rope(k_new, positions, cfg.rope_theta)
             k_buf, v_buf = state.k[layer_idx], state.v[layer_idx]
-            rows = np.arange(state.max_slots)
+            rows = state.rows
             # Inactive slots write a throwaway entry; clamp their cursor
             # so a slot retired exactly at capacity stays in bounds (the
             # garbage is overwritten when the slot is re-admitted).

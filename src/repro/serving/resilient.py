@@ -53,6 +53,7 @@ from repro.events import (
 )
 from repro.hardware.topology import Torus3D
 from repro.mesh import VirtualMesh
+from repro.mesh.capture import StepCompiler
 from repro.mesh.faults import ChipFailure, FaultPlan, MeshFault
 from repro.model.sampling import greedy
 from repro.partitioning.degraded import (
@@ -174,6 +175,11 @@ class ResilientTwoPhaseServer:
         self.fault_state = None
         if fault_plan is not None:
             self.fault_state = mesh.install_faults(fault_plan, self.events)
+        # Decode steps run through the capture-and-replay compiler: the
+        # first post-warmup quiescent step is traced once, later steps
+        # replay it bit-identically; replanning (below) invalidates the
+        # program and the next healthy step re-captures on the new mesh.
+        self.step_compiler = StepCompiler()
 
     # -- simulated clock ---------------------------------------------------
 
@@ -322,7 +328,8 @@ class ResilientTwoPhaseServer:
         for step in range(n_steps - 1):
             before = self._delay()
             self._advance("decode")
-            logits = self.decode_model.decode_step(current, caches)
+            logits = self.step_compiler.decode_step(
+                self.decode_model, current, caches)
             step_delay = self._charge(self.costs.decode_step_s, before)
             current = greedy(logits)
             generated.append(current[:, None])
@@ -369,6 +376,11 @@ class ResilientTwoPhaseServer:
         self.mesh = deploy.mesh
         self.prefill_model = deploy.prefill_model
         self.decode_model = deploy.decode_model
+        # The captured program closed over the old mesh and models;
+        # replay on the replanned deployment would be invalid (the
+        # signature check would also catch this — the explicit
+        # invalidation just makes re-capture immediate and counted).
+        self.step_compiler.invalidate()
         self.now_s += self.costs.replan_s
 
     def _maybe_evict_stragglers(self, live, caches, min_deadline,

@@ -60,6 +60,25 @@ class TestLinkCheck:
         assert checker.check_links() == []
 
 
+class TestRequiredHeadings:
+    def test_repository_has_required_headings(self):
+        assert checker.check_headings() == []
+
+    def test_missing_heading_detected(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "mesh_backends.md").write_text("# Backends\n\nprose\n")
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        errors = checker.check_headings()
+        assert errors and all("missing required heading" in e
+                              for e in errors)
+
+    def test_missing_file_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        errors = checker.check_headings()
+        assert any("required doc file missing" in e for e in errors)
+
+
 class TestDoctests:
     def test_modules_with_prompts_discovered(self):
         modules = checker.doctest_modules()

@@ -8,7 +8,9 @@ Run from the repo root (CI's docs job does both)::
 
 Link-check: every markdown link in ``docs/*.md``, ``README.md`` and
 ``EXPERIMENTS.md`` whose target is a relative path must resolve to a file
-in the repository (anchors and external URLs are skipped).  Doctests:
+in the repository (anchors and external URLs are skipped).  Required
+headings: sections other parts of the repo point at (CI jobs, module
+docstrings) must keep existing — see ``REQUIRED_HEADINGS``.  Doctests:
 ``doctest.testmod`` runs on every module under ``src/`` whose source
 contains a ``>>>`` prompt, so examples in docstrings cannot rot.
 """
@@ -33,6 +35,34 @@ DOC_GLOBS = ("docs/*.md",)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Doc sections that code elsewhere relies on (CI job descriptions,
+#: module docstrings, README cross-references).  Heading matching is by
+#: exact line prefix, so a renamed or deleted section fails the docs job
+#: instead of silently orphaning its references.
+REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
+    "docs/mesh_backends.md": (
+        "## Capture and replay: the step compiler",
+        "### Bit-exactness contract",
+        "### Invalidation rules",
+    ),
+}
+
+
+def check_headings() -> list[str]:
+    """All missing required headings, as ``file: heading`` strings."""
+    errors = []
+    for rel, headings in REQUIRED_HEADINGS.items():
+        path = ROOT / rel
+        if not path.exists():
+            errors.append(f"{rel}: required doc file missing")
+            continue
+        lines = {line.rstrip() for line in path.read_text().splitlines()}
+        for heading in headings:
+            if heading not in lines:
+                errors.append(f"{rel}: missing required heading "
+                              f"{heading!r}")
+    return errors
 
 
 def doc_files() -> list[pathlib.Path]:
@@ -99,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     errors = []
     if do_links:
         errors += check_links()
+        errors += check_headings()
         print(f"link-check: {len(doc_files())} files scanned")
     if do_doctests:
         errors += run_doctests()
