@@ -309,16 +309,27 @@ def _mesh_shape(text: str) -> tuple[int, ...]:
 def cmd_mesh_bench(args) -> int:
     from repro.mesh.bench import (
         CAPTURE_BATCH,
+        CAPTURE_V2_SHAPES,
         MESH_SHAPES,
         compare_backends,
         compare_capture,
+        compare_capture_v2,
         format_capture_table,
+        format_capture_v2_table,
         format_table,
     )
 
     shapes = tuple(args.shapes) if args.shapes else MESH_SHAPES
     backends = ("loop", "stacked") if args.backend == "both" \
         else (args.backend,)
+    if args.capture_v2:
+        v2_shapes = tuple(args.shapes) if args.shapes else CAPTURE_V2_SHAPES
+        batch = args.batch if args.batch is not None else CAPTURE_BATCH
+        sections = compare_capture_v2(v2_shapes, batch=batch,
+                                      reps=args.reps, backends=backends)
+        print(format_capture_v2_table(sections))
+        rows = sections["fused"] + sections["prefill"]
+        return 0 if all(r["bit_identical"] for r in rows) else 1
     if args.capture:
         batch = args.batch if args.batch is not None else CAPTURE_BATCH
         rows = compare_capture(shapes, steps=args.steps, batch=batch,
@@ -459,8 +470,41 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _capture_workload(topology, backend, batch, steps, seed=0):
+    """Run the shared decode workload through a StepCompiler.
+
+    Same model and layout as :func:`_executed_workload`, but decode goes
+    through the capture-and-replay driver so the program-cache counters
+    (hits, misses, evictions, per-reason invalidations) reflect a real
+    serving loop: warmup, one capture, then replays.
+    """
+    import numpy as np
+
+    from repro.layouts import ShardedTransformer
+    from repro.mesh import VirtualMesh
+    from repro.mesh.bench import decode_config
+    from repro.mesh.capture import StepCompiler
+    from repro.model import init_weights
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+
+    config = decode_config()
+    mesh = VirtualMesh(topology, backend=backend)
+    plan = LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH)
+    model = ShardedTransformer(init_weights(config, seed=seed), mesh, plan)
+    prompt = np.random.default_rng(seed + 1).integers(
+        0, config.vocab_size, size=(batch, 4))
+    compiler = StepCompiler(batch_bucket=batch)
+    _, caches = model.prefill(prompt, 4 + steps)
+    token = prompt[:, -1]
+    for _ in range(steps):
+        token = np.argmax(
+            compiler.decode_step(model, token, caches), -1)
+    return compiler
+
+
 def cmd_metrics(args) -> int:
     from repro.observability import (
+        format_capture_stats,
         format_layer_metrics,
         format_phase_metrics,
     )
@@ -470,6 +514,10 @@ def cmd_metrics(args) -> int:
     print(format_phase_metrics(tracer.spans))
     print()
     print(format_layer_metrics(tracer.spans, "decode"))
+    compiler = _capture_workload(args.topology, args.backend, args.batch,
+                                 args.steps)
+    print()
+    print(format_capture_stats(compiler.stats()))
     if args.crosscheck:
         from repro.observability import crosscheck
 
@@ -612,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="time eager vs captured-replay decode steps "
                         "instead of loop vs stacked (exits nonzero if "
                         "replay is not bit-identical)")
+    p.add_argument("--capture-v2", action="store_true",
+                   help="time the capture-v2 paths: fused multi-step "
+                        "decode vs single-step replay, prefill-chunk "
+                        "replay vs eager, and the program-cache hit "
+                        "rate on a shrinking continuous batch (exits "
+                        "nonzero if any replay is not bit-identical)")
     p.set_defaults(func=cmd_mesh_bench)
 
     p = sub.add_parser("trace",

@@ -35,6 +35,7 @@ a chaos run's spans and events are bit-for-bit reproducible.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Mapping, Sequence
@@ -139,9 +140,12 @@ class ClusterControlPlane:
                  event_log: EventLog | None = None,
                  tracer: Tracer | None = None,
                  trace_mesh: bool = False,
-                 prompt_len_hint: int = 64):
+                 prompt_len_hint: int = 64,
+                 step_threads: int = 0):
         if not shapes:
             raise ValueError("a cluster needs at least one replica")
+        if step_threads < 0:
+            raise ValueError("step_threads must be >= 0")
         self.costs = costs or CostModel()
         self.policy = policy or ClusterPolicy()
         self.events = event_log if event_log is not None else EventLog()
@@ -172,6 +176,19 @@ class ClusterControlPlane:
         self._group_counter = 0
         self.hedges = 0
         self.failovers = 0
+        # Parallel replica stepping: with ``step_threads >= 1`` a hedged
+        # race steps the two replicas' replay programs concurrently, one
+        # pool worker per replica per tick (see :meth:`_barrier_step`).
+        # 0 keeps the legacy serial path everywhere.
+        self.step_threads = step_threads
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _step_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.step_threads,
+                thread_name_prefix="replica-step")
+        return self._pool
 
     # -- time ---------------------------------------------------------------
 
@@ -305,12 +322,25 @@ class ClusterControlPlane:
                             else 0
                         if not hedged and \
                                 slow_steps >= self.policy.hedge_after_steps:
-                            hedged, result = self._try_hedge(run, t, gid)
+                            hedged = True
+                            if self.step_threads >= 1 and \
+                                    run.replica.name not in self._drains:
+                                t, result = self._race_hedge(run, t, gid)
+                            else:
+                                _, result = self._try_hedge(run, t, gid)
                             if result is not None:
                                 hedge_finish, hedge_completions, \
                                     hedge_replica = result
                     break
                 except MeshFault as exc:
+                    # A fault raised out of a parallel hedge race carries
+                    # the primary's advanced clock (and the hedge's
+                    # completed result, when it finished first).
+                    t = getattr(exc, "race_t", t)
+                    race_result = getattr(exc, "race_hedge_result", None)
+                    if race_result is not None:
+                        hedge_finish, hedge_completions, hedge_replica = \
+                            race_result
                     t = self._on_group_fault(run.replica, exc, t)
                     attempt += 1
                     self.failovers += 1
@@ -446,6 +476,96 @@ class ClusterControlPlane:
         backup.busy_until_s = bt
         self.breakers[backup.name].record_success(bt)
         return True, (bt, hedge_run.completions(), backup.name)
+
+    def _barrier_step(self, runs: Sequence[GroupRun]) -> list:
+        """One lockstep decode tick over independent replicas' runs.
+
+        All bookkeeping — fault-clock advance, program-cache lookup,
+        sampling, virtual-time charge — happens on this thread in list
+        order; only the pure compute thunks go to the pool, one worker
+        per replica, joined before anything later commits.  Each run's
+        entry in the result is its simulated step cost, or the
+        :class:`MeshFault` its compute raised.
+        """
+        thunks = [run.begin_decode_step() for run in runs]
+        futures = [self._step_pool().submit(thunk) for thunk in thunks]
+        results = []
+        for run, future in zip(runs, futures):
+            try:
+                results.append(run.finish_decode_step(future.result()))
+            except MeshFault as exc:
+                results.append(exc)
+        return results
+
+    def _race_hedge(self, run: GroupRun, t: float,
+                    gid: int) -> tuple[float, tuple | None]:
+        """Hedged decode with parallel replica stepping.
+
+        The ``step_threads >= 1`` counterpart of :meth:`_try_hedge`:
+        after the hedge's prefill, the primary's and the hedge's replay
+        programs step *concurrently*, one lockstep tick at a time, until
+        the hedge completes or dies; a primary remainder continues in
+        the caller's loop.  Every clock is per-replica and every commit
+        happens on the control-plane thread in a fixed order, so tokens,
+        virtual times and the chaos report match the serial path
+        bit-for-bit.  Returns ``(advanced_primary_clock, result)``; a
+        primary fault is re-raised with that clock (and any completed
+        hedge result) attached for the caller's failover handler.
+        """
+        rid = run.group[0].request_id
+        try:
+            backup = self._pick_replica(t, rid, "default",
+                                        exclude=run.replica)
+        except NoHealthyReplica:
+            return t, None  # nobody to hedge to; don't retry the check
+        if backup is run.replica:
+            return t, None
+        self.hedges += 1
+        self.events.record(HEDGE, group=gid, source=run.replica.name,
+                           target=backup.name, t_s=t)
+        self.tracer.mark(f"hedge:{run.replica.name}->{backup.name}",
+                         group=gid)
+        hedge_run = GroupRun(backup, run.wrapped)
+        bt = max(t, backup.busy_until_s)
+        try:
+            bt += hedge_run.run_prefill()
+        except MeshFault as exc:
+            self._on_group_fault(backup, exc, bt)
+            return t, None
+        primary_exc: MeshFault | None = None
+        hedge_alive = True
+        while hedge_alive and not hedge_run.done:
+            if primary_exc is not None or run.done:
+                # Primary out of the race: drain the hedge serially,
+                # exactly as the serial path would have run it.
+                try:
+                    bt += hedge_run.decode_step()
+                except MeshFault as exc:
+                    self._on_group_fault(backup, exc, bt)
+                    hedge_alive = False
+                continue
+            primary_dt, hedge_dt = self._barrier_step([run, hedge_run])
+            if isinstance(primary_dt, MeshFault):
+                primary_exc = primary_dt
+            else:
+                t += primary_dt
+                self._set_now(t)
+            if isinstance(hedge_dt, MeshFault):
+                self._on_group_fault(backup, hedge_dt, bt)
+                hedge_alive = False
+            else:
+                bt += hedge_dt
+        result = None
+        if hedge_alive:
+            backup.busy_until_s = bt
+            self.breakers[backup.name].record_success(bt)
+            result = (bt, hedge_run.completions(), backup.name)
+        if primary_exc is not None:
+            primary_exc.race_t = t
+            if result is not None:
+                primary_exc.race_hedge_result = result
+            raise primary_exc
+        return t, result
 
     @staticmethod
     def _assert_identical(a: Sequence[Completion],

@@ -238,6 +238,7 @@ class GroupRun:
         self.caches = None
         self.current = None
         self.generated: list[np.ndarray] = []
+        self._delay_before = 0.0
 
     @property
     def done(self) -> bool:
@@ -281,13 +282,38 @@ class GroupRun:
 
     def decode_step(self) -> float:
         """One batched decode step; returns its simulated cost."""
+        thunk = self.begin_decode_step()
+        return self.finish_decode_step(thunk())
+
+    def begin_decode_step(self):
+        """Clock + bookkeeping half of a decode step; returns its thunk.
+
+        Runs on the control-plane thread: advances the fault clock and
+        resolves the step through the compiler's program cache.  The
+        returned zero-argument callable does the actual compute — a pure
+        program replay when a warm program is valid, otherwise the full
+        eager/capture path — and touches only this replica's model and
+        caches, so thunks of *distinct* replicas may run concurrently
+        (the control plane's hedged race does).  Call
+        :meth:`finish_decode_step` with the thunk's logits to commit.
+        """
         replica = self.replica
-        before = replica.delay_s()
+        self._delay_before = replica.delay_s()
         replica.advance("decode")
-        logits = replica.step_compiler.decode_step(
-            replica.decode_model, self.current, self.caches)
+        compiler = replica.step_compiler
+        thunk = compiler.decode_thunk(replica.decode_model, self.current,
+                                      self.caches)
+        if thunk is not None:
+            return thunk
+        model, tokens, caches = (replica.decode_model, self.current,
+                                 self.caches)
+        return lambda: compiler.decode_step(model, tokens, caches)
+
+    def finish_decode_step(self, logits: np.ndarray) -> float:
+        """Commit one decode step's logits; returns its simulated cost."""
+        replica = self.replica
         elapsed = replica.costs.decode_step_s * replica.scale \
-            + (replica.delay_s() - before)
+            + (replica.delay_s() - self._delay_before)
         self.current = greedy(logits)
         self.generated.append(self.current[:, None])
         self.steps_done += 1

@@ -17,11 +17,11 @@ from repro.model.rope import apply_rope
 from repro.sharding.spec import ShardSpec
 
 
-def _record(mesh, fn, inputs, output, label) -> None:
+def _record(mesh, fn, inputs, output, label, meta=None) -> None:
     """Capture-recorder hook (duck-typed; see :mod:`repro.mesh.capture`)."""
     recorder = getattr(mesh, "capture", None)
     if recorder is not None:
-        recorder.record(fn, inputs, output, label)
+        recorder.record(fn, inputs, output, label, meta=meta)
 
 
 def zip_shards(out_spec: ShardSpec, out_shape: Sequence[int],
@@ -84,7 +84,8 @@ def sharded_rmsnorm(x: ShardedTensor, scale: ShardedTensor,
 
         shards = stacked_norm(x.shards, sumsq.shards, scale.shards)
         _record(x.mesh, stacked_norm,
-                (x.shards, sumsq.shards, scale.shards), shards, "rmsnorm")
+                (x.shards, sumsq.shards, scale.shards), shards, "rmsnorm",
+                meta=("rmsnorm", e_size, eps))
         return ShardedTensor(x.mesh, x.spec, x.global_shape, shards)
 
     def normalize(x_shard, ss_shard, scale_shard):
@@ -120,10 +121,13 @@ def sharded_rope(x: ShardedTensor, positions: np.ndarray,
                            elementwise=True)
     if x.is_stacked:
         replay = lambda p, s: apply_rope(s, p, theta)  # noqa: E731
+        meta = ("rope", theta)
     else:
         replay = lambda p, s: mesh.map_devices(  # noqa: E731
             lambda c: apply_rope(s[c], p, theta))
-    recorder.record(replay, (positions, x.shards), out.shards, "rope")
+        meta = None
+    recorder.record(replay, (positions, x.shards), out.shards, "rope",
+                    meta=meta)
     return out
 
 
@@ -166,7 +170,7 @@ def local_attention(mesh: VirtualMesh, out_spec: ShardSpec,
             return folded.reshape(mesh.shape + (b_loc,) + folded.shape[1:])
 
         _record(mesh, replay_stacked, (q.shards, k_shards, v_shards),
-                shards, "attention")
+                shards, "attention", meta=("attention", b_loc))
         return ShardedTensor(mesh, out_spec, tuple(out_shape), shards)
 
     shards = mesh.map_devices(

@@ -1,4 +1,4 @@
-"""Capture-and-replay decode programs: a trace-once step compiler.
+"""Capture-and-replay programs: a trace-once compiler for the serving path.
 
 The decode phase is latency-critical and runs the *same* partitioned op
 sequence every step (Sections 2, 3.5): the layouts, communication groups
@@ -43,26 +43,59 @@ the eager step (the differential suite in
 ``tests/unit/test_step_capture.py`` asserts exact equality on both mesh
 backends, across multiple steps and mesh shapes).
 
+Capture v2 extends the single decode program to a cache covering the
+serving hot path end-to-end:
+
+* **Prefill programs** — :func:`capture_prefill_chunk` traces one
+  ``model.forward`` chunk; :meth:`StepCompiler.prefill_chunk` keys the
+  resulting program per chunk length, so chunked prefill replays every
+  chunk after the first of each length bucket through the arena.
+* **Fused multi-step decode** — :func:`capture_fused_decode` runs N
+  decode steps inside one capture, recording the greedy sampling between
+  steps as tape instructions; the resulting program appends to the KV
+  cache in-arena N times and amortizes per-step Python dispatch over the
+  fusion window.  Fused (and prefill) programs additionally run the
+  tape optimizer in :mod:`repro.mesh.replay_opt` — projection-einsum
+  fusion, RoPE table CSE, prebound collectives — all bit-exact by
+  construction and asserted differentially.  :meth:`StepCompiler.
+  decode_window` falls back to single-step execution at window
+  boundaries (cache nearly full) and whenever the mesh's fault state is
+  not quiescent for the whole window.
+* **Shape-bucketed program cache** — :class:`StepCompiler` keeps an LRU
+  ``OrderedDict`` of programs keyed by (kind, window, backend, mesh
+  shape, plan, token shape/dtype, cache layouts, dead-chip set), so a
+  continuous-batching workload whose batch shrinks as sequences finish
+  hits warm programs (the compiler pads the token batch up to the cache
+  capacity when ``batch_bucket`` rounds it there) instead of thrashing
+  re-capture.  Hits, misses, evictions and per-reason invalidations are
+  counted and surfaced through the observability metrics tables.
+
 Interplay with the rest of the stack:
 
 * **Faults** — replay consults nothing mid-step, so it only runs when
   the mesh's fault state is :meth:`~repro.mesh.faults.FaultState.
-  quiescent`; :class:`StepCompiler` falls back to eager execution for
-  any step on which a scheduled fault is live, so kills, timeouts,
-  corruption and straggler delay fire exactly as they would eagerly.
+  quiescent` (for fused windows: quiescent for every step in the
+  window, via :meth:`~repro.mesh.faults.FaultState.quiescent_for`);
+  :class:`StepCompiler` falls back to eager execution for any step on
+  which a scheduled fault is live, so kills, timeouts, corruption and
+  straggler delay fire exactly as they would eagerly.
 * **Observability** — a replayed step emits one condensed
   ``kind="replay"`` span carrying the instruction/collective counts
   (inside the usual ``decode`` phase envelope), so Tracer-based tooling
   keeps working without paying per-op span costs.
 * **Invalidation** — a program is only replayed while its signature
-  matches: same mesh *object*, same plan, same token batch shape, same
-  cache layouts.  Degraded replanning and cluster failover swap the mesh
-  and models, which invalidates automatically; :class:`StepCompiler`
-  then re-captures on the new deployment.
+  matches: same mesh *object*, same backend, same plan, same token batch
+  shape, same cache layouts, same dead-chip set.  Degraded replanning
+  and cluster failover swap the mesh and models, which invalidates
+  automatically; :class:`StepCompiler` then re-captures on the new
+  deployment.  :meth:`CapturedProgram.mismatch` names the reason, which
+  the compiler tallies per reason.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -88,11 +121,11 @@ class _Instr:
     """One replayable instruction: a closure over resolved kernel params."""
 
     __slots__ = ("fn", "inputs", "out", "label", "collective", "arena",
-                 "buffer")
+                 "buffer", "meta")
 
     def __init__(self, fn: Callable, inputs: tuple[int, ...],
                  out: int | None, label: str, collective: bool,
-                 arena: bool):
+                 arena: bool, meta: tuple | None = None):
         self.fn = fn
         self.inputs = inputs
         self.out = out
@@ -100,6 +133,7 @@ class _Instr:
         self.collective = collective
         self.arena = arena
         self.buffer: np.ndarray | None = None
+        self.meta = meta
 
 
 @dataclass(frozen=True)
@@ -109,9 +143,12 @@ class ProgramSignature:
     The mesh itself is compared by *object identity* (stored on the
     program, not here): replanning and failover build a new
     ``VirtualMesh``, so identity is the cheapest exact invalidation
-    test.  Cache entries record layout only — ``max_len`` and the fill
-    level are free to vary, because the cache instructions re-derive
-    offsets from the live caches every replay.
+    test.  ``dead_chips`` additionally pins the healthy-chip set at
+    capture time, so a mesh that degrades *in place* (same object, a
+    chip kill now active) cannot replay a stale program.  Cache entries
+    record layout only — ``max_len`` and the fill level are free to
+    vary, because the cache instructions re-derive offsets from the
+    live caches every replay.
     """
 
     backend: str
@@ -120,6 +157,9 @@ class ProgramSignature:
     tokens_shape: tuple[int, ...] | None = None
     tokens_dtype: str | None = None
     cache_sig: tuple = ()
+    kind: str = "decode"
+    window: int = 1
+    dead_chips: tuple = ()
 
 
 def _cache_sig(cache) -> tuple:
@@ -129,24 +169,108 @@ def _cache_sig(cache) -> tuple:
             bool(cache.is_stacked))
 
 
+def _dead_chips(mesh) -> tuple:
+    """The mesh's currently-dead chips as a sorted, hashable tuple."""
+    state = getattr(mesh, "fault_state", None)
+    if state is None:
+        return ()
+    return tuple(sorted(state.dead_chips))
+
+
+def bucket_batch(n: int, bucket: int) -> int:
+    """Round a batch size up to the next multiple of ``bucket``."""
+    if bucket <= 1:
+        return n
+    return ((n + bucket - 1) // bucket) * bucket
+
+
+FUSE_ENV = "REPRO_CAPTURE_FUSE"
+
+
+def fuse_window_from_env(default: int = 1) -> int:
+    """Fusion window from the ``REPRO_CAPTURE_FUSE`` env knob (>= 1)."""
+    raw = os.environ.get(FUSE_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return max(1, default)
+
+
+def _compile_ops(ops, template, out_vids):
+    """Source-generate a straight-line runner for an instruction list.
+
+    The interpreted executor pays a loop iteration, a list comprehension
+    and two list index operations per instruction; at a few hundred
+    tiny-kernel instructions per step that dispatch is a measurable
+    slice of replay time.  The generated function calls the exact same
+    closures in the exact same order with values held in locals, reads
+    step-varying slots from ``values`` once, and writes back only the
+    program outputs — so the executed kernel stream (and every bit of
+    the result) is unchanged.
+    """
+    env: dict[str, Any] = {}
+    lines = ["def _replay(values):"]
+    available: set[int] = set()
+    for idx, (fn, inputs, out, buffer) in enumerate(ops):
+        env[f"f{idx}"] = fn
+        for vid in inputs:
+            if vid not in available:
+                lines.append(f" v{vid} = values[{vid}]")
+                available.add(vid)
+        args = ", ".join(f"v{vid}" for vid in inputs)
+        if buffer is not None:
+            env[f"b{idx}"] = buffer
+            call = f"f{idx}({args}, out=b{idx})"
+        else:
+            call = f"f{idx}({args})"
+        if out is None:
+            lines.append(f" {call}")
+        else:
+            lines.append(f" v{out} = {call}")
+            available.add(out)
+    for vid in out_vids:
+        lines.append(f" values[{vid}] = v{vid}")
+    exec(compile("\n".join(lines), "<captured-program>", "exec"), env)
+    return env["_replay"]
+
+
 class CapturedProgram:
-    """A flat list of whole-mesh kernels replaying one decode step."""
+    """A flat list of whole-mesh kernels replaying one traced program.
+
+    ``out_vid`` may be a single value id (a decode step's logits) or a
+    tuple of ids (a fused window's per-step sampled tokens); ``replay``
+    returns the matching single array or tuple of arrays.
+    """
 
     def __init__(self, mesh, instrs: list[_Instr], template: list,
-                 out_vid: int, signature: ProgramSignature, *,
+                 out_vid, signature: ProgramSignature, *,
                  tokens_2d: bool = False, span_name: str = "captured_step",
                  collectives_captured: int = 0,
-                 collectives_folded: int = 0):
+                 collectives_folded: int = 0,
+                 optimized: bool = False):
         self.mesh = mesh
         self.signature = signature
         self.replays = 0
         self._instrs = instrs
-        self._template = template
-        self._out_vid = out_vid
+        self._multi = isinstance(out_vid, tuple)
+        self._out_vids = out_vid if self._multi else (out_vid,)
+        self._out_vid = self._out_vids[-1]
         self._tokens_2d = tokens_2d
         self._span_name = span_name
         self.collectives_captured = collectives_captured
         self.collectives_folded = collectives_folded
+        self.optimized = optimized
+        # Fast-path execution tuples: one attribute walk at build time
+        # instead of per instruction per replay.
+        self._ops = tuple((ins.fn, ins.inputs, ins.out, ins.buffer)
+                          for ins in instrs)
+        self._template = template
+        # Optimized programs additionally compile the instruction list
+        # to straight-line Python (locals instead of a values list, no
+        # dispatch loop) — same closures called in the same order.
+        self._compiled = _compile_ops(self._ops, template,
+                                      self._out_vids) if optimized \
+            else None
 
     @property
     def n_instructions(self) -> int:
@@ -156,34 +280,51 @@ class CapturedProgram:
     def collectives_live(self) -> int:
         return self.collectives_captured - self.collectives_folded
 
+    @property
+    def window(self) -> int:
+        return self.signature.window
+
+    @property
+    def kind(self) -> str:
+        return self.signature.kind
+
     # -- validity ----------------------------------------------------------
 
     def matches_mesh(self, mesh) -> bool:
         return mesh is self.mesh and mesh.backend == self.signature.backend
 
-    def matches(self, model, tokens: np.ndarray, caches: Sequence) -> bool:
-        """True when replaying would be valid for these step inputs."""
+    def mismatch(self, model, tokens: np.ndarray,
+                 caches: Sequence) -> str | None:
+        """Why replaying would be invalid for these inputs (None: valid)."""
         sig = self.signature
-        if not self.matches_mesh(model.mesh):
-            return False
+        if model.mesh is not self.mesh:
+            return "mesh"
+        if model.mesh.backend != sig.backend:
+            return "backend"
         if sig.plan is not None and model.plan != sig.plan:
-            return False
+            return "plan"
         if sig.tokens_shape is not None and (
                 tokens.shape != sig.tokens_shape
                 or str(tokens.dtype) != sig.tokens_dtype):
-            return False
+            return "tokens"
         if len(caches) != len(sig.cache_sig):
-            return False
+            return "caches"
         for cache, entry in zip(caches, sig.cache_sig):
             if cache.mesh is not self.mesh or _cache_sig(cache) != entry:
-                return False
-        return True
+                return "caches"
+        if _dead_chips(self.mesh) != sig.dead_chips:
+            return "degraded"
+        return None
+
+    def matches(self, model, tokens: np.ndarray, caches: Sequence) -> bool:
+        """True when replaying would be valid for these step inputs."""
+        return self.mismatch(model, tokens, caches) is None
 
     # -- execution ---------------------------------------------------------
 
     def replay(self, tokens: np.ndarray | None = None,
-               caches: Sequence = ()) -> np.ndarray:
-        """Execute the captured step against fresh step-varying inputs.
+               caches: Sequence = ()):
+        """Execute the captured program against fresh step-varying inputs.
 
         Callers are responsible for validity (:meth:`matches`) and for
         only replaying while the mesh's fault state is quiescent —
@@ -196,36 +337,43 @@ class CapturedProgram:
         values[0] = ReplayContext(ctx_tokens, caches)
         tracer = getattr(self.mesh, "tracer", None)
         if tracer is None:
-            out = self._run(values)
+            self._run(values)
         else:
-            with tracer.phase("decode"):
+            with tracer.phase("decode" if self.kind != "prefill"
+                              else "prefill"):
                 with tracer.region(
                         self._span_name, kind="replay",
                         instructions=self.n_instructions,
                         collectives=self.collectives_live,
-                        collectives_folded=self.collectives_folded):
-                    out = self._run(values)
+                        collectives_folded=self.collectives_folded,
+                        window=self.window):
+                    self._run(values)
         state = getattr(self.mesh, "fault_state", None)
         if state is not None:
             # Keep the collective bookkeeping faithful: eager execution
             # would have bumped the counter once per captured collective.
             state.op_counter += self.collectives_captured
         self.replays += 1
-        return out
-
-    def _run(self, values: list) -> np.ndarray:
-        for ins in self._instrs:
-            args = [values[v] for v in ins.inputs]
-            if ins.buffer is not None:
-                result = ins.fn(*args, out=ins.buffer)
-            else:
-                result = ins.fn(*args)
-            if ins.out is not None:
-                values[ins.out] = result
+        if self._multi:
+            return tuple(values[v] for v in self._out_vids)
         return values[self._out_vid]
 
+    def _run(self, values: list) -> None:
+        if self._compiled is not None:
+            self._compiled(values)
+            return
+        for fn, inputs, out, buffer in self._ops:
+            args = [values[v] for v in inputs]
+            if buffer is not None:
+                result = fn(*args, out=buffer)
+            else:
+                result = fn(*args)
+            if out is not None:
+                values[out] = result
+
     def __repr__(self) -> str:
-        return (f"CapturedProgram({self.n_instructions} instrs, "
+        return (f"CapturedProgram({self.signature.kind}x{self.window}, "
+                f"{self.n_instructions} instrs, "
                 f"{self.collectives_live}/{self.collectives_captured} "
                 f"collectives live, mesh={self.signature.mesh_shape}, "
                 f"backend={self.signature.backend!r})")
@@ -303,9 +451,19 @@ class StepRecorder:
         self._vid_of[id(arr)] = vid
         return vid
 
+    def is_live(self, arr) -> bool:
+        """True when ``arr`` was produced by a recorded instruction.
+
+        Multi-step capture uses this to tell whether the tokens feeding a
+        sub-step are a step-varying tape value (the previous sub-step's
+        sampled tokens) rather than a caller-provided constant.
+        """
+        vid = self._vid_of.get(id(arr))
+        return vid is not None and vid not in self._const
+
     def record(self, fn: Callable, inputs: Sequence, output,
                label: str = "", *, collective: bool = False,
-               arena: bool = False) -> None:
+               arena: bool = False, meta: tuple | None = None) -> None:
         """Append one instruction.
 
         ``fn`` must recompute ``output`` bit-identically from the input
@@ -313,7 +471,9 @@ class StepRecorder:
         of ``None`` marks a side-effecting instruction (cache writes).
         With ``arena=True``, ``fn`` additionally accepts an ``out=``
         keyword buffer.  Pass :attr:`CTX` as an input for closures over
-        the step-varying replay context.
+        the step-varying replay context.  ``meta`` optionally carries
+        the op's resolved parameters for the tape optimizer
+        (:mod:`repro.mesh.replay_opt`); it never affects plain replay.
         """
         if not self.recording:
             return
@@ -321,26 +481,33 @@ class StepRecorder:
         out = self._define(output) if output is not None else None
         if collective:
             self.collectives += 1
-        self._instrs.append(_Instr(fn, ins, out, label, collective, arena))
+        self._instrs.append(_Instr(fn, ins, out, label, collective, arena,
+                                   meta))
 
     # -- program construction ----------------------------------------------
 
-    def finalize(self, output: np.ndarray, *,
+    def finalize(self, output, *,
                  signature: ProgramSignature | None = None,
                  tokens_2d: bool = False,
-                 span_name: str = "captured_step"
-                 ) -> CapturedProgram | None:
+                 span_name: str = "captured_step",
+                 optimize: bool = False) -> CapturedProgram | None:
         """Fold constants, build the arena, and emit the program.
 
-        Returns ``None`` when the capture broke, ``output`` was not
-        produced by a recorded instruction, or the whole program folded
-        to a constant — the eager step still completed correctly, there
-        is just nothing to replay.
+        ``output`` may be a single array or a sequence of arrays (a
+        fused window's per-step outputs).  Returns ``None`` when the
+        capture broke, an output was not produced by a recorded
+        instruction, or the whole program folded to a constant — the
+        eager step still completed correctly, there is just nothing to
+        replay.  ``optimize=True`` additionally runs the bit-exact tape
+        optimizer (:mod:`repro.mesh.replay_opt`) over the live
+        instructions before the arena is laid out.
         """
         if self.broken is not None:
             return None
-        out_vid = self._vid_of.get(id(output))
-        if out_vid is None or out_vid in self._const:
+        multi = isinstance(output, (tuple, list))
+        outputs = tuple(output) if multi else (output,)
+        out_vids = tuple(self._vid_of.get(id(o)) for o in outputs)
+        if any(v is None or v in self._const for v in out_vids):
             return None
 
         # Constant folding: an instruction whose inputs are all
@@ -357,11 +524,19 @@ class StepRecorder:
                     folded_collectives += 1
                 continue
             kept.append(ins)
-        if out_vid in const:
+        if any(v in const for v in out_vids):
             # The entire program is step-invariant (e.g. a probe that
             # touches no live input): replaying a constant is pointless
             # and would hide staleness bugs, so refuse to build one.
             return None
+
+        optimized = False
+        if optimize:
+            from repro.mesh import replay_opt
+
+            kept = replay_opt.optimize_tape(self, kept, const,
+                                            set(out_vids))
+            optimized = True
 
         template: list[Any] = [None] * len(self._values)
         for vid in const:
@@ -369,21 +544,29 @@ class StepRecorder:
 
         # Buffer arena: one preallocated output per arena-capable live
         # instruction, reused across steps (never within one — SSA).
-        # The program output itself is never arena-backed, so callers
-        # may hold logits across replays.
+        # The program outputs themselves are never arena-backed, so
+        # callers may hold logits across replays.
         for ins in kept:
-            if ins.arena and ins.out is not None and ins.out != out_vid:
+            if ins.arena and ins.out is not None \
+                    and ins.out not in out_vids:
                 captured = self._values[ins.out]
                 ins.buffer = np.empty(captured.shape, captured.dtype)
+        if optimized:
+            from repro.mesh import replay_opt
+
+            kept = replay_opt.freeze_stable_views(kept, template,
+                                                  set(out_vids))
 
         if signature is None:
             signature = ProgramSignature(backend=self.mesh.backend,
                                          mesh_shape=self.mesh.shape)
         return CapturedProgram(
-            self.mesh, kept, template, out_vid, signature,
+            self.mesh, kept, template,
+            out_vids if multi else out_vids[0], signature,
             tokens_2d=tokens_2d, span_name=span_name,
             collectives_captured=self.collectives,
-            collectives_folded=folded_collectives)
+            collectives_folded=folded_collectives,
+            optimized=optimized)
 
 
 @contextmanager
@@ -405,6 +588,17 @@ def capturing(mesh, caches: Sequence = ()):
         del mesh.capture
 
 
+def _signature(model, tokens: np.ndarray, caches: Sequence, *,
+               kind: str = "decode", window: int = 1) -> ProgramSignature:
+    mesh = model.mesh
+    return ProgramSignature(
+        backend=mesh.backend, mesh_shape=mesh.shape,
+        plan=getattr(model, "plan", None),
+        tokens_shape=tokens.shape, tokens_dtype=str(tokens.dtype),
+        cache_sig=tuple(_cache_sig(c) for c in caches),
+        kind=kind, window=window, dead_chips=_dead_chips(mesh))
+
+
 def capture_decode_step(model, tokens: np.ndarray, caches: Sequence
                         ) -> tuple[np.ndarray, CapturedProgram | None]:
     """Run one eager decode step while recording it.
@@ -417,17 +611,70 @@ def capture_decode_step(model, tokens: np.ndarray, caches: Sequence
     mesh = model.mesh
     with capturing(mesh, caches) as recorder:
         logits = model.decode_step(tokens, caches)
-    signature = ProgramSignature(
-        backend=mesh.backend, mesh_shape=mesh.shape, plan=model.plan,
-        tokens_shape=tokens.shape, tokens_dtype=str(tokens.dtype),
-        cache_sig=tuple(_cache_sig(c) for c in caches))
-    program = recorder.finalize(logits, signature=signature,
-                                tokens_2d=True)
+    program = recorder.finalize(
+        logits, signature=_signature(model, tokens, caches),
+        tokens_2d=True)
     return logits, program
 
 
+def capture_prefill_chunk(model, tokens: np.ndarray, caches: Sequence
+                          ) -> tuple[np.ndarray, CapturedProgram | None]:
+    """Run one eager prefill chunk (``model.forward``) while recording it.
+
+    ``tokens`` is a 2-D ``[B, chunk]`` slice; the resulting program
+    replays any later chunk of the *same shape* at any cache offset —
+    the positions and KV-append instructions re-derive their offsets
+    from the live caches.  Returns ``(logits, program)`` with the eager
+    chunk's full ``[B, chunk, V]`` logits.
+    """
+    mesh = model.mesh
+    with capturing(mesh, caches) as recorder:
+        logits = model.forward(tokens, caches)
+    program = recorder.finalize(
+        logits, signature=_signature(model, tokens, caches,
+                                     kind="prefill"),
+        span_name="captured_prefill_chunk",
+        optimize=mesh.backend == "stacked")
+    return logits, program
+
+
+def capture_fused_decode(model, tokens: np.ndarray, caches: Sequence,
+                         window: int
+                         ) -> tuple[list[np.ndarray],
+                                    CapturedProgram | None]:
+    """Run ``window`` eager decode steps inside one capture.
+
+    The greedy sampling between sub-steps is recorded as a tape
+    instruction, so each later sub-step consumes the previous sub-step's
+    sampled tokens as a live tape value (the KV appends advance the
+    cache in-tape too).  Returns ``(tokens_per_step, program)`` where
+    ``tokens_per_step`` is the eager run's ``window`` sampled token
+    arrays; the program replays a whole window per call and returns the
+    matching tuple.
+    """
+    from repro.model.sampling import greedy
+
+    mesh = model.mesh
+    sampled: list[np.ndarray] = []
+    with capturing(mesh, caches) as recorder:
+        current = tokens
+        for _ in range(window):
+            logits = model.decode_step(current, caches)
+            nxt = greedy(logits)
+            recorder.record(greedy, (logits,), nxt, "greedy")
+            sampled.append(nxt)
+            current = nxt
+    program = recorder.finalize(
+        tuple(sampled),
+        signature=_signature(model, tokens, caches, kind="fused",
+                             window=window),
+        tokens_2d=True, span_name="captured_fused_window",
+        optimize=mesh.backend == "stacked")
+    return sampled, program
+
+
 class StepCompiler:
-    """Capture-after-warmup, replay-while-valid decode-step driver.
+    """Capture-after-warmup, replay-while-valid serving-step driver.
 
     Drop-in replacement for calling ``model.decode_step`` directly::
 
@@ -438,44 +685,277 @@ class StepCompiler:
     up); the next quiescent step is captured; every later call replays
     while the program's signature still matches and no fault is live.
     A mismatch (replanned mesh, new plan, different batch, migrated
-    cache layout) invalidates and triggers re-capture on the new
-    deployment; a step with an active or pending fault falls back to
-    eager execution so the fault machinery fires exactly as usual.
+    cache layout, changed dead-chip set) invalidates and triggers
+    re-capture on the new deployment; a step with an active or pending
+    fault falls back to eager execution so the fault machinery fires
+    exactly as usual.
+
+    v2 keeps a bounded LRU cache of programs instead of a single slot,
+    keyed per (kind, window, deployment, token shape, cache layout)
+    bucket — see :class:`ProgramSignature` — plus:
+
+    * ``batch_bucket`` — a token batch smaller than the cache capacity
+      is padded up to it (and the result sliced back) when the bucketed
+      size rounds there, so a shrinking continuous-batching batch keeps
+      hitting one warm program.  Padding duplicates the last row; batch
+      rows are independent through every kernel, so the live rows'
+      logits are bit-identical (tests assert it).
+    * :meth:`decode_window` — fused multi-step decode via
+      :func:`capture_fused_decode`, gated on the fault state being
+      quiescent for the whole window and on cache room.
+    * :meth:`prefill_chunk` — per-chunk-length prefill programs for
+      :func:`repro.serving.chunked.chunked_prefill`.
+    * :meth:`decode_thunk` — a pure zero-argument replay callable for
+      the cluster's parallel replica stepping (all cache/counter
+      bookkeeping happens on the calling thread).
     """
 
-    def __init__(self, warmup_steps: int = 1):
+    def __init__(self, warmup_steps: int = 1, *, batch_bucket: int = 1,
+                 max_programs: int = 8, fuse_window: int | None = None):
         self.warmup_steps = warmup_steps
-        self.program: CapturedProgram | None = None
+        self.batch_bucket = max(1, batch_bucket)
+        self.max_programs = max(1, max_programs)
+        self.fuse_window = (fuse_window_from_env() if fuse_window is None
+                            else max(1, fuse_window))
         self.eager_steps = 0
         self.captures = 0
         self.replays = 0
         self.invalidations = 0
-        self._capture_failed = False
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidation_reasons: dict[str, int] = {}
+        self._programs: OrderedDict[tuple, CapturedProgram] = OrderedDict()
+        self._failed: set[tuple] = set()
+
+    # -- cache bookkeeping -------------------------------------------------
+
+    @property
+    def program(self) -> CapturedProgram | None:
+        """The most recently used program (None when the cache is empty)."""
+        if not self._programs:
+            return None
+        return self._programs[next(reversed(self._programs))]
+
+    @property
+    def n_programs(self) -> int:
+        return len(self._programs)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for the observability metrics tables."""
+        return {
+            "programs": self.n_programs,
+            "eager_steps": self.eager_steps,
+            "captures": self.captures,
+            "replays": self.replays,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "invalidation_reasons": dict(self.invalidation_reasons),
+        }
 
     def invalidate(self) -> None:
-        if self.program is not None:
-            self.program = None
-            self.invalidations += 1
-        self._capture_failed = False
+        """Drop every cached program (replan/failover hand-off)."""
+        self.invalidations += len(self._programs)
+        self._programs.clear()
+        self._failed.clear()
+
+    def _key(self, model, tokens: np.ndarray, caches: Sequence,
+             kind: str, window: int) -> tuple:
+        mesh = model.mesh
+        return (kind, window, mesh.backend, mesh.shape,
+                getattr(model, "plan", None), tokens.shape,
+                str(tokens.dtype),
+                tuple(_cache_sig(c) for c in caches), _dead_chips(mesh))
+
+    def _drop(self, key: tuple, reason: str) -> None:
+        del self._programs[key]
+        self.invalidations += 1
+        self.invalidation_reasons[reason] = \
+            self.invalidation_reasons.get(reason, 0) + 1
+
+    def _lookup(self, key: tuple, model, tokens: np.ndarray,
+                caches: Sequence) -> CapturedProgram | None:
+        program = self._programs.get(key)
+        if program is None:
+            return None
+        reason = program.mismatch(model, tokens, caches)
+        if reason is not None:
+            self._drop(key, reason)
+            return None
+        self._programs.move_to_end(key)
+        return program
+
+    def _insert(self, key: tuple, program: CapturedProgram) -> None:
+        while len(self._programs) >= self.max_programs:
+            self._programs.popitem(last=False)
+            self.evictions += 1
+        self._programs[key] = program
+
+    # -- decode ------------------------------------------------------------
 
     def decode_step(self, model, tokens: np.ndarray,
                     caches: Sequence) -> np.ndarray:
+        """One decode step: replay a warm program when valid, else eager.
+
+        With ``batch_bucket > 1`` a token batch below the cache capacity
+        whose bucketed size rounds to that capacity is padded up (last
+        row repeated) and the padded logits sliced back down, so the
+        caller sees exactly its rows while the program cache sees one
+        stable shape.
+        """
+        n = tokens.shape[0]
+        if self.batch_bucket > 1 and caches:
+            cap = caches[0].global_shape[0]
+            if n < cap and bucket_batch(n, self.batch_bucket) >= cap:
+                pad = np.broadcast_to(tokens[-1:],
+                                      (cap - n,) + tokens.shape[1:])
+                padded = np.concatenate([tokens, pad], axis=0)
+                return self._decode(model, padded, caches)[:n]
+        return self._decode(model, tokens, caches)
+
+    def _decode(self, model, tokens: np.ndarray,
+                caches: Sequence) -> np.ndarray:
         state = getattr(model.mesh, "fault_state", None)
         quiet = state is None or state.quiescent()
-        if self.program is not None and \
-                not self.program.matches(model, tokens, caches):
-            self.invalidate()
-        if self.program is not None and quiet:
+        key = self._key(model, tokens, caches, "decode", 1)
+        program = self._lookup(key, model, tokens, caches)
+        if program is not None and quiet:
+            self.hits += 1
             self.replays += 1
-            return self.program.replay(tokens, caches)
-        if quiet and self.eager_steps >= self.warmup_steps \
-                and not self._capture_failed:
-            logits, program = capture_decode_step(model, tokens, caches)
-            if program is None:
-                self._capture_failed = True
-            else:
-                self.program = program
-                self.captures += 1
-            return logits
+            return program.replay(tokens, caches)
+        if quiet:
+            self.misses += 1
+            if self.eager_steps >= self.warmup_steps \
+                    and key not in self._failed:
+                logits, program = capture_decode_step(model, tokens,
+                                                      caches)
+                if program is None:
+                    self._failed.add(key)
+                else:
+                    self._insert(key, program)
+                    self.captures += 1
+                return logits
         self.eager_steps += 1
         return model.decode_step(tokens, caches)
+
+    def decode_window(self, model, tokens: np.ndarray, caches: Sequence,
+                      *, window: int | None = None,
+                      advance=None) -> np.ndarray:
+        """Decode up to ``window`` fused steps; returns ``[w, B]`` tokens.
+
+        ``advance`` (optional) is called once per executed sub-step
+        *before* the work runs — the caller owns the fault clock, and
+        fused execution advances it exactly as a single-step loop would.
+        The fused path is taken only when the fault state is quiescent
+        for the whole window (:meth:`~repro.mesh.faults.FaultState.
+        quiescent_for`) and the caches have room; otherwise exactly one
+        single step runs (the caller loops), so faults, stragglers and
+        window boundaries land on the eager/single-step machinery
+        unchanged.
+        """
+        w = self.fuse_window if window is None else max(1, window)
+        if caches:
+            room = min(c.room for c in caches)
+            w = max(1, min(w, room))  # window boundary: fall to 1 step
+        state = getattr(model.mesh, "fault_state", None)
+        fused_ok = (w > 1 and self.eager_steps >= self.warmup_steps
+                    and (state is None or state.quiescent_for(w, "decode")))
+        if not fused_ok:
+            from repro.model.sampling import greedy
+
+            if advance is not None:
+                advance()
+            logits = self.decode_step(model, tokens, caches)
+            return greedy(logits)[None]
+        for _ in range(w):
+            if advance is not None:
+                advance()
+        key = self._key(model, tokens, caches, "fused", w)
+        program = self._lookup(key, model, tokens, caches)
+        if program is not None:
+            self.hits += 1
+            self.replays += 1
+            return np.stack(program.replay(tokens, caches))
+        self.misses += 1
+        if key not in self._failed:
+            sampled, program = capture_fused_decode(model, tokens, caches,
+                                                    w)
+            if program is None:
+                self._failed.add(key)
+            else:
+                self._insert(key, program)
+                self.captures += 1
+            return np.stack(sampled)
+        # Capture is known to fail for this shape: run the window as
+        # plain eager steps (the clock already advanced w times).
+        from repro.model.sampling import greedy
+
+        sampled = []
+        current = tokens
+        for _ in range(w):
+            current = greedy(model.decode_step(current, caches))
+            sampled.append(current)
+        self.eager_steps += w
+        return np.stack(sampled)
+
+    def decode_thunk(self, model, tokens: np.ndarray, caches: Sequence):
+        """A pure zero-argument replay callable, or None.
+
+        Returns a thunk only when a warm, valid program exists and the
+        fault state is quiescent — i.e. exactly when :meth:`decode_step`
+        would replay.  All shared-state bookkeeping (cache lookup,
+        counters) happens here on the calling thread; the thunk touches
+        only this replica's program and caches, so the cluster control
+        plane may run thunks of *distinct* replicas concurrently.
+        """
+        state = getattr(model.mesh, "fault_state", None)
+        if state is not None and not state.quiescent():
+            return None
+        key = self._key(model, tokens, caches, "decode", 1)
+        program = self._lookup(key, model, tokens, caches)
+        if program is None:
+            return None
+        self.hits += 1
+        self.replays += 1
+        return lambda: program.replay(tokens, caches)
+
+    # -- prefill -----------------------------------------------------------
+
+    def prefill_chunk(self, model, tokens: np.ndarray,
+                      caches: Sequence) -> np.ndarray:
+        """One prefill chunk (``[B, chunk]``), replayed per length bucket.
+
+        Unlike decode there is no warmup gate: the first chunk of each
+        (batch, length) bucket is captured, and every later chunk of the
+        same shape — within this prompt or any later prompt on the same
+        deployment — replays through the arena.
+        """
+        state = getattr(model.mesh, "fault_state", None)
+        quiet = state is None or state.quiescent()
+        key = self._key(model, tokens, caches, "prefill", 1)
+        program = self._lookup(key, model, tokens, caches)
+        if program is not None and quiet:
+            self.hits += 1
+            self.replays += 1
+            return program.replay(tokens, caches)
+        if quiet:
+            self.misses += 1
+            if key not in self._failed:
+                logits, program = capture_prefill_chunk(model, tokens,
+                                                        caches)
+                if program is None:
+                    self._failed.add(key)
+                else:
+                    self._insert(key, program)
+                    self.captures += 1
+                return logits
+        self.eager_steps += 1
+        return model.forward(tokens, caches)

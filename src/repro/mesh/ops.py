@@ -113,19 +113,20 @@ def _fault_post(mesh: VirtualMesh, op: str, axes: tuple[str, ...],
 
 def _capture(mesh: VirtualMesh, fn, inputs: tuple, output,
              label: str, *, collective: bool = True,
-             arena: bool = False) -> None:
+             arena: bool = False, meta: tuple | None = None) -> None:
     """Capture-recorder hook (duck-typed like ``tracer``/``fault_state``).
 
     With a :class:`repro.mesh.capture.StepRecorder` installed as
     ``mesh.capture``, records ``fn`` — a closure over the already
     resolved kernel and its parameters — as one replay instruction
     mapping the input shard arrays to the output shard array.  One
-    ``getattr`` when capture is off.
+    ``getattr`` when capture is off.  ``meta`` optionally carries the
+    resolved op parameters for the tape optimizer.
     """
     recorder = getattr(mesh, "capture", None)
     if recorder is not None:
         recorder.record(fn, inputs, output, label, collective=collective,
-                        arena=arena)
+                        arena=arena, meta=meta)
 
 
 def _require_suffix(dim_axes: tuple[str, ...], axes: Sequence[str],
@@ -233,7 +234,8 @@ def all_gather(t: ShardedTensor, axes: Sequence[str], dim: str
              CommRecord("all_gather", axes, mesh.group_size(axes),
                         out.per_chip_bytes), out)
     _capture(mesh, lambda s: kernel(mesh, s, axes, dim_idx),
-             (t.shards,), out.shards, "all_gather")
+             (t.shards,), out.shards, "all_gather",
+             meta=("all_gather", axes, dim_idx) if t.is_stacked else None)
     return out
 
 
@@ -266,7 +268,9 @@ def reduce_scatter(t: ShardedTensor, axes: Sequence[str], dim: str
     out = ShardedTensor(mesh, new_spec, t.global_shape, shards)
     _observe(mesh, tracer, start,
              CommRecord("reduce_scatter", axes, k, payload), out)
-    _capture(mesh, replay, (t.shards,), out.shards, "reduce_scatter")
+    _capture(mesh, replay, (t.shards,), out.shards, "reduce_scatter",
+             meta=("reduce_scatter", axes, dim_idx) if t.is_stacked
+             else None)
     return out
 
 
@@ -295,7 +299,8 @@ def all_reduce(t: ShardedTensor, axes: Sequence[str]) -> ShardedTensor:
              CommRecord("all_reduce", axes, mesh.group_size(axes),
                         2 * payload), out)
     _capture(mesh, lambda s: kernel(mesh, s, axes), (t.shards,),
-             out.shards, "all_reduce")
+             out.shards, "all_reduce",
+             meta=("all_reduce", axes) if t.is_stacked else None)
     return out
 
 
@@ -499,7 +504,9 @@ def sharded_einsum(subscripts: str, a: ShardedTensor, b: ShardedTensor
         tracer.compute(subscripts, flops=_einsum_local_flops(subscripts, a, b),
                        elements=int(out.shards[0, 0, 0].size), start_s=start)
     _capture(mesh, replay, (a.shards, b.shards), out.shards,
-             f"einsum:{subscripts}", collective=False, arena=arena)
+             f"einsum:{subscripts}", collective=False, arena=arena,
+             meta=("einsum",) + _parse_subscripts(subscripts)
+             if a.is_stacked and b.is_stacked else None)
     return out
 
 

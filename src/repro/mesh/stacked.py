@@ -162,10 +162,15 @@ def _replicate(arr: np.ndarray, meta) -> np.ndarray:
 # Collectives
 # ---------------------------------------------------------------------------
 
-def all_gather(mesh, shards: np.ndarray, axes: Sequence[str],
-               dim_idx: int) -> np.ndarray:
-    """Concatenate each group's shards along ``dim_idx``, replicated."""
-    grouped, meta = _group_view(mesh, shards, axes)
+def _grouped_view_meta(shards: np.ndarray, meta):
+    """:func:`_group_view` against already-resolved ``meta``."""
+    rest, part, _, rest_shape, _, k = meta
+    moved = shards.transpose(rest + part + tuple(range(3, shards.ndim)))
+    return moved.reshape(rest_shape + (k,) + shards.shape[3:])
+
+
+def _all_gather_meta(shards: np.ndarray, dim_idx: int, meta) -> np.ndarray:
+    grouped = _grouped_view_meta(shards, meta)
     nrest = len(meta[0])
     k = meta[5]
     local = shards.shape[3:]
@@ -181,10 +186,16 @@ def all_gather(mesh, shards: np.ndarray, axes: Sequence[str],
                     materialize=False)
 
 
-def reduce_scatter(mesh, shards: np.ndarray, axes: Sequence[str],
-                   dim_idx: int) -> np.ndarray:
-    """Sum each group sequentially, scatter chunks of ``dim_idx`` by rank."""
-    grouped, meta = _group_view(mesh, shards, axes)
+def all_gather(mesh, shards: np.ndarray, axes: Sequence[str],
+               dim_idx: int) -> np.ndarray:
+    """Concatenate each group's shards along ``dim_idx``, replicated."""
+    meta = _axes_meta(mesh.shape, tuple(mesh.axis_indices(axes)))
+    return _all_gather_meta(shards, dim_idx, meta)
+
+
+def _reduce_scatter_meta(shards: np.ndarray, dim_idx: int,
+                         meta) -> np.ndarray:
+    grouped = _grouped_view_meta(shards, meta)
     nrest = len(meta[0])
     k = meta[5]
     local = shards.shape[3:]
@@ -197,12 +208,128 @@ def reduce_scatter(mesh, shards: np.ndarray, axes: Sequence[str],
     return _ungroup(out, meta, new_local)
 
 
-def all_reduce(mesh, shards: np.ndarray, axes: Sequence[str]) -> np.ndarray:
-    """Sum each group sequentially, replicating the total."""
-    grouped, meta = _group_view(mesh, shards, axes)
+def reduce_scatter(mesh, shards: np.ndarray, axes: Sequence[str],
+                   dim_idx: int) -> np.ndarray:
+    """Sum each group sequentially, scatter chunks of ``dim_idx`` by rank."""
+    meta = _axes_meta(mesh.shape, tuple(mesh.axis_indices(axes)))
+    return _reduce_scatter_meta(shards, dim_idx, meta)
+
+
+def _all_reduce_meta(shards: np.ndarray, meta) -> np.ndarray:
+    grouped = _grouped_view_meta(shards, meta)
     total = np.ascontiguousarray(_group_sum(grouped, len(meta[0])))
     return _ungroup(_replicate(total, meta), meta, shards.shape[3:],
                     materialize=False)
+
+
+def all_reduce(mesh, shards: np.ndarray, axes: Sequence[str]) -> np.ndarray:
+    """Sum each group sequentially, replicating the total."""
+    meta = _axes_meta(mesh.shape, tuple(mesh.axis_indices(axes)))
+    return _all_reduce_meta(shards, meta)
+
+
+def prebind_collective(mesh, kind: str, axes: Sequence[str],
+                       dim_idx: int | None = None):
+    """A single-argument collective closure with its metadata resolved.
+
+    The capture-replay optimizer swaps a recorded collective's generic
+    closure (which re-resolves ``_axes_meta`` per call) for one of
+    these: same kernel, same meta, precomputed once — so the per-replay
+    Python work drops to the kernel body itself.  Returns ``None`` for
+    kinds without a prebound form (the optimizer then leaves the
+    instruction untouched).
+    """
+    meta = _axes_meta(mesh.shape, tuple(mesh.axis_indices(axes)))
+    if kind == "all_gather":
+        return lambda s: _all_gather_meta(s, dim_idx, meta)
+    if kind == "reduce_scatter":
+        return lambda s: _reduce_scatter_meta(s, dim_idx, meta)
+    if kind == "all_reduce":
+        return lambda s: _all_reduce_meta(s, meta)
+    return None
+
+
+# One gather's worth of precomputed indices; above this the index table
+# (and the materialized replica copies it implies) stops being worth the
+# saved calls — prefill-sized tensors keep the meta-kernel form.
+_INDEXED_COLLECTIVE_LIMIT = 1 << 18
+
+
+def prebind_collective_indexed(mesh, kind: str, axes: Sequence[str],
+                               dim_idx: int | None, in_shape,
+                               dtype=np.float64):
+    """A collective closure with its data movement traced to one gather.
+
+    The movement portions of a collective (grouping, scattering,
+    replication) are pure permutations-with-duplication of the input
+    elements, so running the existing kernels once over an ``arange``
+    probe yields, at each output position, the flat *index* of the input
+    element that lands there — after which replay is a single
+    ``np.take`` per movement stage.  The reduction portion keeps the
+    exact left-to-right sequential adds of :func:`_group_sum` (on rows
+    holding identical values), so every output bit matches the meta
+    kernels.  Returns ``None`` when the shape is too large for index
+    tables to pay off (the caller falls back to
+    :func:`prebind_collective`).
+    """
+    size = int(np.prod(in_shape))
+    if size > _INDEXED_COLLECTIVE_LIMIT:
+        return None
+    meta = _axes_meta(mesh.shape, tuple(mesh.axis_indices(axes)))
+    nrest = len(meta[0])
+    k = meta[5]
+    if k < 2 and kind != "all_gather":
+        return None  # nothing to reduce; the generic prebind handles it
+    probe = np.arange(size).reshape(in_shape)
+    local = tuple(in_shape[3:])
+
+    dtype = np.dtype(dtype)
+
+    if kind == "all_gather":
+        idx = np.ascontiguousarray(_all_gather_meta(probe, dim_idx, meta))
+        obuf = np.empty(idx.shape, dtype)
+
+        def gather(a):
+            a.reshape(-1).take(idx, out=obuf)
+            return obuf
+        return gather
+
+    gidx = np.ascontiguousarray(_grouped_view_meta(probe, meta))
+    rows = tuple((slice(None),) * nrest + (rank,) for rank in range(k))
+    summed_shape = meta[3] + local
+    probe2 = np.arange(int(np.prod(summed_shape))).reshape(summed_shape)
+
+    if kind == "all_reduce":
+        ridx = np.ascontiguousarray(
+            _ungroup(_replicate(probe2, meta), meta, local,
+                     materialize=False))
+    elif kind == "reduce_scatter":
+        chunk = local[dim_idx] // k
+        split = probe2.reshape(meta[3] + local[:dim_idx] + (k, chunk)
+                               + local[dim_idx + 1:])
+        moved = np.moveaxis(split, nrest + dim_idx, nrest)
+        new_local = local[:dim_idx] + (chunk,) + local[dim_idx + 1:]
+        ridx = np.ascontiguousarray(_ungroup(moved, meta, new_local))
+    else:
+        return None
+
+    # Combined table: output position ``o`` sums ``in_flat[comb[r, o]]``
+    # over ranks ``r`` in ascending order — the same operands in the same
+    # order as the sequential row adds of ``_group_sum`` (an outer-axis
+    # ``add.reduce`` accumulates in index order; pairwise blocking only
+    # applies to innermost-axis reductions).  One gather, one reduction.
+    rflat = ridx.reshape(-1)
+    comb = np.stack([
+        np.ascontiguousarray(gidx[row]).reshape(-1)[rflat] for row in rows])
+    gbuf = np.empty(comb.shape, dtype)
+    obuf = np.empty(ridx.shape, dtype)
+    oflat = obuf.reshape(-1)
+
+    def reduce_move(a):
+        a.reshape(-1).take(comb, out=gbuf)
+        np.add.reduce(gbuf, axis=0, out=oflat)
+        return obuf
+    return reduce_move
 
 
 def all_to_all(mesh, shards: np.ndarray, axes: Sequence[str],

@@ -18,6 +18,34 @@ def rope_frequencies(d_head: int, theta: float = 10_000.0) -> np.ndarray:
     return theta ** -exponents
 
 
+def rope_tables(positions: np.ndarray, d_head: int,
+                theta: float = 10_000.0) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(cos, sin)`` rotation tables for ``positions``.
+
+    Shared by every query/key rotation at the same positions — the
+    capture-replay optimizer computes them once per step and feeds
+    :func:`apply_rope_cached`, which is bit-identical to
+    :func:`apply_rope` because the tables here are byte-for-byte the
+    arrays the direct path builds internally.
+    """
+    freqs = rope_frequencies(d_head, theta)
+    angles = np.asarray(positions, dtype=np.float64)[..., None] * freqs
+    cos = np.cos(angles)[..., None, :]  # broadcast over the heads axis
+    sin = np.sin(angles)[..., None, :]
+    return cos, sin
+
+
+def apply_rope_cached(x: np.ndarray,
+                      tables: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Rotate with precomputed tables; same ops as :func:`apply_rope`."""
+    cos, sin = tables
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
 def apply_rope(x: np.ndarray, positions: np.ndarray,
                theta: float = 10_000.0) -> np.ndarray:
     """Rotate query/key vectors by position-dependent angles.
@@ -31,13 +59,4 @@ def apply_rope(x: np.ndarray, positions: np.ndarray,
     Returns:
         Array of the same shape and dtype as ``x``.
     """
-    d_head = x.shape[-1]
-    freqs = rope_frequencies(d_head, theta)
-    angles = np.asarray(positions, dtype=np.float64)[..., None] * freqs
-    cos = np.cos(angles)[..., None, :]  # broadcast over the heads axis
-    sin = np.sin(angles)[..., None, :]
-    x1, x2 = x[..., 0::2], x[..., 1::2]
-    out = np.empty_like(x)
-    out[..., 0::2] = x1 * cos - x2 * sin
-    out[..., 1::2] = x1 * sin + x2 * cos
-    return out
+    return apply_rope_cached(x, rope_tables(positions, x.shape[-1], theta))

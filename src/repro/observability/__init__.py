@@ -26,6 +26,7 @@ from repro.observability.chrome_trace import (
 )
 from repro.observability.metrics import (
     GroupMetrics,
+    format_capture_stats,
     format_layer_metrics,
     format_phase_metrics,
     layer_metrics,
@@ -53,6 +54,7 @@ __all__ = [
     "REQUEST", "RING_STEP", "Span", "Tracer", "install_tracer",
     "remove_tracer", "tracer_of", "GroupMetrics", "phase_metrics",
     "layer_metrics", "format_phase_metrics", "format_layer_metrics",
+    "format_capture_stats",
     "build_trace", "complete_event", "process_metadata",
     "thread_metadata", "spans_to_chrome_trace", "write_trace",
     "write_span_trace",

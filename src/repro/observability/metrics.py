@@ -147,3 +147,25 @@ def format_layer_metrics(spans, phase: str,
         label = f"L{layer}" if layer >= 0 else "outside"
         lines.append(_row(label, m, chip))
     return "\n".join(lines)
+
+
+def format_capture_stats(stats: dict) -> str:
+    """ASCII table for a :meth:`StepCompiler.stats` snapshot.
+
+    Shows the program-cache population and hit/miss/eviction counters,
+    plus the per-reason invalidation breakdown (``plan``, ``caches``,
+    ``degraded``, ... — the :meth:`CapturedProgram.mismatch` reasons and
+    ``explicit`` for :meth:`StepCompiler.invalidate` calls).
+    """
+    lines = ["Step-compiler program cache",
+             f"{'counter':>18s} {'value':>10s}"]
+    for key in ("programs", "eager_steps", "captures", "replays",
+                "hits", "misses", "evictions", "invalidations"):
+        lines.append(f"{key:>18s} {stats.get(key, 0):>10d}")
+    lines.append(f"{'hit rate':>18s} {stats.get('hit_rate', 0.0):>10.1%}")
+    reasons = stats.get("invalidation_reasons") or {}
+    if reasons:
+        lines.append("invalidations by reason:")
+        for reason, count in sorted(reasons.items()):
+            lines.append(f"{reason:>18s} {count:>10d}")
+    return "\n".join(lines)

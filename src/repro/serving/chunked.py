@@ -17,12 +17,18 @@ from repro.perf.estimator import InferenceEstimator, PhaseCost
 
 
 def chunked_prefill(model, tokens: np.ndarray, chunk_size: int,
-                    max_len: int):
+                    max_len: int, *, compiler=None):
     """Prefill ``tokens`` ``[B, L]`` in chunks of ``chunk_size``.
 
     Works with any model exposing ``new_cache`` / ``forward`` (reference
     or sharded).  Returns ``(last_logits [B, V], caches)`` — identical to
     a single-pass prefill (asserted in tests).
+
+    With ``compiler`` (a :class:`~repro.mesh.capture.StepCompiler`) each
+    chunk runs through :meth:`~repro.mesh.capture.StepCompiler.
+    prefill_chunk`: the first chunk of each length bucket is captured and
+    every later same-shape chunk — including across prompts — replays
+    the traced program, bit-identically.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
@@ -32,7 +38,11 @@ def chunked_prefill(model, tokens: np.ndarray, chunk_size: int,
     caches = model.new_cache(batch, max_len)
     logits = None
     for start in range(0, length, chunk_size):
-        logits = model.forward(tokens[:, start:start + chunk_size], caches)
+        chunk = tokens[:, start:start + chunk_size]
+        if compiler is not None:
+            logits = compiler.prefill_chunk(model, chunk, caches)
+        else:
+            logits = model.forward(chunk, caches)
     return logits[:, -1], caches
 
 

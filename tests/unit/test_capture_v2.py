@@ -1,0 +1,270 @@
+"""Capture v2: prefill programs, bucketed replay, fused windows, threads.
+
+The v2 contract on top of ``test_step_capture.py``'s single-step replay:
+
+* :meth:`StepCompiler.prefill_chunk` replays every chunk-length bucket
+  of :func:`~repro.serving.chunked.chunked_prefill` bit-identically —
+  logits *and* KV contents — on both backends, across prompts;
+* the bucketed program cache pads shrinking batches onto one warm
+  program (live rows bit-identical), bounds itself by LRU eviction, and
+  counts hits/misses/evictions/explicit invalidations;
+* :meth:`StepCompiler.decode_window` fuses a window of greedy decode
+  steps, matches the eager loop token-for-token, clamps at the cache
+  boundary, and falls back to single-step whenever a scheduled fault
+  could fire inside the window (``REPRO_CAPTURE_FUSE`` sizes it);
+* parallel replica stepping (``step_threads >= 1``) is an execution
+  detail: a seeded chaos run produces the same report, event log and
+  span stream as the serial path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterControlPlane, run_scenario
+from repro.events import EventLog
+from repro.layouts import ShardedTransformer
+from repro.mesh import BACKENDS, VirtualMesh
+from repro.mesh.capture import (
+    FUSE_ENV,
+    StepCompiler,
+    fuse_window_from_env,
+)
+from repro.mesh.faults import CollectiveFault, CollectiveTimeout, FaultPlan
+from repro.model import init_weights, tiny_test_config
+from repro.model.sampling import greedy
+from repro.partitioning import (
+    AttentionLayoutKind,
+    FfnLayoutKind,
+    LayoutPlan,
+)
+from repro.serving.chunked import chunked_prefill
+
+CFG = tiny_test_config(n_layers=2, d_model=16, d_ff=32, n_heads=8,
+                       d_head=8, vocab_size=32)
+WEIGHTS = init_weights(CFG, seed=0)
+PROMPT = np.random.default_rng(5).integers(0, CFG.vocab_size, size=(8, 4))
+
+WG_BATCH = LayoutPlan(FfnLayoutKind.WG_XY, AttentionLayoutKind.BATCH)
+
+
+def fresh_model(backend="stacked", mesh_shape=(2, 2, 2)):
+    mesh = VirtualMesh(mesh_shape, backend=backend)
+    return ShardedTransformer(WEIGHTS, mesh, WG_BATCH)
+
+
+def build(backend="stacked", steps=6):
+    """A fresh (model, caches, next-token) triple after an eager prefill."""
+    model = fresh_model(backend)
+    logits, caches = model.prefill(PROMPT, PROMPT.shape[1] + steps)
+    return model, caches, np.argmax(logits, -1)
+
+
+def caches_equal(mesh, a_caches, b_caches):
+    """KV fill and contents bit-identical, shard by shard."""
+    for a, b in zip(a_caches, b_caches):
+        if a.length != b.length:
+            return False
+        for x, y in ((a.k, b.k), (a.v, b.v)):
+            if x.dtype == object or y.dtype == object:
+                if not all(np.array_equal(x[c], y[c])
+                           for c in mesh.devices()):
+                    return False
+            elif not np.array_equal(x, y):
+                return False
+    return True
+
+
+class TestPrefillReplay:
+    """Differential prefill replay, every chunk-length bucket."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_bucket_bit_identical(self, backend):
+        # 10 tokens in chunks of 4 -> lengths (4, 4, 2): two buckets,
+        # and the second length-4 chunk replays within the prompt.
+        prompt = np.random.default_rng(11).integers(
+            0, CFG.vocab_size, size=(4, 10))
+        compiler = StepCompiler()
+        eager_logits, eager_caches = chunked_prefill(
+            fresh_model(backend), prompt, 4, 16)
+        model = fresh_model(backend)
+        logits, caches = chunked_prefill(model, prompt, 4, 16,
+                                         compiler=compiler)
+        assert logits.dtype == eager_logits.dtype
+        assert np.array_equal(logits, eager_logits)
+        assert caches_equal(model.mesh, eager_caches, caches)
+        assert compiler.misses == 2 and compiler.captures == 2
+        assert compiler.hits == 1 and compiler.replays == 1
+
+    def test_second_prompt_replays_every_chunk(self):
+        first = np.random.default_rng(3).integers(
+            0, CFG.vocab_size, size=(4, 8))
+        second = np.random.default_rng(4).integers(
+            0, CFG.vocab_size, size=(4, 8))
+        model = fresh_model()
+        compiler = StepCompiler()
+        chunked_prefill(model, first, 4, 12, compiler=compiler)
+        assert compiler.captures == 1  # one length bucket
+        hits_before = compiler.hits
+
+        eager_logits, eager_caches = chunked_prefill(
+            fresh_model(), second, 4, 12)
+        logits, caches = chunked_prefill(model, second, 4, 12,
+                                         compiler=compiler)
+        # Both chunks of the new prompt hit the warm program: programs
+        # survive across prompts on the same deployment.
+        assert compiler.hits - hits_before == 2
+        assert compiler.captures == 1
+        assert np.array_equal(logits, eager_logits)
+        assert caches_equal(model.mesh, eager_caches, caches)
+
+
+class TestBucketedProgramCache:
+    """Shape-bucketed signatures: hits, misses, eviction, padding."""
+
+    def test_lru_eviction_bounds_the_cache(self):
+        model = fresh_model()
+        caches = model.new_cache(4, 16)
+        compiler = StepCompiler(max_programs=2)
+        rng = np.random.default_rng(9)
+        for length in (2, 3, 4):  # three distinct chunk-length buckets
+            chunk = rng.integers(0, CFG.vocab_size, size=(4, length))
+            compiler.prefill_chunk(model, chunk, caches)
+        assert compiler.captures == 3
+        assert compiler.n_programs == 2
+        assert compiler.evictions == 1
+        # The evicted length-2 bucket is cold again: miss + re-capture.
+        chunk = rng.integers(0, CFG.vocab_size, size=(4, 2))
+        compiler.prefill_chunk(model, chunk, caches)
+        assert compiler.misses == 4
+        assert compiler.evictions == 2
+        assert compiler.n_programs == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_padding_bit_identical(self, backend):
+        """A shrunk batch pads up to the cache capacity and slices back."""
+        eager_model, eager_caches, eager_tok = build(backend)
+        model, caches, tok = build(backend)
+        compiler = StepCompiler(warmup_steps=0, batch_bucket=8)
+        live = 5
+        # The compiler pads by repeating the last live row; the eager
+        # twin decodes the full batch with the same repetition, so the
+        # live rows see identical inputs and KV history.
+        full = eager_tok.copy()
+        full[live:] = full[live - 1]
+        for _ in range(3):
+            eager = eager_model.decode_step(full, eager_caches)
+            got = compiler.decode_step(model, full[:live], caches)
+            assert got.shape[0] == live
+            assert np.array_equal(got, eager[:live])
+            full = np.argmax(eager, -1)
+            full[live:] = full[live - 1]
+        # One program serves every step of the shrunk batch.
+        assert compiler.captures == 1
+        assert compiler.hits >= 1
+        assert caches_equal(model.mesh, eager_caches, caches)
+
+    def test_explicit_invalidate_counts(self):
+        model, caches, tok = build()
+        compiler = StepCompiler(warmup_steps=0)
+        compiler.decode_step(model, tok, caches)
+        assert compiler.n_programs == 1
+        compiler.invalidate()
+        assert compiler.n_programs == 0
+        assert compiler.invalidations == 1
+        assert compiler.stats()["invalidations"] == 1
+
+
+class TestFusedWindow:
+    """Fused multi-step decode: boundary, fault gate, env knob."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_window_matches_eager_greedy_loop(self, backend):
+        eager_model, eager_caches, tok = build(backend, steps=6)
+        model, caches, tok2 = build(backend, steps=6)
+        assert np.array_equal(tok, tok2)
+        compiler = StepCompiler(warmup_steps=0, fuse_window=4)
+
+        expect, cur = [], tok
+        for _ in range(6):
+            cur = greedy(eager_model.decode_step(cur, eager_caches))
+            expect.append(cur)
+
+        first = compiler.decode_window(model, tok, caches)
+        assert first.shape == (4, tok.shape[0])
+        # Window boundary: only 2 positions of room remain, so the
+        # window clamps rather than overflowing the cache.
+        second = compiler.decode_window(model, first[-1], caches)
+        assert second.shape == (2, tok.shape[0])
+        for got, want in zip(list(first) + list(second), expect):
+            assert np.array_equal(got, want)
+        assert caches_equal(model.mesh, eager_caches, caches)
+        assert compiler.captures == 2  # one program per window length
+
+    def test_window_replay_hits_after_fill_reset(self):
+        model, caches, tok = build(steps=8)
+        compiler = StepCompiler(warmup_steps=0, fuse_window=4)
+        base = caches[0].length
+        first = compiler.decode_window(model, tok, caches)  # capture
+        for cache in caches:
+            cache.length = base
+        again = compiler.decode_window(model, tok, caches)  # replay
+        assert compiler.hits == 1 and compiler.replays == 1
+        assert np.array_equal(first, again)
+
+    def test_fault_inside_window_falls_to_single_step(self):
+        model, caches, tok = build(steps=8)
+        state = model.mesh.install_faults(FaultPlan((
+            CollectiveFault(kind="timeout", at_step=2, phase="decode"),)))
+        compiler = StepCompiler(warmup_steps=0, fuse_window=4)
+
+        # The fault lands inside the first window: exactly one single
+        # step runs (the caller loops), with the clock advanced once.
+        out = compiler.decode_window(model, tok, caches,
+                                     advance=lambda: state.advance("decode"))
+        assert out.shape[0] == 1
+        # The next single step hits the scheduled clock: the timeout
+        # fires on the eager path exactly as without the compiler.
+        with pytest.raises(CollectiveTimeout):
+            compiler.decode_window(model, out[-1], caches,
+                                   advance=lambda: state.advance("decode"))
+        # The one-shot fault is spent; the fused path resumes whole.
+        fused = compiler.decode_window(model, out[-1], caches,
+                                       advance=lambda: state.advance("decode"))
+        assert fused.shape[0] == 4
+        assert state.quiescent()
+
+    def test_fuse_window_env_knob(self, monkeypatch):
+        monkeypatch.setenv(FUSE_ENV, "6")
+        assert fuse_window_from_env() == 6
+        assert StepCompiler().fuse_window == 6
+        monkeypatch.setenv(FUSE_ENV, "not-a-number")
+        assert fuse_window_from_env(default=3) == 3
+        monkeypatch.delenv(FUSE_ENV)
+        assert StepCompiler().fuse_window == 1  # default: no fusion
+        assert StepCompiler(fuse_window=0).fuse_window == 1  # clamped
+
+
+class TestParallelReplicaStepping:
+    """Threaded stepping is an execution detail, not a behavior."""
+
+    @pytest.mark.parametrize("scenario",
+                             ["rolling-kill", "correlated-stragglers"])
+    def test_threaded_run_identical_to_serial(self, scenario):
+        logs, spans, reports = {}, {}, {}
+        for threads in (0, 2):
+            log = EventLog()
+            report = run_scenario(scenario, backend="loop", seed=0,
+                                  event_log=log, step_threads=threads)
+            logs[threads] = [(e.kind, dict(e.data)) for e in log]
+            spans[threads] = [(s.name, s.kind, s.start_s, s.end_s)
+                              for s in report.spans]
+            reports[threads] = dataclasses.replace(report, spans=[])
+        assert logs[0] == logs[2]
+        assert spans[0] == spans[2]
+        assert reports[0] == reports[2]
+
+    def test_negative_step_threads_rejected(self):
+        with pytest.raises(ValueError, match="step_threads"):
+            ClusterControlPlane(WEIGHTS, [(1, 1, 1)], step_threads=-1)

@@ -45,6 +45,10 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Capture and replay: the step compiler",
         "### Bit-exactness contract",
         "### Invalidation rules",
+        "## Capture v2: the program cache",
+        "### Prefill programs",
+        "### Fused decode windows",
+        "### Parallel replica stepping",
     ),
 }
 
