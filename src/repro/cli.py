@@ -407,6 +407,52 @@ def cmd_chaos(args) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_autoscale(args) -> int:
+    import json
+
+    from repro.cluster import TRACES
+    from repro.cluster.bench import autoscale_bench
+
+    traces = tuple(sorted(TRACES)) if args.trace == "all" \
+        else (args.trace,)
+    unknown = [t for t in traces if t not in TRACES]
+    if unknown:
+        raise SystemExit(f"unknown trace {unknown[0]!r}; have "
+                         f"{sorted(TRACES)} or 'all'")
+    doc = autoscale_bench(backend=args.backend, seed=args.seed,
+                          traces=traces,
+                          check_determinism=not args.no_determinism)
+    for row in doc["traces"]:
+        print(f"trace {row['trace']} [backend={row['backend']} "
+              f"seed={row['seed']}]")
+        print(f"  goodput {row['goodput_tok_s']:.1f} tok/s over "
+              f"{row['makespan_s']:.2f} s; cost "
+              f"{row['cost_chip_s_per_token']} chip-s/token "
+              f"(fleet {row['chip_seconds']:.1f} chip-s, static "
+              f"{row['static_chip_seconds']:.1f})")
+        for name, cls in row["classes"].items():
+            print(f"  {name}: ttft p50 {cls['ttft_p50_s'] * 1e3:.0f} ms "
+                  f"p99 {cls['ttft_p99_s'] * 1e3:.0f} ms, tpot p50 "
+                  f"{cls['tpot_p50_s'] * 1e3:.0f} ms p99 "
+                  f"{cls['tpot_p99_s'] * 1e3:.0f} ms, goodput "
+                  f"{cls['goodput']}/{cls['completed']}")
+        print(f"  fleet: +{row['replicas_added']}/"
+              f"-{row['replicas_removed']} replicas, "
+              f"{row['plan_switches']} plan switches, brownout "
+              f"{' -> '.join(row['brownout_steps']) or '(never)'}")
+        print(f"  bit-identical vs static fleet: "
+              f"{'yes' if row['bit_identical_vs_static'] else 'NO'}")
+        print()
+    for violation in doc["violations"]:
+        print(f"VIOLATION: {violation}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"autoscale bench written to {args.json}")
+    return 0 if doc["ok"] else 1
+
+
 def cmd_trace(args) -> int:
     import json
 
@@ -716,6 +762,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="write the last run's cluster span "
                                    "trace JSON here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("autoscale",
+                       help="trace-driven autoscale benchmark "
+                            "(goodput, per-class SLO latency, cost)")
+    p.add_argument("--trace", default="all",
+                   help="trace name or 'all' (default)")
+    p.add_argument("--backend", default="loop",
+                   choices=["loop", "stacked"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="write BENCH_autoscale-style JSON here")
+    p.add_argument("--no-determinism", action="store_true",
+                   help="skip the re-run determinism check (faster)")
+    p.set_defaults(func=cmd_autoscale)
 
     p = sub.add_parser("metrics",
                        help="per-phase/per-layer executed mesh metrics")

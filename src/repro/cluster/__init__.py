@@ -12,8 +12,14 @@ the simulated substrate so every behavior is deterministic and testable:
   errors, never timeouts;
 - :mod:`~repro.cluster.control_plane` — dispatch, failover, planned
   drain and hedged decode over a virtual clock;
+- :mod:`~repro.cluster.workload` — seeded trace-driven load generation
+  (diurnal curves, bursts, heavy-tailed lengths, priority mixes);
+- :mod:`~repro.cluster.autoscaler` — the SLO-aware scaling loop and the
+  reversible brownout ladder;
 - :mod:`~repro.cluster.chaos` — seeded chaos scenarios and the reports
-  the CI chaos job asserts on.
+  the CI chaos job asserts on;
+- :mod:`~repro.cluster.bench` — the autoscale goodput/latency/cost
+  benchmark behind ``BENCH_autoscale.json``.
 """
 
 from repro.cluster.admission import (
@@ -22,12 +28,19 @@ from repro.cluster.admission import (
     AdmissionError,
     BreakerState,
     CircuitBreaker,
+    ClassShed,
     NoHealthyReplica,
     PriorityClass,
     QueueFull,
     RateLimited,
     TokenBucket,
 )
+from repro.cluster.autoscaler import (
+    BROWNOUT_LADDER,
+    Autoscaler,
+    AutoscalerPolicy,
+)
+from repro.cluster.bench import autoscale_bench, run_autoscale
 from repro.cluster.chaos import (
     SCENARIOS,
     SMOKE_SCENARIOS,
@@ -46,14 +59,26 @@ from repro.cluster.control_plane import (
     ClusterSubmission,
 )
 from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
+from repro.cluster.workload import (
+    TRACES,
+    BurstWindow,
+    ClassMix,
+    TraceSpec,
+    generate_trace,
+    peak_rate,
+    rate_at,
+)
 
 __all__ = [
-    "AdmissionController", "AdmissionError", "BreakerState",
-    "ChaosReport", "ChaosScenario", "CircuitBreaker",
-    "ClusterControlPlane", "ClusterOutcome", "ClusterPolicy",
-    "ClusterRequestStatus", "ClusterSubmission", "DEFAULT_CLASSES",
-    "GroupRun", "NoHealthyReplica", "PriorityClass", "QueueFull",
-    "RateLimited", "Replica", "ReplicaHealth", "SCENARIOS",
-    "SMOKE_SCENARIOS", "TokenBucket", "build_workload", "format_report",
+    "AdmissionController", "AdmissionError", "Autoscaler",
+    "AutoscalerPolicy", "BROWNOUT_LADDER", "BreakerState", "BurstWindow",
+    "ChaosReport", "ChaosScenario", "CircuitBreaker", "ClassMix",
+    "ClassShed", "ClusterControlPlane", "ClusterOutcome",
+    "ClusterPolicy", "ClusterRequestStatus", "ClusterSubmission",
+    "DEFAULT_CLASSES", "GroupRun", "NoHealthyReplica", "PriorityClass",
+    "QueueFull", "RateLimited", "Replica", "ReplicaHealth", "SCENARIOS",
+    "SMOKE_SCENARIOS", "TRACES", "TokenBucket", "TraceSpec",
+    "autoscale_bench", "build_workload", "format_report",
+    "generate_trace", "peak_rate", "rate_at", "run_autoscale",
     "run_scenario", "run_suite",
 ]

@@ -25,10 +25,12 @@ load.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
+from typing import Callable
 
 from repro.events import (
+    ADMISSION_LIMITS_CHANGED,
     ADMISSION_REJECTED,
     BREAKER_TRANSITION,
     REQUEST_ADMITTED,
@@ -56,6 +58,14 @@ class QueueFull(AdmissionError):
 
 class NoHealthyReplica(AdmissionError):
     """Dispatch found no replica both healthy and breaker-admissible."""
+
+
+class ClassShed(AdmissionError):
+    """The class is temporarily shed (brownout); re-offer after recovery.
+
+    Raised only for *new* submissions while :meth:`AdmissionController.
+    set_limits` has marked the class non-accepting — requests already in
+    the queue are never evicted."""
 
 
 @dataclass(frozen=True)
@@ -120,6 +130,7 @@ class AdmissionController:
         self._buckets = {c.name: TokenBucket(c.rate, c.burst)
                          for c in classes}
         self._queues: dict[str, deque] = {c.name: deque() for c in classes}
+        self._accepting = {c.name: True for c in classes}
         self.admitted = 0
         self.rejected: dict[str, int] = {}
 
@@ -150,6 +161,12 @@ class AdmissionController:
         if cls is None:
             raise ValueError(f"unknown priority class {class_name!r}; "
                              f"have {sorted(self.classes)}")
+        if not self._accepting[class_name]:
+            raise self._reject(
+                ClassShed,
+                f"class {class_name!r} is shed (brownout) at "
+                f"t={now_s:.4f}s",
+                request_id, class_name)
         if not self._buckets[class_name].try_take(now_s):
             raise self._reject(
                 RateLimited,
@@ -171,20 +188,102 @@ class AdmissionController:
     def backlog(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
-    def next_batch(self, max_items: int) -> list:
+    def backlog_per_class(self) -> dict[str, int]:
+        """Queue depth per class (every class, zeros included)."""
+        return {name: len(q) for name, q in self._queues.items()}
+
+    def heads(self) -> list:
+        """Head item of each non-empty queue, in strict priority order.
+
+        The first entry is exactly what the next :meth:`next_batch` call
+        will dequeue first; the control plane peeks it to age-trigger
+        partial-group dispatch.
+        """
+        return [self._queues[cls.name][0]
+                for cls in self._ordered_classes()
+                if self._queues[cls.name]]
+
+    def _ordered_classes(self) -> list[PriorityClass]:
+        return sorted(self.classes.values(),
+                      key=lambda c: (c.priority, c.name))
+
+    def next_batch(self, max_items: int,
+                   key: Callable | None = None) -> list:
         """Dequeue up to ``max_items`` in strict priority order.
 
         FIFO within a class; a higher-priority class always drains
         before a lower one (priority inversion is the chaos scenarios'
         job to disprove).
+
+        With ``key``, the batch is additionally *homogeneous* under
+        ``key(item)`` — the control plane batches by prompt length so
+        every group can merge its KV caches.  The key of the overall
+        head item (highest priority, oldest) defines the batch, so
+        keying never starves a higher-priority class; non-matching
+        items are left queued in their original order.
         """
-        out = []
-        for cls in sorted(self.classes.values(),
-                          key=lambda c: (c.priority, c.name)):
+        out: list = []
+        batch_key = None
+        for cls in self._ordered_classes():
             queue = self._queues[cls.name]
+            skipped = []
             while queue and len(out) < max_items:
-                out.append(queue.popleft())
+                item = queue.popleft()
+                if key is not None:
+                    item_key = key(item)
+                    if not out:
+                        batch_key = item_key
+                    elif item_key != batch_key:
+                        skipped.append(item)
+                        continue
+                out.append(item)
+            for item in reversed(skipped):
+                queue.appendleft(item)
+            if len(out) >= max_items:
+                break
         return out
+
+    def set_limits(self, class_name: str, *, rate: float | None = None,
+                   burst: int | None = None,
+                   queue_limit: int | None = None,
+                   accept: bool | None = None, now_s: float = 0.0,
+                   reason: str = "") -> None:
+        """Retune one class's limits mid-run, without losing anything.
+
+        Tightening applies to *future* submissions only: items already
+        queued are never evicted (they were admitted under the old
+        contract), and a queue above a lowered ``queue_limit`` simply
+        drains without accepting new entries.  ``accept=False`` sheds
+        the class entirely (new submissions raise :class:`ClassShed`)
+        until a later ``accept=True`` — the brownout ladder's last rung.
+        Every change is a typed :data:`~repro.events.
+        ADMISSION_LIMITS_CHANGED` event.
+        """
+        cls = self.classes.get(class_name)
+        if cls is None:
+            raise ValueError(f"unknown priority class {class_name!r}; "
+                             f"have {sorted(self.classes)}")
+        updates = {}
+        if rate is not None:
+            updates["rate"] = rate
+        if burst is not None:
+            updates["burst"] = burst
+        if queue_limit is not None:
+            updates["queue_limit"] = queue_limit
+        if updates:
+            self.classes[class_name] = replace(cls, **updates)
+            bucket = self._buckets[class_name]
+            if rate is not None:
+                bucket.rate = rate
+            if burst is not None:
+                bucket.burst = burst
+                bucket.level = min(bucket.level, float(burst))
+        if accept is not None:
+            self._accepting[class_name] = accept
+        self.events.record(
+            ADMISSION_LIMITS_CHANGED, priority_class=class_name,
+            t_s=now_s, accept=self._accepting[class_name],
+            reason=reason, **updates)
 
 
 class BreakerState(str, Enum):

@@ -1,0 +1,232 @@
+"""The autoscale benchmark: goodput / latency / cost across traces.
+
+``BENCH_autoscale.json`` is the PR's quantitative artifact: for each
+registered trace (:data:`repro.cluster.workload.TRACES`) it serves the
+seeded workload through a :class:`~repro.cluster.control_plane.
+ClusterControlPlane` with an attached :class:`~repro.cluster.autoscaler.
+Autoscaler` and reports
+
+* **goodput** — deadline-met tokens per second of makespan, total and
+  per priority class;
+* **latency** — per-class TTFT / TPOT p50/p99 (virtual-clock seconds);
+* **cost** — provisioned chip-seconds per generated token, against the
+  statically over-provisioned fleet serving the same trace;
+* **correctness** — zero dropped in-flight requests and bit-identical
+  completions against the static fleet (capped outputs compare as
+  greedy prefixes), plus a full re-run determinism check.
+
+For the ``flash-crowd`` trace the benchmark also runs the brownout
+ladder OFF and asserts the ladder *helps*: interactive goodput with
+brownout must be at least the no-brownout baseline.
+
+Everything is a pure function of ``(trace, seed, backend)`` — the CI
+autoscale job replays it over a seed matrix and diffs the JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.cluster.chaos import CHAOS_CONFIG
+from repro.cluster.control_plane import (
+    ClusterControlPlane,
+    ClusterPolicy,
+    ClusterRequestStatus,
+)
+from repro.cluster.workload import TRACES, generate_trace
+from repro.model import init_weights
+from repro.observability.metrics import slo_summary
+from repro.serving.resilient import CostModel
+
+#: Virtual replica speed for every bench run: slow enough that the
+#: traces' bursts create real queueing pressure on a small fleet.
+BENCH_COSTS = CostModel(prefill_s=0.05, decode_step_s=0.01)
+BENCH_CLUSTER_POLICY = ClusterPolicy(max_batch_wait_s=0.05)
+
+#: Per-trace control policies.  ``flash-crowd`` pins the fleet at one
+#: replica so the spike exercises the brownout ladder; the others let
+#: the autoscaler ride the rate curve.
+BENCH_POLICIES: dict[str, AutoscalerPolicy] = {
+    "diurnal": AutoscalerPolicy(
+        min_replicas=1, max_replicas=3, scale_out_pressure=1.0,
+        scale_in_pressure=0.5, up_after=2, down_after=4, spinup_s=0.1),
+    "flash-crowd": AutoscalerPolicy(
+        min_replicas=1, max_replicas=1, scale_out_pressure=6.0,
+        brownout_enter_pressure=8.0, brownout_exit_pressure=2.0,
+        recover_after=2),
+    "heavy-tail": AutoscalerPolicy(
+        min_replicas=1, max_replicas=3, scale_out_pressure=1.5,
+        scale_in_pressure=0.5, up_after=2, down_after=4, spinup_s=0.1),
+}
+
+
+def _serve(trace: str, seed: int, backend: str,
+           policy: AutoscalerPolicy | None, n_replicas: int):
+    """One plane serving the seeded trace; returns (plane, outcomes)."""
+    spec = TRACES[trace]
+    weights = init_weights(CHAOS_CONFIG, seed=0)
+    submissions = generate_trace(spec, seed,
+                                 vocab_size=CHAOS_CONFIG.vocab_size)
+    autoscaler = Autoscaler(policy) if policy is not None else None
+    plane = ClusterControlPlane(
+        weights, [(2, 2, 2)] * n_replicas, backend=backend,
+        decode_batch=4, classes=spec.priority_classes(),
+        costs=BENCH_COSTS, policy=BENCH_CLUSTER_POLICY,
+        autoscaler=autoscaler)
+    outcomes = plane.serve(submissions)
+    return plane, outcomes
+
+
+def _bit_identical(outcomes, static_outcomes) -> bool:
+    """Completed streams match the static fleet's, prefix-wise if capped.
+
+    Greedy decode is fleet-, plan- and batch-composition-invariant, so
+    any request both fleets completed must carry identical tokens; a
+    brownout-capped stream must be a prefix of the static one.
+    """
+    static_by_id = {o.request_id: o for o in static_outcomes
+                    if o.completion is not None}
+    for outcome in outcomes:
+        if outcome.completion is None:
+            continue
+        ref = static_by_id.get(outcome.request_id)
+        if ref is None:
+            continue
+        tokens = outcome.completion.tokens
+        if outcome.output_capped:
+            if not np.array_equal(tokens, ref.completion.tokens[:len(tokens)]):
+                return False
+        elif not np.array_equal(tokens, ref.completion.tokens):
+            return False
+    return True
+
+
+def _goodput(outcomes, makespan_s: float) -> float:
+    """Deadline-met generated tokens per second of makespan."""
+    tokens = sum(o.completion.n_generated for o in outcomes
+                 if o.status is ClusterRequestStatus.COMPLETED)
+    return tokens / makespan_s if makespan_s > 0 else 0.0
+
+
+def _class_goodput(outcomes, makespan_s: float, cls: str) -> float:
+    tokens = sum(o.completion.n_generated for o in outcomes
+                 if o.status is ClusterRequestStatus.COMPLETED
+                 and o.priority_class == cls)
+    return tokens / makespan_s if makespan_s > 0 else 0.0
+
+
+def run_autoscale(trace: str, *, backend: str = "loop",
+                  seed: int = 0) -> dict:
+    """Benchmark one trace; returns the JSON-ready result row."""
+    policy = BENCH_POLICIES[trace]
+    plane, outcomes = _serve(trace, seed, backend, policy,
+                             policy.min_replicas)
+    # The statically over-provisioned reference: max_replicas from t=0,
+    # no autoscaler, no brownout.
+    static_plane, static_outcomes = _serve(trace, seed, backend, None,
+                                           policy.max_replicas)
+
+    finished = [o for o in outcomes if o.completion is not None]
+    makespan = max((o.finish_s for o in finished), default=0.0)
+    statuses = {s.value: 0 for s in ClusterRequestStatus}
+    for o in outcomes:
+        statuses[o.status.value] += 1
+    dropped = (len(outcomes) - statuses["rejected"]
+               - len(finished) - statuses["failed"])
+    total_tokens = sum(o.completion.n_generated for o in finished)
+    chip_s = plane.fleet_chip_seconds(plane.now_s)
+    static_chip_s = static_plane.fleet_chip_seconds(static_plane.now_s)
+    autoscaler = plane.autoscaler
+
+    result = {
+        "trace": trace,
+        "seed": seed,
+        "backend": backend,
+        "n_requests": len(outcomes),
+        "statuses": statuses,
+        "dropped_in_flight": dropped,
+        "makespan_s": round(makespan, 6),
+        "goodput_tok_s": round(_goodput(outcomes, makespan), 6),
+        "classes": {name: slo.as_dict() for name, slo
+                    in sorted(slo_summary(plane.events).items())},
+        "tokens": total_tokens,
+        "chip_seconds": round(chip_s, 6),
+        "static_chip_seconds": round(static_chip_s, 6),
+        "cost_chip_s_per_token": round(chip_s / total_tokens, 6)
+        if total_tokens else None,
+        "replicas_added": len(plane.events.of_kind("replica_added")),
+        "replicas_removed": len(plane.events.of_kind("replica_removed")),
+        "plan_switches": len(plane.events.of_kind("plan_switched")),
+        "brownout_steps": autoscaler.brownout_steps,
+        "bit_identical_vs_static": _bit_identical(outcomes,
+                                                  static_outcomes),
+    }
+    autoscaler.assert_reverted(plane)
+
+    if trace == "flash-crowd":
+        # The ladder must *help*: compare interactive goodput against
+        # the identical run with the brownout rungs disabled.
+        off_plane, off_outcomes = _serve(
+            trace, seed, backend, replace(policy, brownout=False),
+            policy.min_replicas)
+        off_makespan = max((o.finish_s for o in off_outcomes
+                            if o.completion is not None), default=0.0)
+        with_b = _class_goodput(outcomes, makespan, "interactive")
+        without_b = _class_goodput(off_outcomes, off_makespan,
+                                   "interactive")
+        result["interactive_goodput_tok_s"] = round(with_b, 6)
+        result["interactive_goodput_no_brownout_tok_s"] = \
+            round(without_b, 6)
+        result["brownout_helps"] = with_b >= without_b
+    return result
+
+
+def check_autoscale_result(result: dict) -> list[str]:
+    """The benchmark's acceptance gates -> list of violations."""
+    v = []
+    if result["dropped_in_flight"]:
+        v.append(f"{result['dropped_in_flight']} requests dropped "
+                 f"in flight")
+    if result["statuses"]["failed"]:
+        v.append(f"{result['statuses']['failed']} requests FAILED")
+    if not result["bit_identical_vs_static"]:
+        v.append("completions diverged from the statically "
+                 "over-provisioned fleet")
+    if result["goodput_tok_s"] <= 0:
+        v.append("zero goodput")
+    if result.get("brownout_helps") is False:
+        v.append("brownout lowered interactive goodput "
+                 f"({result['interactive_goodput_tok_s']} < "
+                 f"{result['interactive_goodput_no_brownout_tok_s']} "
+                 f"tok/s)")
+    return v
+
+
+def autoscale_bench(*, backend: str = "loop", seed: int = 0,
+                    traces: tuple[str, ...] | None = None,
+                    check_determinism: bool = True) -> dict:
+    """The full benchmark: every registered trace, one JSON document."""
+    names = traces if traces is not None else tuple(sorted(TRACES))
+    results = []
+    violations = []
+    for name in names:
+        result = run_autoscale(name, backend=backend, seed=seed)
+        if check_determinism:
+            rerun = run_autoscale(name, backend=backend, seed=seed)
+            result["deterministic"] = rerun == result
+            if not result["deterministic"]:
+                violations.append(f"{name}: re-run diverged")
+        for problem in check_autoscale_result(result):
+            violations.append(f"{name}: {problem}")
+        results.append(result)
+    return {
+        "bench": "autoscale",
+        "backend": backend,
+        "seed": seed,
+        "traces": results,
+        "violations": violations,
+        "ok": not violations,
+    }

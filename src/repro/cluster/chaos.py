@@ -28,6 +28,12 @@ Built-in scenarios (:data:`SCENARIOS`):
   classes show who kept their goodput.
 * ``breaker-flap`` — repeated collective timeouts on one replica walk
   its circuit breaker closed -> open -> half-open -> closed.
+* ``flash-crowd`` — a trace-driven 8x arrival spike against a fleet
+  already at ``max_replicas``; scaling cannot help, so the brownout
+  ladder engages rung by rung and fully reverses once the crowd passes.
+* ``diurnal-rolling-kill`` — a diurnal trace with a chip death at the
+  daily peak; the autoscaler rides the curve (scale-out, then drain
+  back) while failover absorbs the kill.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.cluster.admission import PriorityClass
+from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
 from repro.cluster.control_plane import (
     ClusterControlPlane,
     ClusterOutcome,
@@ -45,6 +52,7 @@ from repro.cluster.control_plane import (
     ClusterRequestStatus,
     ClusterSubmission,
 )
+from repro.cluster.workload import TRACES, generate_trace
 from repro.events import EventLog
 from repro.mesh.faults import (
     ChipKill,
@@ -53,8 +61,10 @@ from repro.mesh.faults import (
     StragglerFault,
 )
 from repro.model import ReferenceTransformer, init_weights, tiny_test_config
+from repro.observability.metrics import capture_stats_line
 from repro.observability.spans import Tracer
 from repro.serving.engine import Request, TwoPhaseServer
+from repro.serving.resilient import CostModel
 
 Coord = tuple[int, int, int]
 
@@ -84,11 +94,25 @@ class ChaosScenario:
     deadline_s: float | None = None
     #: Round-robin class assignment over arrivals.
     class_cycle: tuple[str, ...] = ("default",)
+    #: Trace-driven workload: a :data:`repro.cluster.workload.TRACES`
+    #: name replaces the synthetic fixed-spacing arrivals above (the
+    #: trace spec's classes/deadlines apply; set ``classes`` to match).
+    trace: str | None = None
+    #: Attach an autoscaler with this policy (None = static fleet).
+    autoscale: AutoscalerPolicy | None = None
+    #: Cost model override; trace scenarios slow the virtual replicas
+    #: down so the trace's bursts create real queueing pressure.
+    costs: CostModel | None = None
     #: Invariants the report checks beyond the universal ones.
     expect_failovers: bool = False
     expect_hedges: bool = False
     expect_rejections: tuple[str, ...] = ()
+    #: Rejections are tolerated but not required (brownout shedding
+    #: depends on how hard the trace happens to spike under this seed).
+    allow_rejections: bool = False
     expect_breaker_round_trip: bool = False
+    expect_brownout: bool = False
+    expect_scale_out: bool = False
 
 
 SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
@@ -162,6 +186,42 @@ SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
         expect_failovers=True,
         expect_breaker_round_trip=True,
     ),
+    ChaosScenario(
+        name="flash-crowd",
+        description="trace-driven 8x arrival spike against a fleet "
+                    "pinned at max_replicas; the brownout ladder engages "
+                    "rung by rung and fully reverses after the crowd",
+        shapes=((2, 2, 2),),
+        trace="flash-crowd",
+        classes=TRACES["flash-crowd"].priority_classes(),
+        autoscale=AutoscalerPolicy(
+            min_replicas=1, max_replicas=1, scale_out_pressure=6.0,
+            brownout_enter_pressure=8.0, brownout_exit_pressure=2.0,
+            recover_after=2),
+        costs=CostModel(prefill_s=0.05, decode_step_s=0.01),
+        policy=ClusterPolicy(max_batch_wait_s=0.05),
+        allow_rejections=True,
+        expect_brownout=True,
+    ),
+    ChaosScenario(
+        name="diurnal-rolling-kill",
+        description="diurnal trace with a chip death near the peak; the "
+                    "autoscaler rides the curve out to 3 replicas and "
+                    "drains back while failover absorbs the kill",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        trace="diurnal",
+        classes=TRACES["diurnal"].priority_classes(),
+        fault_plans=((0, FaultPlan(faults=(
+            ChipKill(chip=(0, 1, 0), at_step=2, phase="decode"),))),),
+        autoscale=AutoscalerPolicy(
+            min_replicas=2, max_replicas=3, scale_out_pressure=1.0,
+            scale_in_pressure=0.5, up_after=2, down_after=4,
+            spinup_s=0.1),
+        costs=CostModel(prefill_s=0.05, decode_step_s=0.01),
+        policy=ClusterPolicy(max_batch_wait_s=0.05),
+        expect_failovers=True,
+        expect_scale_out=True,
+    ),
 )}
 
 #: The fast subset CI runs on every push (all of them are cheap; the
@@ -192,6 +252,16 @@ class ChaosReport:
     hedges: int = 0
     breaker_states: list[str] = field(default_factory=list)
     health_transitions: int = 0
+    replicas_added: int = 0
+    replicas_removed: int = 0
+    plan_switches: int = 0
+    brownout_steps: list[str] = field(default_factory=list)
+    brownout_reverted: bool = True
+    output_capped: int = 0
+    fleet_chip_seconds: float = 0.0
+    #: Per-replica :meth:`StepCompiler.stats` snapshots (retired
+    #: replicas included), keyed by replica name.
+    capture_stats: dict[str, dict] = field(default_factory=dict)
     n_events: int = 0
     n_spans: int = 0
     bit_identical: bool = True
@@ -207,7 +277,11 @@ class ChaosReport:
 def build_workload(scenario: ChaosScenario,
                    seed: int) -> list[ClusterSubmission]:
     """The scenario's synthetic arrivals: prompts and classes from the
-    seed, arrival times from the scenario's spacing."""
+    seed, arrival times from the scenario's spacing — or, for trace
+    scenarios, the full seeded trace generator."""
+    if scenario.trace is not None:
+        return generate_trace(TRACES[scenario.trace], seed,
+                              vocab_size=CHAOS_CONFIG.vocab_size)
     rng = np.random.default_rng(seed)
     subs = []
     for i in range(scenario.n_requests):
@@ -244,12 +318,23 @@ def _check(report: ChaosReport, scenario: ChaosScenario,
     for kind in scenario.expect_rejections:
         if not report.rejections.get(kind):
             v.append(f"expected {kind} rejections; saw none")
-    if not scenario.expect_rejections and report.rejections:
+    if not scenario.expect_rejections and not scenario.allow_rejections \
+            and report.rejections:
         v.append(f"unexpected rejections {report.rejections}")
     if scenario.expect_failovers and not report.failovers:
         v.append("expected failovers; saw none")
     if scenario.expect_hedges and not report.hedges:
         v.append("expected hedged decodes; saw none")
+    if scenario.expect_brownout and not report.brownout_steps:
+        v.append("expected the brownout ladder to engage; it never did")
+    if not report.brownout_reverted:
+        v.append("brownout did not fully revert after the load subsided")
+    if scenario.expect_scale_out:
+        if not report.replicas_added:
+            v.append("expected the autoscaler to scale out; it never did")
+        if not report.replicas_removed:
+            v.append("expected scaled-out replicas to drain back in; "
+                     "none were removed")
     if scenario.expect_breaker_round_trip:
         need = ["open", "half_open", "closed"]
         states = list(report.breaker_states)
@@ -290,14 +375,18 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     weights = init_weights(CHAOS_CONFIG, seed=weights_seed)
     submissions = build_workload(scenario, seed)
     events = event_log if event_log is not None else EventLog()
+    autoscaler = (Autoscaler(scenario.autoscale)
+                  if scenario.autoscale is not None else None)
     plane = ClusterControlPlane(
         weights, scenario.shapes, backend=backend,
         decode_batch=scenario.decode_batch,
         classes=scenario.classes,
         fault_plans=dict(scenario.fault_plans),
         drains=dict(scenario.drains),
+        costs=scenario.costs,
         policy=scenario.policy, event_log=events, tracer=tracer,
-        prompt_len_hint=PROMPT_LEN, step_threads=step_threads)
+        prompt_len_hint=PROMPT_LEN, step_threads=step_threads,
+        autoscaler=autoscaler)
     outcomes = plane.serve(submissions)
     reference = reference_completions(submissions, weights,
                                       scenario.decode_batch)
@@ -326,6 +415,20 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     report.breaker_states = [e["new"] for e
                              in events.of_kind("breaker_transition")]
     report.health_transitions = len(events.of_kind("replica_health"))
+    report.replicas_added = len(events.of_kind("replica_added"))
+    report.replicas_removed = len(events.of_kind("replica_removed"))
+    report.plan_switches = len(events.of_kind("plan_switched"))
+    report.output_capped = sum(1 for o in outcomes if o.output_capped)
+    report.fleet_chip_seconds = plane.fleet_chip_seconds(plane.now_s)
+    report.capture_stats = {
+        r.name: r.step_compiler.stats()
+        for r in list(plane.replicas) + plane.retired}
+    if autoscaler is not None:
+        report.brownout_steps = autoscaler.brownout_steps
+        try:
+            autoscaler.assert_reverted(plane)
+        except AssertionError:
+            report.brownout_reverted = False
     report.n_events = len(events)
     report.n_spans = len(plane.tracer.spans)
     report.spans = list(plane.tracer.spans)
@@ -345,7 +448,14 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
                 + outcome.completion.n_generated / span
     for outcome in finished:
         ref = reference[outcome.request_id]
-        if not np.array_equal(outcome.completion.tokens, ref.tokens):
+        tokens = outcome.completion.tokens
+        if outcome.output_capped:
+            # A brownout-capped stream is a greedy prefix of the
+            # uncapped reference (greedy decode is horizon-invariant).
+            identical = np.array_equal(tokens, ref.tokens[:len(tokens)])
+        else:
+            identical = np.array_equal(tokens, ref.tokens)
+        if not identical:
             report.bit_identical = False
     _check(report, scenario, outcomes)
     return report
@@ -385,6 +495,21 @@ def format_report(report: ChaosReport) -> str:
         good = ", ".join(f"{k}={v:.1f} tok/s" for k, v
                          in sorted(report.goodput_per_class.items()))
         lines.append(f"  goodput: {good}")
+    if report.replicas_added or report.replicas_removed or \
+            report.brownout_steps:
+        lines.append(
+            f"  autoscale: +{report.replicas_added} replicas, "
+            f"-{report.replicas_removed}, {report.plan_switches} plan "
+            f"switches, {report.fleet_chip_seconds:.1f} chip-s, "
+            f"{report.output_capped} capped outputs")
+    if report.brownout_steps:
+        reverted = "reverted" if report.brownout_reverted \
+            else "NOT reverted"
+        lines.append(f"  brownout: {' -> '.join(report.brownout_steps)} "
+                     f"({reverted})")
+    for name in sorted(report.capture_stats):
+        lines.append(f"  capture[{name}]: "
+                     f"{capture_stats_line(report.capture_stats[name])}")
     for violation in report.violations:
         lines.append(f"  VIOLATION: {violation}")
     return "\n".join(lines)

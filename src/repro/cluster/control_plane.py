@@ -55,6 +55,8 @@ from repro.events import (
     FAILOVER,
     FAULT_DETECTED,
     HEDGE,
+    REPLICA_ADDED,
+    REPLICA_REMOVED,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
     EventLog,
@@ -78,6 +80,12 @@ class ClusterPolicy:
     hedge_after_steps: int = 2         # consecutive slow steps to hedge
     breaker_failures: int = 3
     breaker_cooldown_s: float = 1.0
+    plan_switch_s: float = 0.01        # decode-plan reshard (host-side)
+    #: Age-based partial-group dispatch: a queued head older than this
+    #: goes out even below ``decode_batch``.  ``None`` keeps the legacy
+    #: full-groups-only behavior (mixed-length traces need the age
+    #: trigger or odd-length prompts would wait for the final flush).
+    max_batch_wait_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,8 @@ class ClusterOutcome:
     hedged: bool = False
     failovers: int = 0
     rejection: str | None = None       # AdmissionError subclass name
+    first_token_s: float | None = None  # end of the group's prefill
+    output_capped: bool = False         # brownout shortened max_new_tokens
 
     @property
     def ok(self) -> bool:
@@ -119,6 +129,23 @@ class ClusterOutcome:
     @property
     def latency_s(self) -> float:
         return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Time to first token: arrival -> end of the group's prefill."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float | None:
+        """Time per output token over the decode phase."""
+        if self.first_token_s is None or self.completion is None:
+            return None
+        steps = self.completion.n_generated - 1
+        if steps <= 0:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / steps
 
 
 @dataclass
@@ -141,7 +168,8 @@ class ClusterControlPlane:
                  tracer: Tracer | None = None,
                  trace_mesh: bool = False,
                  prompt_len_hint: int = 64,
-                 step_threads: int = 0):
+                 step_threads: int = 0,
+                 autoscaler=None):
         if not shapes:
             raise ValueError("a cluster needs at least one replica")
         if step_threads < 0:
@@ -155,6 +183,10 @@ class ClusterControlPlane:
         self.tracer = tracer if tracer is not None else Tracer(
             event_log=self.events, clock=lambda: self.now_s)
         fault_plans = dict(fault_plans or {})
+        self.weights = weights
+        self.backend = backend
+        self.trace_mesh = trace_mesh
+        self.prompt_len_hint = prompt_len_hint
         self.replicas = [
             Replica(f"r{i}", weights, shape, backend=backend,
                     decode_batch=decode_batch,
@@ -176,6 +208,21 @@ class ClusterControlPlane:
         self._group_counter = 0
         self.hedges = 0
         self.failovers = 0
+        # Autoscaler hooks (see repro.cluster.autoscaler).  The control
+        # plane only provides mechanism: the fleet roster, the brownout
+        # levers below, and a tick call at every virtual-clock advance.
+        self.autoscaler = autoscaler
+        self.hedging_enabled = True            # brownout rung 1
+        self.output_caps: dict[str, int] = {}  # brownout rung 2
+        self.target_profile: str | None = None  # rung 3 / plan steering
+        self.retiring: set[str] = set()
+        self.retired: list[Replica] = []
+        self.replica_added_s = {r.name: 0.0 for r in self.replicas}
+        self.replica_removed_s: dict[str, float] = {}
+        self._replica_seq = len(self.replicas)
+        self._running: set[str] = set()        # replicas mid-group
+        self.prefill_tokens = 0
+        self.decode_tokens = 0
         # Parallel replica stepping: with ``step_threads >= 1`` a hedged
         # race steps the two replicas' replay programs concurrently, one
         # pool worker per replica per tick (see :meth:`_barrier_step`).
@@ -208,12 +255,119 @@ class ClusterControlPlane:
                       and self.breakers[r.name].allow(now_s)]
         if exclude is not None and len(candidates) > 1:
             candidates = [r for r in candidates if r is not exclude]
+        # A replica being scaled in takes no new groups while any other
+        # candidate exists (capacity beats the scale-in intent otherwise).
+        non_retiring = [r for r in candidates
+                        if r.name not in self.retiring]
+        if non_retiring:
+            candidates = non_retiring
         if not candidates:
             raise NoHealthyReplica(
                 f"no dispatchable replica at t={now_s:.4f}s "
                 f"(health: {[(r.name, r.health.value) for r in self.replicas]})",
                 request_id=request_id, priority_class=priority_class)
         return min(candidates, key=lambda r: (r.busy_until_s, r.name))
+
+    # -- fleet management (the autoscaler's levers) --------------------------
+
+    def active_replicas(self) -> list[Replica]:
+        """Dispatchable replicas not being scaled in."""
+        return [r for r in self.replicas
+                if r.dispatchable and r.name not in self.retiring]
+
+    def add_replica(self, shape: Coord, now_s: float, *,
+                    spinup_s: float = 0.0) -> Replica:
+        """Scale out: provision one more replica on the same weights.
+
+        The new replica becomes dispatchable after ``spinup_s`` of
+        simulated provisioning (weight sharding, process start) — its
+        ``busy_until_s`` models the warm-up, so the least-busy dispatch
+        naturally avoids it until it is ready.
+        """
+        name = f"r{self._replica_seq}"
+        self._replica_seq += 1
+        replica = Replica(name, self.weights, shape,
+                          backend=self.backend,
+                          decode_batch=self.decode_batch,
+                          costs=self.costs, event_log=self.events,
+                          tracer=self.tracer, trace_mesh=self.trace_mesh,
+                          prompt_len_hint=self.prompt_len_hint)
+        replica.busy_until_s = now_s + spinup_s
+        self.replicas.append(replica)
+        self.breakers[name] = CircuitBreaker(
+            name, failure_threshold=self.policy.breaker_failures,
+            cooldown_s=self.policy.breaker_cooldown_s,
+            event_log=self.events, tracer=self.tracer)
+        self.replica_added_s[name] = now_s
+        self.events.record(REPLICA_ADDED, replica=name,
+                           shape=tuple(shape), t_s=now_s,
+                           spinup_s=spinup_s)
+        self.tracer.mark(f"scale-out:{name}", shape=tuple(shape))
+        return replica
+
+    def begin_scale_in(self, name: str, now_s: float) -> None:
+        """Scale in: schedule a live drain of ``name`` and mark it
+        retiring.  In-flight work migrates off via the normal drain path
+        (:meth:`_maybe_drain` — KV caches move, nothing is dropped); the
+        replica is actually removed by :meth:`reap_retiring` once idle.
+        """
+        if not any(r.name == name for r in self.replicas):
+            raise ValueError(f"unknown replica {name!r}")
+        self.retiring.add(name)
+        self._drains[name] = now_s
+
+    def reap_retiring(self, now_s: float) -> list[str]:
+        """Complete any scale-ins whose replicas have gone idle."""
+        removed = []
+        for replica in [r for r in self.replicas
+                        if r.name in self.retiring]:
+            name = replica.name
+            if name in self._running or replica.busy_until_s > now_s:
+                continue
+            if name in self._drains:
+                # Idle: no in-flight group will ever execute the drain,
+                # so transition directly.
+                del self._drains[name]
+                replica.set_health(ReplicaHealth.DRAINING, now_s,
+                                   "autoscale scale-in (idle)")
+            if replica.health is not ReplicaHealth.DRAINING:
+                # The drain was aborted (no migration target); give up
+                # on this scale-in rather than wedge the replica.
+                self.retiring.discard(name)
+                continue
+            self.replicas.remove(replica)
+            self.retired.append(replica)
+            self.retiring.discard(name)
+            self.replica_removed_s[name] = now_s
+            self.events.record(REPLICA_REMOVED, replica=name, t_s=now_s)
+            self.tracer.mark(f"scale-in:{name}")
+            removed.append(name)
+        return removed
+
+    def fleet_chip_seconds(self, end_s: float) -> float:
+        """Chip-seconds provisioned over the run (the cost denominator)."""
+        total = 0.0
+        for replica in list(self.replicas) + self.retired:
+            start = self.replica_added_s.get(replica.name, 0.0)
+            end = self.replica_removed_s.get(replica.name, end_s)
+            total += max(end - start, 0.0) * replica.full_chips
+        return total
+
+    def _autoscale(self, now_s: float) -> None:
+        if self.autoscaler is not None:
+            self.autoscaler.maybe_tick(self, now_s)
+
+    def _apply_profile(self, replica: Replica, t: float) -> float:
+        """Steer ``replica`` to the target decode profile at dispatch.
+
+        Plan switches happen only at group boundaries (never mid-decode,
+        the KV layout must stay put) and charge ``plan_switch_s``.
+        """
+        desired = self.target_profile or "balanced"
+        if replica.profile != desired and \
+                replica.switch_profile(desired, t):
+            return self.policy.plan_switch_s
+        return 0.0
 
     # -- serving ------------------------------------------------------------
 
@@ -239,6 +393,7 @@ class ClusterControlPlane:
 
         for _, sub in ordered:
             self._set_now(sub.arrival_s)
+            self._autoscale(sub.arrival_s)
             self._dispatch_ready(by_id, up_to_s=sub.arrival_s)
             rid = sub.request.request_id
             try:
@@ -251,7 +406,28 @@ class ClusterControlPlane:
                     finish_s=sub.arrival_s,
                     rejection=type(exc).__name__)
         self._dispatch_ready(by_id, up_to_s=None, flush=True)
+        self._cooldown()
         return [by_id[sub.request.request_id] for sub in submissions]
+
+    def _cooldown(self, max_ticks: int = 1000) -> None:
+        """Idle the virtual clock until the autoscaler settles.
+
+        The offered load is over but the control loop's recovery half is
+        not: the brownout ladder releases only after sustained calm, and
+        the surplus fleet drains back to ``min_replicas``.  Keep ticking
+        over an empty backlog (pressure zero) until the autoscaler
+        reports a fixed point — still purely virtual time, so the
+        recovery trajectory is as deterministic as the loaded one.
+        """
+        self._autoscale(self.now_s)
+        if self.autoscaler is None:
+            return
+        interval = self.autoscaler.policy.interval_s
+        for _ in range(max_ticks):
+            if self.autoscaler.settled(self):
+                return
+            self._set_now(self.now_s + interval)
+            self._autoscale(self.now_s)
 
     def _dispatch_ready(self, by_id: dict[int, ClusterOutcome],
                         up_to_s: float | None,
@@ -261,23 +437,47 @@ class ClusterControlPlane:
             backlog = self.admission.backlog()
             if backlog == 0:
                 return
-            if backlog < self.decode_batch and not flush:
+            if backlog < self.decode_batch and not flush and \
+                    not self._head_aged_out():
                 return
             self._heartbeat_all(self.now_s)
+            self._autoscale(self.now_s)
             free = [r.busy_until_s for r in self.replicas
                     if r.dispatchable]
             if up_to_s is not None and (not free or min(free) > up_to_s):
                 return  # every replica still busy: backlog builds up
-            subs = self.admission.next_batch(self.decode_batch)
+            # Groups are homogeneous in prompt length (the merged decode
+            # batch shares one KV geometry); the head item — highest
+            # priority, oldest — always defines the batch.
+            subs = self.admission.next_batch(
+                self.decode_batch, key=lambda s: len(s.request.prompt))
             self._run_group([s for s in subs], by_id)
 
-    def _wrap(self, sub: ClusterSubmission) -> ResilientRequest:
-        return ResilientRequest(sub.request, deadline_s=sub.deadline_s)
+    def _head_aged_out(self) -> bool:
+        """Has some queue head waited past the partial-dispatch age?"""
+        wait = self.policy.max_batch_wait_s
+        if wait is None:
+            return False
+        heads = self.admission.heads()
+        return bool(heads) and \
+            self.now_s - min(h.arrival_s for h in heads) >= wait
+
+    def _wrap(self, sub: ClusterSubmission
+              ) -> tuple[ResilientRequest, bool]:
+        """Wrap a submission, applying any brownout output cap."""
+        request = sub.request
+        cap = self.output_caps.get(sub.priority_class)
+        capped = cap is not None and request.max_new_tokens > cap
+        if capped:
+            request = Request(request.request_id, request.prompt, cap)
+        return ResilientRequest(request, deadline_s=sub.deadline_s), capped
 
     def _run_group(self, subs: list[ClusterSubmission],
                    by_id: dict[int, ClusterOutcome]) -> None:
         """Run one group to completion with failover/drain/hedge cover."""
-        wrapped = [self._wrap(s) for s in subs]
+        pairs = [self._wrap(s) for s in subs]
+        wrapped = [w for w, _ in pairs]
+        capped = [c for _, c in pairs]
         first_rid = subs[0].request.request_id
         first_class = subs[0].priority_class
         gid = self._group_counter
@@ -295,97 +495,119 @@ class ClusterControlPlane:
         hedge_finish: float | None = None
         hedge_completions: list[Completion] | None = None
         hedge_replica: str | None = None
+        first_token_s: float | None = None
         run = GroupRun(replica, wrapped)
         t = max(self.now_s, replica.busy_until_s)
-        with self.tracer.region(f"group{gid}", kind="group",
-                                group=gid, replica=replica.name,
-                                requests=[s.request.request_id
-                                          for s in subs]):
-            while True:
-                try:
-                    if run.caches is None:
-                        t += run.run_prefill()
-                        self._set_now(t)
-                    slow_steps = 0
-                    while not run.done:
-                        drained = self._maybe_drain(run, t)
-                        if drained is not None:
-                            run, t = drained
-                            continue
-                        dt = run.decode_step()
-                        t += dt
-                        self._set_now(t)
-                        expected = self.costs.decode_step_s * \
-                            run.replica.scale
-                        slow_steps = slow_steps + 1 \
-                            if dt > self.policy.hedge_slowdown * expected \
-                            else 0
-                        if not hedged and \
-                                slow_steps >= self.policy.hedge_after_steps:
-                            hedged = True
-                            if self.step_threads >= 1 and \
-                                    run.replica.name not in self._drains:
-                                t, result = self._race_hedge(run, t, gid)
-                            else:
-                                _, result = self._try_hedge(run, t, gid)
-                            if result is not None:
-                                hedge_finish, hedge_completions, \
-                                    hedge_replica = result
-                    break
-                except MeshFault as exc:
-                    # A fault raised out of a parallel hedge race carries
-                    # the primary's advanced clock (and the hedge's
-                    # completed result, when it finished first).
-                    t = getattr(exc, "race_t", t)
-                    race_result = getattr(exc, "race_hedge_result", None)
-                    if race_result is not None:
-                        hedge_finish, hedge_completions, hedge_replica = \
-                            race_result
-                    t = self._on_group_fault(run.replica, exc, t)
-                    attempt += 1
-                    self.failovers += 1
-                    if attempt > self.policy.max_retries:
-                        self._fail_group(subs, by_id,
-                                         error=type(exc).__name__,
-                                         failovers=attempt, finish_s=t)
-                        return
+        t += self._apply_profile(replica, t)
+        self._running.add(replica.name)
+        try:
+            with self.tracer.region(f"group{gid}", kind="group",
+                                    group=gid, replica=replica.name,
+                                    requests=[s.request.request_id
+                                              for s in subs]):
+                while True:
                     try:
-                        target = self._pick_replica(
-                            t, first_rid, first_class,
-                            exclude=run.replica)
-                    except NoHealthyReplica as nhr_exc:
-                        self._fail_group(subs, by_id,
-                                         error=type(nhr_exc).__name__,
-                                         failovers=attempt, finish_s=t)
-                        return
-                    self.events.record(
-                        FAILOVER, group=gid, mode="re-prefill",
-                        source=run.replica.name, target=target.name,
-                        t_s=t, error=type(exc).__name__)
-                    self.tracer.mark(
-                        f"failover:{run.replica.name}->{target.name}",
-                        group=gid, mode="re-prefill",
-                        error=type(exc).__name__)
-                    t = max(t + self.policy.failover_overhead_s,
-                            target.busy_until_s)
-                    run = GroupRun(target, wrapped)
+                        if run.caches is None:
+                            t += run.run_prefill()
+                            self._set_now(t)
+                            self.prefill_tokens += sum(
+                                len(r.prompt) for r in run.group)
+                            if first_token_s is None:
+                                first_token_s = t
+                        slow_steps = 0
+                        while not run.done:
+                            drained = self._maybe_drain(run, t)
+                            if drained is not None:
+                                self._running.discard(run.replica.name)
+                                run, t = drained
+                                self._running.add(run.replica.name)
+                                if run.caches is None:
+                                    break  # drain fell back to re-prefill
+                                continue
+                            dt = run.decode_step()
+                            t += dt
+                            self._set_now(t)
+                            self.decode_tokens += len(run.group)
+                            self._autoscale(t)
+                            expected = self.costs.decode_step_s * \
+                                run.replica.scale
+                            slow_steps = slow_steps + 1 \
+                                if dt > self.policy.hedge_slowdown * expected \
+                                else 0
+                            if not hedged and self.hedging_enabled and \
+                                    slow_steps >= self.policy.hedge_after_steps:
+                                hedged = True
+                                if self.step_threads >= 1 and \
+                                        run.replica.name not in self._drains:
+                                    t, result = self._race_hedge(run, t, gid)
+                                else:
+                                    _, result = self._try_hedge(run, t, gid)
+                                if result is not None:
+                                    hedge_finish, hedge_completions, \
+                                        hedge_replica = result
+                        if not run.done:
+                            continue  # re-prefill the group on the target
+                        break
+                    except MeshFault as exc:
+                        # A fault raised out of a parallel hedge race carries
+                        # the primary's advanced clock (and the hedge's
+                        # completed result, when it finished first).
+                        t = getattr(exc, "race_t", t)
+                        race_result = getattr(exc, "race_hedge_result", None)
+                        if race_result is not None:
+                            hedge_finish, hedge_completions, hedge_replica = \
+                                race_result
+                        t = self._on_group_fault(run.replica, exc, t)
+                        attempt += 1
+                        self.failovers += 1
+                        if attempt > self.policy.max_retries:
+                            self._fail_group(subs, by_id,
+                                             error=type(exc).__name__,
+                                             failovers=attempt, finish_s=t)
+                            return
+                        try:
+                            target = self._pick_replica(
+                                t, first_rid, first_class,
+                                exclude=run.replica)
+                        except NoHealthyReplica as nhr_exc:
+                            self._fail_group(subs, by_id,
+                                             error=type(nhr_exc).__name__,
+                                             failovers=attempt, finish_s=t)
+                            return
+                        self.events.record(
+                            FAILOVER, group=gid, mode="re-prefill",
+                            source=run.replica.name, target=target.name,
+                            t_s=t, error=type(exc).__name__)
+                        self.tracer.mark(
+                            f"failover:{run.replica.name}->{target.name}",
+                            group=gid, mode="re-prefill",
+                            error=type(exc).__name__)
+                        t = max(t + self.policy.failover_overhead_s,
+                                target.busy_until_s)
+                        self._running.discard(run.replica.name)
+                        run = GroupRun(target, wrapped)
+                        self._running.add(target.name)
 
-            # Group decoded to completion on run.replica at time t.
-            run.replica.busy_until_s = t
-            self.breakers[run.replica.name].record_success(t)
-            completions = run.completions()
-            winner_replica = run.replica.name
-            finish = t
-            if hedge_finish is not None and hedge_finish < finish:
-                # The hedge won the race; streams must agree bit-for-bit.
-                self._assert_identical(completions, hedge_completions)
-                completions = hedge_completions
-                finish = hedge_finish
-                winner_replica = hedge_replica
-            self._set_now(finish)
-            self._complete_group(subs, completions, by_id, finish,
-                                 winner_replica, hedged=hedged,
-                                 failovers=attempt)
+                # Group decoded to completion on run.replica at time t.
+                run.replica.busy_until_s = t
+                self.breakers[run.replica.name].record_success(t)
+                completions = run.completions()
+                winner_replica = run.replica.name
+                finish = t
+                if hedge_finish is not None and hedge_finish < finish:
+                    # The hedge won the race; streams must agree bit-for-bit.
+                    self._assert_identical(completions, hedge_completions)
+                    completions = hedge_completions
+                    finish = hedge_finish
+                    winner_replica = hedge_replica
+                self._set_now(finish)
+                self._complete_group(subs, completions, by_id, finish,
+                                     winner_replica, hedged=hedged,
+                                     failovers=attempt,
+                                     first_token_s=first_token_s,
+                                     capped=capped)
+        finally:
+            self._running.discard(run.replica.name)
 
     # -- fault / drain / hedge handling ------------------------------------
 
@@ -466,6 +688,7 @@ class ClusterControlPlane:
                          group=gid)
         hedge_run = GroupRun(backup, run.wrapped)
         bt = max(t, backup.busy_until_s)
+        self._running.add(backup.name)
         try:
             bt += hedge_run.run_prefill()
             while not hedge_run.done:
@@ -473,6 +696,8 @@ class ClusterControlPlane:
         except MeshFault as exc:
             self._on_group_fault(backup, exc, bt)
             return True, None
+        finally:
+            self._running.discard(backup.name)
         backup.busy_until_s = bt
         self.breakers[backup.name].record_success(bt)
         return True, (bt, hedge_run.completions(), backup.name)
@@ -527,45 +752,49 @@ class ClusterControlPlane:
                          group=gid)
         hedge_run = GroupRun(backup, run.wrapped)
         bt = max(t, backup.busy_until_s)
+        self._running.add(backup.name)
         try:
-            bt += hedge_run.run_prefill()
-        except MeshFault as exc:
-            self._on_group_fault(backup, exc, bt)
-            return t, None
-        primary_exc: MeshFault | None = None
-        hedge_alive = True
-        while hedge_alive and not hedge_run.done:
-            if primary_exc is not None or run.done:
-                # Primary out of the race: drain the hedge serially,
-                # exactly as the serial path would have run it.
-                try:
-                    bt += hedge_run.decode_step()
-                except MeshFault as exc:
-                    self._on_group_fault(backup, exc, bt)
+            try:
+                bt += hedge_run.run_prefill()
+            except MeshFault as exc:
+                self._on_group_fault(backup, exc, bt)
+                return t, None
+            primary_exc: MeshFault | None = None
+            hedge_alive = True
+            while hedge_alive and not hedge_run.done:
+                if primary_exc is not None or run.done:
+                    # Primary out of the race: drain the hedge serially,
+                    # exactly as the serial path would have run it.
+                    try:
+                        bt += hedge_run.decode_step()
+                    except MeshFault as exc:
+                        self._on_group_fault(backup, exc, bt)
+                        hedge_alive = False
+                    continue
+                primary_dt, hedge_dt = self._barrier_step([run, hedge_run])
+                if isinstance(primary_dt, MeshFault):
+                    primary_exc = primary_dt
+                else:
+                    t += primary_dt
+                    self._set_now(t)
+                if isinstance(hedge_dt, MeshFault):
+                    self._on_group_fault(backup, hedge_dt, bt)
                     hedge_alive = False
-                continue
-            primary_dt, hedge_dt = self._barrier_step([run, hedge_run])
-            if isinstance(primary_dt, MeshFault):
-                primary_exc = primary_dt
-            else:
-                t += primary_dt
-                self._set_now(t)
-            if isinstance(hedge_dt, MeshFault):
-                self._on_group_fault(backup, hedge_dt, bt)
-                hedge_alive = False
-            else:
-                bt += hedge_dt
-        result = None
-        if hedge_alive:
-            backup.busy_until_s = bt
-            self.breakers[backup.name].record_success(bt)
-            result = (bt, hedge_run.completions(), backup.name)
-        if primary_exc is not None:
-            primary_exc.race_t = t
-            if result is not None:
-                primary_exc.race_hedge_result = result
-            raise primary_exc
-        return t, result
+                else:
+                    bt += hedge_dt
+            result = None
+            if hedge_alive:
+                backup.busy_until_s = bt
+                self.breakers[backup.name].record_success(bt)
+                result = (bt, hedge_run.completions(), backup.name)
+            if primary_exc is not None:
+                primary_exc.race_t = t
+                if result is not None:
+                    primary_exc.race_hedge_result = result
+                raise primary_exc
+            return t, result
+        finally:
+            self._running.discard(backup.name)
 
     @staticmethod
     def _assert_identical(a: Sequence[Completion],
@@ -581,21 +810,30 @@ class ClusterControlPlane:
     # -- outcome bookkeeping ------------------------------------------------
 
     def _complete_group(self, subs, completions, by_id, finish_s: float,
-                        replica: str, *, hedged: bool,
-                        failovers: int) -> None:
-        for sub, completion in zip(subs, completions):
+                        replica: str, *, hedged: bool, failovers: int,
+                        first_token_s: float | None = None,
+                        capped: Sequence[bool] | None = None) -> None:
+        capped = capped or [False] * len(subs)
+        for sub, completion, was_capped in zip(subs, completions, capped):
             rid = sub.request.request_id
             met = sub.deadline_s is None or finish_s <= sub.deadline_s
             status = (ClusterRequestStatus.COMPLETED if met
                       else ClusterRequestStatus.DEADLINE_MISSED)
-            by_id[rid] = ClusterOutcome(
+            outcome = ClusterOutcome(
                 rid, status, sub.priority_class, completion=completion,
                 replica=replica, arrival_s=sub.arrival_s,
-                finish_s=finish_s, hedged=hedged, failovers=failovers)
+                finish_s=finish_s, hedged=hedged, failovers=failovers,
+                first_token_s=first_token_s, output_capped=was_capped)
+            by_id[rid] = outcome
             self.events.record(REQUEST_COMPLETED, request_id=rid,
                                t_s=finish_s, replica=replica,
                                met_deadline=met, hedged=hedged,
-                               failovers=failovers)
+                               failovers=failovers,
+                               priority_class=sub.priority_class,
+                               ttft_s=outcome.ttft_s,
+                               tpot_s=outcome.tpot_s,
+                               n_tokens=completion.n_generated,
+                               output_capped=was_capped)
 
     def _fail_group(self, subs, by_id, *, error: str, failovers: int,
                     finish_s: float | None = None) -> None:

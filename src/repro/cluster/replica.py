@@ -33,7 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.events import REPLICA_HEALTH, EventLog
+from repro.events import PLAN_SWITCHED, REPLICA_HEALTH, EventLog
 from repro.hardware.topology import Torus3D
 from repro.mesh import VirtualMesh
 from repro.mesh.capture import StepCompiler
@@ -44,8 +44,10 @@ from repro.partitioning.degraded import (
     plan_batch_group,
     replan_after_failure,
     select_degraded_plan,
+    select_profile_plan,
 )
 from repro.partitioning.selector import Phase
+from repro.serving.chunked import chunked_prefill, default_prefill_chunk
 from repro.serving.engine import Completion
 from repro.serving.resilient import CostModel, ResilientRequest
 from repro.serving.sharded import merge_sharded_caches
@@ -68,7 +70,8 @@ class Replica:
                  fault_plan: FaultPlan | None = None,
                  costs: CostModel | None = None,
                  event_log: EventLog | None = None, tracer=None,
-                 trace_mesh: bool = False, prompt_len_hint: int = 64):
+                 trace_mesh: bool = False, prompt_len_hint: int = 64,
+                 prefill_chunk: int | None | str = "auto"):
         from repro.layouts.model import ShardedTransformer
 
         self.name = name
@@ -82,6 +85,14 @@ class Replica:
         self.full_chips = self.mesh.num_chips
         self.health = ReplicaHealth.HEALTHY
         self.busy_until_s = 0.0
+        # Chunked prefill is the default path (see serving.chunked);
+        # "auto" resolves the REPRO_PREFILL_* env knobs, None forces the
+        # legacy whole-prompt prefill, an int pins the chunk size.
+        self.prefill_chunk = (default_prefill_chunk()
+                              if prefill_chunk == "auto" else prefill_chunk)
+        # Decode-plan profile the autoscaler steers (see switch_profile):
+        # "balanced" is the selector's own pick.
+        self.profile = "balanced"
 
         config = weights.config
         torus = Torus3D(*shape)
@@ -208,6 +219,64 @@ class Replica:
         self.prefill_model = deploy.prefill_model
         self.decode_model = deploy.decode_model
         self.step_compiler.invalidate()
+        self.profile = "balanced"  # replan re-selects; profile re-applies
+                                   # at the next group dispatch
+
+    def switch_profile(self, profile: str, now_s: float) -> bool:
+        """Move the decode model to one end of the Pareto frontier.
+
+        ``profile`` is ``"balanced"`` (the selector's own latency-biased
+        pick), ``"weight-stationary"`` (minimum-latency decode under
+        heavy prefill load) or ``"weight-gathered"`` (the throughput-
+        Pareto plan for decode-dominated load, Section 3.2).  Only the
+        decode model is rebuilt — prefill keeps its plan — and the step
+        compiler is invalidated so the next decode step re-captures on
+        the new layout.  Returns ``True`` when the plan actually changed
+        (the control plane charges the switch cost only then); a profile
+        with no valid plan on the current (possibly degraded) slice is
+        refused without changing anything.
+        """
+        from repro.layouts.model import ShardedTransformer
+
+        if profile not in ("balanced", "weight-stationary",
+                           "weight-gathered"):
+            raise ValueError(f"unknown decode profile {profile!r}")
+        if profile == self.profile:
+            return False
+        config = self.weights.config
+        torus = Torus3D(*self.mesh.shape)
+        try:
+            if profile == "balanced":
+                plan = select_degraded_plan(config, torus, Phase.DECODE,
+                                            batch=self.decode_batch,
+                                            tokens_per_seq=1)
+            else:
+                plan = select_profile_plan(
+                    config, torus, self.decode_batch,
+                    weight_gathered=(profile == "weight-gathered"))
+        except ValueError:
+            return False
+        old_plan = self.decode_model.plan
+        if plan == old_plan:
+            self.profile = profile
+            return False
+        try:
+            self.decode_model = self.decode_model.with_plan(plan)
+        except ValueError:
+            self.decode_model = ShardedTransformer(self.weights,
+                                                   self.mesh, plan)
+        self.step_compiler.invalidate()
+        self.profile = profile
+        self.events.record(
+            PLAN_SWITCHED, replica=self.name, profile=profile,
+            old_plan=f"{old_plan.ffn.value}/{old_plan.attention.value}",
+            new_plan=f"{plan.ffn.value}/{plan.attention.value}",
+            t_s=now_s)
+        if self.tracer is not None:
+            self.tracer.mark(f"plan:{self.name}:{profile}",
+                             plan=f"{plan.ffn.value}/"
+                                  f"{plan.attention.value}")
+        return True
 
     def __repr__(self) -> str:
         return (f"Replica({self.name!r}, {self.mesh.shape}, "
@@ -255,11 +324,19 @@ class GroupRun:
         max_len = len(self.group[0].prompt) + self.n_steps
         caches_per_request, first_logits = [], []
         elapsed = 0.0
+        chunk = replica.prefill_chunk
         for request in self.group:
             before = replica.delay_s()
             replica.advance("prefill")
-            logits, caches = replica.prefill_model.prefill(
-                request.prompt[None, :], max_len)
+            if chunk:
+                # Default path: chunked prefill through the program
+                # cache — same-length chunks replay across prompts.
+                logits, caches = chunked_prefill(
+                    replica.prefill_model, request.prompt[None, :],
+                    chunk, max_len, compiler=replica.step_compiler)
+            else:
+                logits, caches = replica.prefill_model.prefill(
+                    request.prompt[None, :], max_len)
             elapsed += replica.costs.prefill_s * replica.scale \
                 + (replica.delay_s() - before)
             caches_per_request.append(caches)

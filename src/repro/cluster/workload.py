@@ -1,0 +1,253 @@
+"""Trace-driven load generation for the cluster control plane.
+
+The chaos harness injects *faults*; this module injects *traffic*.  A
+:class:`TraceSpec` describes offered load the way capacity planners see
+it — a diurnal rate curve, flash-crowd burst windows, heavy-tailed
+prompt and output lengths, a priority-class mix — and
+:func:`generate_trace` turns it into a concrete list of
+:class:`~repro.cluster.control_plane.ClusterSubmission`\\ s on the
+cluster's virtual clock.  The expansion is a pure function of
+``(trace_spec, seed)``: same spec, same seed, bit-identical arrivals,
+prompts and classes, so autoscaler runs are replayable and CI can sweep
+a seed matrix.
+
+Mechanics:
+
+* **Arrivals** are a non-homogeneous Poisson process, sampled by
+  thinning: exponential gaps at the trace's peak rate, each candidate
+  kept with probability ``rate_at(t) / peak``.  The instantaneous rate
+  is the diurnal sinusoid times every burst window covering ``t``.
+* **Prompt lengths** are lognormal (most prompts short, a long tail),
+  quantized *up* to the spec's bucket list — the same length-bucket
+  batching the scheduler and the capture program cache key on.
+* **Output lengths** are Zipf-distributed, clipped to the spec's range:
+  a heavy tail of long generations on top of a mass of short ones.
+* **Classes** are drawn from the mix's weights; each class carries its
+  admission limits and an optional relative deadline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.admission import PriorityClass
+from repro.cluster.control_plane import ClusterSubmission
+from repro.serving.engine import Request
+
+
+@dataclass(frozen=True)
+class BurstWindow:
+    """One flash-crowd window: the rate multiplies by ``multiplier``."""
+
+    start_s: float
+    duration_s: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got "
+                             f"{self.duration_s}")
+        if self.multiplier <= 0:
+            raise ValueError(f"multiplier must be > 0, got "
+                             f"{self.multiplier}")
+
+    def covers(self, t: float) -> bool:
+        return self.start_s <= t < self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class ClassMix:
+    """One traffic class in a trace: admission limits + SLO + weight."""
+
+    name: str
+    priority: int = 0
+    weight: float = 1.0          # share of arrivals (normalized over mix)
+    rate: float = 1000.0         # admission token-bucket rate
+    burst: int = 64
+    queue_limit: int = 64
+    deadline_s: float | None = None   # relative to arrival; None = no SLO
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+    def priority_class(self) -> PriorityClass:
+        return PriorityClass(self.name, priority=self.priority,
+                             rate=self.rate, burst=self.burst,
+                             queue_limit=self.queue_limit)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A seeded traffic trace, declaratively (pure data).
+
+    ``base_rate_rps`` is the mean arrival rate; the diurnal sinusoid
+    (amplitude in ``[0, 1)``, one period = one simulated "day") and the
+    burst windows modulate it.  Lengths and classes are sampled per
+    arrival from the distributions described in the module docstring.
+    """
+
+    name: str
+    description: str = ""
+    duration_s: float = 4.0
+    base_rate_rps: float = 10.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 4.0
+    bursts: tuple[BurstWindow, ...] = ()
+    #: Lognormal prompt-length parameters (of ``ln(length)``), quantized
+    #: up to the bucket list so groups batch on few distinct lengths.
+    prompt_len_buckets: tuple[int, ...] = (4, 6, 8, 12)
+    prompt_len_mu: float = 1.7
+    prompt_len_sigma: float = 0.4
+    #: Zipf output lengths clipped to ``[output_min, output_max]``.
+    output_min: int = 2
+    output_max: int = 8
+    output_zipf_a: float = 2.5
+    classes: tuple[ClassMix, ...] = (
+        ClassMix("interactive", priority=0, weight=0.7, deadline_s=2.0),
+        ClassMix("batch", priority=1, weight=0.3, queue_limit=96),
+    )
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.base_rate_rps <= 0:
+            raise ValueError("base_rate_rps must be > 0")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError(f"diurnal_amplitude must be in [0, 1), got "
+                             f"{self.diurnal_amplitude}")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be > 0")
+        if not self.prompt_len_buckets or \
+                list(self.prompt_len_buckets) != \
+                sorted(set(self.prompt_len_buckets)):
+            raise ValueError("prompt_len_buckets must be sorted, unique "
+                             "and non-empty")
+        if any(b < 1 for b in self.prompt_len_buckets):
+            raise ValueError("prompt length buckets must be >= 1")
+        if not 1 <= self.output_min <= self.output_max:
+            raise ValueError("need 1 <= output_min <= output_max")
+        if self.output_zipf_a <= 1:
+            raise ValueError("output_zipf_a must be > 1")
+        if not self.classes:
+            raise ValueError("a trace needs at least one class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in {names}")
+
+    def priority_classes(self) -> tuple[PriorityClass, ...]:
+        """The admission-controller classes this trace expects."""
+        return tuple(c.priority_class() for c in self.classes)
+
+
+def rate_at(spec: TraceSpec, t: float) -> float:
+    """Instantaneous offered rate (requests/s) at virtual time ``t``."""
+    rate = spec.base_rate_rps * (
+        1.0 + spec.diurnal_amplitude
+        * math.sin(2.0 * math.pi * t / spec.diurnal_period_s))
+    for burst in spec.bursts:
+        if burst.covers(t):
+            rate *= burst.multiplier
+    return rate
+
+
+def peak_rate(spec: TraceSpec) -> float:
+    """An upper bound on :func:`rate_at` over the trace (for thinning)."""
+    rate = spec.base_rate_rps * (1.0 + spec.diurnal_amplitude)
+    # Bursts can overlap; bound by the product of all multipliers > 1.
+    for burst in spec.bursts:
+        if burst.multiplier > 1.0:
+            rate *= burst.multiplier
+    return rate
+
+
+def _quantize_length(raw: float, buckets: tuple[int, ...]) -> int:
+    """Round a sampled length up to the nearest bucket (cap at last)."""
+    for bucket in buckets:
+        if raw <= bucket:
+            return bucket
+    return buckets[-1]
+
+
+def generate_trace(spec: TraceSpec, seed: int, *,
+                   vocab_size: int) -> list[ClusterSubmission]:
+    """Expand ``spec`` into concrete submissions — pure in (spec, seed).
+
+    Request ids are assigned in arrival order starting at 0; every
+    random draw comes from one ``default_rng(seed)`` stream, so the
+    arrivals, prompts, output lengths and class labels are all
+    bit-reproducible.
+    """
+    if vocab_size < 1:
+        raise ValueError("vocab_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    peak = peak_rate(spec)
+    weights = np.array([c.weight for c in spec.classes], dtype=float)
+    weights /= weights.sum()
+
+    submissions: list[ClusterSubmission] = []
+    t = 0.0
+    rid = 0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= spec.duration_s:
+            break
+        # Thinning: keep this candidate with probability rate(t)/peak.
+        if float(rng.random()) >= rate_at(spec, t) / peak:
+            continue
+        raw_len = float(rng.lognormal(spec.prompt_len_mu,
+                                      spec.prompt_len_sigma))
+        prompt_len = _quantize_length(raw_len, spec.prompt_len_buckets)
+        out_len = int(rng.zipf(spec.output_zipf_a))
+        out_len = min(max(out_len, spec.output_min), spec.output_max)
+        cls = spec.classes[int(rng.choice(len(spec.classes), p=weights))]
+        prompt = rng.integers(0, vocab_size, size=prompt_len)
+        submissions.append(ClusterSubmission(
+            Request(rid, prompt, out_len),
+            priority_class=cls.name,
+            deadline_s=(None if cls.deadline_s is None
+                        else t + cls.deadline_s),
+            arrival_s=t))
+        rid += 1
+    return submissions
+
+
+#: The built-in traces the autoscale bench and chaos scenarios use.
+#: All are deliberately small (tens of requests) so the CI matrix stays
+#: fast; the *shapes* of the curves are what matters.
+TRACES: dict[str, TraceSpec] = {spec.name: spec for spec in (
+    TraceSpec(
+        name="diurnal",
+        description="sinusoidal day/night curve; the autoscaler should "
+                    "grow the fleet at the peak and drain it back in "
+                    "the trough",
+        duration_s=4.0,
+        base_rate_rps=12.0,
+        diurnal_amplitude=0.6,
+        diurnal_period_s=4.0,
+    ),
+    TraceSpec(
+        name="flash-crowd",
+        description="calm baseline, then an 8x surge for half a second, "
+                    "then calm again; brownout territory when the fleet "
+                    "cannot grow",
+        duration_s=3.0,
+        base_rate_rps=8.0,
+        bursts=(BurstWindow(start_s=0.8, duration_s=0.5,
+                            multiplier=8.0),),
+    ),
+    TraceSpec(
+        name="heavy-tail",
+        description="flat rate but lognormal prompts with a fat tail "
+                    "and Zipf outputs biased long; stresses length-"
+                    "bucketed batching and TPOT",
+        duration_s=3.0,
+        base_rate_rps=14.0,
+        prompt_len_mu=1.9,
+        prompt_len_sigma=0.7,
+        output_zipf_a=1.7,
+    ),
+)}

@@ -50,6 +50,15 @@ REQUEST_ADMITTED = "request_admitted"
 FAILOVER = "failover"
 HEDGE = "hedge"
 
+#: Autoscaler / brownout event kinds (see :mod:`repro.cluster.autoscaler`).
+AUTOSCALE_DECISION = "autoscale_decision"
+REPLICA_ADDED = "replica_added"
+REPLICA_REMOVED = "replica_removed"
+PLAN_SWITCHED = "plan_switched"
+BROWNOUT_STEP = "brownout_step"
+BROWNOUT_RECOVERED = "brownout_recovered"
+ADMISSION_LIMITS_CHANGED = "admission_limits_changed"
+
 
 @dataclass(frozen=True)
 class Event:

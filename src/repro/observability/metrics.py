@@ -149,6 +149,91 @@ def format_layer_metrics(spans, phase: str,
     return "\n".join(lines)
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[idx]
+
+
+@dataclass
+class ClassSlo:
+    """Latency/goodput rollup for one priority class."""
+
+    name: str
+    completed: int = 0
+    goodput: int = 0          # completions that met their deadline
+    tokens: int = 0
+    ttft: list[float] = field(default_factory=list)
+    tpot: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "goodput": self.goodput,
+            "tokens": self.tokens,
+            "ttft_p50_s": round(_percentile(self.ttft, 0.50), 6),
+            "ttft_p99_s": round(_percentile(self.ttft, 0.99), 6),
+            "tpot_p50_s": round(_percentile(self.tpot, 0.50), 6),
+            "tpot_p99_s": round(_percentile(self.tpot, 0.99), 6),
+        }
+
+
+def slo_summary(events) -> dict[str, ClassSlo]:
+    """Per-class TTFT/TPOT percentiles + goodput from an event stream.
+
+    Consumes ``request_completed`` events carrying the latency fields the
+    cluster control plane records (``priority_class``, ``ttft_s``,
+    ``tpot_s``, ``n_tokens``, ``met_deadline``).  Goodput counts
+    completions that met their deadline; requests without a deadline
+    always count.  Events missing the latency fields (older producers)
+    are skipped.
+    """
+    classes: dict[str, ClassSlo] = {}
+    for event in events:
+        if event.kind != "request_completed":
+            continue
+        if event.get("ttft_s") is None:
+            continue
+        name = event.get("priority_class", "(none)")
+        slo = classes.setdefault(name, ClassSlo(name=name))
+        slo.completed += 1
+        if event.get("met_deadline", True):
+            slo.goodput += 1
+        slo.tokens += event.get("n_tokens", 0)
+        slo.ttft.append(event["ttft_s"])
+        slo.tpot.append(event["tpot_s"])
+    return classes
+
+
+def format_slo_summary(classes: dict[str, ClassSlo]) -> str:
+    """ASCII per-class SLO table (the autoscale bench report)."""
+    lines = ["Per-class SLO summary",
+             f"{'class':>14s} {'done':>6s} {'goodput':>8s} {'tokens':>8s} "
+             f"{'ttft p50':>10s} {'ttft p99':>10s} {'tpot p50':>10s} "
+             f"{'tpot p99':>10s}"]
+    for name in sorted(classes):
+        d = classes[name].as_dict()
+        lines.append(
+            f"{name:>14s} {d['completed']:>6d} {d['goodput']:>8d} "
+            f"{d['tokens']:>8d} {d['ttft_p50_s'] * 1e3:>8.2f}ms "
+            f"{d['ttft_p99_s'] * 1e3:>8.2f}ms "
+            f"{d['tpot_p50_s'] * 1e3:>8.2f}ms "
+            f"{d['tpot_p99_s'] * 1e3:>8.2f}ms")
+    return "\n".join(lines)
+
+
+def capture_stats_line(stats: dict) -> str:
+    """One-line capture-cache summary for per-replica chaos reports."""
+    return (f"programs={stats.get('programs', 0)} "
+            f"replays={stats.get('replays', 0)} "
+            f"hit_rate={stats.get('hit_rate', 0.0):.1%} "
+            f"evictions={stats.get('evictions', 0)} "
+            f"invalidations={stats.get('invalidations', 0)}")
+
+
 def format_capture_stats(stats: dict) -> str:
     """ASCII table for a :meth:`StepCompiler.stats` snapshot.
 

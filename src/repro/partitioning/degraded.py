@@ -134,6 +134,46 @@ def plan_batch_group(plan: LayoutPlan, torus: Torus3D) -> int:
     return 1
 
 
+def select_profile_plan(config: ModelConfig, torus: Torus3D, batch: int,
+                        *, weight_gathered: bool) -> LayoutPlan:
+    """The best valid *decode* plan on one side of the Pareto frontier.
+
+    The Section 3.2 result is that weight-stationary layouts win the
+    latency end and weight-gathered layouts the throughput end; the
+    autoscaler switches a replica between the two as the load mix
+    shifts.  :func:`~repro.partitioning.selector.candidate_plans` only
+    offers weight-gathered FFN layouts for prefill (where the selector
+    would pick them), so this enumerates the full layout space directly,
+    keeps the plans that validate and whose batch sharding divides
+    ``batch``, restricts to the requested side, and takes the cheapest
+    by FFN communication volume.
+    """
+    from repro.hardware.topology import Mesh
+    from repro.partitioning.plan import FfnLayoutKind
+
+    mesh = Mesh(*torus.shape)
+    plans = []
+    for ffn in FfnLayoutKind:
+        if ffn.is_weight_gathered != weight_gathered:
+            continue
+        for attn in AttentionLayoutKind:
+            plan = LayoutPlan(ffn, attn)
+            try:
+                plan.validate(config, mesh)
+            except ValueError:
+                continue
+            if batch % max(plan_batch_group(plan, torus), 1) == 0:
+                plans.append(plan)
+    if not plans:
+        raise ValueError(
+            f"no valid {'weight-gathered' if weight_gathered else 'weight-stationary'} "
+            f"decode layout for {config.name} on torus {torus} at batch "
+            f"{batch}")
+    return min(plans, key=lambda p: (
+        ffn_volume(p.ffn, torus, batch, config.d_model, config.d_ff),
+        p.attention is not AttentionLayoutKind.BATCH))
+
+
 def select_degraded_plan(config: ModelConfig, torus: Torus3D, phase: Phase,
                          batch: int, tokens_per_seq: int) -> LayoutPlan:
     """Re-run the analytical selector for a (possibly shrunken) torus.

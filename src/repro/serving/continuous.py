@@ -26,6 +26,7 @@ from repro.model.functional import masked_softmax, rmsnorm, swish
 from repro.model.reference import ReferenceTransformer
 from repro.model.rope import apply_rope
 from repro.model.sampling import greedy
+from repro.serving.chunked import chunked_prefill, default_prefill_chunk
 from repro.serving.engine import Completion, Request
 
 
@@ -182,12 +183,20 @@ class ContinuousBatchingEngine:
 
     def __init__(self, model: ReferenceTransformer, max_slots: int,
                  max_len: int, sampler=None, seed: int = 0,
-                 step_hook=None):
+                 step_hook=None,
+                 prefill_chunk: int | None | str = "auto"):
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         self.model = model
         self.max_slots = max_slots
         self.max_len = max_len
+        # Admission prefills run chunked by default (bit-identical to
+        # whole-prompt; bounded activation memory).  "auto" resolves the
+        # REPRO_PREFILL_MODE / REPRO_PREFILL_CHUNK escape hatches; pass
+        # an int or None to pin the behavior explicitly.
+        self.prefill_chunk = (default_prefill_chunk()
+                              if prefill_chunk == "auto"
+                              else prefill_chunk)
         self.sampler = sampler or (lambda logits, rng: greedy(logits))
         self.rng = np.random.default_rng(seed)
         self.steps = 0
@@ -208,8 +217,13 @@ class ContinuousBatchingEngine:
                 if slots[slot_idx] is not None or not queue:
                     continue
                 request = queue.popleft()
-                logits, caches = self.model.prefill(
-                    request.prompt[None, :], self.max_len)
+                if self.prefill_chunk:
+                    logits, caches = chunked_prefill(
+                        self.model, request.prompt[None, :],
+                        self.prefill_chunk, self.max_len)
+                else:
+                    logits, caches = self.model.prefill(
+                        request.prompt[None, :], self.max_len)
                 state.load_prefill(slot_idx, caches)
                 first = int(self.sampler(logits, self.rng)[0])
                 running = _RunningSequence(request, pending_token=first)

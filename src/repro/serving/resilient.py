@@ -64,6 +64,7 @@ from repro.partitioning.degraded import (
     select_degraded_plan,
 )
 from repro.partitioning.selector import Phase
+from repro.serving.chunked import default_prefill_chunk
 from repro.serving.continuous import ContinuousBatchingEngine
 from repro.serving.engine import Completion, Request
 from repro.serving.scheduler import group_requests
@@ -463,12 +464,19 @@ class ResilientContinuousServer:
                  mesh: VirtualMesh | None = None,
                  fault_plan: FaultPlan | None = None,
                  costs: CostModel | None = None,
-                 event_log: EventLog | None = None, seed: int = 0):
+                 event_log: EventLog | None = None, seed: int = 0,
+                 prefill_chunk: int | None | str = "auto"):
         if fault_plan is not None and mesh is None:
             raise ValueError("fault_plan requires a mesh to install it on")
         self.model = model
         self.max_slots = max_slots
         self.max_len = max_len
+        # Chunked prefill is the default admission path ("auto" reads
+        # the REPRO_PREFILL_MODE / REPRO_PREFILL_CHUNK escape hatches);
+        # resolved once here so every retry engine behaves identically.
+        self.prefill_chunk = (default_prefill_chunk()
+                              if prefill_chunk == "auto"
+                              else prefill_chunk)
         self.costs = costs or CostModel()
         self.events = event_log if event_log is not None else EventLog()
         self.seed = seed
@@ -603,7 +611,8 @@ class ResilientContinuousServer:
             self._extra_s = 0.0
             engine = ContinuousBatchingEngine(
                 self.model, self.max_slots, self.max_len, seed=self.seed,
-                step_hook=self._step_hook)
+                step_hook=self._step_hook,
+                prefill_chunk=self.prefill_chunk)
             try:
                 completions = engine.serve([w.request for w in pending])
             except MeshFault as exc:

@@ -1,0 +1,181 @@
+"""Property-based tests of the admission controller.
+
+Two invariants the autoscaler's brownout ladder leans on, checked over
+randomized operation sequences:
+
+* **No priority starvation** — :meth:`AdmissionController.next_batch`
+  always serves the head of the highest-priority non-empty queue first,
+  even when a batch key constrains the batch to homogeneous items.  A
+  lower-priority item only rides along when it matches the key the
+  higher-priority head defined.
+* **Retuning loses nothing** — interleaving :meth:`set_limits` calls
+  (tightening or loosening rate / burst / queue_limit, shedding and
+  un-shedding classes) with submissions and dequeues never drops or
+  duplicates an *admitted* item: every admitted item is either still
+  queued or was dequeued exactly once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.admission import (
+    AdmissionController,
+    AdmissionError,
+    PriorityClass,
+)
+
+CLASS_NAMES = ("gold", "silver", "bronze")
+
+
+def make_controller(n_classes: int) -> AdmissionController:
+    # Generous rate/burst so the bucket never rejects by default; the
+    # limits-churn test tightens them explicitly.
+    classes = [PriorityClass(name, priority=i, rate=1e9, burst=10**6,
+                             queue_limit=128)
+               for i, name in enumerate(CLASS_NAMES[:n_classes])]
+    return AdmissionController(classes)
+
+
+# One submission: (class index, key value).  Keys are small ints standing
+# in for prompt-length buckets.
+SUBMISSIONS = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 3)),
+    min_size=0, max_size=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(SUBMISSIONS, st.integers(1, 8), st.booleans())
+def test_next_batch_never_starves_higher_priority(subs, max_items,
+                                                  use_key):
+    controller = make_controller(3)
+    queued: dict[str, list[tuple[int, int]]] = {n: [] for n in CLASS_NAMES}
+    for rid, (cls_idx, key_val) in enumerate(subs):
+        name = CLASS_NAMES[cls_idx]
+        item = (rid, key_val)
+        controller.submit(item, request_id=rid, now_s=0.0,
+                          class_name=name)
+        queued[name].append(item)
+
+    key = (lambda item: item[1]) if use_key else None
+    order = {name: i for i, name in enumerate(CLASS_NAMES)}
+    while controller.backlog():
+        heads = controller.heads()
+        batch = controller.next_batch(max_items, key=key)
+        assert batch, "non-empty backlog must yield a non-empty batch"
+        assert len(batch) <= max_items
+
+        # The head of the highest-priority non-empty queue leads the
+        # batch — keyed or not, that class is never starved.
+        assert batch[0] == heads[0]
+        batch_key = key(batch[0]) if key else None
+
+        for item in batch:
+            cls = CLASS_NAMES[next(i for i, n in enumerate(CLASS_NAMES)
+                                   if item in queued[n])]
+            if key is not None:
+                # Homogeneity under the head-defined key.
+                assert key(item) == batch_key
+            # A lower-priority item may only be taken once every
+            # higher-priority item still queued fails the key match.
+            for higher in CLASS_NAMES[:order[cls]]:
+                for other in queued[higher]:
+                    if other in batch:
+                        continue
+                    assert key is not None and key(other) != batch_key, (
+                        f"{item} from {cls!r} dequeued while eligible "
+                        f"{other} waited in higher-priority {higher!r}")
+            # FIFO within class: everything ahead of item in its class
+            # either left in an earlier batch or is in this one earlier.
+            idx = queued[cls].index(item)
+            for ahead in queued[cls][:idx]:
+                if key is None:
+                    assert ahead in batch and \
+                        batch.index(ahead) < batch.index(item)
+                else:
+                    assert key(ahead) != batch_key or (
+                        ahead in batch
+                        and batch.index(ahead) < batch.index(item))
+        for item in batch:
+            for name in CLASS_NAMES:
+                if item in queued[name]:
+                    queued[name].remove(item)
+
+    assert all(not rest for rest in queued.values())
+
+
+# Operation stream for the limits-churn property.  Weighted toward
+# submissions so queues actually fill.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, 2),
+                  st.integers(0, 3)),
+        st.tuples(st.just("drain"), st.integers(1, 6), st.booleans()),
+        st.tuples(st.just("limits"), st.integers(0, 2),
+                  st.sampled_from([1, 2, 4, 64, 128]),   # queue_limit
+                  st.sampled_from([0.5, 2.0, 1e9]),      # rate
+                  st.sampled_from([1, 4, 10**6]),        # burst
+                  st.sampled_from([None, True, False])), # accept
+        st.tuples(st.just("submit"), st.integers(0, 2),
+                  st.integers(0, 3)),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_set_limits_mid_run_never_drops_admitted(ops):
+    controller = make_controller(3)
+    admitted: list[tuple[int, int]] = []
+    dequeued: list[tuple[int, int]] = []
+    now = 0.0
+    for rid, op in enumerate(ops):
+        now += 0.01  # strictly advancing virtual clock
+        if op[0] == "submit":
+            _, cls_idx, key_val = op
+            item = (rid, key_val)
+            try:
+                controller.submit(item, request_id=rid, now_s=now,
+                                  class_name=CLASS_NAMES[cls_idx])
+            except AdmissionError:
+                continue  # typed rejection: the item was never admitted
+            admitted.append(item)
+        elif op[0] == "drain":
+            _, max_items, use_key = op
+            key = (lambda item: item[1]) if use_key else None
+            dequeued.extend(controller.next_batch(max_items, key=key))
+        else:
+            _, cls_idx, queue_limit, rate, burst, accept = op
+            controller.set_limits(CLASS_NAMES[cls_idx], rate=rate,
+                                  burst=burst, queue_limit=queue_limit,
+                                  accept=accept, now_s=now,
+                                  reason="property churn")
+
+        # Conservation after every step: each admitted item is queued
+        # xor dequeued, exactly once, regardless of limit churn.
+        still_queued = [item for q in controller._queues.values()
+                        for item in q]
+        assert sorted(still_queued + dequeued) == sorted(admitted)
+        assert len(set(dequeued)) == len(dequeued)
+
+    # Drain to empty: everything admitted comes out exactly once.
+    while controller.backlog():
+        dequeued.extend(controller.next_batch(8))
+    assert sorted(dequeued) == sorted(admitted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 12))
+def test_lowered_queue_limit_drains_without_eviction(new_limit, extra):
+    """Tightening queue_limit below the live depth evicts nothing."""
+    controller = make_controller(1)
+    depth = new_limit + extra
+    for rid in range(depth):
+        controller.submit(("item", rid), request_id=rid, now_s=0.0,
+                          class_name="gold")
+    controller.set_limits("gold", queue_limit=new_limit, now_s=1.0,
+                          reason="tighten")
+    assert controller.backlog() == depth  # nothing evicted
+    drained = []
+    while controller.backlog():
+        drained.extend(controller.next_batch(4))
+    assert drained == [("item", rid) for rid in range(depth)]

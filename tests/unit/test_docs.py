@@ -67,7 +67,8 @@ class TestRequiredHeadings:
     def test_missing_heading_detected(self, tmp_path, monkeypatch):
         docs = tmp_path / "docs"
         docs.mkdir()
-        (docs / "mesh_backends.md").write_text("# Backends\n\nprose\n")
+        for rel in checker.REQUIRED_HEADINGS:
+            (tmp_path / rel).write_text("# Title\n\nprose\n")
         monkeypatch.setattr(checker, "ROOT", tmp_path)
         errors = checker.check_headings()
         assert errors and all("missing required heading" in e

@@ -1,0 +1,145 @@
+"""Unit tests for the trace-driven load generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.workload import (
+    TRACES,
+    BurstWindow,
+    ClassMix,
+    TraceSpec,
+    generate_trace,
+    peak_rate,
+    rate_at,
+)
+
+BURSTY = TraceSpec(
+    name="bursty-test",
+    duration_s=2.0,
+    base_rate_rps=10.0,
+    diurnal_amplitude=0.5,
+    diurnal_period_s=2.0,
+    bursts=(BurstWindow(start_s=0.5, duration_s=0.5, multiplier=4.0),),
+)
+
+
+class TestRateCurve:
+    def test_diurnal_sinusoid(self):
+        spec = TraceSpec(name="t", base_rate_rps=10.0,
+                         diurnal_amplitude=0.5, diurnal_period_s=4.0)
+        assert rate_at(spec, 0.0) == pytest.approx(10.0)
+        assert rate_at(spec, 1.0) == pytest.approx(15.0)  # peak
+        assert rate_at(spec, 3.0) == pytest.approx(5.0)   # trough
+
+    def test_burst_multiplies_inside_window_only(self):
+        assert rate_at(BURSTY, 0.49) < rate_at(BURSTY, 0.51)
+        inside = rate_at(BURSTY, 0.75)
+        base = BURSTY.base_rate_rps * (
+            1.0 + BURSTY.diurnal_amplitude
+            * np.sin(2 * np.pi * 0.75 / BURSTY.diurnal_period_s))
+        assert inside == pytest.approx(4.0 * base)
+        # Window is half-open: [start, start + duration).
+        assert BURSTY.bursts[0].covers(0.5)
+        assert not BURSTY.bursts[0].covers(1.0)
+
+    def test_peak_rate_bounds_rate_at(self):
+        for spec in (BURSTY, *TRACES.values()):
+            peak = peak_rate(spec)
+            for t in np.linspace(0, spec.duration_s, 101):
+                assert rate_at(spec, float(t)) <= peak + 1e-9
+
+
+class TestGenerate:
+    def test_pure_function_of_spec_and_seed(self):
+        a = generate_trace(BURSTY, seed=3, vocab_size=64)
+        b = generate_trace(BURSTY, seed=3, vocab_size=64)
+        assert len(a) == len(b) > 0
+        for x, y in zip(a, b):
+            assert x.arrival_s == y.arrival_s
+            assert x.priority_class == y.priority_class
+            assert x.deadline_s == y.deadline_s
+            assert x.request.max_new_tokens == y.request.max_new_tokens
+            assert np.array_equal(x.request.prompt, y.request.prompt)
+
+    def test_seed_changes_the_trace(self):
+        a = generate_trace(BURSTY, seed=0, vocab_size=64)
+        b = generate_trace(BURSTY, seed=1, vocab_size=64)
+        assert [s.arrival_s for s in a] != [s.arrival_s for s in b]
+
+    def test_arrivals_ordered_ids_sequential(self):
+        subs = generate_trace(BURSTY, seed=0, vocab_size=64)
+        arrivals = [s.arrival_s for s in subs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < t < BURSTY.duration_s for t in arrivals)
+        assert [s.request.request_id for s in subs] == \
+            list(range(len(subs)))
+
+    def test_lengths_and_classes_respect_the_spec(self):
+        subs = generate_trace(BURSTY, seed=7, vocab_size=32)
+        class_by_name = {c.name: c for c in BURSTY.classes}
+        for sub in subs:
+            assert len(sub.request.prompt) in BURSTY.prompt_len_buckets
+            assert BURSTY.output_min <= sub.request.max_new_tokens \
+                <= BURSTY.output_max
+            assert sub.request.prompt.min() >= 0
+            assert sub.request.prompt.max() < 32
+            cls = class_by_name[sub.priority_class]
+            if cls.deadline_s is None:
+                assert sub.deadline_s is None
+            else:
+                assert sub.deadline_s == pytest.approx(
+                    sub.arrival_s + cls.deadline_s)
+
+    def test_burst_densifies_arrivals(self):
+        spec = TraceSpec(
+            name="spike", duration_s=2.0, base_rate_rps=8.0,
+            bursts=(BurstWindow(start_s=1.0, duration_s=0.5,
+                                multiplier=8.0),))
+        subs = generate_trace(spec, seed=0, vocab_size=64)
+        in_burst = sum(1.0 <= s.arrival_s < 1.5 for s in subs)
+        before = sum(0.0 <= s.arrival_s < 0.5 for s in subs)
+        assert in_burst > 2 * before
+
+    def test_class_mix_follows_weights(self):
+        spec = TraceSpec(
+            name="mix", duration_s=20.0, base_rate_rps=20.0,
+            classes=(ClassMix("a", priority=0, weight=0.9),
+                     ClassMix("b", priority=1, weight=0.1)))
+        subs = generate_trace(spec, seed=0, vocab_size=64)
+        frac_a = sum(s.priority_class == "a" for s in subs) / len(subs)
+        assert 0.8 < frac_a < 0.97
+
+
+class TestValidation:
+    def test_registered_traces_are_well_formed(self):
+        for name, spec in TRACES.items():
+            assert spec.name == name
+            assert spec.priority_classes()  # constructible
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(duration_s=0.0),
+        dict(base_rate_rps=-1.0),
+        dict(diurnal_amplitude=1.0),
+        dict(diurnal_period_s=0.0),
+        dict(prompt_len_buckets=()),
+        dict(prompt_len_buckets=(8, 4)),       # not sorted
+        dict(prompt_len_buckets=(4, 4, 8)),    # not unique
+        dict(output_min=0),
+        dict(output_min=9, output_max=8),
+        dict(output_zipf_a=1.0),
+        dict(classes=()),
+        dict(classes=(ClassMix("x"), ClassMix("x"))),
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceSpec(name="bad", **kwargs)
+
+    def test_bad_burst_and_class(self):
+        with pytest.raises(ValueError):
+            BurstWindow(start_s=0.0, duration_s=0.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            BurstWindow(start_s=0.0, duration_s=1.0, multiplier=0.0)
+        with pytest.raises(ValueError):
+            ClassMix("x", weight=0.0)
+        with pytest.raises(ValueError):
+            generate_trace(BURSTY, seed=0, vocab_size=0)

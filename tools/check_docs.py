@@ -50,6 +50,13 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "### Fused decode windows",
         "### Parallel replica stepping",
     ),
+    "docs/autoscaling.md": (
+        "## The trace generator: load as pure data",
+        "## The autoscaler policy",
+        "## The brownout ladder",
+        "### Recovery conditions",
+        "## The autoscale benchmark",
+    ),
 }
 
 
