@@ -1,0 +1,63 @@
+"""Disaggregated prefill/decode benchmark: pools vs colocated fleet.
+
+Serves the flash-crowd and heavy-tail traces through a disaggregated
+control plane (one 2D weight-stationary prefill replica handing KV
+caches to one weight-gathered decode replica) and the equal-chip
+colocated fleet, and asserts the PR's acceptance gates:
+
+* disaggregated interactive goodput >= colocated on flash-crowd, at
+  equal chips (the Section 3.2 specialization payoff survives the
+  A.1-priced KV handoff cost);
+* zero dropped in-flight requests and zero failures on both fleets;
+* completions bit-identical to the colocated fleet;
+* at least one KV handoff actually happened;
+* the whole document is re-run deterministic.
+
+Results land in ``BENCH_disagg.json`` at the repo root (the CI disagg
+job uploads it as an artifact and diffs the seed matrix).
+"""
+
+import json
+import pathlib
+
+from repro.cluster.bench import disagg_bench
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_disagg.json"
+
+
+def run_bench() -> dict:
+    return disagg_bench(backend="loop", seed=0)
+
+
+def test_disagg(benchmark, save_result):
+    doc = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    lines = []
+    for row in doc["traces"]:
+        d, c = row["disagg"], row["colocated"]
+        lines.append(
+            f"{row['trace']:>14s}: interactive goodput "
+            f"{d['interactive_goodput_tok_s']:.1f} vs colocated "
+            f"{c['interactive_goodput_tok_s']:.1f} tok/s at "
+            f"{d['chips']} chips each; {d['kv_handoffs']} handoffs "
+            f"({d['kv_handoff_bytes']} B, "
+            f"{d['handoff_transfer_s'] * 1e6:.1f} us on the link), "
+            f"{d['handoffs_colocated']} decoded in place")
+    save_result("disagg", "\n".join(lines))
+    JSON_PATH.write_text(json.dumps({
+        "workload": "flash-crowd (gated) and heavy-tail traces served "
+                    "by the tiny chaos model; disaggregated "
+                    "prefill+decode pools (1+1 replicas, pool plans at "
+                    "0.6x phase cost) vs the colocated 2-replica fleet "
+                    "on the same seeded trace, equal chips",
+        **doc,
+    }, indent=2) + "\n")
+    print(f"[saved to {JSON_PATH}]")
+
+    assert doc["ok"], doc["violations"]
+    flash = next(r for r in doc["traces"] if r["trace"] == "flash-crowd")
+    assert flash["goodput_gated"]
+    assert flash["disagg"]["interactive_goodput_tok_s"] >= \
+        flash["colocated"]["interactive_goodput_tok_s"]
+    assert flash["disagg"]["kv_handoffs"] > 0
+    assert flash["bit_identical_vs_colocated"]

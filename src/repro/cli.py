@@ -453,6 +453,41 @@ def cmd_autoscale(args) -> int:
     return 0 if doc["ok"] else 1
 
 
+def cmd_disagg(args) -> int:
+    import json
+
+    from repro.cluster.bench import disagg_bench
+
+    doc = disagg_bench(backend=args.backend, seed=args.seed,
+                       check_determinism=not args.no_determinism)
+    for row in doc["traces"]:
+        d, c = row["disagg"], row["colocated"]
+        gate = "gated" if row["goodput_gated"] else "informational"
+        print(f"trace {row['trace']} [backend={row['backend']} "
+              f"seed={row['seed']}] ({gate})")
+        print(f"  disagg:    interactive {d['interactive_goodput_tok_s']:.1f} "
+              f"tok/s, total {d['goodput_tok_s']:.1f} tok/s over "
+              f"{d['makespan_s']:.2f} s on {d['chips']} chips")
+        print(f"  colocated: interactive {c['interactive_goodput_tok_s']:.1f} "
+              f"tok/s, total {c['goodput_tok_s']:.1f} tok/s over "
+              f"{c['makespan_s']:.2f} s on {c['chips']} chips")
+        print(f"  handoffs: {d['kv_handoffs']} "
+              f"({d['kv_handoff_bytes']} B, "
+              f"{d['handoff_transfer_s'] * 1e6:.1f} us on the link), "
+              f"{d['handoffs_colocated']} decoded in place")
+        print(f"  bit-identical vs colocated fleet: "
+              f"{'yes' if row['bit_identical_vs_colocated'] else 'NO'}")
+        print()
+    for violation in doc["violations"]:
+        print(f"VIOLATION: {violation}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"disagg bench written to {args.json}")
+    return 0 if doc["ok"] else 1
+
+
 def cmd_trace(args) -> int:
     import json
 
@@ -775,6 +810,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-determinism", action="store_true",
                    help="skip the re-run determinism check (faster)")
     p.set_defaults(func=cmd_autoscale)
+
+    p = sub.add_parser("disagg",
+                       help="disaggregated prefill/decode pools vs the "
+                            "equal-chip colocated fleet (KV handoff)")
+    p.add_argument("--backend", default="loop",
+                   choices=["loop", "stacked"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="write BENCH_disagg-style JSON here")
+    p.add_argument("--no-determinism", action="store_true",
+                   help="skip the re-run determinism check (faster)")
+    p.set_defaults(func=cmd_disagg)
 
     p = sub.add_parser("metrics",
                        help="per-phase/per-layer executed mesh metrics")

@@ -16,10 +16,15 @@ the simulated substrate so every behavior is deterministic and testable:
   (diurnal curves, bursts, heavy-tailed lengths, priority mixes);
 - :mod:`~repro.cluster.autoscaler` — the SLO-aware scaling loop and the
   reversible brownout ladder;
+- :mod:`~repro.cluster.disagg` — disaggregated serving: a prefill pool
+  and a decode pool with an explicit A.1-priced KV handoff between
+  them, pool-aware autoscaling and a collapse-to-colocated brownout
+  rung;
 - :mod:`~repro.cluster.chaos` — seeded chaos scenarios and the reports
   the CI chaos job asserts on;
-- :mod:`~repro.cluster.bench` — the autoscale goodput/latency/cost
-  benchmark behind ``BENCH_autoscale.json``.
+- :mod:`~repro.cluster.bench` — the autoscale and disagg
+  goodput/latency/cost benchmarks behind ``BENCH_autoscale.json`` and
+  ``BENCH_disagg.json``.
 """
 
 from repro.cluster.admission import (
@@ -40,7 +45,12 @@ from repro.cluster.autoscaler import (
     Autoscaler,
     AutoscalerPolicy,
 )
-from repro.cluster.bench import autoscale_bench, run_autoscale
+from repro.cluster.bench import (
+    autoscale_bench,
+    disagg_bench,
+    run_autoscale,
+    run_disagg,
+)
 from repro.cluster.chaos import (
     SCENARIOS,
     SMOKE_SCENARIOS,
@@ -57,6 +67,17 @@ from repro.cluster.control_plane import (
     ClusterPolicy,
     ClusterRequestStatus,
     ClusterSubmission,
+)
+from repro.cluster.disagg import (
+    DISAGG_BROWNOUT_LADDER,
+    DisaggAutoscaler,
+    DisaggAutoscalerPolicy,
+    DisaggControlPlane,
+    DisaggPolicy,
+    HandoffAborted,
+    PoolSpec,
+    default_pools,
+    handoff_transfer_s,
 )
 from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
 from repro.cluster.workload import (
@@ -75,10 +96,13 @@ __all__ = [
     "ChaosReport", "ChaosScenario", "CircuitBreaker", "ClassMix",
     "ClassShed", "ClusterControlPlane", "ClusterOutcome",
     "ClusterPolicy", "ClusterRequestStatus", "ClusterSubmission",
-    "DEFAULT_CLASSES", "GroupRun", "NoHealthyReplica", "PriorityClass",
-    "QueueFull", "RateLimited", "Replica", "ReplicaHealth", "SCENARIOS",
-    "SMOKE_SCENARIOS", "TRACES", "TokenBucket", "TraceSpec",
-    "autoscale_bench", "build_workload", "format_report",
-    "generate_trace", "peak_rate", "rate_at", "run_autoscale",
-    "run_scenario", "run_suite",
+    "DEFAULT_CLASSES", "DISAGG_BROWNOUT_LADDER", "DisaggAutoscaler",
+    "DisaggAutoscalerPolicy", "DisaggControlPlane", "DisaggPolicy",
+    "GroupRun", "HandoffAborted", "NoHealthyReplica", "PoolSpec",
+    "PriorityClass", "QueueFull", "RateLimited", "Replica",
+    "ReplicaHealth", "SCENARIOS", "SMOKE_SCENARIOS", "TRACES",
+    "TokenBucket", "TraceSpec", "autoscale_bench", "build_workload",
+    "default_pools", "disagg_bench", "format_report", "generate_trace",
+    "handoff_transfer_s", "peak_rate", "rate_at", "run_autoscale",
+    "run_disagg", "run_scenario", "run_suite",
 ]

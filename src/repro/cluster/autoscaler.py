@@ -141,6 +141,12 @@ class Autoscaler:
     wall time.
     """
 
+    #: The brownout rung sequence this controller walks.  Subclasses may
+    #: extend it (the disaggregated fleet appends ``collapse-pools``);
+    #: rungs the base :meth:`_engage`/:meth:`_release` do not recognize
+    #: are routed to :meth:`_engage_custom`/:meth:`_release_custom`.
+    ladder: tuple[str, ...] = BROWNOUT_LADDER
+
     def __init__(self, policy: AutoscalerPolicy | None = None):
         self.policy = policy or AutoscalerPolicy()
         self.ticks = 0
@@ -174,7 +180,12 @@ class Autoscaler:
         pressure = self._pressure(plane)
         slo_breach = self._slo_breach(plane, t)
         self._scale(plane, t, pressure, slo_breach)
-        if self.policy.switch_plans and self._brownout.level < 3:
+        # Plan steering yields once the throughput-plan rung owns the
+        # profile lever (engaging rung i leaves the ladder at level i+1).
+        steer_cap = (self.ladder.index("throughput-plan")
+                     if "throughput-plan" in self.ladder
+                     else len(self.ladder))
+        if self.policy.switch_plans and self._brownout.level <= steer_cap:
             self._steer_plans(plane, t)
         if self.policy.brownout:
             self._brownout_tick(plane, t, pressure)
@@ -228,26 +239,37 @@ class Autoscaler:
 
         if self._up_streak >= policy.up_after and \
                 n_active < policy.max_replicas:
-            replica = plane.add_replica(policy.replica_shape, t,
-                                        spinup_s=policy.spinup_s)
+            self._scale_out(plane, t, pressure, slo_breach, n_active)
             self.scale_outs += 1
             self._up_streak = 0
-            plane.events.record(
-                AUTOSCALE_DECISION, action="scale-out", t_s=t,
-                replica=replica.name, pressure=round(pressure, 3),
-                slo_breach=slo_breach, fleet=n_active + 1)
         elif self._down_streak >= policy.down_after and \
                 n_active > policy.min_replicas and \
                 self._brownout.level == 0:
-            victims = plane.active_replicas()
-            victim = victims[-1]  # LIFO: retire the newest first
-            plane.begin_scale_in(victim.name, t)
-            self.scale_ins += 1
-            self._down_streak = 0
-            plane.events.record(
-                AUTOSCALE_DECISION, action="scale-in", t_s=t,
-                replica=victim.name, pressure=round(pressure, 3),
-                fleet=n_active - 1)
+            if self._scale_in(plane, t, pressure, n_active):
+                self.scale_ins += 1
+                self._down_streak = 0
+
+    def _scale_out(self, plane, t: float, pressure: float,
+                   slo_breach: bool, n_active: int) -> None:
+        """Provision one replica (subclasses pick pool/shape)."""
+        replica = plane.add_replica(self.policy.replica_shape, t,
+                                    spinup_s=self.policy.spinup_s)
+        plane.events.record(
+            AUTOSCALE_DECISION, action="scale-out", t_s=t,
+            replica=replica.name, pressure=round(pressure, 3),
+            slo_breach=slo_breach, fleet=n_active + 1)
+
+    def _scale_in(self, plane, t: float, pressure: float,
+                  n_active: int) -> bool:
+        """Begin draining one replica; ``False`` when none is eligible."""
+        victims = plane.active_replicas()
+        victim = victims[-1]  # LIFO: retire the newest first
+        plane.begin_scale_in(victim.name, t)
+        plane.events.record(
+            AUTOSCALE_DECISION, action="scale-in", t_s=t,
+            replica=victim.name, pressure=round(pressure, 3),
+            fleet=n_active - 1)
+        return True
 
     # -- plan steering ------------------------------------------------------
 
@@ -303,7 +325,7 @@ class Autoscaler:
         at_capacity = len(plane.active_replicas()) >= policy.max_replicas
         if pressure >= policy.brownout_enter_pressure and at_capacity:
             self._calm_streak = 0
-            if state.level < len(BROWNOUT_LADDER):
+            if state.level < len(self.ladder):
                 self._engage(plane, t, pressure)
         elif pressure <= policy.brownout_exit_pressure:
             self._calm_streak += 1
@@ -313,9 +335,17 @@ class Autoscaler:
         else:
             self._calm_streak = 0
 
+    def _engage_custom(self, plane, t: float, rung: str) -> None:
+        """Engage a rung the base ladder does not define (subclasses)."""
+        raise ValueError(f"unknown brownout rung {rung!r}")
+
+    def _release_custom(self, plane, t: float, rung: str) -> None:
+        """Release a rung the base ladder does not define (subclasses)."""
+        raise ValueError(f"unknown brownout rung {rung!r}")
+
     def _engage(self, plane, t: float, pressure: float) -> None:
         state = self._brownout
-        rung = BROWNOUT_LADDER[state.level]
+        rung = self.ladder[state.level]
         if rung == "hedge-off":
             plane.hedging_enabled = False
         elif rung == "cap-output":
@@ -338,6 +368,8 @@ class Autoscaler:
             for name in state.shed:
                 plane.admission.set_limits(name, accept=False, now_s=t,
                                            reason=f"brownout {rung}")
+        else:
+            self._engage_custom(plane, t, rung)
         state.level += 1
         state.engaged.append(rung)
         plane.events.record(
@@ -349,7 +381,7 @@ class Autoscaler:
     def _release(self, plane, t: float, pressure: float) -> None:
         state = self._brownout
         state.level -= 1
-        rung = BROWNOUT_LADDER[state.level]
+        rung = self.ladder[state.level]
         if rung == "hedge-off":
             plane.hedging_enabled = True
         elif rung == "cap-output":
@@ -365,6 +397,8 @@ class Autoscaler:
                                            reason=f"brownout {rung} "
                                                   f"released")
             state.shed = ()
+        else:
+            self._release_custom(plane, t, rung)
         plane.events.record(
             BROWNOUT_RECOVERED, step=rung, level=state.level, t_s=t,
             pressure=round(pressure, 3))

@@ -36,6 +36,11 @@ from repro.cluster.control_plane import (
     ClusterPolicy,
     ClusterRequestStatus,
 )
+from repro.cluster.disagg import (
+    DisaggControlPlane,
+    DisaggPolicy,
+    default_pools,
+)
 from repro.cluster.workload import TRACES, generate_trace
 from repro.model import init_weights
 from repro.observability.metrics import slo_summary
@@ -224,6 +229,165 @@ def autoscale_bench(*, backend: str = "loop", seed: int = 0,
         results.append(result)
     return {
         "bench": "autoscale",
+        "backend": backend,
+        "seed": seed,
+        "traces": results,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# -- disaggregated prefill/decode vs colocated (BENCH_disagg.json) ----------
+
+#: The disagg benchmark's cost model: the bench fleet speed plus the
+#: Section 3.2 specialization payoff — a pool steered to its phase's
+#: end of the Pareto frontier (2D weight-stationary prefill,
+#: weight-gathered decode) runs that phase at 0.6x the balanced cost.
+#: Colocated replicas stay on the balanced plan (one plan must serve
+#: both phases), so they keep the exact legacy numbers.
+DISAGG_COSTS = CostModel(
+    prefill_s=0.05, decode_step_s=0.01,
+    prefill_profile_factors=(("weight-stationary", 0.6),),
+    decode_profile_factors=(("weight-gathered", 0.6),))
+
+#: Pool shapes for the benchmark fleet: one prefill replica and one
+#: decode replica, against a colocated fleet of the same two shapes —
+#: equal chips, so any goodput edge is architecture, not hardware.
+DISAGG_POOL_SHAPES: tuple[tuple, tuple] = (((2, 2, 2),), ((2, 2, 2),))
+
+
+def _serve_disagg(trace: str, seed: int, backend: str):
+    """The disaggregated fleet serving the seeded trace."""
+    spec = TRACES[trace]
+    weights = init_weights(CHAOS_CONFIG, seed=0)
+    submissions = generate_trace(spec, seed,
+                                 vocab_size=CHAOS_CONFIG.vocab_size)
+    pools = default_pools(*DISAGG_POOL_SHAPES)
+    plane = DisaggControlPlane(
+        weights, pools, backend=backend, decode_batch=4,
+        classes=spec.priority_classes(), costs=DISAGG_COSTS,
+        policy=DisaggPolicy(max_batch_wait_s=0.05))
+    outcomes = plane.serve(submissions)
+    return plane, outcomes
+
+
+def _serve_colocated(trace: str, seed: int, backend: str,
+                     n_replicas: int):
+    """The equal-chip colocated reference (balanced plans, no pools)."""
+    spec = TRACES[trace]
+    weights = init_weights(CHAOS_CONFIG, seed=0)
+    submissions = generate_trace(spec, seed,
+                                 vocab_size=CHAOS_CONFIG.vocab_size)
+    plane = ClusterControlPlane(
+        weights, [(2, 2, 2)] * n_replicas, backend=backend,
+        decode_batch=4, classes=spec.priority_classes(),
+        costs=DISAGG_COSTS, policy=BENCH_CLUSTER_POLICY)
+    outcomes = plane.serve(submissions)
+    return plane, outcomes
+
+
+def run_disagg(trace: str, *, backend: str = "loop",
+               seed: int = 0) -> dict:
+    """Disaggregated vs colocated on one trace -> JSON-ready row."""
+    n_colocated = sum(len(s) for s in DISAGG_POOL_SHAPES)
+    plane, outcomes = _serve_disagg(trace, seed, backend)
+    co_plane, co_outcomes = _serve_colocated(trace, seed, backend,
+                                             n_colocated)
+
+    def _summarise(pl, outs):
+        finished = [o for o in outs if o.completion is not None]
+        makespan = max((o.finish_s for o in finished), default=0.0)
+        statuses = {s.value: 0 for s in ClusterRequestStatus}
+        for o in outs:
+            statuses[o.status.value] += 1
+        return {
+            "statuses": statuses,
+            "dropped_in_flight": (len(outs) - statuses["rejected"]
+                                  - len(finished) - statuses["failed"]),
+            "makespan_s": round(makespan, 6),
+            "goodput_tok_s": round(_goodput(outs, makespan), 6),
+            "interactive_goodput_tok_s": round(
+                _class_goodput(outs, makespan, "interactive"), 6),
+            "chip_seconds": round(pl.fleet_chip_seconds(pl.now_s), 6),
+            "chips": sum(r.full_chips for r in pl.replicas),
+        }, makespan
+
+    disagg, makespan = _summarise(plane, outcomes)
+    colocated, _ = _summarise(co_plane, co_outcomes)
+    disagg.update({
+        "kv_handoffs": plane.kv_handoffs,
+        "kv_handoff_bytes": plane.kv_handoff_bytes,
+        "handoffs_colocated": plane.handoffs_colocated,
+        "handoff_transfer_s": round(sum(
+            e.data["transfer_s"]
+            for e in plane.events.of_kind("kv_handoff")), 9),
+        "handoff_overlapped_s": round(sum(
+            e.data["overlapped_s"]
+            for e in plane.events.of_kind("kv_handoff")), 9),
+    })
+    return {
+        "trace": trace,
+        "seed": seed,
+        "backend": backend,
+        "n_requests": len(outcomes),
+        "disagg": disagg,
+        "colocated": colocated,
+        "bit_identical_vs_colocated": _bit_identical(outcomes,
+                                                     co_outcomes),
+        "classes": {name: slo.as_dict() for name, slo
+                    in sorted(slo_summary(plane.events).items())},
+    }
+
+
+def check_disagg_result(result: dict, *, gate_goodput: bool) -> list[str]:
+    """The disagg benchmark's acceptance gates -> list of violations."""
+    v = []
+    d, c = result["disagg"], result["colocated"]
+    for side, row in (("disagg", d), ("colocated", c)):
+        if row["dropped_in_flight"]:
+            v.append(f"{side}: {row['dropped_in_flight']} requests "
+                     f"dropped in flight")
+        if row["statuses"]["failed"]:
+            v.append(f"{side}: {row['statuses']['failed']} requests "
+                     f"FAILED")
+    if d["chips"] != c["chips"]:
+        v.append(f"unequal fleets: {d['chips']} vs {c['chips']} chips")
+    if not result["bit_identical_vs_colocated"]:
+        v.append("completions diverged from the colocated fleet")
+    if d["kv_handoffs"] < 1:
+        v.append("no KV handoffs happened (pools never exercised)")
+    if gate_goodput and \
+            d["interactive_goodput_tok_s"] < c["interactive_goodput_tok_s"]:
+        v.append(f"disagg interactive goodput "
+                 f"{d['interactive_goodput_tok_s']} < colocated "
+                 f"{c['interactive_goodput_tok_s']} tok/s")
+    return v
+
+
+def disagg_bench(*, backend: str = "loop", seed: int = 0,
+                 check_determinism: bool = True) -> dict:
+    """The full disagg benchmark: one JSON document.
+
+    ``flash-crowd`` is the gated trace (disagg must beat the equal-chip
+    colocated fleet on interactive goodput); ``heavy-tail`` rides along
+    informationally — its long prompts move more KV bytes per handoff
+    but its decode-bound tail narrows the specialization edge.
+    """
+    results = []
+    violations = []
+    for name, gated in (("flash-crowd", True), ("heavy-tail", False)):
+        result = run_disagg(name, backend=backend, seed=seed)
+        if check_determinism:
+            rerun = run_disagg(name, backend=backend, seed=seed)
+            result["deterministic"] = rerun == result
+            if not result["deterministic"]:
+                violations.append(f"{name}: re-run diverged")
+        result["goodput_gated"] = gated
+        for problem in check_disagg_result(result, gate_goodput=gated):
+            violations.append(f"{name}: {problem}")
+        results.append(result)
+    return {
+        "bench": "disagg",
         "backend": backend,
         "seed": seed,
         "traces": results,

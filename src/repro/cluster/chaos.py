@@ -52,6 +52,12 @@ from repro.cluster.control_plane import (
     ClusterRequestStatus,
     ClusterSubmission,
 )
+from repro.cluster.disagg import (
+    DisaggAutoscaler,
+    DisaggControlPlane,
+    PoolSpec,
+    default_pools,
+)
 from repro.cluster.workload import TRACES, generate_trace
 from repro.events import EventLog
 from repro.mesh.faults import (
@@ -103,6 +109,11 @@ class ChaosScenario:
     #: Cost model override; trace scenarios slow the virtual replicas
     #: down so the trace's bursts create real queueing pressure.
     costs: CostModel | None = None
+    #: Disaggregated serving: pool specs replace ``shapes`` and the
+    #: scenario runs on a :class:`~repro.cluster.disagg.
+    #: DisaggControlPlane` (fault plan indices follow the concatenated
+    #: prefill-then-decode replica order).
+    pools: tuple[PoolSpec, ...] = ()
     #: Invariants the report checks beyond the universal ones.
     expect_failovers: bool = False
     expect_hedges: bool = False
@@ -113,6 +124,7 @@ class ChaosScenario:
     expect_breaker_round_trip: bool = False
     expect_brownout: bool = False
     expect_scale_out: bool = False
+    expect_handoffs: bool = False
 
 
 SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
@@ -222,6 +234,39 @@ SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
         expect_failovers=True,
         expect_scale_out=True,
     ),
+    ChaosScenario(
+        name="prefill-kill-mid-handoff",
+        description="disaggregated pools: a prefill replica's chip dies "
+                    "exactly at the KV handoff; the in-flight caches are "
+                    "lost, failover re-prefills in the prefill pool, and "
+                    "every surviving handoff lands bit-identical tokens "
+                    "on the decode pool",
+        pools=default_pools([(2, 2, 2), (2, 2, 2)], [(2, 2, 2)]),
+        fault_plans=((0, FaultPlan(faults=(
+            ChipKill(chip=(0, 1, 0), at_step=1, phase="handoff"),))),),
+        n_requests=12,
+        expect_failovers=True,
+        expect_handoffs=True,
+    ),
+    ChaosScenario(
+        name="flash-crowd-disagg",
+        description="flash-crowd spike on disaggregated pools pinned at "
+                    "capacity; the brownout ladder climbs to collapse-"
+                    "to-colocated, merges the pools under pressure, and "
+                    "fully reverses (pools split again) after the crowd",
+        pools=default_pools([(2, 2, 2)], [(2, 2, 2)]),
+        trace="flash-crowd",
+        classes=TRACES["flash-crowd"].priority_classes(),
+        autoscale=AutoscalerPolicy(
+            min_replicas=2, max_replicas=2, scale_out_pressure=6.0,
+            brownout_enter_pressure=8.0, brownout_exit_pressure=2.0,
+            recover_after=2),
+        costs=CostModel(prefill_s=0.05, decode_step_s=0.01),
+        policy=ClusterPolicy(max_batch_wait_s=0.05),
+        allow_rejections=True,
+        expect_brownout=True,
+        expect_handoffs=True,
+    ),
 )}
 
 #: The fast subset CI runs on every push (all of them are cheap; the
@@ -259,6 +304,9 @@ class ChaosReport:
     brownout_reverted: bool = True
     output_capped: int = 0
     fleet_chip_seconds: float = 0.0
+    kv_handoffs: int = 0
+    kv_handoff_bytes: int = 0
+    handoffs_colocated: int = 0
     #: Per-replica :meth:`StepCompiler.stats` snapshots (retired
     #: replicas included), keyed by replica name.
     capture_stats: dict[str, dict] = field(default_factory=dict)
@@ -325,6 +373,8 @@ def _check(report: ChaosReport, scenario: ChaosScenario,
         v.append("expected failovers; saw none")
     if scenario.expect_hedges and not report.hedges:
         v.append("expected hedged decodes; saw none")
+    if scenario.expect_handoffs and not report.kv_handoffs:
+        v.append("expected cross-pool KV handoffs; saw none")
     if scenario.expect_brownout and not report.brownout_steps:
         v.append("expected the brownout ladder to engage; it never did")
     if not report.brownout_reverted:
@@ -375,10 +425,11 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     weights = init_weights(CHAOS_CONFIG, seed=weights_seed)
     submissions = build_workload(scenario, seed)
     events = event_log if event_log is not None else EventLog()
-    autoscaler = (Autoscaler(scenario.autoscale)
+    scaler_cls = DisaggAutoscaler if scenario.pools else Autoscaler
+    autoscaler = (scaler_cls(scenario.autoscale)
                   if scenario.autoscale is not None else None)
-    plane = ClusterControlPlane(
-        weights, scenario.shapes, backend=backend,
+    common = dict(
+        backend=backend,
         decode_batch=scenario.decode_batch,
         classes=scenario.classes,
         fault_plans=dict(scenario.fault_plans),
@@ -387,6 +438,10 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
         policy=scenario.policy, event_log=events, tracer=tracer,
         prompt_len_hint=PROMPT_LEN, step_threads=step_threads,
         autoscaler=autoscaler)
+    if scenario.pools:
+        plane = DisaggControlPlane(weights, scenario.pools, **common)
+    else:
+        plane = ClusterControlPlane(weights, scenario.shapes, **common)
     outcomes = plane.serve(submissions)
     reference = reference_completions(submissions, weights,
                                       scenario.decode_batch)
@@ -420,6 +475,10 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     report.plan_switches = len(events.of_kind("plan_switched"))
     report.output_capped = sum(1 for o in outcomes if o.output_capped)
     report.fleet_chip_seconds = plane.fleet_chip_seconds(plane.now_s)
+    handoffs = events.of_kind("kv_handoff")
+    report.kv_handoffs = len(handoffs)
+    report.kv_handoff_bytes = sum(e["bytes"] for e in handoffs)
+    report.handoffs_colocated = getattr(plane, "handoffs_colocated", 0)
     report.capture_stats = {
         r.name: r.step_compiler.stats()
         for r in list(plane.replicas) + plane.retired}
@@ -487,6 +546,11 @@ def format_report(report: ChaosReport) -> str:
         f"  tokens bit-identical to reference: "
         f"{'yes' if report.bit_identical else 'NO'}",
     ]
+    if report.kv_handoffs or report.handoffs_colocated:
+        lines.append(
+            f"  disagg: {report.kv_handoffs} KV handoffs "
+            f"({report.kv_handoff_bytes} B across the link), "
+            f"{report.handoffs_colocated} decoded in place")
     if report.rejections:
         shed = ", ".join(f"{k}={n}" for k, n
                          in sorted(report.rejections.items()))

@@ -248,10 +248,22 @@ class ClusterControlPlane:
         for replica in self.replicas:
             replica.heartbeat(now_s)
 
+    def _phase_candidates(self, phase: str) -> list[Replica]:
+        """Replicas eligible to serve ``phase`` ("prefill"/"decode"/"any").
+
+        The base plane is colocated — every replica runs both phases —
+        so the phase is ignored here.  The disaggregated plane
+        (:mod:`repro.cluster.disagg`) overrides this to route each phase
+        to its pool.
+        """
+        return self.replicas
+
     def _pick_replica(self, now_s: float, request_id: int,
                       priority_class: str,
-                      exclude: Replica | None = None) -> Replica:
-        candidates = [r for r in self.replicas if r.dispatchable
+                      exclude: Replica | None = None,
+                      phase: str = "any") -> Replica:
+        candidates = [r for r in self._phase_candidates(phase)
+                      if r.dispatchable
                       and self.breakers[r.name].allow(now_s)]
         if exclude is not None and len(candidates) > 1:
             candidates = [r for r in candidates if r is not exclude]
@@ -442,7 +454,9 @@ class ClusterControlPlane:
                 return
             self._heartbeat_all(self.now_s)
             self._autoscale(self.now_s)
-            free = [r.busy_until_s for r in self.replicas
+            # New groups start with prefill, so dispatch readiness is
+            # judged against the replicas that could run one.
+            free = [r.busy_until_s for r in self._phase_candidates("prefill")
                     if r.dispatchable]
             if up_to_s is not None and (not free or min(free) > up_to_s):
                 return  # every replica still busy: backlog builds up
@@ -484,7 +498,8 @@ class ClusterControlPlane:
         self._group_counter += 1
 
         try:
-            replica = self._pick_replica(self.now_s, first_rid, first_class)
+            replica = self._pick_replica(self.now_s, first_rid, first_class,
+                                         phase="prefill")
         except NoHealthyReplica as exc:
             self._fail_group(subs, by_id, error=type(exc).__name__,
                              failovers=0)
@@ -514,6 +529,14 @@ class ClusterControlPlane:
                                 len(r.prompt) for r in run.group)
                             if first_token_s is None:
                                 first_token_s = t
+                            # Phase boundary: the disaggregated plane's
+                            # KV handoff happens here (may raise a
+                            # MeshFault -> the failover path below).
+                            prev = run.replica.name
+                            run, t = self._after_prefill(run, t, gid)
+                            if run.replica.name != prev:
+                                self._running.discard(prev)
+                                self._running.add(run.replica.name)
                         slow_steps = 0
                         while not run.done:
                             drained = self._maybe_drain(run, t)
@@ -529,8 +552,8 @@ class ClusterControlPlane:
                             self._set_now(t)
                             self.decode_tokens += len(run.group)
                             self._autoscale(t)
-                            expected = self.costs.decode_step_s * \
-                                run.replica.scale
+                            expected = self.costs.decode_cost_s(
+                                run.replica.profile) * run.replica.scale
                             slow_steps = slow_steps + 1 \
                                 if dt > self.policy.hedge_slowdown * expected \
                                 else 0
@@ -568,7 +591,7 @@ class ClusterControlPlane:
                         try:
                             target = self._pick_replica(
                                 t, first_rid, first_class,
-                                exclude=run.replica)
+                                exclude=run.replica, phase="prefill")
                         except NoHealthyReplica as nhr_exc:
                             self._fail_group(subs, by_id,
                                              error=type(nhr_exc).__name__,
@@ -611,6 +634,18 @@ class ClusterControlPlane:
 
     # -- fault / drain / hedge handling ------------------------------------
 
+    def _after_prefill(self, run: GroupRun, t: float,
+                       gid: int) -> tuple[GroupRun, float]:
+        """Hook between a group's prefill and its decode loop.
+
+        The colocated base plane decodes where it prefilled, so this is
+        the identity.  The disaggregated plane overrides it to hand the
+        finished KV caches to a decode-pool replica (and may raise a
+        :class:`~repro.mesh.faults.MeshFault`, which the caller's
+        failover handler turns into a re-prefill).
+        """
+        return run, t
+
     def _on_group_fault(self, replica: Replica, exc: MeshFault,
                         t: float) -> float:
         self.events.record(FAULT_DETECTED, replica=replica.name,
@@ -641,7 +676,8 @@ class ClusterControlPlane:
         source.busy_until_s = t
         rid = run.group[0].request_id
         try:
-            target = self._pick_replica(t, rid, "default", exclude=source)
+            target = self._pick_replica(t, rid, "default", exclude=source,
+                                        phase="decode")
         except NoHealthyReplica:
             # Nowhere to go: cancel the drain and keep serving here.
             source.set_health(ReplicaHealth.DEGRADED, t,
@@ -676,7 +712,7 @@ class ClusterControlPlane:
         rid = run.group[0].request_id
         try:
             backup = self._pick_replica(t, rid, "default",
-                                        exclude=run.replica)
+                                        exclude=run.replica, phase="decode")
         except NoHealthyReplica:
             return True, None  # nobody to hedge to; don't retry the check
         if backup is run.replica:
@@ -740,7 +776,7 @@ class ClusterControlPlane:
         rid = run.group[0].request_id
         try:
             backup = self._pick_replica(t, rid, "default",
-                                        exclude=run.replica)
+                                        exclude=run.replica, phase="decode")
         except NoHealthyReplica:
             return t, None  # nobody to hedge to; don't retry the check
         if backup is run.replica:

@@ -44,6 +44,7 @@ from repro.partitioning.degraded import (
     plan_batch_group,
     replan_after_failure,
     select_degraded_plan,
+    select_prefill_profile_plan,
     select_profile_plan,
 )
 from repro.partitioning.selector import Phase
@@ -91,8 +92,12 @@ class Replica:
         self.prefill_chunk = (default_prefill_chunk()
                               if prefill_chunk == "auto" else prefill_chunk)
         # Decode-plan profile the autoscaler steers (see switch_profile):
-        # "balanced" is the selector's own pick.
+        # "balanced" is the selector's own pick.  The prefill profile is
+        # steered separately by the disaggregated prefill pool (see
+        # switch_prefill_profile / repro.cluster.disagg).
         self.profile = "balanced"
+        self.prefill_profile = "balanced"
+        self.prompt_len_hint = prompt_len_hint
 
         config = weights.config
         torus = Torus3D(*shape)
@@ -219,8 +224,8 @@ class Replica:
         self.prefill_model = deploy.prefill_model
         self.decode_model = deploy.decode_model
         self.step_compiler.invalidate()
-        self.profile = "balanced"  # replan re-selects; profile re-applies
-                                   # at the next group dispatch
+        self.profile = "balanced"  # replan re-selects; profiles re-apply
+        self.prefill_profile = "balanced"  # at the next group dispatch
 
     def switch_profile(self, profile: str, now_s: float) -> bool:
         """Move the decode model to one end of the Pareto frontier.
@@ -274,6 +279,61 @@ class Replica:
             t_s=now_s)
         if self.tracer is not None:
             self.tracer.mark(f"plan:{self.name}:{profile}",
+                             plan=f"{plan.ffn.value}/"
+                                  f"{plan.attention.value}")
+        return True
+
+    def switch_prefill_profile(self, profile: str, now_s: float) -> bool:
+        """Move the *prefill* model to one end of the Pareto frontier.
+
+        The prefill counterpart of :meth:`switch_profile`, steered by the
+        disaggregated prefill pool (:mod:`repro.cluster.disagg`):
+        ``"balanced"`` is the selector's own pick and
+        ``"weight-stationary"`` prefers the 2D weight-stationary layout
+        of Section 3.2.2.  Only the prefill model is rebuilt — the decode
+        model and its KV layout stay put, and prefill-chunk programs for
+        the new plan capture under their own signatures, so nothing is
+        invalidated.  Returns ``True`` when the plan actually changed; a
+        profile with no valid plan on the current slice is refused.
+        """
+        from repro.layouts.model import ShardedTransformer
+
+        if profile not in ("balanced", "weight-stationary",
+                           "weight-gathered"):
+            raise ValueError(f"unknown prefill profile {profile!r}")
+        if profile == self.prefill_profile:
+            return False
+        config = self.weights.config
+        torus = Torus3D(*self.mesh.shape)
+        try:
+            if profile == "balanced":
+                plan = select_degraded_plan(
+                    config, torus, Phase.PREFILL, batch=1,
+                    tokens_per_seq=self.prompt_len_hint)
+            else:
+                plan = select_prefill_profile_plan(
+                    config, torus, self.prompt_len_hint,
+                    weight_gathered=(profile == "weight-gathered"))
+        except ValueError:
+            return False
+        old_plan = self.prefill_model.plan
+        if plan == old_plan:
+            self.prefill_profile = profile
+            return False
+        try:
+            self.prefill_model = self.decode_model.with_plan(plan)
+        except ValueError:
+            self.prefill_model = ShardedTransformer(self.weights,
+                                                    self.mesh, plan)
+        self.prefill_profile = profile
+        self.events.record(
+            PLAN_SWITCHED, replica=self.name, profile=profile,
+            phase="prefill",
+            old_plan=f"{old_plan.ffn.value}/{old_plan.attention.value}",
+            new_plan=f"{plan.ffn.value}/{plan.attention.value}",
+            t_s=now_s)
+        if self.tracer is not None:
+            self.tracer.mark(f"prefill-plan:{self.name}:{profile}",
                              plan=f"{plan.ffn.value}/"
                                   f"{plan.attention.value}")
         return True
@@ -337,7 +397,8 @@ class GroupRun:
             else:
                 logits, caches = replica.prefill_model.prefill(
                     request.prompt[None, :], max_len)
-            elapsed += replica.costs.prefill_s * replica.scale \
+            elapsed += replica.costs.prefill_cost_s(
+                replica.prefill_profile) * replica.scale \
                 + (replica.delay_s() - before)
             caches_per_request.append(caches)
             first_logits.append(logits)
@@ -389,7 +450,8 @@ class GroupRun:
     def finish_decode_step(self, logits: np.ndarray) -> float:
         """Commit one decode step's logits; returns its simulated cost."""
         replica = self.replica
-        elapsed = replica.costs.decode_step_s * replica.scale \
+        elapsed = replica.costs.decode_cost_s(replica.profile) \
+            * replica.scale \
             + (replica.delay_s() - self._delay_before)
         self.current = greedy(logits)
         self.generated.append(self.current[:, None])
@@ -404,6 +466,18 @@ class GroupRun:
             tokens = np.concatenate([request.prompt, all_generated[i, :n]])
             out.append(Completion(request.request_id, tokens, n))
         return out
+
+    def kv_cache_bytes(self) -> int:
+        """Bytes of live KV cache (every layer, K and V, padding rows
+        included — the handoff moves the merged batch as stored)."""
+        if self.caches is None:
+            return 0
+        total = 0
+        for cache in self.caches:
+            batch, _, n_kv_heads, d_head = cache.global_shape
+            total += 2 * batch * cache.length * n_kv_heads * d_head \
+                * np.dtype(cache.dtype).itemsize
+        return total
 
     def migrate_to(self, target: Replica) -> "GroupRun":
         """Re-dispatch this in-flight group onto ``target`` with its KV.

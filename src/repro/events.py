@@ -59,6 +59,14 @@ BROWNOUT_STEP = "brownout_step"
 BROWNOUT_RECOVERED = "brownout_recovered"
 ADMISSION_LIMITS_CHANGED = "admission_limits_changed"
 
+#: Disaggregated prefill/decode serving (see :mod:`repro.cluster.disagg`).
+#: ``KV_HANDOFF`` carries the bytes moved and the virtual-clock transfer
+#: cost priced by the Appendix A.1 link model; the pool events bracket
+#: the brownout ladder's collapse-to-colocated rung.
+KV_HANDOFF = "kv_handoff"
+POOLS_COLLAPSED = "pools_collapsed"
+POOLS_RESTORED = "pools_restored"
+
 
 @dataclass(frozen=True)
 class Event:

@@ -174,6 +174,48 @@ def select_profile_plan(config: ModelConfig, torus: Torus3D, batch: int,
         p.attention is not AttentionLayoutKind.BATCH))
 
 
+def select_prefill_profile_plan(config: ModelConfig, torus: Torus3D,
+                                tokens_per_seq: int, *,
+                                weight_gathered: bool) -> LayoutPlan:
+    """The best valid *prefill* plan on one side of the Pareto frontier.
+
+    The disaggregated prefill pool (see :mod:`repro.cluster.disagg`)
+    wants the paper's prefill-side frontier end: token-rich prefill
+    favors the 2D weight-stationary FFN (Section 3.2.2, communication
+    ``O(sqrt(n))`` per token) with head-sharded attention (prefill's KV
+    writes stay head-sharded, Section 3.3).  Prefill runs one request at
+    a time here, so only plans whose batch group divides 1 qualify —
+    which is exactly the head-sharded weight-stationary family; asking
+    for the weight-gathered side raises ``ValueError`` (those plans
+    shard over batch and cannot host a single-sequence prefill).
+    """
+    from repro.hardware.topology import Mesh
+    from repro.partitioning.plan import FfnLayoutKind
+
+    mesh = Mesh(*torus.shape)
+    plans = []
+    for ffn in FfnLayoutKind:
+        if ffn.is_weight_gathered != weight_gathered:
+            continue
+        for attn in AttentionLayoutKind:
+            plan = LayoutPlan(ffn, attn)
+            try:
+                plan.validate(config, mesh)
+            except ValueError:
+                continue
+            if plan_batch_group(plan, torus) <= 1:
+                plans.append(plan)
+    if not plans:
+        raise ValueError(
+            f"no valid "
+            f"{'weight-gathered' if weight_gathered else 'weight-stationary'} "
+            f"prefill layout for {config.name} on torus {torus}")
+    return min(plans, key=lambda p: (
+        p.ffn is not FfnLayoutKind.WS_2D,
+        ffn_volume(p.ffn, torus, tokens_per_seq, config.d_model,
+                   config.d_ff)))
+
+
 def select_degraded_plan(config: ModelConfig, torus: Torus3D, phase: Phase,
                          batch: int, tokens_per_seq: int) -> LayoutPlan:
     """Re-run the analytical selector for a (possibly shrunken) torus.

@@ -111,16 +111,39 @@ class CostModel:
     Per-invocation costs are multiplied by ``full_chips / current_chips``
     once the mesh is degraded (fewer chips -> proportionally slower), and
     straggler delay from :attr:`FaultState.sim_delay_s` is added on top.
+
+    The optional profile factor tables model the Section 3.2 Pareto gap
+    between partitioning plans: a replica running the named profile pays
+    ``base * factor`` per invocation.  Both default empty — every
+    profile then costs the base rate, which keeps legacy scenarios and
+    benchmark numbers exactly as they were.  Tuples (not dicts) keep the
+    dataclass hashable and frozen-safe.
     """
 
     prefill_s: float = 0.02
     decode_step_s: float = 0.002
     replan_s: float = 0.25
     backoff_base_s: float = 0.05
+    #: ``((profile, factor), ...)`` multipliers for prefill invocations,
+    #: keyed by the replica's *prefill* profile (see
+    #: :meth:`repro.cluster.replica.Replica.switch_prefill_profile`).
+    prefill_profile_factors: tuple[tuple[str, float], ...] = ()
+    #: Same, for decode steps, keyed by the decode profile.
+    decode_profile_factors: tuple[tuple[str, float], ...] = ()
 
     def backoff_s(self, attempt: int) -> float:
         """Exponential backoff before retry ``attempt`` (1-based)."""
         return self.backoff_base_s * (2.0 ** (attempt - 1))
+
+    def prefill_cost_s(self, profile: str = "balanced") -> float:
+        """Per-request prefill charge under the given prefill profile."""
+        return self.prefill_s * dict(self.prefill_profile_factors).get(
+            profile, 1.0)
+
+    def decode_cost_s(self, profile: str = "balanced") -> float:
+        """Per-step decode charge under the given decode profile."""
+        return self.decode_step_s * dict(self.decode_profile_factors).get(
+            profile, 1.0)
 
 
 class CacheMigrationFailed(MeshFault):

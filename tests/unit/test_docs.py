@@ -80,6 +80,60 @@ class TestRequiredHeadings:
         assert any("required doc file missing" in e for e in errors)
 
 
+class TestWikiLinks:
+    def test_repository_has_no_dangling_wiki_links(self):
+        assert checker.check_wiki_links() == []
+
+    def test_dangling_wiki_link_detected(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "real.md").write_text("exists")
+        doc = tmp_path / "README.md"
+        doc.write_text("see [[real]] and [[no-such-doc]]")
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        monkeypatch.setattr(checker, "DOC_FILES", ("README.md",))
+        monkeypatch.setattr(checker, "DOC_GLOBS", ())
+        errors = checker.check_wiki_links()
+        assert len(errors) == 1
+        assert "no-such-doc" in errors[0]
+
+
+class TestModuleDocstrings:
+    def test_repository_modules_all_documented(self):
+        assert checker.check_docstrings() == []
+
+    def test_cluster_docstrings_state_invariants(self):
+        # The cluster layer's contract words must stay in its module
+        # docstrings — docs/architecture.md leans on them.
+        import ast
+        for path in (ROOT / "src" / "repro" / "cluster").glob("*.py"):
+            doc = (ast.get_docstring(ast.parse(path.read_text()))
+                   or "").lower()
+            assert any(word in doc for word in
+                       ("virtual", "bit-ident", "determin", "typed")), \
+                f"{path.name}: docstring states no invariant"
+
+    def test_missing_docstring_detected(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "documented.py").write_text('"""Has a docstring."""\n')
+        (pkg / "bare.py").write_text("x = 1\n")
+        (pkg / "_private.py").write_text("y = 2\n")
+        monkeypatch.setattr(checker, "ROOT", tmp_path)
+        errors = checker.check_docstrings()
+        assert len(errors) == 1
+        assert "bare.py" in errors[0]
+
+
+class TestCommandConsistency:
+    TIER1 = "PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q"
+
+    def test_tier1_verify_line_documented_consistently(self):
+        # README quickstart and the ROADMAP verify line must advertise
+        # the exact same command.
+        assert self.TIER1 in (ROOT / "README.md").read_text()
+        assert self.TIER1 in (ROOT / "ROADMAP.md").read_text()
+
+
 class TestDoctests:
     def test_modules_with_prompts_discovered(self):
         modules = checker.doctest_modules()

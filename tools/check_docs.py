@@ -8,16 +8,21 @@ Run from the repo root (CI's docs job does both)::
 
 Link-check: every markdown link in ``docs/*.md``, ``README.md`` and
 ``EXPERIMENTS.md`` whose target is a relative path must resolve to a file
-in the repository (anchors and external URLs are skipped).  Required
+in the repository (anchors and external URLs are skipped), and every
+``[[wiki-style]]`` reference must resolve to a doc file.  Required
 headings: sections other parts of the repo point at (CI jobs, module
-docstrings) must keep existing — see ``REQUIRED_HEADINGS``.  Doctests:
-``doctest.testmod`` runs on every module under ``src/`` whose source
-contains a ``>>>`` prompt, so examples in docstrings cannot rot.
+docstrings) must keep existing — see ``REQUIRED_HEADINGS``.  Module
+docstrings: every public module under ``src/repro/`` must open with a
+non-empty docstring (the architecture tour in docs/architecture.md
+leans on them).  Doctests: ``doctest.testmod`` runs on every module
+under ``src/`` whose source contains a ``>>>`` prompt, so examples in
+docstrings cannot rot.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import doctest
 import importlib
 import pathlib
@@ -36,11 +41,31 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: ``[[target]]`` — wiki-style references must resolve to a doc file
+#: (``docs/<target>.md``, ``<target>.md`` or the literal path).
+_WIKI_LINK = re.compile(r"\[\[([^\]\n]+)\]\]")
+
 #: Doc sections that code elsewhere relies on (CI job descriptions,
 #: module docstrings, README cross-references).  Heading matching is by
 #: exact line prefix, so a renamed or deleted section fails the docs job
 #: instead of silently orphaning its references.
 REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
+    "docs/architecture.md": (
+        "## The mesh: simulated chips, real numerics",
+        "## Layouts and partitioning: the paper's Section 3",
+        "## Capture: trace-once decode programs",
+        "## Serving: one replica, two phases",
+        "## Cluster: fleets, faults, admission",
+        "## Autoscaling and disaggregation",
+    ),
+    "docs/cluster.md": (
+        "## Replicas and health (`repro.cluster.replica`)",
+        "## Admission control (`repro.cluster.admission`)",
+        "## Dispatch, failover, drain, hedging "
+        "(`repro.cluster.control_plane`)",
+        "## Disaggregated prefill/decode pools (`repro.cluster.disagg`)",
+        "## Chaos harness (`repro.cluster.chaos`)",
+    ),
     "docs/mesh_backends.md": (
         "## Capture and replay: the step compiler",
         "### Bit-exactness contract",
@@ -54,6 +79,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## The trace generator: load as pure data",
         "## The autoscaler policy",
         "## The brownout ladder",
+        "### The disagg ladder: collapse-to-colocated",
         "### Recovery conditions",
         "## The autoscale benchmark",
     ),
@@ -101,6 +127,46 @@ def check_links() -> list[str]:
     return errors
 
 
+def check_wiki_links() -> list[str]:
+    """All dangling ``[[...]]`` references, as ``file: target`` strings."""
+    errors = []
+    for doc in doc_files():
+        for match in _WIKI_LINK.finditer(doc.read_text()):
+            target = match.group(1).strip()
+            candidates = (
+                ROOT / "docs" / f"{target}.md",
+                ROOT / f"{target}.md",
+                doc.parent / target,
+                ROOT / target,
+            )
+            if not any(c.exists() for c in candidates):
+                errors.append(f"{doc.relative_to(ROOT)}: dangling wiki "
+                              f"link -> [[{target}]]")
+    return errors
+
+
+def public_modules() -> list[pathlib.Path]:
+    """Every public module file under ``src/repro/`` (``_private`` skipped,
+    package ``__init__.py`` files included)."""
+    modules = []
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        modules.append(path)
+    return modules
+
+
+def check_docstrings() -> list[str]:
+    """Public ``src/repro/`` modules lacking a non-empty docstring."""
+    errors = []
+    for path in public_modules():
+        doc = ast.get_docstring(ast.parse(path.read_text()))
+        if not doc or not doc.strip():
+            errors.append(f"{path.relative_to(ROOT)}: public module has "
+                          f"no docstring")
+    return errors
+
+
 def doctest_modules() -> list[str]:
     """Dotted names of ``src/`` modules containing doctest prompts."""
     modules = []
@@ -140,8 +206,11 @@ def main(argv: list[str] | None = None) -> int:
     errors = []
     if do_links:
         errors += check_links()
+        errors += check_wiki_links()
         errors += check_headings()
-        print(f"link-check: {len(doc_files())} files scanned")
+        errors += check_docstrings()
+        print(f"link-check: {len(doc_files())} files scanned, "
+              f"{len(public_modules())} module docstrings checked")
     if do_doctests:
         errors += run_doctests()
         print(f"doctests: {len(doctest_modules())} modules run")
