@@ -407,6 +407,64 @@ def cmd_chaos(args) -> int:
     return 0 if all_ok else 1
 
 
+#: The crash-recovery chaos scenarios the ``recovery`` CI job gates on.
+RECOVERY_SCENARIOS = ("control-plane-crash-mid-drain", "pool-partition",
+                      "restart-storm", "prefill-kill-mid-handoff")
+
+
+def cmd_recovery(args) -> int:
+    import json
+
+    from repro.cluster import SCENARIOS, format_report, run_scenario
+
+    names = list(RECOVERY_SCENARIOS) if args.scenario == "all" \
+        else [args.scenario]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown recovery scenario {unknown[0]!r}; "
+                         f"have {list(RECOVERY_SCENARIOS)} or 'all'")
+    backends = ("loop", "stacked") if args.backend == "both" \
+        else (args.backend,)
+    seeds = [int(s) for s in args.seeds.split(",")]
+    all_ok = True
+    runs = []
+    for backend in backends:
+        for seed in seeds:
+            for name in names:
+                report = run_scenario(name, backend=backend, seed=seed)
+                print(format_report(report))
+                print()
+                all_ok = all_ok and report.ok
+                runs.append({
+                    "scenario": name, "backend": backend, "seed": seed,
+                    "ok": report.ok, "violations": report.violations,
+                    "replay_matches": report.replay_matches,
+                    "audit_certified": report.audit_certified,
+                    "audit_violations": report.audit_violations,
+                    "journal_records": report.journal_records,
+                    "journal_truncated": report.journal_truncated,
+                    "restarts": report.restarts,
+                    "recoveries": report.recoveries,
+                    "quarantines": report.quarantines,
+                    "kv_handoffs": report.kv_handoffs,
+                    "handoff_retries": report.handoff_retries,
+                    "handoff_aborts": report.handoff_aborts,
+                    "handoff_dup_drops": report.handoff_dup_drops,
+                    "journal": report.journal_dump,
+                })
+    print(f"recovery: {len(runs)} runs, "
+          f"{sum(1 for r in runs if r['ok'])} ok")
+    if args.json:
+        doc = {"ok": all_ok, "runs": runs}
+        with open(args.json, "w") as f:
+            json.dump(doc, f, indent=2,
+                      default=lambda o: o.item()
+                      if hasattr(o, "item") else str(o))
+            f.write("\n")
+        print(f"recovery journal + audit artifact written to {args.json}")
+    return 0 if all_ok else 1
+
+
 def cmd_autoscale(args) -> int:
     import json
 
@@ -797,6 +855,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="write the last run's cluster span "
                                    "trace JSON here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("recovery",
+                       help="crash-recovery chaos: journal replay, "
+                            "transactional KV handoff, restart storms "
+                            "(docs/fault_tolerance.md)")
+    p.add_argument("--scenario", default="all",
+                   help="one of the recovery scenarios, or 'all' "
+                        "(control-plane-crash-mid-drain, pool-partition, "
+                        "restart-storm, prefill-kill-mid-handoff)")
+    p.add_argument("--backend", choices=["loop", "stacked", "both"],
+                   default="both", help="mesh execution backend")
+    p.add_argument("--seeds", default="0,1,7",
+                   help="comma-separated workload seeds")
+    p.add_argument("--json", help="write the journal + audit artifact "
+                                  "JSON here")
+    p.set_defaults(func=cmd_recovery)
 
     p = sub.add_parser("autoscale",
                        help="trace-driven autoscale benchmark "

@@ -20,12 +20,20 @@ the simulated substrate so every behavior is deterministic and testable:
   and a decode pool with an explicit A.1-priced KV handoff between
   them, pool-aware autoscaling and a collapse-to-colocated brownout
   rung;
+- :mod:`~repro.cluster.journal` — the control plane's write-ahead
+  journal of typed transitions; genesis snapshot + deterministic replay
+  reconstruct the control-plane state bit-identically (crash recovery);
+- :mod:`~repro.cluster.audit` — the invariant auditor that certifies a
+  run from its journal (request conservation, exactly-once KV handoff,
+  token bit-identity against the fault-free oracle);
 - :mod:`~repro.cluster.chaos` — seeded chaos scenarios and the reports
   the CI chaos job asserts on;
 - :mod:`~repro.cluster.bench` — the autoscale and disagg
   goodput/latency/cost benchmarks behind ``BENCH_autoscale.json`` and
   ``BENCH_disagg.json``.
 """
+
+from repro.cluster.audit import AuditReport, audit_run, format_audit
 
 from repro.cluster.admission import (
     DEFAULT_CLASSES,
@@ -67,6 +75,8 @@ from repro.cluster.control_plane import (
     ClusterPolicy,
     ClusterRequestStatus,
     ClusterSubmission,
+    FleetConfigError,
+    RestartSpec,
 )
 from repro.cluster.disagg import (
     DISAGG_BROWNOUT_LADDER,
@@ -75,9 +85,20 @@ from repro.cluster.disagg import (
     DisaggControlPlane,
     DisaggPolicy,
     HandoffAborted,
+    PoolPartition,
     PoolSpec,
     default_pools,
     handoff_transfer_s,
+)
+from repro.cluster.journal import (
+    JOURNAL_KINDS,
+    ControlPlaneState,
+    Journal,
+    JournalRecord,
+    JournalReplayMismatch,
+    JournalTruncated,
+    replay_journal,
+    token_crc,
 )
 from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
 from repro.cluster.workload import (
@@ -91,18 +112,21 @@ from repro.cluster.workload import (
 )
 
 __all__ = [
-    "AdmissionController", "AdmissionError", "Autoscaler",
+    "AdmissionController", "AdmissionError", "AuditReport", "Autoscaler",
     "AutoscalerPolicy", "BROWNOUT_LADDER", "BreakerState", "BurstWindow",
     "ChaosReport", "ChaosScenario", "CircuitBreaker", "ClassMix",
     "ClassShed", "ClusterControlPlane", "ClusterOutcome",
     "ClusterPolicy", "ClusterRequestStatus", "ClusterSubmission",
-    "DEFAULT_CLASSES", "DISAGG_BROWNOUT_LADDER", "DisaggAutoscaler",
-    "DisaggAutoscalerPolicy", "DisaggControlPlane", "DisaggPolicy",
-    "GroupRun", "HandoffAborted", "NoHealthyReplica", "PoolSpec",
+    "ControlPlaneState", "DEFAULT_CLASSES", "DISAGG_BROWNOUT_LADDER",
+    "DisaggAutoscaler", "DisaggAutoscalerPolicy", "DisaggControlPlane",
+    "DisaggPolicy", "FleetConfigError", "GroupRun", "HandoffAborted",
+    "JOURNAL_KINDS", "Journal", "JournalRecord", "JournalReplayMismatch",
+    "JournalTruncated", "NoHealthyReplica", "PoolPartition", "PoolSpec",
     "PriorityClass", "QueueFull", "RateLimited", "Replica",
-    "ReplicaHealth", "SCENARIOS", "SMOKE_SCENARIOS", "TRACES",
-    "TokenBucket", "TraceSpec", "autoscale_bench", "build_workload",
-    "default_pools", "disagg_bench", "format_report", "generate_trace",
-    "handoff_transfer_s", "peak_rate", "rate_at", "run_autoscale",
-    "run_disagg", "run_scenario", "run_suite",
+    "ReplicaHealth", "RestartSpec", "SCENARIOS", "SMOKE_SCENARIOS",
+    "TRACES", "TokenBucket", "TraceSpec", "audit_run", "autoscale_bench",
+    "build_workload", "default_pools", "disagg_bench", "format_audit",
+    "format_report", "generate_trace", "handoff_transfer_s", "peak_rate",
+    "rate_at", "replay_journal", "run_autoscale", "run_disagg",
+    "run_scenario", "run_suite", "token_crc",
 ]

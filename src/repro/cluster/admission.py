@@ -133,6 +133,12 @@ class AdmissionController:
         self._accepting = {c.name: True for c in classes}
         self.admitted = 0
         self.rejected: dict[str, int] = {}
+        # Write-ahead journal hook: the control plane points this at its
+        # Journal so accept/shed flips replay after a crash (the
+        # rate/burst knobs only shape future admissions, which are
+        # journaled individually — the accept flag is the one piece of
+        # *state* here).
+        self.journal = None
 
     def _reject(self, error_cls, message: str, request_id: int,
                 class_name: str) -> AdmissionError:
@@ -279,7 +285,12 @@ class AdmissionController:
                 bucket.burst = burst
                 bucket.level = min(bucket.level, float(burst))
         if accept is not None:
+            changed = self._accepting[class_name] != accept
             self._accepting[class_name] = accept
+            if changed and self.journal is not None:
+                self.journal.append("limits", now_s,
+                                    priority_class=class_name,
+                                    accept=accept)
         self.events.record(
             ADMISSION_LIMITS_CHANGED, priority_class=class_name,
             t_s=now_s, accept=self._accepting[class_name],

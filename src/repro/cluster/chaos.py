@@ -34,6 +34,21 @@ Built-in scenarios (:data:`SCENARIOS`):
 * ``diurnal-rolling-kill`` — a diurnal trace with a chip death at the
   daily peak; the autoscaler rides the curve (scale-out, then drain
   back) while failover absorbs the kill.
+* ``control-plane-crash-mid-drain`` — the control plane itself dies
+  with a drain pending; it recovers by replaying the write-ahead
+  journal and the drain still executes.
+* ``pool-partition`` — the decode pool drops off the heartbeat network
+  mid-run; the transactional KV handoff retries into the partition with
+  seeded backoff until it heals, and commits.
+* ``restart-storm`` — three scheduled replica process deaths (cold and
+  warm) roll through the fleet; in-flight groups fail over and every
+  replica rejoins after its restart downtime.
+
+Every run — chaotic or not — additionally proves its journal: replay
+must reconstruct the live control-plane state bit-identically, and the
+invariant auditor (:mod:`repro.cluster.audit`) must certify request
+conservation, exactly-once KV handoff, and token bit-identity against
+the fault-free oracle.
 """
 
 from __future__ import annotations
@@ -45,19 +60,24 @@ import numpy as np
 
 from repro.cluster.admission import PriorityClass
 from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.cluster.audit import audit_run
 from repro.cluster.control_plane import (
     ClusterControlPlane,
     ClusterOutcome,
     ClusterPolicy,
     ClusterRequestStatus,
     ClusterSubmission,
+    RestartSpec,
 )
 from repro.cluster.disagg import (
     DisaggAutoscaler,
     DisaggControlPlane,
+    DisaggPolicy,
+    PoolPartition,
     PoolSpec,
     default_pools,
 )
+from repro.cluster.journal import JournalTruncated, replay_journal
 from repro.cluster.workload import TRACES, generate_trace
 from repro.events import EventLog
 from repro.mesh.faults import (
@@ -114,6 +134,16 @@ class ChaosScenario:
     #: DisaggControlPlane` (fault plan indices follow the concatenated
     #: prefill-then-decode replica order).
     pools: tuple[PoolSpec, ...] = ()
+    #: Scheduled replica process deaths: (replica name, RestartSpec).
+    #: The replica crashes at ``at_s`` (failing any in-flight group over
+    #: to a sibling) and rejoins after its cold/warm restart downtime.
+    restarts: tuple[tuple[str, RestartSpec], ...] = ()
+    #: Heartbeat-loss windows that quarantine a whole disagg pool
+    #: (ignored for colocated scenarios).
+    partitions: tuple[PoolPartition, ...] = ()
+    #: Kill the control plane itself at this virtual time; it must
+    #: recover by replaying its write-ahead journal.
+    crash_at_s: float | None = None
     #: Invariants the report checks beyond the universal ones.
     expect_failovers: bool = False
     expect_hedges: bool = False
@@ -125,6 +155,10 @@ class ChaosScenario:
     expect_brownout: bool = False
     expect_scale_out: bool = False
     expect_handoffs: bool = False
+    expect_handoff_retries: bool = False
+    expect_restarts: bool = False
+    expect_recovery: bool = False
+    expect_quarantine: bool = False
 
 
 SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
@@ -237,16 +271,61 @@ SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
     ChaosScenario(
         name="prefill-kill-mid-handoff",
         description="disaggregated pools: a prefill replica's chip dies "
-                    "exactly at the KV handoff; the in-flight caches are "
-                    "lost, failover re-prefills in the prefill pool, and "
-                    "every surviving handoff lands bit-identical tokens "
-                    "on the decode pool",
+                    "exactly at the KV handoff; the transactional "
+                    "handoff's staged pages survive the source replan, "
+                    "the retry commits on a degraded source, and every "
+                    "handoff lands bit-identical tokens on the decode "
+                    "pool (the pre-transactional path aborted here)",
         pools=default_pools([(2, 2, 2), (2, 2, 2)], [(2, 2, 2)]),
         fault_plans=((0, FaultPlan(faults=(
             ChipKill(chip=(0, 1, 0), at_step=1, phase="handoff"),))),),
         n_requests=12,
-        expect_failovers=True,
         expect_handoffs=True,
+        expect_handoff_retries=True,
+    ),
+    ChaosScenario(
+        name="control-plane-crash-mid-drain",
+        description="the control plane crashes with a drain pending; it "
+                    "recovers by replaying the write-ahead journal "
+                    "(replayed state must be bit-identical to the live "
+                    "state) and the drain still executes afterwards",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        drains=(("r0", 0.04),),
+        crash_at_s=0.03,
+        n_requests=10,
+        expect_recovery=True,
+    ),
+    ChaosScenario(
+        name="pool-partition",
+        description="the decode pool drops off the heartbeat network "
+                    "mid-run and is quarantined; the transactional KV "
+                    "handoff retries into the partition with seeded "
+                    "jittered backoff until the pool heals, then commits "
+                    "exactly once",
+        pools=default_pools([(2, 2, 2)], [(2, 2, 2)]),
+        partitions=(PoolPartition("decode", 0.02, 0.25),),
+        policy=DisaggPolicy(handoff_retries=4,
+                            handoff_backoff_base_s=0.05),
+        n_requests=8,
+        arrival_spacing_s=0.01,
+        expect_handoffs=True,
+        expect_handoff_retries=True,
+        expect_quarantine=True,
+    ),
+    ChaosScenario(
+        name="restart-storm",
+        description="three scheduled replica process deaths (cold, "
+                    "warm, cold) roll through the fleet; in-flight "
+                    "groups fail over, each replica re-shards (cold) or "
+                    "rejoins warm after its downtime, and the journal "
+                    "records every crash/rejoin pair",
+        restarts=(("r0", RestartSpec(at_s=0.05, mode="cold")),
+                  ("r1", RestartSpec(at_s=0.15, mode="cold")),
+                  ("r2", RestartSpec(at_s=0.28, mode="warm"))),
+        n_requests=14,
+        arrival_spacing_s=0.03,
+        expect_failovers=True,
+        expect_restarts=True,
     ),
     ChaosScenario(
         name="flash-crowd-disagg",
@@ -307,6 +386,17 @@ class ChaosReport:
     kv_handoffs: int = 0
     kv_handoff_bytes: int = 0
     handoffs_colocated: int = 0
+    handoff_retries: int = 0
+    handoff_aborts: int = 0
+    handoff_dup_drops: int = 0
+    restarts: int = 0
+    recoveries: int = 0
+    quarantines: int = 0
+    journal_records: int = 0
+    journal_truncated: int = 0
+    replay_matches: bool = True
+    audit_certified: bool = True
+    audit_violations: list[str] = field(default_factory=list)
     #: Per-replica :meth:`StepCompiler.stats` snapshots (retired
     #: replicas included), keyed by replica name.
     capture_stats: dict[str, dict] = field(default_factory=dict)
@@ -316,6 +406,9 @@ class ChaosReport:
     violations: list[str] = field(default_factory=list)
     #: The run's span stream (virtual-clock timestamps), for export.
     spans: list = field(default_factory=list, repr=False)
+    #: The run's full journal as plain dicts (for the ``recovery`` CLI
+    #: artifact; small — tens of records per run).
+    journal_dump: list = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -358,6 +451,12 @@ def _check(report: ChaosReport, scenario: ChaosScenario,
     if not report.bit_identical:
         v.append("completed token streams diverged from the fault-free "
                  "reference")
+    if not report.replay_matches:
+        v.append("journal replay did not reconstruct the live "
+                 "control-plane state bit-identically")
+    if not report.audit_certified:
+        for violation in report.audit_violations:
+            v.append(f"audit: {violation}")
     if report.dropped_in_flight:
         v.append(f"{report.dropped_in_flight} admitted requests have no "
                  f"terminal outcome")
@@ -375,6 +474,15 @@ def _check(report: ChaosReport, scenario: ChaosScenario,
         v.append("expected hedged decodes; saw none")
     if scenario.expect_handoffs and not report.kv_handoffs:
         v.append("expected cross-pool KV handoffs; saw none")
+    if scenario.expect_handoff_retries and not report.handoff_retries:
+        v.append("expected the transactional handoff to retry; it "
+                 "never did")
+    if scenario.expect_restarts and not report.restarts:
+        v.append("expected replica restarts; saw none")
+    if scenario.expect_recovery and not report.recoveries:
+        v.append("expected a control-plane journal recovery; saw none")
+    if scenario.expect_quarantine and not report.quarantines:
+        v.append("expected a pool quarantine; saw none")
     if scenario.expect_brownout and not report.brownout_steps:
         v.append("expected the brownout ladder to engage; it never did")
     if not report.brownout_reverted:
@@ -437,9 +545,13 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
         costs=scenario.costs,
         policy=scenario.policy, event_log=events, tracer=tracer,
         prompt_len_hint=PROMPT_LEN, step_threads=step_threads,
-        autoscaler=autoscaler)
+        autoscaler=autoscaler,
+        restarts=dict(scenario.restarts),
+        crash_at_s=scenario.crash_at_s)
     if scenario.pools:
-        plane = DisaggControlPlane(weights, scenario.pools, **common)
+        plane = DisaggControlPlane(weights, scenario.pools,
+                                   partitions=scenario.partitions,
+                                   **common)
     else:
         plane = ClusterControlPlane(weights, scenario.shapes, **common)
     outcomes = plane.serve(submissions)
@@ -479,6 +591,27 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     report.kv_handoffs = len(handoffs)
     report.kv_handoff_bytes = sum(e["bytes"] for e in handoffs)
     report.handoffs_colocated = getattr(plane, "handoffs_colocated", 0)
+    report.handoff_retries = getattr(plane, "handoff_retries", 0)
+    report.handoff_aborts = getattr(plane, "handoff_aborts", 0)
+    report.handoff_dup_drops = getattr(plane, "handoff_dups_dropped", 0)
+    report.restarts = plane.restarts
+    report.recoveries = plane.recoveries
+    report.quarantines = len(events.of_kind("pool_quarantined"))
+    report.journal_records = len(plane.journal)
+    report.journal_truncated = plane.journal.truncated
+    try:
+        report.replay_matches = (replay_journal(plane.journal)
+                                 == plane.control_state())
+    except JournalTruncated:
+        report.replay_matches = False
+    audit = audit_run(
+        plane.journal, final_state=plane.control_state(),
+        reference={rid: c.tokens for rid, c in reference.items()})
+    report.audit_certified = audit.certified
+    report.audit_violations = list(audit.violations)
+    report.journal_dump = [
+        {"seq": r.seq, "t_s": r.t_s, "kind": r.kind, "data": dict(r.data)}
+        for r in plane.journal.records]
     report.capture_stats = {
         r.name: r.step_compiler.stats()
         for r in list(plane.replicas) + plane.retired}
@@ -546,11 +679,27 @@ def format_report(report: ChaosReport) -> str:
         f"  tokens bit-identical to reference: "
         f"{'yes' if report.bit_identical else 'NO'}",
     ]
+    lines.append(
+        f"  journal: {report.journal_records} records "
+        f"({report.journal_truncated} truncated), replay "
+        f"{'bit-identical' if report.replay_matches else 'DIVERGED'}, "
+        f"audit {'CERTIFIED' if report.audit_certified else 'VIOLATED'}")
     if report.kv_handoffs or report.handoffs_colocated:
         lines.append(
             f"  disagg: {report.kv_handoffs} KV handoffs "
             f"({report.kv_handoff_bytes} B across the link), "
             f"{report.handoffs_colocated} decoded in place")
+    if (report.handoff_retries or report.handoff_aborts
+            or report.handoff_dup_drops):
+        lines.append(
+            f"  handoff transactions: {report.handoff_retries} retries, "
+            f"{report.handoff_aborts} aborts, "
+            f"{report.handoff_dup_drops} duplicate deliveries dropped")
+    if report.restarts or report.recoveries or report.quarantines:
+        lines.append(
+            f"  recovery: {report.restarts} replica restarts, "
+            f"{report.recoveries} control-plane recoveries, "
+            f"{report.quarantines} pool quarantines")
     if report.rejections:
         shed = ", ".join(f"{k}={n}" for k, n
                          in sorted(report.rejections.items()))

@@ -50,18 +50,29 @@ from repro.cluster.admission import (
     NoHealthyReplica,
     PriorityClass,
 )
+from repro.cluster.journal import (
+    ControlPlaneState,
+    Journal,
+    JournalReplayMismatch,
+    diff_states,
+    replay_journal,
+    token_crc,
+)
 from repro.cluster.replica import GroupRun, Replica, ReplicaHealth
 from repro.events import (
+    CONTROL_PLANE_RECOVERED,
     FAILOVER,
     FAULT_DETECTED,
     HEDGE,
     REPLICA_ADDED,
+    REPLICA_REJOINED,
     REPLICA_REMOVED,
+    REPLICA_RESTARTED,
     REQUEST_COMPLETED,
     REQUEST_FAILED,
     EventLog,
 )
-from repro.mesh.faults import FaultPlan, MeshFault
+from repro.mesh.faults import FaultPlan, MeshFault, ReplicaCrashed
 from repro.observability.spans import Tracer
 from repro.serving.engine import Completion, Request
 from repro.serving.resilient import CostModel, ResilientRequest
@@ -81,6 +92,8 @@ class ClusterPolicy:
     breaker_failures: int = 3
     breaker_cooldown_s: float = 1.0
     plan_switch_s: float = 0.01        # decode-plan reshard (host-side)
+    cold_restart_s: float = 0.25       # process death: re-shard + re-init
+    warm_rejoin_s: float = 0.05        # journal-guided rejoin (cache inval)
     #: Age-based partial-group dispatch: a queued head older than this
     #: goes out even below ``decode_batch``.  ``None`` keeps the legacy
     #: full-groups-only behavior (mixed-length traces need the age
@@ -154,6 +167,80 @@ class _PendingGroup:
     submissions: list[ClusterSubmission]
 
 
+class FleetConfigError(ValueError):
+    """Invalid fleet topology: duplicate replica names, name/shape arity
+    mismatches, empty pools, or overlapping pool membership.  Raised at
+    construction time — a misconfigured fleet never serves a request —
+    mirroring :class:`~repro.mesh.faults.FaultPlan`'s eager validation.
+    """
+
+
+@dataclass(frozen=True)
+class RestartSpec:
+    """Scheduled full-replica process death (a chaos fault class).
+
+    Unlike a :class:`~repro.mesh.faults.ChipKill` — one chip fails and
+    the mesh replans around it — a restart takes the whole replica
+    process down at ``at_s``.  A group running there at that moment
+    fails over (re-prefill elsewhere); the replica itself comes back
+    after the policy's restart downtime:
+
+    * ``mode="cold"`` — full restart: re-shard the weights, rebuild
+      both phase models, empty capture caches
+      (``ClusterPolicy.cold_restart_s``).
+    * ``mode="warm"`` — journal-guided rejoin: the process state
+      survives, only the capture caches are invalidated
+      (``ClusterPolicy.warm_rejoin_s``).
+    """
+
+    at_s: float
+    mode: str = "cold"
+
+    def __post_init__(self):
+        if self.mode not in ("cold", "warm"):
+            raise ValueError(
+                f"restart mode must be 'cold' or 'warm', got {self.mode!r}")
+        if self.at_s < 0:
+            raise ValueError(f"restart at_s must be >= 0, got {self.at_s}")
+
+
+class _JournaledCaps(dict):
+    """Brownout output caps that journal every change as a lever record.
+
+    The autoscaler mutates ``plane.output_caps`` directly
+    (``caps[name] = cap`` on the way down the ladder, ``caps.pop(name)``
+    on the way back up), so journaling lives in the container rather
+    than at every call site.
+    """
+
+    def __init__(self, plane: "ClusterControlPlane"):
+        super().__init__()
+        self._plane = plane
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if self.get(key) != value:
+            self._plane._journal("lever", lever="output_cap",
+                                 priority_class=key, cap=value)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        if key in self:
+            self._plane._journal("lever", lever="output_cap",
+                                 priority_class=key, cap=None)
+        super().__delitem__(key)
+
+    def pop(self, key: str, *default):
+        if key in self:
+            self._plane._journal("lever", lever="output_cap",
+                                 priority_class=key, cap=None)
+        return super().pop(key, *default)
+
+    def replace_silently(self, mapping: Mapping[str, int]) -> None:
+        """Crash recovery: adopt replayed caps without re-journaling."""
+        super().clear()
+        super().update(mapping)
+
+
 class ClusterControlPlane:
     """N heterogeneous mesh replicas behind one admission front end."""
 
@@ -169,15 +256,37 @@ class ClusterControlPlane:
                  trace_mesh: bool = False,
                  prompt_len_hint: int = 64,
                  step_threads: int = 0,
-                 autoscaler=None):
+                 autoscaler=None,
+                 journal: Journal | None = None,
+                 restarts: Mapping[str, RestartSpec] | None = None,
+                 crash_at_s: float | None = None,
+                 names: Sequence[str] | None = None):
         if not shapes:
             raise ValueError("a cluster needs at least one replica")
         if step_threads < 0:
             raise ValueError("step_threads must be >= 0")
+        if names is None:
+            names = [f"r{i}" for i in range(len(shapes))]
+        else:
+            names = list(names)
+            if len(names) != len(shapes):
+                raise FleetConfigError(
+                    f"{len(names)} replica names for {len(shapes)} "
+                    f"shapes")
+            dupes = {n for n in names if names.count(n) > 1}
+            if dupes:
+                raise FleetConfigError(
+                    f"duplicate replica names: {sorted(dupes)}")
         self.costs = costs or CostModel()
         self.policy = policy or ClusterPolicy()
         self.events = event_log if event_log is not None else EventLog()
         self.now_s = 0.0
+        # The write-ahead journal records every control-plane transition
+        # on the virtual clock; ``serve()`` snapshots genesis state and
+        # the chaos harness asserts replay(genesis + journal) ==
+        # control_state() after every run.
+        self.journal = journal if journal is not None \
+            else Journal(event_log=self.events)
         # The tracer runs on the control plane's virtual clock: chaos
         # runs under a fixed seed produce bit-identical span streams.
         self.tracer = tracer if tracer is not None else Tracer(
@@ -188,13 +297,13 @@ class ClusterControlPlane:
         self.trace_mesh = trace_mesh
         self.prompt_len_hint = prompt_len_hint
         self.replicas = [
-            Replica(f"r{i}", weights, shape, backend=backend,
+            Replica(name, weights, shape, backend=backend,
                     decode_batch=decode_batch,
                     fault_plan=fault_plans.get(i), costs=self.costs,
                     event_log=self.events, tracer=self.tracer,
                     trace_mesh=trace_mesh,
                     prompt_len_hint=prompt_len_hint)
-            for i, shape in enumerate(shapes)]
+            for i, (name, shape) in enumerate(zip(names, shapes))]
         self.breakers = {
             r.name: CircuitBreaker(
                 r.name, failure_threshold=self.policy.breaker_failures,
@@ -203,18 +312,39 @@ class ClusterControlPlane:
             for r in self.replicas}
         self.admission = AdmissionController(
             tuple(classes), event_log=self.events, tracer=self.tracer)
+        self.admission.journal = self.journal
         self.decode_batch = decode_batch
         self._drains = dict(drains or {})
         self._group_counter = 0
         self.hedges = 0
         self.failovers = 0
+        # Crash-recovery state: scheduled replica process deaths, an
+        # optional control-plane crash point, and the completion ledgers
+        # whose equality with journal replay proves the journal complete.
+        known = {r.name for r in self.replicas}
+        restarts = dict(restarts or {})
+        unknown = sorted(set(restarts) - known)
+        if unknown:
+            raise FleetConfigError(
+                f"restart specs for unknown replicas: {unknown}")
+        self._restarts = restarts
+        self.crash_at_s = crash_at_s
+        self._crashed = False
+        self.restarts = 0
+        self.recoveries = 0
+        self._ledger_admitted: set[int] = set()
+        self._ledger_rejected: dict[int, str] = {}
+        self._ledger_completed: dict[int, tuple[int, int, bool]] = {}
+        self._ledger_failed: dict[int, str] = {}
         # Autoscaler hooks (see repro.cluster.autoscaler).  The control
         # plane only provides mechanism: the fleet roster, the brownout
         # levers below, and a tick call at every virtual-clock advance.
+        # Lever state lives in backing fields; the properties journal
+        # every change as a typed "lever" record.
         self.autoscaler = autoscaler
-        self.hedging_enabled = True            # brownout rung 1
-        self.output_caps: dict[str, int] = {}  # brownout rung 2
-        self.target_profile: str | None = None  # rung 3 / plan steering
+        self._hedging_enabled = True             # brownout rung 1
+        self.output_caps = _JournaledCaps(self)  # brownout rung 2
+        self._target_profile: str | None = None  # rung 3 / plan steering
         self.retiring: set[str] = set()
         self.retired: list[Replica] = []
         self.replica_added_s = {r.name: 0.0 for r in self.replicas}
@@ -242,11 +372,155 @@ class ClusterControlPlane:
     def _set_now(self, t: float) -> None:
         self.now_s = max(self.now_s, t)
 
+    # -- journal / crash recovery -------------------------------------------
+
+    def _journal(self, kind: str, t_s: float | None = None, **data):
+        self.journal.append(kind, self.now_s if t_s is None else t_s,
+                            **data)
+
+    @property
+    def hedging_enabled(self) -> bool:
+        return self._hedging_enabled
+
+    @hedging_enabled.setter
+    def hedging_enabled(self, value: bool) -> None:
+        if value != self._hedging_enabled:
+            self._journal("lever", lever="hedging", value=value)
+        self._hedging_enabled = value
+
+    @property
+    def target_profile(self) -> str | None:
+        return self._target_profile
+
+    @target_profile.setter
+    def target_profile(self, value: str | None) -> None:
+        if value != self._target_profile:
+            self._journal("lever", lever="target_profile", value=value)
+        self._target_profile = value
+
+    def control_state(self) -> ControlPlaneState:
+        """The live control-plane state, in journal-comparable form.
+
+        Journaling is proved complete by equality:
+        ``replay_journal(self.journal) == self.control_state()`` after
+        every run (the chaos harness asserts it; recovery relies on it).
+        The disagg-only fields fall back to their defaults on the
+        colocated plane via ``getattr``.
+        """
+        accepting = self.admission._accepting
+        return ControlPlaneState(
+            journal_seq=self.journal.next_seq,
+            replicas=tuple(sorted(r.name for r in self.replicas)),
+            pools=tuple(sorted(getattr(self, "pool_of", {}).items())),
+            retiring=tuple(sorted(self.retiring)),
+            removed=tuple(sorted(self.replica_removed_s)),
+            pending_drains=tuple(sorted(self._drains.items())),
+            group_counter=self._group_counter,
+            admitted=tuple(sorted(self._ledger_admitted)),
+            rejected=tuple(sorted(self._ledger_rejected.items())),
+            completed=tuple(sorted(
+                (rid, crc, n, capped)
+                for rid, (crc, n, capped)
+                in self._ledger_completed.items())),
+            failed=tuple(sorted(self._ledger_failed.items())),
+            failovers=self.failovers,
+            hedges=self.hedges,
+            restarts=self.restarts,
+            recoveries=self.recoveries,
+            kv_handoffs=getattr(self, "kv_handoffs", 0),
+            handoff_retries=getattr(self, "handoff_retries", 0),
+            handoff_aborts=getattr(self, "handoff_aborts", 0),
+            handoff_dup_drops=getattr(self, "handoff_dups_dropped", 0),
+            hedging_enabled=self._hedging_enabled,
+            output_caps=tuple(sorted(self.output_caps.items())),
+            target_profile=self._target_profile,
+            shed_classes=tuple(sorted(
+                c for c, ok in accepting.items() if not ok)),
+            pools_collapsed=getattr(self, "pools_collapsed", False),
+            quarantined=tuple(sorted(getattr(self, "quarantined", ()))),
+        )
+
+    def _crash_and_recover(self, t: float) -> None:
+        """Control-plane process crash, recovered by journal replay.
+
+        The in-memory scheduling state (pending drains, retirement
+        intents, brownout levers, the group counter) is wiped and
+        rebuilt from ``replay_journal``; the replicas themselves survive
+        — they are the data plane.  Replay is first checked bit-identical
+        against the live state, so a journaling gap fails loudly here
+        instead of resuming from a silently wrong state.
+        """
+        live = self.control_state()
+        replayed = replay_journal(self.journal)
+        if replayed != live:
+            raise JournalReplayMismatch(
+                "journal replay diverged from live control-plane "
+                "state:\n  " + "\n  ".join(diff_states(replayed, live)))
+        self._drains = dict(replayed.pending_drains)
+        self.retiring = set(replayed.retiring)
+        self._group_counter = replayed.group_counter
+        self._hedging_enabled = replayed.hedging_enabled
+        self._target_profile = replayed.target_profile
+        self.output_caps.replace_silently(dict(replayed.output_caps))
+        self.recoveries += 1
+        self._journal("control_recovered", t_s=t)
+        self.events.record(CONTROL_PLANE_RECOVERED, t_s=t,
+                           journal_records=len(self.journal),
+                           pending_drains=len(self._drains))
+        self.tracer.mark("control-plane-recovered",
+                         records=len(self.journal))
+
     # -- replica selection --------------------------------------------------
 
     def _heartbeat_all(self, now_s: float) -> None:
+        self._fire_idle_restarts(now_s)
         for replica in self.replicas:
             replica.heartbeat(now_s)
+
+    def _fire_idle_restarts(self, now_s: float) -> None:
+        """Fire scheduled process deaths on replicas with no group.
+
+        A restart due on a replica that is mid-group fires inside the
+        group loop instead (:meth:`_maybe_crash_running`) so the group
+        takes the failover path; an idle replica just bounces.
+        """
+        due = [name for name, spec in self._restarts.items()
+               if spec.at_s <= now_s and name not in self._running]
+        for name in due:
+            replica = next((r for r in self.replicas
+                            if r.name == name), None)
+            if replica is None:
+                del self._restarts[name]
+                continue
+            spec = self._restarts.pop(name)
+            self._journal("replica_crash", t_s=now_s, replica=name,
+                          mode=spec.mode, group=None)
+            self.events.record(REPLICA_RESTARTED, replica=name,
+                               mode=spec.mode, t_s=now_s, group=None)
+            self._restart_replica(replica, now_s, spec.mode)
+
+    def _maybe_crash_running(self, run: GroupRun, t: float,
+                             gid: int) -> None:
+        """Raise :class:`ReplicaCrashed` if ``run``'s replica is due to
+        die at ``t`` — caught by the group loop's failover handler."""
+        spec = self._restarts.get(run.replica.name)
+        if spec is not None and t >= spec.at_s:
+            del self._restarts[run.replica.name]
+            raise ReplicaCrashed(run.replica.name, spec.mode, gid)
+
+    def _restart_replica(self, replica: Replica, t: float,
+                         mode: str) -> None:
+        replica.restart(mode)
+        downtime = (self.policy.cold_restart_s if mode == "cold"
+                    else self.policy.warm_rejoin_s)
+        ready = max(replica.busy_until_s, t) + downtime
+        replica.busy_until_s = ready
+        self.restarts += 1
+        self._journal("replica_rejoin", t_s=t, replica=replica.name,
+                      mode=mode, ready_s=ready)
+        self.events.record(REPLICA_REJOINED, replica=replica.name,
+                           mode=mode, t_s=t, ready_s=ready)
+        self.tracer.mark(f"restart:{replica.name}", mode=mode)
 
     def _phase_candidates(self, phase: str) -> list[Replica]:
         """Replicas eligible to serve ``phase`` ("prefill"/"decode"/"any").
@@ -288,16 +562,24 @@ class ClusterControlPlane:
                 if r.dispatchable and r.name not in self.retiring]
 
     def add_replica(self, shape: Coord, now_s: float, *,
-                    spinup_s: float = 0.0) -> Replica:
+                    spinup_s: float = 0.0,
+                    pool: str | None = None) -> Replica:
         """Scale out: provision one more replica on the same weights.
 
         The new replica becomes dispatchable after ``spinup_s`` of
         simulated provisioning (weight sharding, process start) — its
         ``busy_until_s`` models the warm-up, so the least-busy dispatch
-        naturally avoids it until it is ready.
+        naturally avoids it until it is ready.  ``pool`` is recorded in
+        the journal for the disaggregated plane's membership bookkeeping
+        (the colocated base plane ignores it otherwise).
         """
+        taken = {r.name for r in self.replicas} | \
+            {r.name for r in self.retired} | set(self.replica_removed_s)
         name = f"r{self._replica_seq}"
         self._replica_seq += 1
+        while name in taken:
+            name = f"r{self._replica_seq}"
+            self._replica_seq += 1
         replica = Replica(name, self.weights, shape,
                           backend=self.backend,
                           decode_batch=self.decode_batch,
@@ -311,6 +593,8 @@ class ClusterControlPlane:
             cooldown_s=self.policy.breaker_cooldown_s,
             event_log=self.events, tracer=self.tracer)
         self.replica_added_s[name] = now_s
+        self._journal("replica_add", t_s=now_s, replica=name,
+                      shape=tuple(shape), pool=pool)
         self.events.record(REPLICA_ADDED, replica=name,
                            shape=tuple(shape), t_s=now_s,
                            spinup_s=spinup_s)
@@ -327,6 +611,7 @@ class ClusterControlPlane:
             raise ValueError(f"unknown replica {name!r}")
         self.retiring.add(name)
         self._drains[name] = now_s
+        self._journal("scale_in", t_s=now_s, replica=name)
 
     def reap_retiring(self, now_s: float) -> list[str]:
         """Complete any scale-ins whose replicas have gone idle."""
@@ -340,17 +625,22 @@ class ClusterControlPlane:
                 # Idle: no in-flight group will ever execute the drain,
                 # so transition directly.
                 del self._drains[name]
+                self._journal("drain", t_s=now_s, replica=name,
+                              mode="idle")
                 replica.set_health(ReplicaHealth.DRAINING, now_s,
                                    "autoscale scale-in (idle)")
             if replica.health is not ReplicaHealth.DRAINING:
                 # The drain was aborted (no migration target); give up
                 # on this scale-in rather than wedge the replica.
                 self.retiring.discard(name)
+                self._journal("scale_in_abandoned", t_s=now_s,
+                              replica=name)
                 continue
             self.replicas.remove(replica)
             self.retired.append(replica)
             self.retiring.discard(name)
             self.replica_removed_s[name] = now_s
+            self._journal("replica_remove", t_s=now_s, replica=name)
             self.events.record(REPLICA_REMOVED, replica=name, t_s=now_s)
             self.tracer.mark(f"scale-in:{name}")
             removed.append(name)
@@ -393,6 +683,11 @@ class ClusterControlPlane:
         backpressure it triggers) reflects actual fleet saturation, not
         an artifact of batch processing.
         """
+        # Genesis snapshot: replay starts here, so construction-time
+        # state (initial drains, pool membership) is captured once
+        # instead of journaled piecemeal.  First call wins — a second
+        # serve() continues the same journal.
+        self.journal.set_genesis(self.control_state())
         ordered = sorted(enumerate(submissions),
                          key=lambda pair: (pair[1].arrival_s, pair[0]))
         by_id: dict[int, ClusterOutcome] = {}
@@ -405,18 +700,28 @@ class ClusterControlPlane:
 
         for _, sub in ordered:
             self._set_now(sub.arrival_s)
+            if self.crash_at_s is not None and not self._crashed and \
+                    self.now_s >= self.crash_at_s:
+                self._crashed = True
+                self._crash_and_recover(self.now_s)
             self._autoscale(sub.arrival_s)
             self._dispatch_ready(by_id, up_to_s=sub.arrival_s)
             rid = sub.request.request_id
             try:
                 self.admission.submit(sub, rid, sub.arrival_s,
                                       class_name=sub.priority_class)
+                self._ledger_admitted.add(rid)
+                self._journal("admit", t_s=sub.arrival_s, request_id=rid)
             except AdmissionError as exc:
+                reason = type(exc).__name__
+                self._ledger_rejected[rid] = reason
+                self._journal("reject", t_s=sub.arrival_s,
+                              request_id=rid, reason=reason)
                 by_id[rid] = ClusterOutcome(
                     rid, ClusterRequestStatus.REJECTED,
                     sub.priority_class, arrival_s=sub.arrival_s,
                     finish_s=sub.arrival_s,
-                    rejection=type(exc).__name__)
+                    rejection=reason)
         self._dispatch_ready(by_id, up_to_s=None, flush=True)
         self._cooldown()
         return [by_id[sub.request.request_id] for sub in submissions]
@@ -496,13 +801,15 @@ class ClusterControlPlane:
         first_class = subs[0].priority_class
         gid = self._group_counter
         self._group_counter += 1
+        self._journal("group_start", group=gid,
+                      requests=[s.request.request_id for s in subs])
 
         try:
             replica = self._pick_replica(self.now_s, first_rid, first_class,
                                          phase="prefill")
         except NoHealthyReplica as exc:
-            self._fail_group(subs, by_id, error=type(exc).__name__,
-                             failovers=0)
+            self._fail_group(subs, by_id, gid=gid,
+                             error=type(exc).__name__, failovers=0)
             return
 
         attempt = 0
@@ -522,6 +829,7 @@ class ClusterControlPlane:
                                               for s in subs]):
                 while True:
                     try:
+                        self._maybe_crash_running(run, t, gid)
                         if run.caches is None:
                             t += run.run_prefill()
                             self._set_now(t)
@@ -547,6 +855,7 @@ class ClusterControlPlane:
                                 if run.caches is None:
                                     break  # drain fell back to re-prefill
                                 continue
+                            self._maybe_crash_running(run, t, gid)
                             dt = run.decode_step()
                             t += dt
                             self._set_now(t)
@@ -583,8 +892,12 @@ class ClusterControlPlane:
                         t = self._on_group_fault(run.replica, exc, t)
                         attempt += 1
                         self.failovers += 1
+                        self._journal("failover", t_s=t, group=gid,
+                                      source=run.replica.name,
+                                      error=type(exc).__name__,
+                                      attempt=attempt)
                         if attempt > self.policy.max_retries:
-                            self._fail_group(subs, by_id,
+                            self._fail_group(subs, by_id, gid=gid,
                                              error=type(exc).__name__,
                                              failovers=attempt, finish_s=t)
                             return
@@ -593,7 +906,7 @@ class ClusterControlPlane:
                                 t, first_rid, first_class,
                                 exclude=run.replica, phase="prefill")
                         except NoHealthyReplica as nhr_exc:
-                            self._fail_group(subs, by_id,
+                            self._fail_group(subs, by_id, gid=gid,
                                              error=type(nhr_exc).__name__,
                                              failovers=attempt, finish_s=t)
                             return
@@ -625,8 +938,8 @@ class ClusterControlPlane:
                     winner_replica = hedge_replica
                 self._set_now(finish)
                 self._complete_group(subs, completions, by_id, finish,
-                                     winner_replica, hedged=hedged,
-                                     failovers=attempt,
+                                     winner_replica, gid=gid,
+                                     hedged=hedged, failovers=attempt,
                                      first_token_s=first_token_s,
                                      capped=capped)
         finally:
@@ -654,7 +967,16 @@ class ClusterControlPlane:
         self.breakers[replica.name].record_failure(
             t, reason=type(exc).__name__)
         replica.busy_until_s = t  # partial work still occupied the slice
-        replica.heartbeat(t)      # replan around dead chips, or go DEAD
+        if isinstance(exc, ReplicaCrashed):
+            # Whole process died: no replan can save it — restart and
+            # rejoin after the policy downtime.
+            self._journal("replica_crash", t_s=t, replica=replica.name,
+                          mode=exc.mode, group=exc.group)
+            self.events.record(REPLICA_RESTARTED, replica=replica.name,
+                               mode=exc.mode, t_s=t, group=exc.group)
+            self._restart_replica(replica, t, exc.mode)
+        else:
+            replica.heartbeat(t)  # replan around dead chips, or go DEAD
         return t
 
     def _maybe_drain(self, run: GroupRun,
@@ -682,6 +1004,7 @@ class ClusterControlPlane:
             # Nowhere to go: cancel the drain and keep serving here.
             source.set_health(ReplicaHealth.DEGRADED, t,
                               "drain aborted: no target replica")
+            self._journal("drain", t_s=t, replica=name, mode="aborted")
             return None
         try:
             new_run = run.migrate_to(target)
@@ -695,6 +1018,7 @@ class ClusterControlPlane:
             self.events.record(FAULT_DETECTED, replica=source.name,
                                error="CacheMigrationFailed",
                                detail=str(exc), t_s=t)
+        self._journal("drain", t_s=t, replica=name, mode=mode)
         self.events.record(FAILOVER, mode=mode, source=source.name,
                            target=target.name, t_s=t, error="drain")
         self.tracer.mark(f"drain:{source.name}->{target.name}",
@@ -718,6 +1042,8 @@ class ClusterControlPlane:
         if backup is run.replica:
             return True, None
         self.hedges += 1
+        self._journal("hedge", t_s=t, group=gid,
+                      source=run.replica.name, target=backup.name)
         self.events.record(HEDGE, group=gid, source=run.replica.name,
                            target=backup.name, t_s=t)
         self.tracer.mark(f"hedge:{run.replica.name}->{backup.name}",
@@ -782,6 +1108,8 @@ class ClusterControlPlane:
         if backup is run.replica:
             return t, None
         self.hedges += 1
+        self._journal("hedge", t_s=t, group=gid,
+                      source=run.replica.name, target=backup.name)
         self.events.record(HEDGE, group=gid, source=run.replica.name,
                            target=backup.name, t_s=t)
         self.tracer.mark(f"hedge:{run.replica.name}->{backup.name}",
@@ -846,12 +1174,18 @@ class ClusterControlPlane:
     # -- outcome bookkeeping ------------------------------------------------
 
     def _complete_group(self, subs, completions, by_id, finish_s: float,
-                        replica: str, *, hedged: bool, failovers: int,
+                        replica: str, *, gid: int, hedged: bool,
+                        failovers: int,
                         first_token_s: float | None = None,
                         capped: Sequence[bool] | None = None) -> None:
         capped = capped or [False] * len(subs)
+        entries = []
         for sub, completion, was_capped in zip(subs, completions, capped):
             rid = sub.request.request_id
+            crc = token_crc(completion.tokens)
+            n_tokens = int(len(completion.tokens))
+            entries.append((rid, crc, n_tokens, was_capped))
+            self._ledger_completed[rid] = (crc, n_tokens, was_capped)
             met = sub.deadline_s is None or finish_s <= sub.deadline_s
             status = (ClusterRequestStatus.COMPLETED if met
                       else ClusterRequestStatus.DEADLINE_MISSED)
@@ -870,12 +1204,19 @@ class ClusterControlPlane:
                                tpot_s=outcome.tpot_s,
                                n_tokens=completion.n_generated,
                                output_capped=was_capped)
+        self._journal("group_complete", t_s=finish_s, group=gid,
+                      replica=replica, entries=entries)
 
-    def _fail_group(self, subs, by_id, *, error: str, failovers: int,
+    def _fail_group(self, subs, by_id, *, gid: int, error: str,
+                    failovers: int,
                     finish_s: float | None = None) -> None:
         finish = self.now_s if finish_s is None else finish_s
+        rids = [sub.request.request_id for sub in subs]
+        self._journal("group_fail", t_s=finish, group=gid,
+                      requests=rids, reason=error)
         for sub in subs:
             rid = sub.request.request_id
+            self._ledger_failed[rid] = error
             by_id[rid] = ClusterOutcome(
                 rid, ClusterRequestStatus.FAILED, sub.priority_class,
                 arrival_s=sub.arrival_s, finish_s=finish,

@@ -59,16 +59,27 @@ from repro.cluster.autoscaler import (
     Autoscaler,
     AutoscalerPolicy,
 )
-from repro.cluster.control_plane import ClusterControlPlane, ClusterPolicy
+from repro.cluster.control_plane import (
+    ClusterControlPlane,
+    ClusterPolicy,
+    FleetConfigError,
+)
 from repro.cluster.replica import GroupRun, Replica
 from repro.collectives.cost import all_gather_time
 from repro.events import (
     AUTOSCALE_DECISION,
     KV_HANDOFF,
+    KV_HANDOFF_ABORTED,
+    KV_HANDOFF_DEDUPED,
+    KV_HANDOFF_PREPARED,
+    KV_HANDOFF_RETRIED,
+    POOL_QUARANTINED,
+    POOL_REJOINED,
     POOLS_COLLAPSED,
     POOLS_RESTORED,
 )
 from repro.mesh.faults import MeshFault
+from repro.serving.backoff import jittered_backoff_s
 
 Coord = tuple[int, int, int]
 
@@ -80,9 +91,11 @@ DISAGG_BROWNOUT_LADDER = (BROWNOUT_LADDER[:-1] + ("collapse-pools",)
 
 
 class HandoffAborted(MeshFault):
-    """The prefill replica died mid-handoff; its KV caches are lost.
+    """The KV handoff transaction gave up after its retry budget.
 
-    Raised out of :meth:`DisaggControlPlane._after_prefill`, caught by
+    Raised out of :meth:`DisaggControlPlane._after_prefill` only once
+    ``DisaggPolicy.handoff_retries`` seeded-backoff retries have all
+    failed (a single transfer fault is retried, not aborted).  Caught by
     the control plane's standard failover handler — which re-prefills
     the group in the prefill pool, exactly like any other mid-group
     fault.
@@ -97,25 +110,39 @@ class PoolSpec:
     ends of the Section 3.2 frontier (``"balanced"`` /
     ``"weight-stationary"`` / ``"weight-gathered"``); each replica in
     the pool is steered to them at construction and re-steered at
-    dispatch after any degraded replan.
+    dispatch after any degraded replan.  ``names`` optionally pins the
+    pool's replica names (one per shape, fleet-unique) — misconfigured
+    rosters raise :class:`~repro.cluster.control_plane.FleetConfigError`
+    at construction, mirroring ``FaultPlan``'s eager validation.
     """
 
     name: str
     shapes: tuple[Coord, ...]
     prefill_profile: str = "balanced"
     decode_profile: str = "balanced"
+    names: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.name not in ("prefill", "decode"):
             raise ValueError(f"pool name must be 'prefill' or 'decode', "
                              f"got {self.name!r}")
         if not self.shapes:
-            raise ValueError(f"pool {self.name!r} needs at least one "
-                             f"replica shape")
+            raise FleetConfigError(f"pool {self.name!r} needs at least "
+                                   f"one replica shape")
         for profile in (self.prefill_profile, self.decode_profile):
             if profile not in ("balanced", "weight-stationary",
                                "weight-gathered"):
                 raise ValueError(f"unknown profile {profile!r}")
+        if self.names:
+            if len(self.names) != len(self.shapes):
+                raise FleetConfigError(
+                    f"pool {self.name!r} names {len(self.names)} "
+                    f"replicas but has {len(self.shapes)} shapes")
+            dupes = {n for n in self.names if self.names.count(n) > 1}
+            if dupes:
+                raise FleetConfigError(
+                    f"pool {self.name!r} repeats replica names "
+                    f"{sorted(dupes)}")
 
 
 def default_pools(prefill_shapes: Sequence[Coord],
@@ -144,6 +171,40 @@ class DisaggPolicy(ClusterPolicy):
     #: replica; the default degrades to colocated routing instead (the
     #: other pool can run both phases, just on its own plans).
     strict_pools: bool = False
+    #: Transactional handoff: how many times a failed transfer is
+    #: retried (with seeded jittered exponential backoff) before the
+    #: transaction aborts to re-prefill.  0 restores the legacy
+    #: abort-on-first-fault behavior.
+    handoff_retries: int = 2
+    handoff_backoff_base_s: float = 0.01
+    handoff_backoff_jitter: float = 0.5
+    handoff_backoff_seed: int = 0
+
+
+@dataclass(frozen=True)
+class PoolPartition:
+    """Scheduled heartbeat loss of one whole pool (a chaos fault class).
+
+    From ``at_s`` until ``until_s`` the control plane cannot reach any
+    replica of ``pool``: the members are *quarantined* (no dispatch, no
+    handoff target) and the transactional handoff keeps retrying into
+    the partition with seeded backoff until it heals — or the retry
+    budget aborts to re-prefill.  Recovery re-admits the survivors
+    (:data:`~repro.events.POOL_REJOINED`).
+    """
+
+    pool: str
+    at_s: float
+    until_s: float
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("prefill", "decode"):
+            raise ValueError(f"pool must be 'prefill' or 'decode', "
+                             f"got {self.pool!r}")
+        if not 0.0 <= self.at_s < self.until_s:
+            raise ValueError(
+                f"partition window must satisfy 0 <= at_s < until_s, "
+                f"got [{self.at_s}, {self.until_s})")
 
 
 def handoff_transfer_s(n_bytes: int, policy: DisaggPolicy) -> float:
@@ -171,10 +232,11 @@ class DisaggControlPlane(ClusterControlPlane):
 
     def __init__(self, weights, pools: Sequence[PoolSpec], *,
                  policy: ClusterPolicy | None = None,
+                 partitions: Sequence[PoolPartition] = (),
                  **kwargs):
         pools = tuple(pools)
-        names = sorted(p.name for p in pools)
-        if names != ["decode", "prefill"]:
+        pool_names = sorted(p.name for p in pools)
+        if pool_names != ["decode", "prefill"]:
             raise ValueError(f"need exactly one 'prefill' and one "
                              f"'decode' pool, got {[p.name for p in pools]}")
         policy = policy if policy is not None else DisaggPolicy()
@@ -184,6 +246,19 @@ class DisaggControlPlane(ClusterControlPlane):
             policy = DisaggPolicy(**{
                 f.name: getattr(policy, f.name)
                 for f in fields(ClusterPolicy)})
+        named = [p for p in pools if p.names]
+        if named and len(named) != len(pools):
+            raise FleetConfigError(
+                "either every pool names its replicas or none does; "
+                f"only {[p.name for p in named]} did")
+        if named:
+            flat = [n for p in pools for n in p.names]
+            overlap = {n for n in flat if flat.count(n) > 1}
+            if overlap:
+                raise FleetConfigError(
+                    f"replicas {sorted(overlap)} belong to more than "
+                    f"one pool")
+            kwargs["names"] = flat
         shapes = [shape for spec in pools for shape in spec.shapes]
         super().__init__(weights, shapes, policy=policy, **kwargs)
         self.pool_specs = {p.name: p for p in pools}
@@ -197,6 +272,15 @@ class DisaggControlPlane(ClusterControlPlane):
         self.kv_handoffs = 0
         self.kv_handoff_bytes = 0
         self.handoffs_colocated = 0   # no decode target: decoded in place
+        self.handoff_retries = 0
+        self.handoff_aborts = 0
+        self.handoff_dups_dropped = 0
+        #: Groups whose KV pages reached the decode side even though the
+        #: transfer ack was lost — the retransmit dedups against this.
+        self._handoff_delivered: set[int] = set()
+        self.partitions = tuple(partitions)
+        self._partition_active = [False] * len(self.partitions)
+        self.quarantined: set[str] = set()
         self._pool_fallback_noted = False
         for replica in self.replicas:
             self._apply_pool_profiles(replica, 0.0)
@@ -216,10 +300,54 @@ class DisaggControlPlane(ClusterControlPlane):
         """Scale out into ``pool`` (profiles applied at construction)."""
         if pool not in self.pool_specs:
             raise ValueError(f"unknown pool {pool!r}")
-        replica = super().add_replica(shape, now_s, spinup_s=spinup_s)
+        replica = super().add_replica(shape, now_s, spinup_s=spinup_s,
+                                      pool=pool)
         self.pool_of[replica.name] = pool
         self._apply_pool_profiles(replica, now_s)
         return replica
+
+    # -- pool partitions (heartbeat loss) ------------------------------------
+
+    def _heartbeat_all(self, now_s: float) -> None:
+        self._update_partitions(now_s)
+        super()._heartbeat_all(now_s)
+
+    def _update_partitions(self, now_s: float) -> None:
+        """Quarantine / re-admit pool members as partition windows move.
+
+        A quarantined replica is unreachable, not dead: its process and
+        caches are fine, the control plane just cannot dispatch to it
+        (or hand KV pages to it) until heartbeats resume.  Both edges
+        are journaled, so replay reconstructs the quarantine set.
+        """
+        for i, part in enumerate(self.partitions):
+            active = part.at_s <= now_s < part.until_s
+            if active and not self._partition_active[i]:
+                self._partition_active[i] = True
+                members = sorted(
+                    r.name for r in self.replicas
+                    if self.pool_of.get(r.name) == part.pool
+                    and r.name not in self.quarantined)
+                self.quarantined.update(members)
+                self._journal("quarantine", t_s=now_s, pool=part.pool,
+                              replicas=members)
+                self.events.record(POOL_QUARANTINED, pool=part.pool,
+                                   replicas=members, t_s=now_s,
+                                   until_s=part.until_s)
+                self.tracer.mark(f"pool-quarantined:{part.pool}",
+                                 replicas=members)
+            elif not active and self._partition_active[i] and \
+                    now_s >= part.until_s:
+                self._partition_active[i] = False
+                held = sorted(n for n in self.quarantined
+                              if self.pool_of.get(n) == part.pool)
+                self.quarantined.difference_update(held)
+                self._journal("pool_rejoin", t_s=now_s, pool=part.pool,
+                              replicas=held)
+                self.events.record(POOL_REJOINED, pool=part.pool,
+                                   replicas=held, t_s=now_s)
+                self.tracer.mark(f"pool-rejoined:{part.pool}",
+                                 replicas=held)
 
     def _apply_pool_profiles(self, replica: Replica, t: float) -> None:
         """Steer a replica's prefill and decode plans to its pool's."""
@@ -230,11 +358,14 @@ class DisaggControlPlane(ClusterControlPlane):
             replica.switch_profile(spec.decode_profile, t)
 
     def _phase_candidates(self, phase: str) -> list[Replica]:
+        # Quarantined replicas (pool partition) are unreachable for
+        # dispatch regardless of pool routing, including the fallback.
+        live = [r for r in self.replicas
+                if r.name not in self.quarantined]
         if self.pools_collapsed or phase == "any":
-            return self.replicas
+            return live
         pool = "prefill" if phase == "prefill" else "decode"
-        members = [r for r in self.replicas
-                   if self.pool_of.get(r.name) == pool]
+        members = [r for r in live if self.pool_of.get(r.name) == pool]
         if not getattr(self.policy, "strict_pools", False) and \
                 not any(r.dispatchable for r in members):
             # The pool is lost (dead / draining / not yet provisioned):
@@ -243,7 +374,7 @@ class DisaggControlPlane(ClusterControlPlane):
                 self._pool_fallback_noted = True
                 self.tracer.mark(f"pool-fallback:{pool}",
                                  pool=pool, phase=phase)
-            return self.replicas
+            return live
         return members
 
     def _apply_profile(self, replica: Replica, t: float) -> float:
@@ -267,73 +398,174 @@ class DisaggControlPlane(ClusterControlPlane):
 
     # -- the KV handoff -----------------------------------------------------
 
+    def _colocate(self, run: GroupRun, t: float, gid: int,
+                  reason: str) -> tuple[GroupRun, float]:
+        """Give up on handing off: decode in place on the prefill
+        replica (a degrade path, not a fault)."""
+        self.handoffs_colocated += 1
+        self.tracer.mark(f"handoff-colocated:{run.replica.name}",
+                         group=gid, reason=reason)
+        return run, t
+
+    def _handoff_target(self, t: float, run: GroupRun,
+                        source: Replica) -> Replica | None:
+        rid = run.group[0].request_id
+        try:
+            target = self._pick_replica(t, rid, "default",
+                                        exclude=source, phase="decode")
+        except NoHealthyReplica:
+            return None
+        return None if target is source else target
+
     def _after_prefill(self, run: GroupRun, t: float,
                        gid: int) -> tuple[GroupRun, float]:
-        """Hand the group's finished KV caches to a decode replica.
+        """Hand the group's finished KV caches to a decode replica —
+        transactionally.
 
-        The Section 4.4 prefill-server -> decode-server transfer, made
-        explicit: migrate the merged caches over the live-migration
-        path, charge the A.1-priced link transfer, and start decode at
-        ``max(prefill_end + transfer, target_busy)`` — the transfer
-        overlaps whatever the decode replica is already running.  No
-        decode target (or a plan that cannot host the batch) degrades
-        to decoding in place on the prefill replica; a source that dies
-        mid-handoff raises :class:`HandoffAborted` into the failover
-        path (re-prefill in the prefill pool).
+        The Section 4.4 prefill-server -> decode-server transfer as a
+        prepare/commit transaction.  **Prepare** stages the merged
+        caches host-side (:meth:`GroupRun.migrate_to` — Section 4.4's
+        host-mediated path), so the staged pages stay valid however the
+        source mesh changes afterwards.  **Commit** drives the transfer:
+        the source's fault clock advances one ``"handoff"`` phase step,
+        and any fault there — source chips lost, the transfer ack lost,
+        the decode pool partitioned — is *retried* with seeded jittered
+        exponential backoff (``jittered_backoff_s``, keyed by the group
+        id) after a source heartbeat replans around whatever died.  The
+        retransmit path dedups: if the pages already landed (ack lost
+        after delivery), the duplicate is dropped on the decode side and
+        the commit proceeds — the journal's prepare/retry/commit records
+        are what the auditor replays to certify exactly-once delivery.
+        Only an exhausted retry budget raises :class:`HandoffAborted`
+        into the failover path (re-prefill in the prefill pool).
+
+        Committed decode starts at ``max(prefill_end + transfer,
+        target_busy)`` — the A.1-priced transfer overlaps whatever the
+        decode replica is already running.  No decode target (or a plan
+        that cannot host the batch) degrades to decoding in place,
+        unless the pool is merely partitioned — then the transaction
+        waits it out instead of wasting the prefill.
         """
         if self.pools_collapsed:
             return run, t
         source = run.replica
         if self.pool_of.get(source.name) != "prefill":
             return run, t  # already decode-capable (pool fallback path)
-        # The source drives the transfer: advance its fault clock one
-        # "handoff" phase step so chaos can kill it exactly here.
-        source.advance("handoff")
-        state = source.fault_state
-        if state is not None and state.dead_chips:
-            source.busy_until_s = t
-            raise HandoffAborted(
-                f"{source.name} lost chips {sorted(state.dead_chips)} "
-                f"mid-handoff; in-flight KV caches are unreadable")
-        rid = run.group[0].request_id
-        try:
-            target = self._pick_replica(t, rid, "default", exclude=source,
-                                        phase="decode")
-        except NoHealthyReplica:
-            self.handoffs_colocated += 1
-            self.tracer.mark(f"handoff-colocated:{source.name}",
-                             group=gid, reason="no decode target")
-            return run, t
-        if target is source:
-            return run, t
+        policy = self.policy
         n_bytes = run.kv_cache_bytes()
-        transfer_s = handoff_transfer_s(n_bytes, self.policy)
-        try:
-            new_run = run.migrate_to(target)
-        except ValueError:
-            # The target's plan cannot host this batch (weight-gathered
-            # batch-group divisibility): not a fault, just decode here.
-            self.handoffs_colocated += 1
-            self.tracer.mark(f"handoff-colocated:{source.name}",
-                             group=gid, reason="migration refused")
-            return run, t
-        # The source is occupied until the transfer completes (a drain
-        # or scale-in of it waits at least that long); the target keeps
-        # decoding its current work — overlap comes from starting at
-        # whichever of transfer-done / target-free is later.
-        source.busy_until_s = t + transfer_s
-        decode_start = max(t + transfer_s, target.busy_until_s)
-        self.kv_handoffs += 1
-        self.kv_handoff_bytes += n_bytes
-        self.events.record(
-            KV_HANDOFF, group=gid, source=source.name,
-            target=target.name, bytes=n_bytes,
-            transfer_s=transfer_s, t_s=t, decode_start_s=decode_start,
-            overlapped_s=max(target.busy_until_s - (t + transfer_s), 0.0))
-        self.tracer.mark(f"kv-handoff:{source.name}->{target.name}",
-                         group=gid, bytes=n_bytes,
-                         transfer_s=transfer_s)
-        return new_run, decode_start
+        transfer_s = handoff_transfer_s(n_bytes, policy)
+        self._journal("handoff_prepare", t_s=t, group=gid,
+                      source=source.name, bytes=n_bytes)
+        self.events.record(KV_HANDOFF_PREPARED, group=gid,
+                           source=source.name, bytes=n_bytes, t_s=t)
+        budget = max(getattr(policy, "handoff_retries", 0), 0)
+        attempts = budget + 1
+        target: Replica | None = None
+        new_run: GroupRun | None = None
+        for attempt in range(1, attempts + 1):
+            self._update_partitions(t)
+            failure = None
+            if target is not None and target.name in self.quarantined:
+                target = None     # partition opened mid-backoff:
+                new_run = None    # re-pick (and re-stage) after it heals
+            if target is None:
+                target = self._handoff_target(t, run, source)
+                if target is None:
+                    if self.quarantined:
+                        # The decode pool is partitioned, not gone: the
+                        # staged pages are fine, wait out the window.
+                        failure = "decode-pool-partitioned"
+                    else:
+                        return self._colocate(run, t, gid,
+                                              "no decode target")
+            if failure is None and new_run is None:
+                try:
+                    new_run = run.migrate_to(target)
+                except ValueError:
+                    # The target's plan cannot host this batch (weight-
+                    # gathered batch-group divisibility): not a fault,
+                    # just decode here.
+                    return self._colocate(run, t, gid,
+                                          "migration refused")
+            if failure is None:
+                # Commit: the source drives the transfer — advance its
+                # fault clock one "handoff" phase step so chaos can
+                # fault exactly here.
+                source.advance("handoff")
+                state = source.fault_state
+                if state is not None and state.dead_chips:
+                    failure = "source-chips-lost"
+                elif state is not None and \
+                        state.take_transfer_fault("handoff") is not None:
+                    # The pages landed but the ack was lost: the decode
+                    # side holds them; the retransmit must dedup.
+                    self._handoff_delivered.add(gid)
+                    failure = "ack-lost"
+            if failure is None:
+                if gid in self._handoff_delivered:
+                    self.handoff_dups_dropped += 1
+                    self._journal("handoff_dup", t_s=t, group=gid)
+                    self.events.record(KV_HANDOFF_DEDUPED, group=gid,
+                                       target=target.name, t_s=t)
+                    self.tracer.mark(f"handoff-dedup:{target.name}",
+                                     group=gid)
+                # The source is occupied until the transfer completes
+                # (a drain or scale-in of it waits at least that long);
+                # the target keeps decoding its current work — overlap
+                # comes from starting at whichever of transfer-done /
+                # target-free is later.
+                source.busy_until_s = t + transfer_s
+                decode_start = max(t + transfer_s, target.busy_until_s)
+                self.kv_handoffs += 1
+                self.kv_handoff_bytes += n_bytes
+                self._journal("handoff_commit", t_s=t, group=gid,
+                              source=source.name, target=target.name,
+                              attempt=attempt)
+                self.events.record(
+                    KV_HANDOFF, group=gid, source=source.name,
+                    target=target.name, bytes=n_bytes,
+                    transfer_s=transfer_s, t_s=t,
+                    decode_start_s=decode_start, attempts=attempt,
+                    overlapped_s=max(
+                        target.busy_until_s - (t + transfer_s), 0.0))
+                self.tracer.mark(
+                    f"kv-handoff:{source.name}->{target.name}",
+                    group=gid, bytes=n_bytes, transfer_s=transfer_s)
+                return new_run, decode_start
+            if attempt == attempts:
+                self.handoff_aborts += 1
+                self._journal("handoff_abort", t_s=t, group=gid,
+                              reason=failure, budget=budget)
+                self.events.record(KV_HANDOFF_ABORTED, group=gid,
+                                   source=source.name, reason=failure,
+                                   retries=budget, t_s=t)
+                source.busy_until_s = t
+                raise HandoffAborted(
+                    f"KV handoff for group {gid} gave up after "
+                    f"{budget} retries ({failure}); re-prefilling")
+            self.handoff_retries += 1
+            backoff = jittered_backoff_s(
+                attempt,
+                base_s=getattr(policy, "handoff_backoff_base_s", 0.01),
+                jitter=getattr(policy, "handoff_backoff_jitter", 0.5),
+                seed=getattr(policy, "handoff_backoff_seed", 0),
+                key=gid)
+            self._journal("handoff_retry", t_s=t, group=gid,
+                          attempt=attempt, reason=failure,
+                          backoff_s=backoff)
+            self.events.record(KV_HANDOFF_RETRIED, group=gid,
+                               source=source.name, attempt=attempt,
+                               reason=failure, backoff_s=backoff, t_s=t)
+            self.tracer.mark(f"handoff-retry:{source.name}", group=gid,
+                             attempt=attempt, reason=failure)
+            t += backoff
+            self._set_now(t)
+            source.busy_until_s = t
+            # Replan around whatever died before the retransmit; the
+            # staged pages (prepare) stay valid across the replan.
+            source.heartbeat(t)
+        raise AssertionError("unreachable: handoff loop neither "
+                             "committed nor aborted")
 
     # -- collapse-to-colocated ----------------------------------------------
 
@@ -348,6 +580,7 @@ class DisaggControlPlane(ClusterControlPlane):
         if self.pools_collapsed:
             return False
         self.pools_collapsed = True
+        self._journal("pools", t_s=now_s, collapsed=True)
         self.events.record(POOLS_COLLAPSED, t_s=now_s)
         self.tracer.mark("pools-collapsed")
         return True
@@ -358,6 +591,7 @@ class DisaggControlPlane(ClusterControlPlane):
         if not self.pools_collapsed:
             return False
         self.pools_collapsed = False
+        self._journal("pools", t_s=now_s, collapsed=False)
         self.events.record(POOLS_RESTORED, t_s=now_s)
         self.tracer.mark("pools-restored")
         return True

@@ -227,6 +227,44 @@ class Replica:
         self.profile = "balanced"  # replan re-selects; profiles re-apply
         self.prefill_profile = "balanced"  # at the next group dispatch
 
+    def restart(self, mode: str = "cold") -> None:
+        """Recover from full process death (a scheduled
+        :class:`~repro.cluster.control_plane.RestartSpec`).
+
+        ``"cold"`` is a fresh process: layouts are re-selected and the
+        weights re-sharded for the current (possibly degraded) mesh,
+        profiles reset to ``"balanced"``, and every captured program is
+        dropped.  ``"warm"`` is a journal-guided rejoin: the sharded
+        state survived in host memory, so only the capture caches are
+        invalidated (the next decode step re-captures).  The control
+        plane charges the corresponding downtime either way.
+        """
+        from repro.layouts.model import ShardedTransformer
+
+        if mode not in ("cold", "warm"):
+            raise ValueError(
+                f"restart mode must be 'cold' or 'warm', got {mode!r}")
+        if mode == "cold":
+            config = self.weights.config
+            torus = Torus3D(*self.mesh.shape)
+            decode_plan = select_degraded_plan(
+                config, torus, Phase.DECODE, batch=self.decode_batch,
+                tokens_per_seq=1)
+            prefill_plan = select_degraded_plan(
+                config, torus, Phase.PREFILL, batch=1,
+                tokens_per_seq=self.prompt_len_hint)
+            self.decode_model = ShardedTransformer(self.weights,
+                                                   self.mesh, decode_plan)
+            try:
+                self.prefill_model = self.decode_model.with_plan(
+                    prefill_plan)
+            except ValueError:
+                self.prefill_model = ShardedTransformer(
+                    self.weights, self.mesh, prefill_plan)
+            self.profile = "balanced"
+            self.prefill_profile = "balanced"
+        self.step_compiler.invalidate()
+
     def switch_profile(self, profile: str, now_s: float) -> bool:
         """Move the decode model to one end of the Pareto frontier.
 

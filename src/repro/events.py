@@ -67,6 +67,24 @@ KV_HANDOFF = "kv_handoff"
 POOLS_COLLAPSED = "pools_collapsed"
 POOLS_RESTORED = "pools_restored"
 
+#: Crash-recovery control plane (see :mod:`repro.cluster.journal` and
+#: :mod:`repro.cluster.audit`).  The transactional KV handoff brackets
+#: each transfer with prepare/retry/commit-or-abort events; replica
+#: process death surfaces as a restart/rejoin pair; a control-plane
+#: crash that recovered by journal replay is announced explicitly; and
+#: a bounded journal that dropped records says so *loudly* (the auditor
+#: refuses to certify a truncated journal).
+JOURNAL_TRUNCATED = "journal_truncated"
+KV_HANDOFF_PREPARED = "kv_handoff_prepared"
+KV_HANDOFF_RETRIED = "kv_handoff_retried"
+KV_HANDOFF_ABORTED = "kv_handoff_aborted"
+KV_HANDOFF_DEDUPED = "kv_handoff_deduped"
+REPLICA_RESTARTED = "replica_restarted"
+REPLICA_REJOINED = "replica_rejoined"
+CONTROL_PLANE_RECOVERED = "control_plane_recovered"
+POOL_QUARANTINED = "pool_quarantined"
+POOL_REJOINED = "pool_rejoined"
+
 
 @dataclass(frozen=True)
 class Event:

@@ -75,6 +75,26 @@ class CollectiveTimeout(MeshFault):
         self.step = step
 
 
+class ReplicaCrashed(MeshFault):
+    """A whole replica process died (beyond any single chip).
+
+    Scheduled by the cluster layer (see ``RestartSpec`` in
+    :mod:`repro.cluster.control_plane`), not by a :class:`FaultPlan`:
+    process death is a *host*-level failure, so it is injected by the
+    control plane's clock rather than by a collective.  It rides the
+    standard :class:`MeshFault` failover path — in-flight groups
+    re-prefill elsewhere — and the control plane then restarts the
+    replica (cold re-shard or warm rejoin) and journals both halves.
+    """
+
+    def __init__(self, replica: str, mode: str, group: int | None = None):
+        super().__init__(f"replica {replica!r} process died "
+                         f"(scheduled {mode} restart)")
+        self.replica = replica
+        self.mode = mode
+        self.group = group
+
+
 class CollectiveCorruption(MeshFault):
     """Checksum verification caught a corrupted collective payload."""
 
@@ -376,6 +396,28 @@ class FaultState:
             return False
         self._spent.add(index)
         return True
+
+    def take_transfer_fault(self, phase: str = "handoff"
+                            ) -> CollectiveFault | None:
+        """Consume one live one-shot fault scheduled against ``phase``.
+
+        The KV-handoff transfer is host-mediated — no collective runs,
+        so :meth:`on_collective` never sees faults aimed at the
+        ``"handoff"`` phase clock.  The transactional handoff calls this
+        instead: a matching unspent :class:`CollectiveFault` is spent
+        and returned (modeling a lost transfer acknowledgement the
+        retry-plus-dedup protocol must absorb), or ``None``.
+        """
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, CollectiveFault) or \
+                    index in self._spent:
+                continue
+            if fault.phase != phase or not self._active(fault):
+                continue
+            self._spent.add(index)
+            self._announce(index, fault, op="kv_handoff")
+            return fault
+        return None
 
     # -- replanning support ----------------------------------------------
 

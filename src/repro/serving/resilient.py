@@ -64,6 +64,7 @@ from repro.partitioning.degraded import (
     select_degraded_plan,
 )
 from repro.partitioning.selector import Phase
+from repro.serving.backoff import exponential_backoff_s
 from repro.serving.chunked import default_prefill_chunk
 from repro.serving.continuous import ContinuousBatchingEngine
 from repro.serving.engine import Completion, Request
@@ -132,8 +133,14 @@ class CostModel:
     decode_profile_factors: tuple[tuple[str, float], ...] = ()
 
     def backoff_s(self, attempt: int) -> float:
-        """Exponential backoff before retry ``attempt`` (1-based)."""
-        return self.backoff_base_s * (2.0 ** (attempt - 1))
+        """Exponential backoff before retry ``attempt`` (1-based).
+
+        Delegates to the shared schedule helper
+        (:func:`repro.serving.backoff.exponential_backoff_s`) with this
+        model's base — bit-identical to the historical inline
+        ``base * 2 ** (attempt - 1)``.
+        """
+        return exponential_backoff_s(attempt, base_s=self.backoff_base_s)
 
     def prefill_cost_s(self, profile: str = "balanced") -> float:
         """Per-request prefill charge under the given prefill profile."""

@@ -25,6 +25,7 @@ from repro.cluster.control_plane import (
     ClusterPolicy,
     ClusterRequestStatus,
     ClusterSubmission,
+    FleetConfigError,
 )
 from repro.cluster.disagg import (
     DISAGG_BROWNOUT_LADDER,
@@ -32,11 +33,13 @@ from repro.cluster.disagg import (
     DisaggAutoscalerPolicy,
     DisaggControlPlane,
     DisaggPolicy,
+    PoolPartition,
     PoolSpec,
     default_pools,
     handoff_transfer_s,
 )
 from repro.cluster.replica import ReplicaHealth
+from repro.mesh.faults import CollectiveFault, FaultPlan
 from repro.model import init_weights
 from repro.serving.engine import Request
 
@@ -240,29 +243,128 @@ class TestDegradePaths:
 
 
 class TestMidHandoffKill:
-    def test_failover_re_prefills_in_the_prefill_pool(self):
+    def test_handoff_commits_after_retry_on_degraded_source(self):
+        # The transactional handoff absorbs the chip kill: staged pages
+        # survive the source's replan onto its healthy sub-slice and the
+        # retry commits -- no failover, no abort.  (The pre-transactional
+        # one-shot path aborted here; see the zero-budget test below.)
         scenario = SCENARIOS["prefill-kill-mid-handoff"]
-        pools = scenario.pools
         plane = DisaggControlPlane(
-            WEIGHTS, pools, decode_batch=4,
+            WEIGHTS, scenario.pools, decode_batch=4,
             fault_plans=dict(scenario.fault_plans))
         subs = make_submissions(12, spacing_s=0.05)
         outcomes = plane.serve(subs)
         assert len(completed(outcomes)) == 12
-        assert plane.failovers >= 1
-        failover, = plane.events.of_kind("failover")
-        assert failover["mode"] == "re-prefill"
-        assert plane.pool_of[failover["source"]] == "prefill"
-        assert plane.pool_of[failover["target"]] == "prefill"
+        assert plane.handoff_retries >= 1
+        assert plane.handoff_aborts == 0
+        assert plane.failovers == 0
         assert plane.kv_handoffs >= 1
+        commits = plane.journal.of_kind("handoff_commit")
+        assert any(c["attempt"] > 1 for c in commits)
+
+    def test_zero_retry_budget_reproduces_the_one_shot_abort(self):
+        # With no retry budget the same fault aborts the handoff, and
+        # the group takes the legacy failover re-prefill path instead.
+        scenario = SCENARIOS["prefill-kill-mid-handoff"]
+        plane = DisaggControlPlane(
+            WEIGHTS, scenario.pools, decode_batch=4,
+            policy=DisaggPolicy(handoff_retries=0),
+            fault_plans=dict(scenario.fault_plans))
+        subs = make_submissions(12, spacing_s=0.05)
+        outcomes = plane.serve(subs)
+        assert len(completed(outcomes)) == 12
+        assert plane.handoff_aborts >= 1
+        assert plane.failovers >= 1
+        abort, = plane.journal.of_kind("handoff_abort")
+        assert abort["budget"] == 0
 
     @pytest.mark.parametrize("seed", [0, 1, 7])
     def test_chaos_scenario_is_clean(self, seed):
         report = run_scenario("prefill-kill-mid-handoff", seed=seed)
         assert report.ok, report.violations
-        assert report.failovers >= 1
+        assert report.handoff_retries >= 1
+        assert report.handoff_aborts == 0
         assert report.kv_handoffs >= 1
         assert report.bit_identical
+        assert report.replay_matches
+        assert report.audit_certified
+
+
+class TestHandoffDedup:
+    def test_lost_ack_retransmit_is_deduped(self):
+        # A handoff-phase CollectiveFault models a lost transfer ack:
+        # the pages landed but the source never heard.  The retry
+        # retransmits, the decode side drops the duplicate, and the
+        # journal shows exactly one commit per group.
+        plan = FaultPlan(faults=(CollectiveFault(
+            kind="timeout", at_step=1, phase="handoff"),))
+        plane = make_plane(fault_plans={0: plan})
+        subs = make_submissions(8)
+        outcomes = plane.serve(subs)
+        assert len(completed(outcomes)) == 8
+        assert plane.handoff_retries >= 1
+        assert plane.handoff_dups_dropped >= 1
+        commits = plane.journal.of_kind("handoff_commit")
+        committed = [c["group"] for c in commits]
+        assert len(committed) == len(set(committed))
+        dup_groups = {d["group"] for d
+                      in plane.journal.of_kind("handoff_dup")}
+        assert dup_groups <= set(committed)
+        reference = reference_completions(subs, WEIGHTS, 4)
+        for out in completed(outcomes):
+            assert np.array_equal(out.completion.tokens,
+                                  reference[out.request_id].tokens)
+
+
+class TestPoolPartitionSpec:
+    def test_validates_window_and_pool(self):
+        with pytest.raises(ValueError, match="until_s"):
+            PoolPartition("decode", 0.5, 0.2)
+        with pytest.raises(ValueError, match="pool"):
+            PoolPartition("gpu", 0.0, 1.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_partition_scenario_quarantines_then_commits(self, seed):
+        report = run_scenario("pool-partition", seed=seed)
+        assert report.ok, report.violations
+        assert report.quarantines >= 1
+        assert report.handoff_retries >= 1
+        assert report.handoff_aborts == 0
+        assert report.bit_identical
+        assert report.audit_certified
+
+
+class TestFleetValidation:
+    def test_fleet_config_error_is_a_value_error(self):
+        assert issubclass(FleetConfigError, ValueError)
+
+    def test_pool_names_must_match_shapes(self):
+        with pytest.raises(FleetConfigError):
+            PoolSpec("prefill", (SHAPE,), names=("a", "b"))
+
+    def test_duplicate_names_within_a_pool_rejected(self):
+        with pytest.raises(FleetConfigError):
+            PoolSpec("prefill", (SHAPE, SHAPE), names=("a", "a"))
+
+    def test_overlapping_pool_membership_rejected(self):
+        pools = (PoolSpec("prefill", (SHAPE,), names=("a",)),
+                 PoolSpec("decode", (SHAPE,), names=("a",)))
+        with pytest.raises(FleetConfigError):
+            DisaggControlPlane(WEIGHTS, pools)
+
+    def test_partially_named_fleet_rejected(self):
+        pools = (PoolSpec("prefill", (SHAPE,), names=("a",)),
+                 PoolSpec("decode", (SHAPE,)))
+        with pytest.raises(FleetConfigError):
+            DisaggControlPlane(WEIGHTS, pools)
+
+    def test_named_pools_apply_to_the_fleet(self):
+        pools = (PoolSpec("prefill", (SHAPE,), names=("pf0",)),
+                 PoolSpec("decode", (SHAPE,), names=("dc0",)))
+        plane = DisaggControlPlane(WEIGHTS, pools, decode_batch=4)
+        assert plane.pool_of == {"pf0": "prefill", "dc0": "decode"}
+        outcomes = plane.serve(make_submissions(8))
+        assert len(completed(outcomes)) == 8
 
 
 class TestCollapseRestore:

@@ -66,6 +66,9 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Disaggregated prefill/decode pools (`repro.cluster.disagg`)",
         "## Chaos harness (`repro.cluster.chaos`)",
     ),
+    "docs/fault_tolerance.md": (
+        "## Crash recovery & the journal",
+    ),
     "docs/mesh_backends.md": (
         "## Capture and replay: the step compiler",
         "### Bit-exactness contract",
