@@ -641,9 +641,48 @@ def _capture_workload(topology, backend, batch, steps, seed=0):
     return compiler
 
 
+def _kvstore_workload(topology, backend, seed=0):
+    """Run two shared-prefix prefills through a paged KV store.
+
+    The second prompt repeats the first's 8-token prefix, so the radix
+    index serves two pages from cache and only the suffix is computed —
+    the counters show a real hit/miss mix rather than a cold store.
+    """
+    import numpy as np
+
+    from repro.kvstore import KVStore
+    from repro.layouts import ShardedTransformer
+    from repro.mesh import VirtualMesh
+    from repro.mesh.bench import decode_config
+    from repro.model import init_weights
+    from repro.partitioning import FfnLayoutKind, LayoutPlan
+    from repro.serving.chunked import chunked_prefill
+
+    config = decode_config()
+    mesh = VirtualMesh(topology, backend=backend)
+    # Weight-stationary FFN + head-sharded attention: the store installs
+    # single-request prompts, which a batch-sharded KV layout cannot
+    # hold on a multi-chip mesh.
+    plan = LayoutPlan(FfnLayoutKind.WS_2D, AttentionLayoutKind.HEAD)
+    model = ShardedTransformer(init_weights(config, seed=seed), mesh, plan)
+    store = KVStore(page_tokens=4, capacity_pages=32, name="cli")
+    rng = np.random.default_rng(seed + 2)
+    shared = rng.integers(0, config.vocab_size, size=8)
+    for _ in range(2):
+        suffix = rng.integers(0, config.vocab_size, size=4)
+        prompt = np.concatenate([shared, suffix])[None, :]
+        chunked_prefill(model, prompt, 4, prompt.shape[1] + 1,
+                        kvstore=store)
+        reuse = store.take_last_reuse()
+        if reuse is not None and reuse.lease is not None:
+            reuse.lease.release()
+    return store
+
+
 def cmd_metrics(args) -> int:
     from repro.observability import (
         format_capture_stats,
+        format_kvstore_stats,
         format_layer_metrics,
         format_phase_metrics,
     )
@@ -657,6 +696,9 @@ def cmd_metrics(args) -> int:
                                  args.steps)
     print()
     print(format_capture_stats(compiler.stats()))
+    store = _kvstore_workload(args.topology, args.backend)
+    print()
+    print(format_kvstore_stats(store.stats()))
     if args.crosscheck:
         from repro.observability import crosscheck
 

@@ -13,6 +13,10 @@ invariants the control plane promises:
   ``handoff_commit``; every commit is preceded by a
   ``handoff_prepare``; an ``handoff_abort`` is only legal after the
   retry budget (``handoff_retry`` records) was spent.
+* **Exactly-once page leases** — every journaled cached-prefix pin
+  (``page_lease``, one per replica/lease id) has exactly one matching
+  ``page_release`` with the same page count: no lease leaked by a
+  failover/drain/hedge path, no page double-freed.
 * **Bit-identity** — when the fault-free oracle's token streams are
   supplied, every completed request's journaled ``token_crc`` must
   match the oracle (capped streams against the oracle's greedy prefix).
@@ -135,6 +139,32 @@ def audit_run(journal: Journal, *,
                 f"group {gid} aborted its KV handoff after only "
                 f"{retries.get(gid, 0)} of {budget} budgeted retries")
 
+    # --- exactly-once page leases ------------------------------------------
+    leased: dict[tuple[str, int], int] = {}
+    for record in journal.of_kind("page_lease"):
+        key = (record["replica"], record["lease_id"])
+        if key in leased:
+            violations.append(f"page lease {key[1]} on {key[0]} "
+                              f"journaled twice")
+        leased[key] = record["pages"]
+    released: dict[tuple[str, int], int] = {}
+    for record in journal.of_kind("page_release"):
+        key = (record["replica"], record["lease_id"])
+        if key in released:
+            violations.append(f"page lease {key[1]} on {key[0]} "
+                              f"released twice (double free)")
+        released[key] = record["pages"]
+        if key not in leased:
+            violations.append(f"page release {key[1]} on {key[0]} "
+                              f"without a lease record")
+        elif leased[key] != record["pages"]:
+            violations.append(
+                f"page lease {key[1]} on {key[0]} pinned "
+                f"{leased[key]} pages but released {record['pages']}")
+    for key in sorted(set(leased) - set(released)):
+        violations.append(f"page lease {key[1]} on {key[0]} never "
+                          f"released (pages pinned forever)")
+
     # --- bit-identity vs the fault-free oracle ----------------------------
     if reference is not None:
         for rid, crc, n_tokens, capped in state.completed:
@@ -165,6 +195,8 @@ def audit_run(journal: Journal, *,
         "handoff_retries": state.handoff_retries,
         "handoff_aborts": state.handoff_aborts,
         "handoff_dup_drops": state.handoff_dup_drops,
+        "page_leases": state.kv_page_leases,
+        "page_releases": state.kv_page_releases,
         "restarts": state.restarts,
         "recoveries": state.recoveries,
     }

@@ -100,10 +100,17 @@ class AutoscalerPolicy:
     #: class from the plane's admission controller at tick time.
     cap_classes: tuple[str, ...] | None = None
     shed_classes: tuple[str, ...] | None = None
+    #: Prefix-cache capacity as a scheduling input: mean fleet page-store
+    #: occupancy (0..1+) weighted into the pressure metric.  A full
+    #: store means new shared prefixes evict old ones — recompute load
+    #: the backlog alone does not see.  0 keeps the legacy metric.
+    cache_pressure_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
             raise ValueError("interval_s must be > 0")
+        if self.cache_pressure_weight < 0:
+            raise ValueError("cache_pressure_weight must be >= 0")
         if not 1 <= self.min_replicas <= self.max_replicas:
             raise ValueError("need 1 <= min_replicas <= max_replicas")
         if self.up_after < 1 or self.down_after < 1 or \
@@ -193,9 +200,23 @@ class Autoscaler:
     # -- signals ------------------------------------------------------------
 
     def _pressure(self, plane) -> float:
-        """Queued requests per dispatchable (non-retiring) replica."""
-        active = max(len(plane.active_replicas()), 1)
-        return plane.admission.backlog() / active
+        """Queued requests per dispatchable (non-retiring) replica.
+
+        With ``cache_pressure_weight > 0``, the fleet's mean prefix-
+        cache occupancy adds in: a saturated page store is latent
+        recompute load (shared prefixes start evicting each other), so
+        it counts toward scaling out before the backlog shows it.
+        """
+        replicas = plane.active_replicas()
+        active = max(len(replicas), 1)
+        pressure = plane.admission.backlog() / active
+        weight = self.policy.cache_pressure_weight
+        if weight > 0 and replicas:
+            occupancy = [r.kvstore.occupancy() for r in replicas
+                         if r.kvstore is not None]
+            if occupancy:
+                pressure += weight * (sum(occupancy) / len(occupancy))
+        return pressure
 
     def _slo_breach(self, plane, t: float) -> bool:
         """p99 TTFT of recent completions against the policy's SLO."""

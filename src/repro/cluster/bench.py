@@ -42,7 +42,7 @@ from repro.cluster.disagg import (
     default_pools,
 )
 from repro.cluster.workload import TRACES, generate_trace
-from repro.model import init_weights
+from repro.model import init_weights, tiny_test_config
 from repro.observability.metrics import slo_summary
 from repro.serving.resilient import CostModel
 
@@ -65,6 +65,10 @@ BENCH_POLICIES: dict[str, AutoscalerPolicy] = {
     "heavy-tail": AutoscalerPolicy(
         min_replicas=1, max_replicas=3, scale_out_pressure=1.5,
         scale_in_pressure=0.5, up_after=2, down_after=4, spinup_s=0.1),
+    "chatbot-sessions": AutoscalerPolicy(
+        min_replicas=1, max_replicas=2, scale_out_pressure=1.5,
+        scale_in_pressure=0.5, up_after=2, down_after=4, spinup_s=0.1,
+        cache_pressure_weight=0.5),
 }
 
 
@@ -391,6 +395,203 @@ def disagg_bench(*, backend: str = "loop", seed: int = 0,
         "backend": backend,
         "seed": seed,
         "traces": results,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# -- paged prefix cache: cached vs recompute (BENCH_prefix_cache.json) ------
+
+#: The prefix bench's model: big enough to shard on a 4x4x4 torus (the
+#: embedding table splits over all 64 chips) while staying fast to
+#: serve under the virtual clock.
+PREFIX_CONFIG = tiny_test_config(n_layers=2, d_model=64, d_ff=128,
+                                 n_heads=16, d_head=4, vocab_size=32)
+
+#: The gated run's mesh: one replica at the paper's 4x4x4 scale.
+PREFIX_SHAPE = (4, 4, 4)
+
+#: The shared-prefix workload (80% pooled system prompts + sessions)
+#: and the no-sharing control trace the cache must not slow down.
+PREFIX_TRACE = "chatbot-sessions"
+PREFIX_BASELINE_TRACE = "diurnal"
+
+
+def _serve_prefix(trace: str, seed: int, backend: str, shape,
+                  *, cache_on: bool):
+    """One single-replica plane serving the seeded trace, cache on/off."""
+    spec = TRACES[trace]
+    weights = init_weights(PREFIX_CONFIG, seed=0)
+    submissions = generate_trace(spec, seed,
+                                 vocab_size=PREFIX_CONFIG.vocab_size)
+    policy = BENCH_CLUSTER_POLICY if cache_on else \
+        replace(BENCH_CLUSTER_POLICY, kvstore_pages=0)
+    plane = ClusterControlPlane(
+        weights, [shape], backend=backend, decode_batch=4,
+        classes=spec.priority_classes(), costs=BENCH_COSTS, policy=policy)
+    outcomes = plane.serve(submissions)
+    return plane, outcomes
+
+
+def _fleet_kvstore_stats(plane) -> dict:
+    """Summed store counters across the fleet (retired included)."""
+    total: dict = {}
+    for replica in list(plane.replicas) + plane.retired:
+        for key, value in replica.kvstore_stats().items():
+            if isinstance(value, (int, float)) and key not in (
+                    "hit_rate", "occupancy", "page_tokens",
+                    "capacity_pages"):
+                total[key] = total.get(key, 0) + value
+    cacheable = total.get("pages_hit", 0) + total.get("pages_missed", 0)
+    total["hit_rate"] = (total.get("pages_hit", 0) / cacheable
+                         if cacheable else 0.0)
+    return total
+
+
+def run_prefix_cache(trace: str, *, backend: str = "stacked",
+                     seed: int = 0, shape=PREFIX_SHAPE) -> dict:
+    """Cache-on vs cache-off (the recompute oracle) on one trace."""
+    plane, outcomes = _serve_prefix(trace, seed, backend, shape,
+                                    cache_on=True)
+    off_plane, off_outcomes = _serve_prefix(trace, seed, backend, shape,
+                                            cache_on=False)
+
+    def _makespan(outs) -> float:
+        return max((o.finish_s for o in outs
+                    if o.completion is not None), default=0.0)
+
+    stats = _fleet_kvstore_stats(plane)
+    computed = stats.get("tokens_computed", 0)
+    total_tokens = stats.get("tokens_total", 0)
+    makespan = _makespan(outcomes)
+    off_makespan = _makespan(off_outcomes)
+    statuses = {s.value: 0 for s in ClusterRequestStatus}
+    for o in outcomes:
+        statuses[o.status.value] += 1
+    finished = sum(1 for o in outcomes if o.completion is not None)
+    return {
+        "trace": trace,
+        "seed": seed,
+        "backend": backend,
+        "shape": "x".join(map(str, shape)),
+        "n_requests": len(outcomes),
+        "statuses": statuses,
+        "dropped_in_flight": (len(outcomes) - statuses["rejected"]
+                              - finished - statuses["failed"]),
+        "makespan_s": round(makespan, 6),
+        "uncached_makespan_s": round(off_makespan, 6),
+        "prefill_tokens_total": total_tokens,
+        "prefill_tokens_computed": computed,
+        "compute_reduction": round(total_tokens / computed, 6)
+        if computed else None,
+        "page_hit_rate": round(stats["hit_rate"], 6),
+        "pages_resident": stats.get("pages", 0),
+        "evictions": stats.get("evictions", 0),
+        "kv_bytes_saved": stats.get("bytes_saved", 0),
+        "page_leases": plane.kv_page_leases,
+        "page_releases": plane.kv_page_releases,
+        "bit_identical_vs_uncached": _bit_identical(outcomes,
+                                                    off_outcomes),
+        "goodput_tok_s": round(_goodput(outcomes, makespan), 6),
+        "uncached_goodput_tok_s": round(
+            _goodput(off_outcomes, off_makespan), 6),
+    }
+
+
+def check_prefix_cache_result(result: dict, *, shared: bool) -> list[str]:
+    """The prefix-cache benchmark's acceptance gates -> violations.
+
+    ``shared`` marks the shared-prefix trace, which must clear the
+    reuse gates (>= 2x prefill-step compute reduction, >= 60% page hit
+    rate); the no-sharing control only has to not regress.  Both must
+    land bit-identical tokens against the cache-off oracle and keep
+    page-lease accounting balanced.
+    """
+    v = []
+    if result["dropped_in_flight"]:
+        v.append(f"{result['dropped_in_flight']} requests dropped "
+                 f"in flight")
+    if result["statuses"]["failed"]:
+        v.append(f"{result['statuses']['failed']} requests FAILED")
+    if not result["bit_identical_vs_uncached"]:
+        v.append("completions diverged from the cache-off oracle")
+    if result["page_leases"] != result["page_releases"]:
+        v.append(f"page-lease accounting unbalanced: "
+                 f"{result['page_leases']} leases vs "
+                 f"{result['page_releases']} releases")
+    if result["makespan_s"] > result["uncached_makespan_s"] + 1e-9:
+        v.append(f"cache slowed the trace down: makespan "
+                 f"{result['makespan_s']} > uncached "
+                 f"{result['uncached_makespan_s']}")
+    if shared:
+        reduction = result["compute_reduction"] or 0.0
+        if reduction < 2.0:
+            v.append(f"prefill compute reduction {reduction:.2f}x < 2x")
+        if result["page_hit_rate"] < 0.6:
+            v.append(f"page hit rate {result['page_hit_rate']:.1%} < 60%")
+    return v
+
+
+def prefix_cache_bench(*, seed: int = 0,
+                       check_determinism: bool = True) -> dict:
+    """The full prefix-cache benchmark: one JSON document.
+
+    Three serving legs plus a chaos leg:
+
+    * the shared-prefix trace on the stacked backend at 4x4x4 — the
+      gated run (compute reduction, hit rate, bit-identity, speed);
+    * the no-sharing control trace on the same fleet — the cache must
+      be invisible (bit-identical, not a hair slower);
+    * the shared-prefix trace on the loop backend at 2x2x2 — the same
+      reuse gates must hold on the other mesh backend;
+    * the ``shared-prefix-kill`` chaos scenario — a chip dies on the
+      replica holding the shared pages and the auditor must certify
+      exactly-once page leases and zero lost requests.
+    """
+    from repro.cluster.chaos import run_scenario
+
+    legs = (
+        (PREFIX_TRACE, "stacked", PREFIX_SHAPE, True),
+        (PREFIX_BASELINE_TRACE, "stacked", PREFIX_SHAPE, False),
+        (PREFIX_TRACE, "loop", (2, 2, 2), True),
+    )
+    results = []
+    violations = []
+    for trace, backend, shape, shared in legs:
+        result = run_prefix_cache(trace, backend=backend, seed=seed,
+                                  shape=shape)
+        if check_determinism:
+            rerun = run_prefix_cache(trace, backend=backend, seed=seed,
+                                     shape=shape)
+            result["deterministic"] = rerun == result
+            if not result["deterministic"]:
+                violations.append(f"{trace}/{backend}: re-run diverged")
+        result["reuse_gated"] = shared
+        for problem in check_prefix_cache_result(result, shared=shared):
+            violations.append(f"{trace}/{backend}: {problem}")
+        results.append(result)
+
+    chaos = run_scenario("shared-prefix-kill", backend="loop", seed=seed)
+    chaos_row = {
+        "scenario": chaos.scenario,
+        "backend": chaos.backend,
+        "seed": chaos.seed,
+        "completed": chaos.completed,
+        "failovers": chaos.failovers,
+        "page_leases": chaos.page_leases,
+        "page_releases": chaos.page_releases,
+        "audit_certified": chaos.audit_certified,
+        "bit_identical": chaos.bit_identical,
+        "chaos_certified": chaos.ok,
+    }
+    if not chaos.ok:
+        for problem in chaos.violations:
+            violations.append(f"shared-prefix-kill: {problem}")
+    return {
+        "bench": "prefix_cache",
+        "seed": seed,
+        "traces": results,
+        "chaos": chaos_row,
         "violations": violations,
         "ok": not violations,
     }

@@ -43,6 +43,10 @@ Built-in scenarios (:data:`SCENARIOS`):
 * ``restart-storm`` — three scheduled replica process deaths (cold and
   warm) roll through the fleet; in-flight groups fail over and every
   replica rejoins after its restart downtime.
+* ``shared-prefix-kill`` — chat traffic with heavy system-prompt reuse
+  hits the paged prefix cache; a chip dies on the replica holding the
+  shared pages mid-run, its store invalidates, failover re-prefills,
+  and the auditor certifies no page was double-freed or leaked.
 
 Every run — chaotic or not — additionally proves its journal: replay
 must reconstruct the live control-plane state bit-identically, and the
@@ -87,7 +91,10 @@ from repro.mesh.faults import (
     StragglerFault,
 )
 from repro.model import ReferenceTransformer, init_weights, tiny_test_config
-from repro.observability.metrics import capture_stats_line
+from repro.observability.metrics import (
+    capture_stats_line,
+    kvstore_stats_line,
+)
 from repro.observability.spans import Tracer
 from repro.serving.engine import Request, TwoPhaseServer
 from repro.serving.resilient import CostModel
@@ -159,6 +166,7 @@ class ChaosScenario:
     expect_restarts: bool = False
     expect_recovery: bool = False
     expect_quarantine: bool = False
+    expect_page_hits: bool = False
 
 
 SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
@@ -328,6 +336,23 @@ SCENARIOS: dict[str, ChaosScenario] = {s.name: s for s in (
         expect_restarts=True,
     ),
     ChaosScenario(
+        name="shared-prefix-kill",
+        description="chat trace with 80% shared system prompts warms "
+                    "the paged prefix cache; a chip dies mid-decode on "
+                    "the replica holding the shared pages, its store "
+                    "invalidates, failover re-prefills on a sibling, "
+                    "and page-lease accounting stays exactly-once",
+        shapes=((2, 2, 2), (2, 2, 2)),
+        trace="chatbot-sessions",
+        classes=TRACES["chatbot-sessions"].priority_classes(),
+        fault_plans=((0, FaultPlan(faults=(
+            ChipKill(chip=(0, 1, 0), at_step=2, phase="decode"),))),),
+        costs=CostModel(prefill_s=0.05, decode_step_s=0.01),
+        policy=ClusterPolicy(max_batch_wait_s=0.05),
+        expect_failovers=True,
+        expect_page_hits=True,
+    ),
+    ChaosScenario(
         name="flash-crowd-disagg",
         description="flash-crowd spike on disaggregated pools pinned at "
                     "capacity; the brownout ladder climbs to collapse-"
@@ -400,6 +425,11 @@ class ChaosReport:
     #: Per-replica :meth:`StepCompiler.stats` snapshots (retired
     #: replicas included), keyed by replica name.
     capture_stats: dict[str, dict] = field(default_factory=dict)
+    #: Per-replica :meth:`KVStore.stats` + buffer-arena snapshots,
+    #: keyed by replica name (arena-only when the store is disabled).
+    kvstore_stats: dict[str, dict] = field(default_factory=dict)
+    page_leases: int = 0
+    page_releases: int = 0
     n_events: int = 0
     n_spans: int = 0
     bit_identical: bool = True
@@ -457,6 +487,15 @@ def _check(report: ChaosReport, scenario: ChaosScenario,
     if not report.audit_certified:
         for violation in report.audit_violations:
             v.append(f"audit: {violation}")
+    if report.page_leases != report.page_releases:
+        v.append(f"page-lease accounting is not balanced: "
+                 f"{report.page_leases} leases vs "
+                 f"{report.page_releases} releases")
+    if scenario.expect_page_hits:
+        hits = sum(s.get("hits", 0)
+                   for s in report.kvstore_stats.values())
+        if not hits:
+            v.append("expected prefix-cache page hits; saw none")
     if report.dropped_in_flight:
         v.append(f"{report.dropped_in_flight} admitted requests have no "
                  f"terminal outcome")
@@ -615,6 +654,11 @@ def run_scenario(scenario: ChaosScenario | str, *, backend: str = "loop",
     report.capture_stats = {
         r.name: r.step_compiler.stats()
         for r in list(plane.replicas) + plane.retired}
+    report.kvstore_stats = {
+        r.name: r.kvstore_stats()
+        for r in list(plane.replicas) + plane.retired}
+    report.page_leases = plane.kv_page_leases
+    report.page_releases = plane.kv_page_releases
     if autoscaler is not None:
         report.brownout_steps = autoscaler.brownout_steps
         try:
@@ -723,6 +767,11 @@ def format_report(report: ChaosReport) -> str:
     for name in sorted(report.capture_stats):
         lines.append(f"  capture[{name}]: "
                      f"{capture_stats_line(report.capture_stats[name])}")
+    for name in sorted(report.kvstore_stats):
+        stats = report.kvstore_stats[name]
+        if not stats.get("lookups") and not stats.get("pages"):
+            continue
+        lines.append(f"  kvstore[{name}]: {kvstore_stats_line(stats)}")
     for violation in report.violations:
         lines.append(f"  VIOLATION: {violation}")
     return "\n".join(lines)

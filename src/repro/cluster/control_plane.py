@@ -99,6 +99,13 @@ class ClusterPolicy:
     #: full-groups-only behavior (mixed-length traces need the age
     #: trigger or odd-length prompts would wait for the final flush).
     max_batch_wait_s: float | None = None
+    #: Prefix-affinity dispatch: route a new group to the prefill
+    #: replica whose paged KV store holds the longest cached prefix of
+    #: its head prompt (ties and zero matches fall back to least-busy).
+    prefix_affinity: bool = True
+    #: Per-replica prefix-cache capacity in pages; 0 disables the
+    #: stores entirely (prefills always recompute).
+    kvstore_pages: int = 256
 
 
 @dataclass(frozen=True)
@@ -302,7 +309,8 @@ class ClusterControlPlane:
                     fault_plan=fault_plans.get(i), costs=self.costs,
                     event_log=self.events, tracer=self.tracer,
                     trace_mesh=trace_mesh,
-                    prompt_len_hint=prompt_len_hint)
+                    prompt_len_hint=prompt_len_hint,
+                    kvstore_pages=self.policy.kvstore_pages)
             for i, (name, shape) in enumerate(zip(names, shapes))]
         self.breakers = {
             r.name: CircuitBreaker(
@@ -353,6 +361,14 @@ class ClusterControlPlane:
         self._running: set[str] = set()        # replicas mid-group
         self.prefill_tokens = 0
         self.decode_tokens = 0
+        # Shared-page accounting: every pinned prefix (a PageLease) is
+        # journaled on acquisition and on release, so the auditor can
+        # prove exactly-once page lifecycle — no double free, no lease
+        # leaked by a failover/drain/hedge path.
+        self.kv_page_leases = 0
+        self.kv_page_releases = 0
+        self.kv_pages_leased = 0
+        self.kv_pages_released = 0
         # Parallel replica stepping: with ``step_threads >= 1`` a hedged
         # race steps the two replicas' replay programs concurrently, one
         # pool worker per replica per tick (see :meth:`_barrier_step`).
@@ -431,6 +447,10 @@ class ClusterControlPlane:
             handoff_retries=getattr(self, "handoff_retries", 0),
             handoff_aborts=getattr(self, "handoff_aborts", 0),
             handoff_dup_drops=getattr(self, "handoff_dups_dropped", 0),
+            kv_page_leases=self.kv_page_leases,
+            kv_page_releases=self.kv_page_releases,
+            kv_pages_leased=self.kv_pages_leased,
+            kv_pages_released=self.kv_pages_released,
             hedging_enabled=self._hedging_enabled,
             output_caps=tuple(sorted(self.output_caps.items())),
             target_profile=self._target_profile,
@@ -535,7 +555,8 @@ class ClusterControlPlane:
     def _pick_replica(self, now_s: float, request_id: int,
                       priority_class: str,
                       exclude: Replica | None = None,
-                      phase: str = "any") -> Replica:
+                      phase: str = "any",
+                      prompt=None) -> Replica:
         candidates = [r for r in self._phase_candidates(phase)
                       if r.dispatchable
                       and self.breakers[r.name].allow(now_s)]
@@ -552,6 +573,21 @@ class ClusterControlPlane:
                 f"no dispatchable replica at t={now_s:.4f}s "
                 f"(health: {[(r.name, r.health.value) for r in self.replicas]})",
                 request_id=request_id, priority_class=priority_class)
+        # Prefix-affinity routing (the Mooncake recipe): among the
+        # eligible replicas, prefer the ones whose paged KV store holds
+        # the longest cached prefix of the group's prompt — trading
+        # placement freedom for recompute savings.  ``peek`` is a pure
+        # read (no pin, no LRU touch) so routing never perturbs cache
+        # state; zero matches everywhere fall through to least-busy.
+        if prompt is not None and self.policy.prefix_affinity and \
+                len(candidates) > 1:
+            matched = {r.name: (r.kvstore.peek(prompt)
+                                if r.kvstore is not None else 0)
+                       for r in candidates}
+            best = max(matched.values())
+            if best > 0:
+                candidates = [r for r in candidates
+                              if matched[r.name] == best]
         return min(candidates, key=lambda r: (r.busy_until_s, r.name))
 
     # -- fleet management (the autoscaler's levers) --------------------------
@@ -585,7 +621,8 @@ class ClusterControlPlane:
                           decode_batch=self.decode_batch,
                           costs=self.costs, event_log=self.events,
                           tracer=self.tracer, trace_mesh=self.trace_mesh,
-                          prompt_len_hint=self.prompt_len_hint)
+                          prompt_len_hint=self.prompt_len_hint,
+                          kvstore_pages=self.policy.kvstore_pages)
         replica.busy_until_s = now_s + spinup_s
         self.replicas.append(replica)
         self.breakers[name] = CircuitBreaker(
@@ -806,7 +843,8 @@ class ClusterControlPlane:
 
         try:
             replica = self._pick_replica(self.now_s, first_rid, first_class,
-                                         phase="prefill")
+                                         phase="prefill",
+                                         prompt=subs[0].request.prompt)
         except NoHealthyReplica as exc:
             self._fail_group(subs, by_id, gid=gid,
                              error=type(exc).__name__, failovers=0)
@@ -833,6 +871,7 @@ class ClusterControlPlane:
                         if run.caches is None:
                             t += run.run_prefill()
                             self._set_now(t)
+                            self._note_leases(run, t, gid)
                             self.prefill_tokens += sum(
                                 len(r.prompt) for r in run.group)
                             if first_token_s is None:
@@ -840,16 +879,25 @@ class ClusterControlPlane:
                             # Phase boundary: the disaggregated plane's
                             # KV handoff happens here (may raise a
                             # MeshFault -> the failover path below).
+                            prev_run = run
                             prev = run.replica.name
                             run, t = self._after_prefill(run, t, gid)
                             if run.replica.name != prev:
                                 self._running.discard(prev)
                                 self._running.add(run.replica.name)
+                            if run is not prev_run:
+                                # Handed off: the target holds its own
+                                # copy (and adopted the shared pages);
+                                # the prefill-side pins drop.
+                                self._release_leases(prev_run, t, gid)
                         slow_steps = 0
                         while not run.done:
                             drained = self._maybe_drain(run, t)
                             if drained is not None:
                                 self._running.discard(run.replica.name)
+                                # The migrated caches carry their own
+                                # prefix copy; the source's pins drop.
+                                self._release_leases(run, t, gid)
                                 run, t = drained
                                 self._running.add(run.replica.name)
                                 if run.caches is None:
@@ -901,10 +949,15 @@ class ClusterControlPlane:
                                              error=type(exc).__name__,
                                              failovers=attempt, finish_s=t)
                             return
+                        # The abandoned attempt's pins drop before the
+                        # group re-prefills elsewhere (the source store
+                        # may already be invalidated — stale no-ops).
+                        self._release_leases(run, t, gid)
                         try:
                             target = self._pick_replica(
                                 t, first_rid, first_class,
-                                exclude=run.replica, phase="prefill")
+                                exclude=run.replica, phase="prefill",
+                                prompt=subs[0].request.prompt)
                         except NoHealthyReplica as nhr_exc:
                             self._fail_group(subs, by_id, gid=gid,
                                              error=type(nhr_exc).__name__,
@@ -944,6 +997,7 @@ class ClusterControlPlane:
                                      capped=capped)
         finally:
             self._running.discard(run.replica.name)
+            self._release_leases(run, t, gid)
 
     # -- fault / drain / hedge handling ------------------------------------
 
@@ -958,6 +1012,46 @@ class ClusterControlPlane:
         failover handler turns into a re-prefill).
         """
         return run, t
+
+    def _note_leases(self, run: GroupRun, t: float, gid: int) -> None:
+        """Journal the page leases ``run``'s prefill just pinned.
+
+        Called after every ``run_prefill`` site (main loop, hedges) so
+        the write-ahead journal sees each lease exactly once; the
+        auditor later checks each journaled lease has exactly one
+        matching release record — the exactly-once ledger extended to
+        shared pages.
+        """
+        for lease in run.leases:
+            if lease.journaled:
+                continue
+            lease.journaled = True
+            self.kv_page_leases += 1
+            self.kv_pages_leased += lease.n_pages
+            self._journal("page_lease", t_s=t, group=gid,
+                          replica=run.replica.name,
+                          lease_id=lease.lease_id,
+                          pages=lease.n_pages, tokens=lease.n_tokens)
+
+    def _release_leases(self, run: GroupRun, t: float, gid: int) -> None:
+        """Unpin and journal every lease ``run`` still holds.
+
+        Covers all terminal paths — completion, failover abandon, drain
+        migration, hedge retirement, replica crash.  Release is
+        idempotent and epoch-checked in the store, so a crash that
+        already invalidated the store turns these into counted no-op
+        (stale) releases; the journal record closes the lease either
+        way, keeping the lease/release ledger balanced.
+        """
+        for lease in run.release_leases():
+            if not lease.journaled:
+                continue
+            self.kv_page_releases += 1
+            self.kv_pages_released += lease.n_pages
+            self._journal("page_release", t_s=t, group=gid,
+                          replica=run.replica.name,
+                          lease_id=lease.lease_id,
+                          pages=lease.n_pages)
 
     def _on_group_fault(self, replica: Replica, exc: MeshFault,
                         t: float) -> float:
@@ -1053,6 +1147,7 @@ class ClusterControlPlane:
         self._running.add(backup.name)
         try:
             bt += hedge_run.run_prefill()
+            self._note_leases(hedge_run, bt, gid)
             while not hedge_run.done:
                 bt += hedge_run.decode_step()
         except MeshFault as exc:
@@ -1060,6 +1155,7 @@ class ClusterControlPlane:
             return True, None
         finally:
             self._running.discard(backup.name)
+            self._release_leases(hedge_run, bt, gid)
         backup.busy_until_s = bt
         self.breakers[backup.name].record_success(bt)
         return True, (bt, hedge_run.completions(), backup.name)
@@ -1120,6 +1216,7 @@ class ClusterControlPlane:
         try:
             try:
                 bt += hedge_run.run_prefill()
+                self._note_leases(hedge_run, bt, gid)
             except MeshFault as exc:
                 self._on_group_fault(backup, exc, bt)
                 return t, None
@@ -1159,6 +1256,7 @@ class ClusterControlPlane:
             return t, result
         finally:
             self._running.discard(backup.name)
+            self._release_leases(hedge_run, bt, gid)
 
     @staticmethod
     def _assert_identical(a: Sequence[Completion],

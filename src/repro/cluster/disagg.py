@@ -53,6 +53,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Sequence
 
+import numpy as np
+
 from repro.cluster.admission import NoHealthyReplica
 from repro.cluster.autoscaler import (
     BROWNOUT_LADDER,
@@ -271,6 +273,8 @@ class DisaggControlPlane(ClusterControlPlane):
         self.pools_collapsed = False
         self.kv_handoffs = 0
         self.kv_handoff_bytes = 0
+        self.kv_handoff_bytes_saved = 0  # prefix pages the target held
+        self.kv_pages_adopted = 0     # source pages registered on targets
         self.handoffs_colocated = 0   # no decode target: decoded in place
         self.handoff_retries = 0
         self.handoff_aborts = 0
@@ -407,6 +411,50 @@ class DisaggControlPlane(ClusterControlPlane):
                          group=gid, reason=reason)
         return run, t
 
+    def _uncached_bytes(self, run: GroupRun,
+                        target: Replica) -> tuple[int, int]:
+        """Split the handoff payload into (uncached, already-cached) bytes.
+
+        The Mooncake-style pricing: prefix pages the *target's* store
+        already holds need not cross the link — only the uncached
+        remainder is transferred.  Matched tokens are measured by a pure
+        ``peek`` per request against the target store.
+        """
+        total = run.kv_cache_bytes()
+        if target.kvstore is None:
+            return total, 0
+        per_token = sum(
+            2 * cache.global_shape[2] * cache.global_shape[3]
+            * np.dtype(cache.dtype).itemsize
+            for cache in run.caches)
+        matched = sum(target.kvstore.peek(request.prompt)
+                      for request in run.group)
+        saved = min(matched * per_token, total)
+        return total - saved, saved
+
+    def _adopt_pages(self, run: GroupRun, source: Replica,
+                     target: Replica, t: float, gid: int) -> None:
+        """Register the source's prefix pages on the target store.
+
+        Adoption is by reference (sealed pages are immutable), so later
+        prompts sharing the prefix hit on the decode side too and the
+        next handoff of the same prefix prices at zero.  No journal
+        record: adoption only seeds a cache — losing it costs recompute,
+        never correctness — unlike leases, which pin memory.
+        """
+        if source.kvstore is None or target.kvstore is None:
+            return
+        adopted = 0
+        for request in run.group:
+            pages = source.kvstore.lookup_pages(request.prompt)
+            if pages:
+                adopted += target.kvstore.adopt(request.prompt, pages)
+        if adopted:
+            self.kv_pages_adopted += adopted
+            self.tracer.mark(
+                f"page-adopt:{source.name}->{target.name}",
+                group=gid, pages=adopted)
+
     def _handoff_target(self, t: float, run: GroupRun,
                         source: Replica) -> Replica | None:
         rid = run.group[0].request_id
@@ -453,7 +501,6 @@ class DisaggControlPlane(ClusterControlPlane):
             return run, t  # already decode-capable (pool fallback path)
         policy = self.policy
         n_bytes = run.kv_cache_bytes()
-        transfer_s = handoff_transfer_s(n_bytes, policy)
         self._journal("handoff_prepare", t_s=t, group=gid,
                       source=source.name, bytes=n_bytes)
         self.events.record(KV_HANDOFF_PREPARED, group=gid,
@@ -509,6 +556,12 @@ class DisaggControlPlane(ClusterControlPlane):
                                        target=target.name, t_s=t)
                     self.tracer.mark(f"handoff-dedup:{target.name}",
                                      group=gid)
+                # Prefix pages the target's store already holds stay
+                # put — only the uncached remainder is priced on the
+                # A.1 link (storage traded for transfer, the Mooncake
+                # recipe applied to the handoff).
+                uncached, saved = self._uncached_bytes(run, target)
+                transfer_s = handoff_transfer_s(uncached, policy)
                 # The source is occupied until the transfer completes
                 # (a drain or scale-in of it waits at least that long);
                 # the target keeps decoding its current work — overlap
@@ -517,20 +570,25 @@ class DisaggControlPlane(ClusterControlPlane):
                 source.busy_until_s = t + transfer_s
                 decode_start = max(t + transfer_s, target.busy_until_s)
                 self.kv_handoffs += 1
-                self.kv_handoff_bytes += n_bytes
+                self.kv_handoff_bytes += uncached
+                self.kv_handoff_bytes_saved += saved
                 self._journal("handoff_commit", t_s=t, group=gid,
                               source=source.name, target=target.name,
                               attempt=attempt)
                 self.events.record(
                     KV_HANDOFF, group=gid, source=source.name,
-                    target=target.name, bytes=n_bytes,
+                    target=target.name, bytes=uncached,
+                    bytes_saved=saved,
                     transfer_s=transfer_s, t_s=t,
                     decode_start_s=decode_start, attempts=attempt,
                     overlapped_s=max(
                         target.busy_until_s - (t + transfer_s), 0.0))
                 self.tracer.mark(
                     f"kv-handoff:{source.name}->{target.name}",
-                    group=gid, bytes=n_bytes, transfer_s=transfer_s)
+                    group=gid, bytes=uncached, transfer_s=transfer_s)
+                # Post-commit: seed the decode side's store so the next
+                # shared-prefix handoff prices (and routes) even better.
+                self._adopt_pages(run, source, target, t, gid)
                 return new_run, decode_start
             if attempt == attempts:
                 self.handoff_aborts += 1

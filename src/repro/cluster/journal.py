@@ -106,6 +106,13 @@ class ControlPlaneState:
     handoff_retries: int = 0
     handoff_aborts: int = 0
     handoff_dup_drops: int = 0
+    #: Page-lease ledger: every cached-prefix pin (a kvstore PageLease)
+    #: and its release, journaled so the auditor can prove exactly-once
+    #: page lifecycle — no double free, no lease leaked by failover.
+    kv_page_leases: int = 0
+    kv_page_releases: int = 0
+    kv_pages_leased: int = 0
+    kv_pages_released: int = 0
     hedging_enabled: bool = True
     output_caps: tuple[tuple[str, int], ...] = ()
     target_profile: str | None = None
@@ -195,6 +202,10 @@ class _Working:
         self.handoff_retries = state.handoff_retries
         self.handoff_aborts = state.handoff_aborts
         self.handoff_dup_drops = state.handoff_dup_drops
+        self.kv_page_leases = state.kv_page_leases
+        self.kv_page_releases = state.kv_page_releases
+        self.kv_pages_leased = state.kv_pages_leased
+        self.kv_pages_released = state.kv_pages_released
         self.hedging_enabled = state.hedging_enabled
         self.output_caps = dict(state.output_caps)
         self.target_profile = state.target_profile
@@ -225,6 +236,10 @@ class _Working:
             handoff_retries=self.handoff_retries,
             handoff_aborts=self.handoff_aborts,
             handoff_dup_drops=self.handoff_dup_drops,
+            kv_page_leases=self.kv_page_leases,
+            kv_page_releases=self.kv_page_releases,
+            kv_pages_leased=self.kv_pages_leased,
+            kv_pages_released=self.kv_pages_released,
             hedging_enabled=self.hedging_enabled,
             output_caps=tuple(sorted(self.output_caps.items())),
             target_profile=self.target_profile,
@@ -351,6 +366,16 @@ def _fold_handoff_abort(w: _Working, r: JournalRecord) -> None:
     w.handoff_aborts += 1
 
 
+def _fold_page_lease(w: _Working, r: JournalRecord) -> None:
+    w.kv_page_leases += 1
+    w.kv_pages_leased += r["pages"]
+
+
+def _fold_page_release(w: _Working, r: JournalRecord) -> None:
+    w.kv_page_releases += 1
+    w.kv_pages_released += r["pages"]
+
+
 def _fold_control_recovered(w: _Working, r: JournalRecord) -> None:
     w.recoveries += 1
 
@@ -383,6 +408,8 @@ _FOLDERS = {
     "handoff_commit": _fold_handoff_commit,
     "handoff_dup": _fold_handoff_dup,
     "handoff_abort": _fold_handoff_abort,
+    "page_lease": _fold_page_lease,
+    "page_release": _fold_page_release,
     "control_recovered": _fold_control_recovered,
 }
 

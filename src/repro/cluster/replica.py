@@ -72,7 +72,8 @@ class Replica:
                  costs: CostModel | None = None,
                  event_log: EventLog | None = None, tracer=None,
                  trace_mesh: bool = False, prompt_len_hint: int = 64,
-                 prefill_chunk: int | None | str = "auto"):
+                 prefill_chunk: int | None | str = "auto",
+                 kvstore_pages: int = 256):
         from repro.layouts.model import ShardedTransformer
 
         self.name = name
@@ -128,6 +129,29 @@ class Replica:
         # :meth:`replan_around` — so failover and degraded replanning
         # exercise the full invalidate -> eager -> re-capture cycle.
         self.step_compiler = StepCompiler()
+        # Per-replica paged prefix cache (repro.kvstore).  Page size is
+        # the prefill chunk so cached-prefix suffixes see the cold path's
+        # exact chunk boundaries (the bit-identity contract); disabled
+        # when chunked prefill is off or ``kvstore_pages == 0``.  The
+        # buffer arena recycles device-shaped KV buffers across cache
+        # lifetimes on both models.
+        from repro.kvstore import KVBufferArena, KVStore
+
+        self.kv_arena = KVBufferArena()
+        self.kvstore = (KVStore(page_tokens=self.prefill_chunk,
+                                capacity_pages=kvstore_pages, name=name)
+                        if self.prefill_chunk and kvstore_pages else None)
+        self._wire_kv()
+
+    def _wire_kv(self) -> None:
+        """Point both models' cache allocation at this replica's arena.
+
+        Models are rebuilt wholesale on replan/restart/profile switches
+        (``with_plan`` and the ``ShardedTransformer`` ctor both default
+        ``kv_arena`` to ``None``), so every rebuild site re-wires here.
+        """
+        self.decode_model.kv_arena = self.kv_arena
+        self.prefill_model.kv_arena = self.kv_arena
 
     # -- simulated time -----------------------------------------------------
 
@@ -224,6 +248,14 @@ class Replica:
         self.prefill_model = deploy.prefill_model
         self.decode_model = deploy.decode_model
         self.step_compiler.invalidate()
+        # Cached pages were extracted on the old deployment; the lease
+        # epoch bump makes in-flight releases no-ops, exactly like the
+        # compiler dropping captured programs.  The pooled device buffers
+        # are shaped for the old mesh, so the arena empties too.
+        if self.kvstore is not None:
+            self.kvstore.invalidate("replan")
+        self.kv_arena.clear()
+        self._wire_kv()
         self.profile = "balanced"  # replan re-selects; profiles re-apply
         self.prefill_profile = "balanced"  # at the next group dispatch
 
@@ -263,7 +295,15 @@ class Replica:
                     self.weights, self.mesh, prefill_plan)
             self.profile = "balanced"
             self.prefill_profile = "balanced"
+            self._wire_kv()
         self.step_compiler.invalidate()
+        # Process death loses the host-resident page store either way:
+        # a cold restart rebuilt the models, and even a warm rejoin
+        # cannot prove page contents survived — the auditor's
+        # exactly-once ledger only covers lease events, not payloads.
+        if self.kvstore is not None:
+            self.kvstore.invalidate("restart")
+        self.kv_arena.clear()
 
     def switch_profile(self, profile: str, now_s: float) -> bool:
         """Move the decode model to one end of the Pareto frontier.
@@ -309,6 +349,10 @@ class Replica:
             self.decode_model = ShardedTransformer(self.weights,
                                                    self.mesh, plan)
         self.step_compiler.invalidate()
+        # Pages store KV in global form, so the prefix cache survives a
+        # layout switch — install resharding onto the new plan is the
+        # same host-mediated copy either way.
+        self._wire_kv()
         self.profile = profile
         self.events.record(
             PLAN_SWITCHED, replica=self.name, profile=profile,
@@ -363,6 +407,7 @@ class Replica:
         except ValueError:
             self.prefill_model = ShardedTransformer(self.weights,
                                                     self.mesh, plan)
+        self._wire_kv()
         self.prefill_profile = profile
         self.events.record(
             PLAN_SWITCHED, replica=self.name, profile=profile,
@@ -375,6 +420,13 @@ class Replica:
                              plan=f"{plan.ffn.value}/"
                                   f"{plan.attention.value}")
         return True
+
+    def kvstore_stats(self) -> dict:
+        """Merged prefix-cache + buffer-arena counters for reporting."""
+        stats = dict(self.kvstore.stats()) if self.kvstore is not None \
+            else {}
+        stats.update(self.kv_arena.stats())
+        return stats
 
     def __repr__(self) -> str:
         return (f"Replica({self.name!r}, {self.mesh.shape}, "
@@ -406,6 +458,10 @@ class GroupRun:
         self.current = None
         self.generated: list[np.ndarray] = []
         self._delay_before = 0.0
+        # Page leases pinning cached prefixes this run installed; held
+        # until the group retires (or is abandoned) so eviction can never
+        # free a page under a live decode slot.
+        self.leases: list = []
 
     @property
     def done(self) -> bool:
@@ -423,21 +479,32 @@ class GroupRun:
         caches_per_request, first_logits = [], []
         elapsed = 0.0
         chunk = replica.prefill_chunk
+        kvstore = replica.kvstore
         for request in self.group:
             before = replica.delay_s()
             replica.advance("prefill")
+            computed_frac = 1.0
             if chunk:
                 # Default path: chunked prefill through the program
-                # cache — same-length chunks replay across prompts.
+                # cache — same-length chunks replay across prompts —
+                # and, when the replica carries a prefix store, through
+                # the paged cache: only the uncached suffix is computed,
+                # and the prefill cost shrinks by the same fraction.
                 logits, caches = chunked_prefill(
                     replica.prefill_model, request.prompt[None, :],
-                    chunk, max_len, compiler=replica.step_compiler)
+                    chunk, max_len, compiler=replica.step_compiler,
+                    kvstore=kvstore)
+                if kvstore is not None:
+                    reuse = kvstore.take_last_reuse()
+                    if reuse is not None and reuse.lease is not None:
+                        self.leases.append(reuse.lease)
+                        computed_frac = reuse.computed_fraction
             else:
                 logits, caches = replica.prefill_model.prefill(
                     request.prompt[None, :], max_len)
             elapsed += replica.costs.prefill_cost_s(
                 replica.prefill_profile) * replica.scale \
-                + (replica.delay_s() - before)
+                * computed_frac + (replica.delay_s() - before)
             caches_per_request.append(caches)
             first_logits.append(logits)
 
@@ -496,6 +563,21 @@ class GroupRun:
         self.steps_done += 1
         return elapsed
 
+    def release_leases(self) -> list:
+        """Unpin this run's cached-prefix pages; returns what released.
+
+        Idempotent, and safe across replans — a lease from a bumped
+        store epoch is a counted no-op (``stale_releases``), so chaos
+        paths can release unconditionally.  Only leases that actually
+        released on the current epoch are returned (for journaling).
+        """
+        released = []
+        for lease in self.leases:
+            if lease.release():
+                released.append(lease)
+        self.leases = []
+        return released
+
     def completions(self) -> list[Completion]:
         all_generated = np.concatenate(self.generated, axis=1)
         out = []
@@ -542,4 +624,7 @@ class GroupRun:
         run.current = self.current
         run.generated = list(self.generated)
         run.steps_done = self.steps_done
+        # Page leases stay behind: they pin pages in the *source*
+        # replica's store, and the migrated caches carry their own full
+        # copy of the prefix.  The control plane releases them.
         return run

@@ -106,6 +106,20 @@ class TraceSpec:
     output_min: int = 2
     output_max: int = 8
     output_zipf_a: float = 2.5
+    #: Shared-prefix traffic (chat serving): a pool of
+    #: ``system_prompt_pool`` seeded system prompts, each
+    #: ``system_prompt_len`` tokens.  Each arrival is a shared-prefix
+    #: request with probability ``shared_prefix_fraction`` — it prepends
+    #: a pool prompt (Zipf-weighted by rank, exponent ``prefix_zipf_a``)
+    #: or, with probability ``session_fraction``, continues an earlier
+    #: shared conversation (multi-turn: the prior prompt is the prefix).
+    #: All zero by default — the legacy traces' random streams are
+    #: byte-identical when the pool is disabled.
+    system_prompt_pool: int = 0
+    system_prompt_len: int = 0
+    shared_prefix_fraction: float = 0.0
+    prefix_zipf_a: float = 1.5
+    session_fraction: float = 0.0
     classes: tuple[ClassMix, ...] = (
         ClassMix("interactive", priority=0, weight=0.7, deadline_s=2.0),
         ClassMix("batch", priority=1, weight=0.3, queue_limit=96),
@@ -132,6 +146,17 @@ class TraceSpec:
             raise ValueError("need 1 <= output_min <= output_max")
         if self.output_zipf_a <= 1:
             raise ValueError("output_zipf_a must be > 1")
+        if self.system_prompt_pool < 0:
+            raise ValueError("system_prompt_pool must be >= 0")
+        if self.system_prompt_pool > 0 and self.system_prompt_len < 1:
+            raise ValueError("a system-prompt pool needs "
+                             "system_prompt_len >= 1")
+        if not 0.0 <= self.shared_prefix_fraction <= 1.0:
+            raise ValueError("shared_prefix_fraction must be in [0, 1]")
+        if not 0.0 <= self.session_fraction <= 1.0:
+            raise ValueError("session_fraction must be in [0, 1]")
+        if self.prefix_zipf_a <= 0:
+            raise ValueError("prefix_zipf_a must be > 0")
         if not self.classes:
             raise ValueError("a trace needs at least one class")
         names = [c.name for c in self.classes]
@@ -187,6 +212,23 @@ def generate_trace(spec: TraceSpec, seed: int, *,
     peak = peak_rate(spec)
     weights = np.array([c.weight for c in spec.classes], dtype=float)
     weights /= weights.sum()
+    # Shared-prefix machinery, only touched when the pool is enabled so
+    # legacy specs keep their random streams byte-identical.  Pool
+    # prompts are drawn up front; reuse is Zipf-weighted by rank.
+    pool: list[np.ndarray] = []
+    pool_weights = None
+    if spec.system_prompt_pool > 0:
+        pool = [rng.integers(0, vocab_size, size=spec.system_prompt_len)
+                for _ in range(spec.system_prompt_pool)]
+        ranks = np.arange(1, spec.system_prompt_pool + 1, dtype=float)
+        pool_weights = ranks ** -spec.prefix_zipf_a
+        pool_weights /= pool_weights.sum()
+    #: Conversations in flight: each entry is the full token prefix a
+    #: follow-up turn extends.  Bounded so sessions (and prompt lengths)
+    #: cannot grow without limit.
+    sessions: list[np.ndarray] = []
+    max_sessions = 64
+    max_session_tokens = 40
 
     submissions: list[ClusterSubmission] = []
     t = 0.0
@@ -204,7 +246,20 @@ def generate_trace(spec: TraceSpec, seed: int, *,
         out_len = int(rng.zipf(spec.output_zipf_a))
         out_len = min(max(out_len, spec.output_min), spec.output_max)
         cls = spec.classes[int(rng.choice(len(spec.classes), p=weights))]
-        prompt = rng.integers(0, vocab_size, size=prompt_len)
+        base = None
+        if pool and float(rng.random()) < spec.shared_prefix_fraction:
+            if sessions and float(rng.random()) < spec.session_fraction:
+                # Multi-turn: extend an earlier shared conversation.
+                base = sessions[int(rng.integers(0, len(sessions)))]
+            else:
+                base = pool[int(rng.choice(len(pool), p=pool_weights))]
+        suffix = rng.integers(0, vocab_size, size=prompt_len)
+        prompt = suffix if base is None \
+            else np.concatenate([base, suffix])
+        if base is not None and len(prompt) <= max_session_tokens:
+            sessions.append(prompt)
+            if len(sessions) > max_sessions:
+                sessions.pop(0)
         submissions.append(ClusterSubmission(
             Request(rid, prompt, out_len),
             priority_class=cls.name,
@@ -249,5 +304,21 @@ TRACES: dict[str, TraceSpec] = {spec.name: spec for spec in (
         prompt_len_mu=1.9,
         prompt_len_sigma=0.7,
         output_zipf_a=1.7,
+    ),
+    TraceSpec(
+        name="chatbot-sessions",
+        description="chat traffic: 80% of arrivals share one of three "
+                    "pooled system prompts (Zipf-weighted) and a good "
+                    "chunk continue earlier conversations; the prefix "
+                    "cache bench's shared-prefix workload",
+        duration_s=3.0,
+        base_rate_rps=12.0,
+        prompt_len_buckets=(4, 8),
+        system_prompt_pool=3,
+        system_prompt_len=12,
+        shared_prefix_fraction=0.8,
+        prefix_zipf_a=1.5,
+        session_fraction=0.4,
+        output_max=6,
     ),
 )}

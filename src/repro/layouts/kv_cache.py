@@ -18,9 +18,18 @@ The buffers follow the mesh backend: an object array of per-device
 buffers on the ``loop`` backend, or one dense ``mesh.shape + local``
 array on the ``stacked`` backend, in which case appends and views are
 single whole-mesh slice operations.
+
+With an ``arena`` (:class:`repro.kvstore.arena.KVBufferArena`) the
+buffers are *leased* from a per-replica pool instead of freshly
+allocated — the cache becomes a view over pooled pages, returned to the
+arena when the cache is garbage collected.  Leased buffers arrive
+zeroed, so pooling is invisible to numerics; either way appends stay
+single whole-mesh slice ops.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -33,7 +42,7 @@ class ShardedKVCache:
 
     def __init__(self, mesh: VirtualMesh, spec: ShardSpec | str,
                  batch: int, max_len: int, n_kv_heads: int, d_head: int,
-                 dtype=np.float64):
+                 dtype=np.float64, arena=None):
         if isinstance(spec, str):
             spec = parse(spec)
         if spec.dims != ("B", "M", "K", "D"):
@@ -48,7 +57,14 @@ class ShardedKVCache:
         self.dtype = np.dtype(dtype)
         self.global_shape = (batch, max_len, n_kv_heads, d_head)
         local = spec.local_shape(self.global_shape, mesh.topology)
-        if mesh.backend == "stacked":
+        if arena is not None:
+            key, self.k, self.v = arena.lease(mesh, local, dtype)
+            # Return the buffers when this cache dies; finalize keeps
+            # them alive until then, so views stay valid for our
+            # lifetime and the arena re-zeroes on the next lease.
+            self._reclaimer = weakref.finalize(
+                self, arena.reclaim, key, self.k, self.v)
+        elif mesh.backend == "stacked":
             self.k = np.zeros(mesh.shape + local, dtype=dtype)
             self.v = np.zeros(mesh.shape + local, dtype=dtype)
         else:
@@ -70,8 +86,15 @@ class ShardedKVCache:
         return self.max_len - self.length
 
     def per_chip_bytes(self) -> int:
-        """Per-chip KV memory — the quantity Table 1 budgets against."""
-        return int(self.k[0, 0, 0].nbytes + self.v[0, 0, 0].nbytes)
+        """Per-chip KV memory — the quantity Table 1 budgets against.
+
+        Computed from the local shard shape, not by indexing the buffer
+        (whose leading axes are the mesh shape, so indexing would bake
+        in an assumed mesh rank).
+        """
+        local = self.spec.local_shape(self.global_shape,
+                                      self.mesh.topology)
+        return 2 * int(np.prod(local)) * self.dtype.itemsize
 
     def _check_compatible(self, t: ShardedTensor) -> None:
         # New K/V tensors arrive as B?L?K?D with L = tokens being appended.

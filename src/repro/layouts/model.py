@@ -111,6 +111,12 @@ def _axes_suffix(axes: str) -> str:
 class ShardedTransformer:
     """The partitioned model.  API mirrors ``ReferenceTransformer``."""
 
+    #: Optional :class:`repro.kvstore.arena.KVBufferArena`; when a
+    #: replica installs one, ``new_cache`` leases pooled device buffers
+    #: instead of allocating fresh ones (set post-construction so the
+    #: layouts layer stays independent of ``repro.kvstore``).
+    kv_arena = None
+
     def __init__(self, weights: TransformerWeights, mesh: VirtualMesh,
                  plan: LayoutPlan):
         plan.validate(weights.config, mesh.topology)
@@ -429,7 +435,8 @@ class ShardedTransformer:
         cfg = self.config
         dtype = self.weights.embedding.dtype
         return [ShardedKVCache(self.mesh, self.cache_spec(), batch, max_len,
-                               cfg.n_kv_heads, cfg.d_head, dtype=dtype)
+                               cfg.n_kv_heads, cfg.d_head, dtype=dtype,
+                               arena=self.kv_arena)
                 for _ in range(cfg.n_layers)]
 
     # -- public API -----------------------------------------------------------------

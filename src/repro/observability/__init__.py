@@ -27,8 +27,10 @@ from repro.observability.chrome_trace import (
 from repro.observability.metrics import (
     GroupMetrics,
     format_capture_stats,
+    format_kvstore_stats,
     format_layer_metrics,
     format_phase_metrics,
+    kvstore_stats_line,
     layer_metrics,
     phase_metrics,
 )
@@ -54,7 +56,7 @@ __all__ = [
     "REQUEST", "RING_STEP", "Span", "Tracer", "install_tracer",
     "remove_tracer", "tracer_of", "GroupMetrics", "phase_metrics",
     "layer_metrics", "format_phase_metrics", "format_layer_metrics",
-    "format_capture_stats",
+    "format_capture_stats", "format_kvstore_stats", "kvstore_stats_line",
     "build_trace", "complete_event", "process_metadata",
     "thread_metadata", "spans_to_chrome_trace", "write_trace",
     "write_span_trace",

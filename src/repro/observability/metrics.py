@@ -234,6 +234,45 @@ def capture_stats_line(stats: dict) -> str:
             f"invalidations={stats.get('invalidations', 0)}")
 
 
+def kvstore_stats_line(stats: dict) -> str:
+    """One-line prefix-cache summary for per-replica chaos reports."""
+    return (f"pages={stats.get('pages', 0)}"
+            f"/{stats.get('capacity_pages', 0)} "
+            f"hit_rate={stats.get('hit_rate', 0.0):.1%} "
+            f"tokens_saved={stats.get('tokens_total', 0) - stats.get('tokens_computed', 0)} "
+            f"evictions={stats.get('evictions', 0)} "
+            f"leases={stats.get('leases', 0)}/"
+            f"{stats.get('releases', 0)}")
+
+
+def format_kvstore_stats(stats: dict) -> str:
+    """ASCII table for a :meth:`KVStore.stats` snapshot.
+
+    Shows the paged prefix cache's population (pages resident and
+    pinned), the lookup/hit/miss counters at both request and page
+    granularity, lease accounting, and the per-reason invalidation
+    breakdown (``replan``, ``restart``, ``explicit``).  ``tokens_total``
+    vs ``tokens_computed`` is the headline: the gap is prefill compute
+    the radix index turned into page reuse.
+    """
+    lines = ["Paged KV prefix cache",
+             f"{'counter':>18s} {'value':>10s}"]
+    for key in ("pages", "capacity_pages", "page_tokens", "pinned_pages",
+                "lookups", "hits", "misses", "pages_hit", "pages_missed",
+                "inserts", "adoptions", "evictions", "invalidations",
+                "leases", "releases", "stale_releases",
+                "tokens_total", "tokens_computed", "bytes_saved"):
+        lines.append(f"{key:>18s} {stats.get(key, 0):>10d}")
+    lines.append(f"{'hit rate':>18s} {stats.get('hit_rate', 0.0):>10.1%}")
+    lines.append(f"{'occupancy':>18s} {stats.get('occupancy', 0.0):>10.1%}")
+    reasons = stats.get("invalidation_reasons") or {}
+    if reasons:
+        lines.append("invalidations by reason:")
+        for reason, count in sorted(reasons.items()):
+            lines.append(f"{reason:>18s} {count:>10d}")
+    return "\n".join(lines)
+
+
 def format_capture_stats(stats: dict) -> str:
     """ASCII table for a :meth:`StepCompiler.stats` snapshot.
 

@@ -47,7 +47,7 @@ def default_prefill_chunk() -> int | None:
 
 
 def chunked_prefill(model, tokens: np.ndarray, chunk_size: int,
-                    max_len: int, *, compiler=None):
+                    max_len: int, *, compiler=None, kvstore=None):
     """Prefill ``tokens`` ``[B, L]`` in chunks of ``chunk_size``.
 
     Works with any model exposing ``new_cache`` / ``forward`` (reference
@@ -59,20 +59,56 @@ def chunked_prefill(model, tokens: np.ndarray, chunk_size: int,
     prefill_chunk`: the first chunk of each length bucket is captured and
     every later same-shape chunk — including across prompts — replays
     the traced program, bit-identically.
+
+    With ``kvstore`` (a :class:`~repro.kvstore.KVStore`; batch 1 only)
+    the prompt's longest cached whole-page prefix is *installed* instead
+    of computed — only the uncached suffix runs through the model — and
+    the finished caches are committed back as new pages.  The store's
+    page size must be a multiple of ``chunk_size`` so the suffix sees
+    the exact chunk partitioning of the cold path, keeping hits
+    bit-identical to the recompute (the differential tests' contract).
+    The caller collects the pinned prefix via
+    :meth:`~repro.kvstore.KVStore.take_last_reuse` and must release its
+    lease once decode retires.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     batch, length = tokens.shape
     if max_len < length:
         raise ValueError(f"max_len {max_len} < prompt length {length}")
+    if kvstore is not None and batch != 1:
+        raise ValueError("kvstore prefix reuse requires batch-1 prefill")
+    if kvstore is not None and kvstore.page_tokens % chunk_size != 0:
+        raise ValueError(
+            f"page_tokens {kvstore.page_tokens} must be a multiple of "
+            f"chunk_size {chunk_size}")
     caches = model.new_cache(batch, max_len)
+    start0 = 0
+    lease = None
+    if kvstore is not None:
+        lease = kvstore.match(tokens[0])
+        if lease is not None:
+            start0 = kvstore.install(lease, caches)
     logits = None
-    for start in range(0, length, chunk_size):
-        chunk = tokens[:, start:start + chunk_size]
-        if compiler is not None:
-            logits = compiler.prefill_chunk(model, chunk, caches)
-        else:
-            logits = model.forward(chunk, caches)
+    try:
+        for start in range(start0, length, chunk_size):
+            chunk = tokens[:, start:start + chunk_size]
+            if compiler is not None:
+                logits = compiler.prefill_chunk(model, chunk, caches)
+            else:
+                logits = model.forward(chunk, caches)
+    except BaseException:
+        # A fault mid-suffix must not leak the pin: the lease never
+        # reaches the caller (``take_last_reuse``), so unpin here.
+        if lease is not None:
+            lease.release()
+        raise
+    if kvstore is not None:
+        from repro.kvstore import PrefillReuse
+
+        kvstore.commit(tokens[0], caches)
+        kvstore.finish_prefill(PrefillReuse(
+            lease=lease, matched_tokens=start0, total_tokens=length))
     return logits[:, -1], caches
 
 

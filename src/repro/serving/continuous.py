@@ -184,7 +184,8 @@ class ContinuousBatchingEngine:
     def __init__(self, model: ReferenceTransformer, max_slots: int,
                  max_len: int, sampler=None, seed: int = 0,
                  step_hook=None,
-                 prefill_chunk: int | None | str = "auto"):
+                 prefill_chunk: int | None | str = "auto",
+                 kvstore=None):
         if max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         self.model = model
@@ -197,6 +198,13 @@ class ContinuousBatchingEngine:
         self.prefill_chunk = (default_prefill_chunk()
                               if prefill_chunk == "auto"
                               else prefill_chunk)
+        # Optional prefix cache (repro.kvstore.KVStore): admission
+        # prefills reuse cached prompt prefixes.  The slot copies the
+        # installed prefix into its own buffers, so leases are released
+        # as soon as the slot is loaded.
+        if kvstore is not None and not self.prefill_chunk:
+            raise ValueError("kvstore reuse requires chunked prefill")
+        self.kvstore = kvstore
         self.sampler = sampler or (lambda logits, rng: greedy(logits))
         self.rng = np.random.default_rng(seed)
         self.steps = 0
@@ -220,11 +228,16 @@ class ContinuousBatchingEngine:
                 if self.prefill_chunk:
                     logits, caches = chunked_prefill(
                         self.model, request.prompt[None, :],
-                        self.prefill_chunk, self.max_len)
+                        self.prefill_chunk, self.max_len,
+                        kvstore=self.kvstore)
                 else:
                     logits, caches = self.model.prefill(
                         request.prompt[None, :], self.max_len)
                 state.load_prefill(slot_idx, caches)
+                if self.kvstore is not None:
+                    reuse = self.kvstore.take_last_reuse()
+                    if reuse is not None and reuse.lease is not None:
+                        reuse.lease.release()
                 first = int(self.sampler(logits, self.rng)[0])
                 running = _RunningSequence(request, pending_token=first)
                 running.generated.append(first)

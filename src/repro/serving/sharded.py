@@ -65,7 +65,9 @@ def merge_sharded_caches(per_request: Sequence[Sequence[ShardedKVCache]],
         cache = ShardedKVCache(decode_model.mesh,
                                decode_model.cache_spec(), batch,
                                caches[layer].max_len, cfg.n_kv_heads,
-                               cfg.d_head, dtype=dtype)
+                               cfg.d_head, dtype=dtype,
+                               arena=getattr(decode_model, "kv_arena",
+                                             None))
         from repro.mesh import ShardedTensor
 
         k_t = ShardedTensor.from_global(decode_model.mesh, k_global,

@@ -143,3 +143,81 @@ class TestValidation:
             ClassMix("x", weight=0.0)
         with pytest.raises(ValueError):
             generate_trace(BURSTY, seed=0, vocab_size=0)
+
+
+SHARED = TraceSpec(
+    name="shared-test",
+    duration_s=3.0,
+    base_rate_rps=12.0,
+    prompt_len_buckets=(4, 8),
+    system_prompt_pool=3,
+    system_prompt_len=10,
+    shared_prefix_fraction=0.8,
+    prefix_zipf_a=1.5,
+    session_fraction=0.3,
+)
+
+
+class TestSharedPrefix:
+    def test_pure_function_of_spec_and_seed(self):
+        a = generate_trace(SHARED, seed=7, vocab_size=32)
+        b = generate_trace(SHARED, seed=7, vocab_size=32)
+        assert len(a) == len(b) > 0
+        for x, y in zip(a, b):
+            assert x.arrival_s == y.arrival_s
+            assert np.array_equal(x.request.prompt, y.request.prompt)
+
+    def test_shared_arrivals_extend_pool_or_session_prompts(self):
+        subs = generate_trace(SHARED, seed=0, vocab_size=32)
+        buckets = set(SHARED.prompt_len_buckets)
+        seen_prompts: list[np.ndarray] = []
+        shared = 0
+        for sub in subs:
+            prompt = sub.request.prompt
+            if len(prompt) in buckets:
+                seen_prompts.append(prompt)
+                continue  # fresh prompt, no prefix attached
+            # Extended prompts are (base + bucket) long and repeat an
+            # earlier prompt's span (a pool prompt or a session prefix).
+            assert len(prompt) - SHARED.system_prompt_len in buckets \
+                or any(len(prompt) - len(p) in buckets
+                       and np.array_equal(prompt[:len(p)], p)
+                       for p in seen_prompts)
+            shared += 1
+            seen_prompts.append(prompt)
+        # The 0.8 share is per-arrival Bernoulli; demand a healthy lower
+        # bound rather than the exact mean.
+        assert shared >= len(subs) // 2
+
+    def test_prefix_reuse_is_substantial(self):
+        subs = generate_trace(SHARED, seed=1, vocab_size=32)
+        prompts = [s.request.prompt for s in subs]
+        with_prefix = sum(
+            1 for p in prompts
+            if len(p) not in SHARED.prompt_len_buckets)
+        assert with_prefix / len(prompts) > 0.5
+
+    def test_pool_disabled_is_unchanged_legacy_shape(self):
+        spec = TraceSpec(name="plain", duration_s=2.0, base_rate_rps=10.0,
+                         prompt_len_buckets=(4, 8))
+        for sub in generate_trace(spec, seed=3, vocab_size=32):
+            assert len(sub.request.prompt) in (4, 8)
+
+    def test_chatbot_sessions_trace_registered(self):
+        spec = TRACES["chatbot-sessions"]
+        assert spec.system_prompt_pool > 0
+        assert spec.shared_prefix_fraction > 0.5
+        subs = generate_trace(spec, seed=0, vocab_size=32)
+        assert len(subs) > 10
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(system_prompt_pool=-1),
+        dict(system_prompt_pool=2, system_prompt_len=0),
+        dict(shared_prefix_fraction=1.5),
+        dict(shared_prefix_fraction=-0.1),
+        dict(session_fraction=2.0),
+        dict(prefix_zipf_a=0.0),
+    ])
+    def test_bad_shared_prefix_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceSpec(name="bad", **kwargs)

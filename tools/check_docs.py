@@ -57,6 +57,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Serving: one replica, two phases",
         "## Cluster: fleets, faults, admission",
         "## Autoscaling and disaggregation",
+        "## The paged KV store: prefix sharing",
     ),
     "docs/cluster.md": (
         "## Replicas and health (`repro.cluster.replica`)",
@@ -68,6 +69,13 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
     ),
     "docs/fault_tolerance.md": (
         "## Crash recovery & the journal",
+    ),
+    "docs/kvstore.md": (
+        "## Pages and the arena (`repro.kvstore.arena`)",
+        "## The radix index (`repro.kvstore.radix`)",
+        "## The store facade (`repro.kvstore.store`)",
+        "## Cluster integration",
+        "## The benchmark gate",
     ),
     "docs/mesh_backends.md": (
         "## Capture and replay: the step compiler",
